@@ -1,0 +1,130 @@
+//! Criterion benchmarks of the programming-model layer: per-packet cost of
+//! the Eiffel per-flow transaction, the unified shaper, and the end-to-end
+//! hClock/pFabric modules — the "constant overhead per ranking function"
+//! claim of §1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use eiffel_bess::{FlowSpec, HClockEiffel, HClockHeap, PfabricEiffel, PfabricHeap};
+use eiffel_pifo::{Shaper, TokenStamper};
+use eiffel_sim::{Packet, Rate};
+
+fn shaper_stamp_and_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unified_shaper");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+    group.bench_function("stamp_schedule_release", |b| {
+        let mut stamper = TokenStamper::new(Rate::gbps(10));
+        let mut shaper: Shaper<u64> = Shaper::new(20_000, 100_000, 0);
+        let mut now = 0u64;
+        let mut out = Vec::new();
+        b.iter(|| {
+            now += 1_200;
+            let ts = stamper.stamp(now, 1_500).expect("non-zero rate");
+            shaper.schedule(ts, black_box(1));
+            out.clear();
+            shaper.release_due(now, &mut out);
+            black_box(out.len());
+        });
+    });
+    group.finish();
+}
+
+fn hclock_per_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hclock_per_packet");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+    let specs: Vec<FlowSpec> = (0..5_000)
+        .map(|_| FlowSpec {
+            reservation: Rate::kbps(10),
+            limit: Rate::mbps(2),
+            share: 1,
+        })
+        .collect();
+    group.bench_function("eiffel_5k_flows", |b| {
+        let mut s = HClockEiffel::new(&specs);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for _ in 0..20_000 {
+            s.enqueue(0, Packet::mtu(id, (id % 5_000) as u32, 0));
+            id += 1;
+        }
+        b.iter(|| {
+            now += 1_200;
+            let flow = (id % 5_000) as u32;
+            s.enqueue(now, Packet::mtu(id, flow, now));
+            id += 1;
+            black_box(s.dequeue(now));
+        });
+    });
+    group.bench_function("heap_5k_flows", |b| {
+        let mut s = HClockHeap::new(&specs);
+        let mut now = 0u64;
+        let mut id = 0u64;
+        for _ in 0..20_000 {
+            s.enqueue(Packet::mtu(id, (id % 5_000) as u32, 0));
+            id += 1;
+        }
+        b.iter(|| {
+            now += 1_200;
+            let flow = (id % 5_000) as u32;
+            s.enqueue(Packet::mtu(id, flow, now));
+            id += 1;
+            black_box(s.dequeue(now));
+        });
+    });
+    group.finish();
+}
+
+fn pfabric_per_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pfabric_per_packet");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+    for (name, flows) in [("1k_flows", 1_000u32), ("10k_flows", 10_000)] {
+        group.bench_function(format!("eiffel_{name}"), |b| {
+            let mut s = PfabricEiffel::new();
+            let mut id = 0u64;
+            for _ in 0..2 * flows as u64 {
+                let mut p = Packet::mtu(id, (id % flows as u64) as u32, 0);
+                p.rank = 1 + id % 64;
+                s.enqueue(0, p);
+                id += 1;
+            }
+            b.iter(|| {
+                let flow = (id % flows as u64) as u32;
+                let mut p = Packet::mtu(id, flow, 0);
+                p.rank = 1 + id % 64;
+                s.enqueue(0, p);
+                id += 1;
+                black_box(s.dequeue(0));
+            });
+        });
+        group.bench_function(format!("heap_{name}"), |b| {
+            let mut s = PfabricHeap::new();
+            let mut id = 0u64;
+            for _ in 0..2 * flows as u64 {
+                let mut p = Packet::mtu(id, (id % flows as u64) as u32, 0);
+                p.rank = 1 + id % 64;
+                s.enqueue(0, p);
+                id += 1;
+            }
+            b.iter(|| {
+                let flow = (id % flows as u64) as u32;
+                let mut p = Packet::mtu(id, flow, 0);
+                p.rank = 1 + id % 64;
+                s.enqueue(0, p);
+                id += 1;
+                black_box(s.dequeue(0));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shaper_stamp_and_release, hclock_per_packet, pfabric_per_packet);
+criterion_main!(benches);

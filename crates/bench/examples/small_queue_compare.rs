@@ -1,0 +1,13 @@
+//! Drain-rate comparison at the paper's native approximate-queue scale
+//! (≤ 48·α buckets, where the f64 curvature is exact end to end).
+use eiffel_bench::microbench::{drain_rate_packets_per_bucket, QueueUnderTest};
+use std::time::Duration;
+
+fn main() {
+    for nb in [523usize, 768] {
+        for kind in [QueueUnderTest::Approx, QueueUnderTest::Cffs, QueueUnderTest::BucketHeap] {
+            let r = drain_rate_packets_per_bucket(kind, nb, 1, Duration::from_millis(300));
+            println!("nb={nb} {:>7}: {r:.2} Mpps", kind.name());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 9 — "A comparison between the CPU overhead of the networking
+//! stack using FQ/pacing, Carousel, and Eiffel": CDF of CPU cores used for
+//! networking, 20k flows rate-limited to an aggregate 24 Gbps.
+//!
+//! `--quick` runs a scaled-down workload.
+
+use eiffel_bench::{quick_mode, report, runners};
+
+fn main() {
+    let scale = if quick_mode() {
+        runners::KernelShapingScale::quick()
+    } else {
+        runners::KernelShapingScale::default_scale()
+    };
+    report::banner(
+        "FIGURE 9 — CPU cores for networking (CDF), kernel shaping",
+        &format!(
+            "{} flows, {} Gbps aggregate, {} virtual seconds — real data-structure \
+             CPU metered into bins (see eiffel-sim::cpu for modelled constants)",
+            scale.flows,
+            scale.aggregate.as_bps() as f64 / 1e9,
+            scale.duration as f64 / 1e9
+        ),
+    );
+    let reports = runners::kernel_shaping(&scale);
+    // CDF series per system.
+    for r in &reports {
+        println!("\n[{}] median = {:.3} cores, transmitted = {} pkts, timer fires = {}",
+            r.name, r.median_cores, r.transmitted, r.timer_fires);
+        let rows: Vec<Vec<String>> = report::cdf(&r.cores_sorted, 10)
+            .into_iter()
+            .map(|(cores, frac)| vec![format!("{cores:.4}"), format!("{frac:.2}")])
+            .collect();
+        report::table(&["cores", "CDF"], &rows);
+    }
+    let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
+    println!(
+        "\nPaper: Eiffel outperforms FQ by a median 14x and Carousel by 3x."
+    );
+    println!(
+        "Measured: FQ/Eiffel = {:.1}x, Carousel/Eiffel = {:.1}x",
+        fq.median_cores / eiffel.median_cores.max(1e-9),
+        carousel.median_cores / eiffel.median_cores.max(1e-9)
+    );
+}

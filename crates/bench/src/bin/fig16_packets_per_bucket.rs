@@ -1,0 +1,39 @@
+//! Figure 16 — "Effect of number of packets per bucket on queue performance
+//! for 5k (left) and 10k (right) buckets": drain rate in Mpps vs average
+//! packets per bucket for Approx, cFFS, BH.
+//!
+//! `--quick` shortens measurement budgets.
+
+use std::time::Duration;
+
+use eiffel_bench::microbench::{
+    drain_rate_packets_per_bucket, QueueUnderTest,
+};
+use eiffel_bench::{quick_mode, report};
+
+fn main() {
+    let budget = Duration::from_millis(if quick_mode() { 50 } else { 400 });
+    for nb in [5_000usize, 10_000] {
+        report::banner(
+            &format!("FIGURE 16 — Mpps vs packets/bucket, {nb} buckets"),
+            "pre-filled queue fully drained; drain phase timed",
+        );
+        let mut rows = Vec::new();
+        for ppb in [1usize, 2, 4, 6, 8] {
+            let mut row = vec![ppb.to_string()];
+            for kind in [QueueUnderTest::Approx, QueueUnderTest::Cffs, QueueUnderTest::BucketHeap]
+            {
+                let mpps = drain_rate_packets_per_bucket(kind, nb, ppb, budget);
+                row.push(format!("{mpps:.2}"));
+            }
+            rows.push(row);
+        }
+        report::table(&["pkts/bucket", "Approx (Mpps)", "cFFS (Mpps)", "BH (Mpps)"], &rows);
+        println!();
+    }
+    println!(
+        "Paper: at few packets per bucket the approximate queue leads (up to 9% over \
+         cFFS at 10k buckets); more packets per bucket amortize the min-find and the \
+         queues converge. BH trails throughout."
+    );
+}

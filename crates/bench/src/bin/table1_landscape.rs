@@ -1,0 +1,16 @@
+//! Table 1 — "Proposed work in the context of the state of the art in
+//! scheduling": the capability matrix, tied to the implementations in this
+//! workspace.
+
+use eiffel_bench::{report, runners};
+
+fn main() {
+    report::banner(
+        "TABLE 1 — scheduler landscape",
+        "Flexibility columns: unit of scheduling, work conserving, shaping, programmable",
+    );
+    report::table(
+        &["System", "Efficiency", "HW/SW", "Unit", "WorkCons", "Shaping", "Prog", "Notes"],
+        &runners::table1_rows(),
+    );
+}

@@ -1,0 +1,32 @@
+//! # eiffel-bench — regenerating every table and figure of the paper
+//!
+//! One binary per experiment (`cargo run --release -p eiffel-bench --bin
+//! figNN_*`), each printing the same rows/series the paper plots. The
+//! experiment logic lives here in the library so integration tests can run
+//! scaled-down versions of every harness.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1_landscape` | Table 1 (scheduler capability matrix) |
+//! | `fig09_kernel_shaping` | Fig 9 (CPU cores CDF: FQ / Carousel / Eiffel) |
+//! | `fig10_cpu_breakdown` | Fig 10 (system vs softirq CPU) |
+//! | `fig12_hclock_scaling` | Fig 12 (max rate vs #flows, hClock) |
+//! | `fig13_batching` | Fig 13 (batching × packet size) |
+//! | `fig15_pfabric_scaling` | Fig 15 (max rate vs #flows, pFabric) |
+//! | `fig16_packets_per_bucket` | Fig 16 (Mpps vs packets/bucket) |
+//! | `fig17_occupancy` | Fig 17 (Mpps vs occupancy) |
+//! | `fig18_approx_error` | Fig 18 (approx error vs occupancy) |
+//! | `fig19_pfabric_fct` | Fig 19 (normalized FCT vs load) |
+//! | `fig20_guide` | Fig 20 (queue-selection decision tree) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod microbench;
+pub mod report;
+pub mod runners;
+
+/// Parses the shared `--quick` flag used by every figure binary.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

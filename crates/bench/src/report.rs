@@ -1,0 +1,73 @@
+//! Plain-text table/series output shared by the figure binaries.
+
+/// Prints a header banner for a figure.
+pub fn banner(title: &str, note: &str) {
+    println!("==================================================================");
+    println!("{title}");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!("==================================================================");
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&hdr));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Reduces sorted samples to a compact CDF of `points` levels
+/// (`(value, cumulative fraction)` pairs).
+pub fn cdf(sorted: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    (1..=points)
+        .map(|i| {
+            let frac = i as f64 / points as f64;
+            let idx = ((n as f64 * frac).ceil() as usize).clamp(1, n) - 1;
+            (sorted[idx], frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reduces_monotonically() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let c = cdf(&samples, 10);
+        assert_eq!(c.len(), 10);
+        assert!((c[0].0 - 10.0).abs() < 1e-9);
+        assert!((c[9].0 - 100.0).abs() < 1e-9);
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(cdf(&[], 5).is_empty());
+    }
+}

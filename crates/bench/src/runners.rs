@@ -1,0 +1,241 @@
+//! Scaled experiment runners behind the figure binaries.
+//!
+//! Every function takes explicit scale parameters so the integration tests
+//! run miniature versions of the exact code path the binaries use.
+
+use std::time::Duration;
+
+use eiffel_bess::{
+    measure_rate, BessTc, FlowSpec, HClockEiffel, HClockHeap, PfabricEiffel, PfabricHeap,
+    RoundRobinGen,
+};
+use eiffel_dcsim::{SimConfig, System, Topology};
+use eiffel_qdisc::{CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport};
+use eiffel_sim::{Nanos, Packet, Rate, SECOND};
+
+/// Figure 9/10 configuration.
+#[derive(Debug, Clone)]
+pub struct KernelShapingScale {
+    /// Paced flows (paper: 20 000).
+    pub flows: usize,
+    /// Aggregate rate (paper: 24 Gbps).
+    pub aggregate: Rate,
+    /// Virtual duration.
+    pub duration: Nanos,
+    /// Accounting bin.
+    pub bin: Nanos,
+}
+
+impl KernelShapingScale {
+    /// The paper's workload at a shortened duration.
+    pub fn default_scale() -> Self {
+        KernelShapingScale {
+            flows: 20_000,
+            aggregate: Rate::gbps(24),
+            duration: 2 * SECOND,
+            bin: SECOND / 10,
+        }
+    }
+
+    /// Miniature for tests / `--quick`.
+    pub fn quick() -> Self {
+        KernelShapingScale {
+            flows: 2_000,
+            aggregate: Rate::mbps(2_400),
+            duration: SECOND / 2,
+            bin: SECOND / 20,
+        }
+    }
+}
+
+/// Runs the three qdiscs of Figure 9 and returns their host reports
+/// (order: FQ, Carousel, Eiffel).
+pub fn kernel_shaping(scale: &KernelShapingScale) -> Vec<HostReport> {
+    let cfg = HostConfig {
+        flows: scale.flows,
+        aggregate: scale.aggregate,
+        duration: scale.duration,
+        bin: scale.bin,
+        tsq_budget: 2,
+    };
+    vec![
+        eiffel_qdisc::run(FqQdisc::new(), &cfg),
+        // Carousel: 2 µs wheel slots over a 2 s horizon (1M slots), the
+        // granularity pacing at tens of Gbps needs.
+        eiffel_qdisc::run(CarouselQdisc::new(1 << 20, 2_000), &cfg),
+        // Eiffel: the paper's 20k buckets / 2 s horizon.
+        eiffel_qdisc::run(EiffelQdisc::paper_config(), &cfg),
+    ]
+}
+
+/// Equal per-flow hClock specs splitting `agg_mbps` (tiny reservations,
+/// equal shares). Per-flow limits are computed in kbps so they still sum
+/// to the aggregate when `flows` exceeds `agg_mbps`.
+pub fn flat_specs(flows: usize, agg_mbps: u64) -> Vec<FlowSpec> {
+    let per_kbps = (agg_mbps * 1_000 / flows as u64).max(1);
+    (0..flows)
+        .map(|_| FlowSpec {
+            reservation: Rate::kbps(10.min(per_kbps / 2).max(1)),
+            limit: Rate::kbps(per_kbps),
+            share: 1,
+        })
+        .collect()
+}
+
+/// One Figure 12 cell: max aggregate rate (Mbps) of an hClock variant.
+pub fn hclock_max_rate(
+    which: &str,
+    flows: usize,
+    agg_limit_mbps: u64,
+    pkt_bytes: u32,
+    batch: u32,
+    dur: Duration,
+) -> f64 {
+    let mut gen = RoundRobinGen::with_batch(flows, pkt_bytes, batch);
+    let occupancy = (flows * 4).clamp(64, 120_000);
+    let specs = flat_specs(flows, agg_limit_mbps);
+    let report = match which {
+        "eiffel" => {
+            let mut s = HClockEiffel::new(&specs);
+            measure_rate(&mut s, &mut gen, &mut |_| {}, occupancy, dur)
+        }
+        "hclock" => {
+            let mut s = HClockHeap::new(&specs);
+            measure_rate(&mut s, &mut gen, &mut |_| {}, occupancy, dur)
+        }
+        "tc" => {
+            let per = Rate::kbps((agg_limit_mbps * 1_000 / flows as u64).max(1));
+            let mut s = BessTc::new(flows, per);
+            measure_rate(&mut s, &mut gen, &mut |_| {}, occupancy, dur)
+        }
+        other => panic!("unknown scheduler '{other}'"),
+    };
+    report.mbps
+}
+
+/// One Figure 15 cell: pFabric throughput (Mbps at 1500B) for a flow count.
+pub fn pfabric_max_rate(eiffel: bool, flows: usize, dur: Duration) -> f64 {
+    let mut gen = RoundRobinGen::new(flows, 1_500);
+    let occupancy = (2 * flows).clamp(64, 100_000);
+    // Remaining-size stamper: each flow cycles through a synthetic flow of
+    // 64 packets (remaining 64, 63, … 1).
+    let mut remaining = vec![0u32; flows];
+    let mut stamp = move |p: &mut Packet| {
+        let r = &mut remaining[p.flow as usize];
+        if *r == 0 {
+            *r = 64;
+        }
+        p.rank = *r as u64;
+        *r -= 1;
+    };
+    let report = if eiffel {
+        let mut s = PfabricEiffel::new();
+        measure_rate(&mut s, &mut gen, &mut stamp, occupancy, dur)
+    } else {
+        let mut s = PfabricHeap::new();
+        measure_rate(&mut s, &mut gen, &mut stamp, occupancy, dur)
+    };
+    report.mbps
+}
+
+/// One Figure 19 sweep: runs a system over the given loads, returning
+/// `(load, avg_small, p99_small, avg_large)` rows.
+pub fn pfabric_fct_sweep(
+    system: System,
+    topo: Topology,
+    loads: &[f64],
+    flows: usize,
+    seed: u64,
+) -> Vec<(f64, f64, f64, f64)> {
+    loads
+        .iter()
+        .map(|&load| {
+            let r = eiffel_dcsim::run(SimConfig::new(topo, system, load, flows, seed));
+            (
+                load,
+                r.summary.avg_small.unwrap_or(f64::NAN),
+                r.summary.p99_small.unwrap_or(f64::NAN),
+                r.summary.avg_large.unwrap_or(f64::NAN),
+            )
+        })
+        .collect()
+}
+
+/// Table 1 rows, tied to the implementations in this workspace.
+pub fn table1_rows() -> Vec<Vec<String>> {
+    let row = |sys: &str, eff: &str, hw: &str, unit: &str, wc: &str, shaping: &str,
+               prog: &str, notes: &str| {
+        vec![sys, eff, hw, unit, wc, shaping, prog, notes]
+            .into_iter()
+            .map(String::from)
+            .collect()
+    };
+    vec![
+        row("FQ/pacing qdisc", "O(log n)", "SW", "Flows", "No", "Yes", "No",
+            "only non-work-conserving FQ (crate eiffel-qdisc::fq)"),
+        row("hClock", "O(log n)", "SW", "Flows", "Yes", "Yes", "No",
+            "heap-based QoS (crate eiffel-bess::hclock::HClockHeap)"),
+        row("Carousel", "O(1)", "SW", "Packets", "No", "Yes", "No",
+            "timing wheel (crate eiffel-qdisc::carousel)"),
+        row("OpenQueue", "O(log n)", "SW", "Pkts+Flows", "Yes", "No", "enq/deq",
+            "not rebuilt: no artifact; characteristics from the paper"),
+        row("PIFO", "O(1)", "HW", "Packets", "Yes", "Yes", "enq",
+            "model reimplemented in SW (crate eiffel-pifo::tree)"),
+        row("Eiffel", "O(1)", "SW", "Pkts+Flows", "Yes", "Yes", "enq/deq",
+            "this repository (eiffel-core + eiffel-pifo)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_shaping_quick_orders_fq_worst() {
+        let reports = kernel_shaping(&KernelShapingScale::quick());
+        assert_eq!(reports.len(), 3);
+        let (fq, carousel, eiffel) =
+            (&reports[0], &reports[1], &reports[2]);
+        assert_eq!(fq.name, "fq");
+        assert_eq!(carousel.name, "carousel");
+        assert_eq!(eiffel.name, "eiffel");
+        // The headline ordering of Figure 9.
+        assert!(
+            eiffel.median_cores < carousel.median_cores,
+            "eiffel {:.4} !< carousel {:.4}",
+            eiffel.median_cores,
+            carousel.median_cores
+        );
+        assert!(
+            eiffel.median_cores < fq.median_cores,
+            "eiffel {:.4} !< fq {:.4}",
+            eiffel.median_cores,
+            fq.median_cores
+        );
+    }
+
+    #[test]
+    fn hclock_cells_produce_rates() {
+        for which in ["eiffel", "hclock", "tc"] {
+            let mbps = hclock_max_rate(which, 64, 10_000, 1_500, 1, Duration::from_millis(60));
+            assert!(mbps > 1.0, "{which}: {mbps} Mbps");
+        }
+    }
+
+    #[test]
+    fn pfabric_eiffel_beats_heap_at_scale() {
+        let e = pfabric_max_rate(true, 3_000, Duration::from_millis(120));
+        let h = pfabric_max_rate(false, 3_000, Duration::from_millis(120));
+        assert!(
+            e > h,
+            "eiffel pfabric {e:.0} Mbps must beat heap {h:.0} Mbps at 3k flows"
+        );
+    }
+
+    #[test]
+    fn table1_has_six_systems() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r[0] == "Eiffel"));
+    }
+}

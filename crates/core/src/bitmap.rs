@@ -1,0 +1,175 @@
+//! Flat multi-word occupancy bitmap with sequential FFS.
+//!
+//! This is the O(M) structure the paper attributes to the Linux real-time
+//! scheduler (§3.1.1: "FFS is applied sequentially on two words, in case of
+//! 64-bit words"): the bucket occupancy of an N-bucket queue is stored in
+//! `M = ceil(N/64)` words, and finding the minimum non-empty bucket scans
+//! the words in order. "Very efficient for very small M", and the natural
+//! stepping stone to the hierarchical bitmap of [`crate::hierbitmap`].
+
+use crate::word;
+
+/// A flat bitmap over `len` buckets.
+#[derive(Debug, Clone)]
+pub struct FlatBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FlatBitmap {
+    /// Creates an all-empty bitmap covering `len` buckets.
+    pub fn new(len: usize) -> Self {
+        FlatBitmap {
+            words: vec![0; len.div_ceil(word::WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of buckets covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bucket is marked occupied.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Marks bucket `i` occupied.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        word::set_bit(&mut self.words[i / 64], (i % 64) as u32);
+    }
+
+    /// Marks bucket `i` empty.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        word::clear_bit(&mut self.words[i / 64], (i % 64) as u32);
+    }
+
+    /// Whether bucket `i` is occupied.
+    pub fn test(&self, i: usize) -> bool {
+        word::test_bit(self.words[i / 64], (i % 64) as u32)
+    }
+
+    /// Lowest occupied bucket — the sequential O(M) scan.
+    pub fn first_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if let Some(b) = word::lowest_set(w) {
+                return Some(wi * 64 + b as usize);
+            }
+        }
+        None
+    }
+
+    /// Lowest occupied bucket at or after `from`.
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let start_word = from / 64;
+        if let Some(b) = word::lowest_set_from(self.words[start_word], (from % 64) as u32) {
+            return Some(start_word * 64 + b as usize);
+        }
+        for wi in start_word + 1..self.words.len() {
+            if let Some(b) = word::lowest_set(self.words[wi]) {
+                return Some(wi * 64 + b as usize);
+            }
+        }
+        None
+    }
+
+    /// Highest occupied bucket.
+    pub fn last_set(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if let Some(b) = word::highest_set(w) {
+                return Some(wi * 64 + b as usize);
+            }
+        }
+        None
+    }
+
+    /// Highest occupied bucket at or before `to`.
+    pub fn last_set_to(&self, to: usize) -> Option<usize> {
+        let to = to.min(self.len.saturating_sub(1));
+        let start_word = to / 64;
+        if let Some(b) = word::highest_set_to(self.words[start_word], (to % 64) as u32) {
+            return Some(start_word * 64 + b as usize);
+        }
+        for wi in (0..start_word).rev() {
+            if let Some(b) = word::highest_set(self.words[wi]) {
+                return Some(wi * 64 + b as usize);
+            }
+        }
+        None
+    }
+
+    /// Number of occupied buckets.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_multiple_words() {
+        let mut bm = FlatBitmap::new(200);
+        assert!(bm.is_empty());
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(199);
+        assert_eq!(bm.first_set(), Some(0));
+        assert_eq!(bm.last_set(), Some(199));
+        bm.clear(0);
+        assert_eq!(bm.first_set(), Some(63));
+        bm.clear(63);
+        assert_eq!(bm.first_set(), Some(64));
+        assert_eq!(bm.count_ones(), 2);
+    }
+
+    #[test]
+    fn first_set_from_crosses_word_boundary() {
+        let mut bm = FlatBitmap::new(300);
+        bm.set(10);
+        bm.set(130);
+        assert_eq!(bm.first_set_from(0), Some(10));
+        assert_eq!(bm.first_set_from(10), Some(10));
+        assert_eq!(bm.first_set_from(11), Some(130));
+        assert_eq!(bm.first_set_from(131), None);
+        assert_eq!(bm.first_set_from(299), None);
+        assert_eq!(bm.first_set_from(300), None);
+    }
+
+    #[test]
+    fn last_set_to_crosses_word_boundary() {
+        let mut bm = FlatBitmap::new(300);
+        bm.set(10);
+        bm.set(130);
+        assert_eq!(bm.last_set_to(299), Some(130));
+        assert_eq!(bm.last_set_to(130), Some(130));
+        assert_eq!(bm.last_set_to(129), Some(10));
+        assert_eq!(bm.last_set_to(9), None);
+    }
+
+    #[test]
+    fn set_clear_is_idempotent() {
+        let mut bm = FlatBitmap::new(64);
+        bm.set(5);
+        bm.set(5);
+        assert_eq!(bm.count_ones(), 1);
+        bm.clear(5);
+        bm.clear(5);
+        assert!(bm.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut bm = FlatBitmap::new(64);
+        bm.set(64);
+    }
+}

@@ -1,0 +1,147 @@
+//! Pre-allocated FIFO bucket storage shared by all bucketed queues.
+//!
+//! Paper §2: "bucketed integer priority queues achieve CPU efficiency at the
+//! expense of maintaining elements unsorted within a single bucket and
+//! pre-allocation of memory for all buckets". Each bucket is a FIFO
+//! (`VecDeque`); elements keep their exact rank alongside the payload so a
+//! dequeue can report it, but ordering *within* a bucket is insertion order —
+//! "packets within a single bucket effectively have equivalent rank".
+
+use std::collections::VecDeque;
+
+/// A fixed array of FIFO buckets holding `(rank, item)` pairs.
+#[derive(Debug, Clone)]
+pub struct Buckets<T> {
+    slots: Vec<VecDeque<(u64, T)>>,
+    len: usize,
+}
+
+impl<T> Buckets<T> {
+    /// Allocates `n` empty buckets.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one bucket");
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, VecDeque::new);
+        Buckets { slots, len: 0 }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of stored elements across all buckets.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element to bucket `i`'s FIFO.
+    pub fn push(&mut self, i: usize, rank: u64, item: T) {
+        self.slots[i].push_back((rank, item));
+        self.len += 1;
+    }
+
+    /// Pops the oldest element of bucket `i`, if any.
+    pub fn pop(&mut self, i: usize) -> Option<(u64, T)> {
+        let out = self.slots[i].pop_front();
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Rank of the oldest element of bucket `i`, if any.
+    pub fn front_rank(&self, i: usize) -> Option<u64> {
+        self.slots[i].front().map(|(r, _)| *r)
+    }
+
+    /// Whether bucket `i` holds no elements.
+    pub fn bucket_is_empty(&self, i: usize) -> bool {
+        self.slots[i].is_empty()
+    }
+
+    /// Number of elements in bucket `i`.
+    pub fn bucket_len(&self, i: usize) -> usize {
+        self.slots[i].len()
+    }
+
+    /// Drains every element of bucket `i`, oldest first.
+    pub fn drain_bucket(&mut self, i: usize) -> std::collections::vec_deque::Drain<'_, (u64, T)> {
+        self.len -= self.slots[i].len();
+        self.slots[i].drain(..)
+    }
+
+    /// Removes every element for which `pred` returns false from bucket `i`,
+    /// preserving FIFO order of the survivors. Returns the removed elements.
+    ///
+    /// This is O(bucket length) and exists for *failure-injection tests* and
+    /// explicit flow teardown, not the data path (the data path uses lazy
+    /// invalidation instead — see `eiffel-pifo`).
+    pub fn retain_bucket<F: FnMut(u64, &T) -> bool>(
+        &mut self,
+        i: usize,
+        mut pred: F,
+    ) -> Vec<(u64, T)> {
+        let mut removed = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.slots[i].len());
+        for (r, t) in self.slots[i].drain(..) {
+            if pred(r, &t) {
+                kept.push_back((r, t));
+            } else {
+                removed.push((r, t));
+            }
+        }
+        self.len -= removed.len();
+        self.slots[i] = kept;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_bucket() {
+        let mut b: Buckets<char> = Buckets::new(4);
+        b.push(2, 20, 'a');
+        b.push(2, 21, 'b');
+        b.push(2, 20, 'c');
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.front_rank(2), Some(20));
+        assert_eq!(b.pop(2), Some((20, 'a')));
+        assert_eq!(b.pop(2), Some((21, 'b')));
+        assert_eq!(b.pop(2), Some((20, 'c')));
+        assert_eq!(b.pop(2), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_updates_len() {
+        let mut b: Buckets<u32> = Buckets::new(2);
+        b.push(0, 1, 10);
+        b.push(0, 2, 11);
+        b.push(1, 3, 12);
+        let drained: Vec<_> = b.drain_bucket(0).collect();
+        assert_eq!(drained, vec![(1, 10), (2, 11)]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn retain_removes_and_reports() {
+        let mut b: Buckets<u32> = Buckets::new(1);
+        for v in 0..6 {
+            b.push(0, v, v as u32);
+        }
+        let removed = b.retain_bucket(0, |r, _| r % 2 == 0);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pop(0), Some((0, 0)));
+        assert_eq!(b.pop(0), Some((2, 2)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Circular Hierarchical FFS-based queue (**cFFS**) — Figure 4, the paper's
+//! flagship structure.
+//!
+//! Fixed-range FFS queues break under the moving rank ranges of real
+//! policies (transmission timestamps only grow), and naive mod-indexing
+//! corrupts the bitmap (§3.1.1's slot-zero example). Eiffel's fix: keep
+//! **two** fixed-range queues, a *primary* covering `[h, h + span)` and a
+//! *secondary* covering `[h + span, h + 2·span)`. Elements beyond even the
+//! secondary's range are "enqueued at the last bucket in the secondary queue,
+//! and thus losing their proper ordering" — an explicit, bounded inaccuracy
+//! the operator avoids by sizing the horizon for the policy. When the primary
+//! drains, the queue "circulates by switching the pointers of the two queues"
+//! and advancing `h` by one span; no bitmap is ever reset and no element is
+//! ever re-scanned.
+//!
+//! The wrapper is generic over [`BucketCore`] so the same window logic also
+//! yields the circular approximate gradient queue
+//! ([`crate::CircularApproxQueue`]; §3.1.2: "for cases of a moving range, a
+//! circular approximate queue can be implemented as with cFFS").
+
+use std::marker::PhantomData;
+
+use crate::hffs::HierFfsQueue;
+use crate::traits::{EnqueueError, QueueStats, RankedQueue};
+
+/// A fixed-range bucketed queue addressed purely by bucket index, usable as
+/// one half of a [`Circular`] queue.
+pub trait BucketCore<T> {
+    /// Appends to bucket `bucket`'s FIFO (bucket is in `[0, num_buckets)`).
+    fn push_bucket(&mut self, bucket: usize, rank: u64, item: T);
+    /// Pops from the minimum non-empty bucket, reporting which bucket it was.
+    fn pop_min_bucket(&mut self) -> Option<(usize, u64, T)>;
+    /// Index of the minimum non-empty bucket.
+    fn min_bucket(&self) -> Option<usize>;
+    /// Stored element count.
+    fn core_len(&self) -> usize;
+    /// Bucket count.
+    fn core_num_buckets(&self) -> usize;
+    /// Approximation counters, if the core is approximate.
+    fn core_stats(&self) -> QueueStats {
+        QueueStats::default()
+    }
+}
+
+/// Moving-window queue built from two fixed-range halves (Figure 4).
+#[derive(Debug, Clone)]
+pub struct Circular<C, T> {
+    halves: [C; 2],
+    /// Which half is currently the primary (0 or 1).
+    primary: usize,
+    /// Lowest rank covered by the primary window, aligned to the granularity
+    /// grid ("h_index" in the paper).
+    h_index: u64,
+    granularity: u64,
+    num_buckets: usize,
+    stats: QueueStats,
+    _item: PhantomData<fn() -> T>,
+}
+
+impl<C: BucketCore<T>, T> Circular<C, T> {
+    /// Builds a circular queue from two identical fixed-range halves.
+    ///
+    /// The window starts at `start_rank` (rounded down to the granularity
+    /// grid).
+    pub fn from_halves(a: C, b: C, granularity: u64, start_rank: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        assert_eq!(
+            a.core_num_buckets(),
+            b.core_num_buckets(),
+            "halves must have identical geometry"
+        );
+        let num_buckets = a.core_num_buckets();
+        Circular {
+            halves: [a, b],
+            primary: 0,
+            h_index: start_rank - start_rank % granularity,
+            granularity,
+            num_buckets,
+            stats: QueueStats::default(),
+            _item: PhantomData,
+        }
+    }
+
+    /// Rank units covered by one window half.
+    pub fn span(&self) -> u64 {
+        self.num_buckets as u64 * self.granularity
+    }
+
+    /// Lowest rank covered by the primary window.
+    pub fn h_index(&self) -> u64 {
+        self.h_index
+    }
+
+    /// Number of buckets per half.
+    pub fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    /// Rank units per bucket.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    fn primary_ref(&self) -> &C {
+        &self.halves[self.primary]
+    }
+
+    fn secondary_ref(&self) -> &C {
+        &self.halves[1 - self.primary]
+    }
+
+    /// Swaps the primary and secondary pointers and advances the window —
+    /// the paper's "circulation". Only legal when the primary is drained.
+    fn rotate(&mut self) {
+        debug_assert_eq!(self.primary_ref().core_len(), 0);
+        self.primary = 1 - self.primary;
+        self.h_index += self.span();
+    }
+}
+
+impl<C: BucketCore<T>, T> RankedQueue<T> for Circular<C, T> {
+    fn enqueue(&mut self, rank: u64, item: T) -> Result<(), EnqueueError<T>> {
+        let span = self.span();
+        // Re-base an empty queue whose window lags so far behind that the
+        // rank would land in the overflow bucket: with nothing enqueued there
+        // is no ordering to preserve, and jumping the window forward keeps
+        // the rank exact. The window never moves backwards, and a non-empty
+        // queue never re-bases (rotation is the only other advance).
+        if rank >= self.h_index + 2 * span
+            && self.primary_ref().core_len() == 0
+            && self.secondary_ref().core_len() == 0
+        {
+            self.h_index = rank - rank % self.granularity;
+        }
+        let (half, bucket) = if rank < self.h_index {
+            // Overdue rank: due immediately (Carousel clamps identically).
+            self.stats.clamped_low += 1;
+            (self.primary, 0)
+        } else {
+            let off = (rank - self.h_index) / self.granularity;
+            if off < self.num_buckets as u64 {
+                (self.primary, off as usize)
+            } else if off < 2 * self.num_buckets as u64 {
+                (1 - self.primary, off as usize - self.num_buckets)
+            } else {
+                // Beyond the secondary window: last bucket, order not kept.
+                debug_assert!(rank >= self.h_index + 2 * span);
+                self.stats.clamped_high += 1;
+                (1 - self.primary, self.num_buckets - 1)
+            }
+        };
+        self.halves[half].push_bucket(bucket, rank, item);
+        Ok(())
+    }
+
+    fn dequeue_min(&mut self) -> Option<(u64, T)> {
+        if self.primary_ref().core_len() == 0 {
+            if self.secondary_ref().core_len() == 0 {
+                return None;
+            }
+            self.rotate();
+        }
+        let (_, rank, item) = self.halves[self.primary]
+            .pop_min_bucket()
+            .expect("primary non-empty after rotation");
+        Some((rank, item))
+    }
+
+    fn peek_min_rank(&self) -> Option<u64> {
+        if let Some(b) = self.primary_ref().min_bucket() {
+            return Some(self.h_index + b as u64 * self.granularity);
+        }
+        self.secondary_ref()
+            .min_bucket()
+            .map(|b| self.h_index + self.span() + b as u64 * self.granularity)
+    }
+
+    fn len(&self) -> usize {
+        self.halves[0].core_len() + self.halves[1].core_len()
+    }
+
+    fn stats(&self) -> QueueStats {
+        let mut s = self.stats;
+        for h in &self.halves {
+            let cs = h.core_stats();
+            s.lookups += cs.lookups;
+            s.error_sum += cs.error_sum;
+        }
+        s
+    }
+}
+
+/// The paper's cFFS: a [`Circular`] queue over two hierarchical FFS halves.
+pub type CffsQueue<T> = Circular<HierFfsQueue<T>, T>;
+
+impl<T> CffsQueue<T> {
+    /// Creates a cFFS with `num_buckets` buckets of `granularity` rank units
+    /// per window half, starting at `start_rank`.
+    ///
+    /// Total coverage at any instant is `2 × num_buckets × granularity` rank
+    /// units ahead of `h_index` — e.g. the paper's kernel shaper uses 20k
+    /// buckets with a 2-second horizon (§5.1.1).
+    pub fn new(num_buckets: usize, granularity: u64, start_rank: u64) -> Self {
+        Circular::from_halves(
+            HierFfsQueue::new(num_buckets, granularity),
+            HierFfsQueue::new(num_buckets, granularity),
+            granularity,
+            start_rank,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T>(q: &mut impl RankedQueue<T>) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some((r, _)) = q.dequeue_min() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn orders_across_both_windows() {
+        let mut q: CffsQueue<u32> = CffsQueue::new(10, 10, 0);
+        // primary covers [0,100), secondary [100,200)
+        q.enqueue(150, 1).unwrap();
+        q.enqueue(20, 2).unwrap();
+        q.enqueue(99, 3).unwrap();
+        q.enqueue(100, 4).unwrap();
+        assert_eq!(drain(&mut q), vec![20, 99, 100, 150]);
+    }
+
+    #[test]
+    fn rotation_advances_window_without_losing_elements() {
+        let mut q: CffsQueue<u32> = CffsQueue::new(4, 1, 0);
+        // span = 4. Fill primary [0,4) and secondary [4,8).
+        for r in 0..8u64 {
+            q.enqueue(r, r as u32).unwrap();
+        }
+        assert_eq!(q.h_index(), 0);
+        // Drain the primary; the 5th dequeue forces a rotation.
+        for want in 0..8u64 {
+            assert_eq!(q.dequeue_min().unwrap().0, want);
+        }
+        assert_eq!(q.h_index(), 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn beyond_horizon_lands_in_overflow_bucket_fifo() {
+        let mut q: CffsQueue<&str> = CffsQueue::new(4, 1, 0);
+        // Window covers [0,8). With the queue non-empty (no re-base), 100 and
+        // 50 are both beyond → overflow bucket, FIFO order (not rank order):
+        // the paper's documented inaccuracy.
+        q.enqueue(3, "due").unwrap();
+        q.enqueue(100, "first-in").unwrap();
+        q.enqueue(50, "second-in").unwrap();
+        assert_eq!(q.stats().clamped_high, 2);
+        assert_eq!(q.dequeue_min().unwrap().1, "due");
+        assert_eq!(q.dequeue_min().unwrap().1, "first-in"); // FIFO, not 50 first
+        assert_eq!(q.dequeue_min().unwrap().1, "second-in");
+    }
+
+    #[test]
+    fn below_window_clamps_to_due_now() {
+        let mut q: CffsQueue<&str> = CffsQueue::new(4, 100, 1_000);
+        q.enqueue(400, "overdue").unwrap(); // below h_index = 1000
+        q.enqueue(1_050, "soon").unwrap();
+        assert_eq!(q.stats().clamped_low, 1);
+        // Overdue element comes out first (bucket 0 of primary).
+        assert_eq!(q.dequeue_min().unwrap().1, "overdue");
+        assert_eq!(q.dequeue_min().unwrap().1, "soon");
+    }
+
+    #[test]
+    fn empty_queue_rebases_forward_only() {
+        let mut q: CffsQueue<u32> = CffsQueue::new(4, 10, 0);
+        q.enqueue(1_000_000, 1).unwrap();
+        // Window jumped to the new rank instead of clamping it.
+        assert_eq!(q.stats().clamped_high, 0);
+        assert_eq!(q.h_index(), 1_000_000);
+        assert_eq!(q.peek_min_rank(), Some(1_000_000));
+        q.dequeue_min().unwrap();
+        // Now empty again: an older rank must NOT move the window back…
+        q.enqueue(500, 2).unwrap();
+        assert_eq!(q.h_index(), 1_000_000, "window never re-bases backwards");
+        assert_eq!(q.stats().clamped_low, 1);
+        assert_eq!(q.dequeue_min().unwrap().0, 500);
+        // …and a rank within the current coverage does not re-base either.
+        q.enqueue(1_000_050, 3).unwrap();
+        assert_eq!(q.h_index(), 1_000_000);
+        assert_eq!(q.dequeue_min().unwrap().0, 1_000_050);
+    }
+
+    #[test]
+    fn peek_reports_bucket_edge() {
+        let mut q: CffsQueue<u32> = CffsQueue::new(10, 100, 0);
+        q.enqueue(523, 1).unwrap();
+        // 523 falls in bucket [500,600): the timer deadline is 500.
+        assert_eq!(q.peek_min_rank(), Some(500));
+        // Secondary-only occupancy peeks into the secondary window.
+        let mut q: CffsQueue<u32> = CffsQueue::new(10, 100, 0);
+        q.enqueue(0, 0).unwrap();
+        q.enqueue(1_500, 1).unwrap();
+        q.dequeue_min().unwrap();
+        assert_eq!(q.peek_min_rank(), Some(1_500));
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue_is_monotone_per_window() {
+        // A shaper-like workload: ranks trail slightly ahead of dequeues.
+        // Window sized so the backlog always fits (2×2048 ranks of coverage
+        // vs ≤3000 rank spread) — the operator's job per §3.1.1.
+        let mut q: CffsQueue<u64> = CffsQueue::new(2_048, 1, 0);
+        let mut next_rank = 0u64;
+        let mut last_out = 0u64;
+        for round in 0..1_000u64 {
+            next_rank += 1 + round % 3;
+            q.enqueue(next_rank, round).unwrap();
+            if round % 2 == 1 {
+                let (r, _) = q.dequeue_min().unwrap();
+                assert!(r >= last_out, "monotone dequeue within moving window");
+                last_out = r;
+            }
+        }
+        while q.dequeue_min().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.stats().clamped_high, 0);
+        assert_eq!(q.stats().clamped_low, 0);
+    }
+}

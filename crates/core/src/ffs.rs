@@ -1,0 +1,158 @@
+//! Single-word FFS queue — Figure 2 of the paper.
+//!
+//! "A priority queue with a number of buckets equal to or smaller than the
+//! width of the word supported by the FFS operation can obtain the smallest
+//! set bit, and hence the element with the smallest priority, in O(1)."
+//!
+//! Exactly 64 buckets, one `u64` of occupancy meta-data, and a single
+//! `trailing_zeros` per min-find. This is the right structure for policies
+//! with few distinct priority levels — e.g. the 8 levels of IEEE 802.1Q
+//! strict priority, or the ~100 levels of the Linux real-time scheduler.
+
+use crate::buckets::Buckets;
+use crate::traits::{EnqueueError, EnqueueErrorKind, RankedQueue};
+use crate::word;
+
+/// A fixed-range bucketed queue over at most 64 buckets with one-word FFS
+/// meta-data.
+#[derive(Debug, Clone)]
+pub struct FfsQueue<T> {
+    bitmap: u64,
+    buckets: Buckets<T>,
+    granularity: u64,
+    base: u64,
+}
+
+impl<T> FfsQueue<T> {
+    /// Creates a queue covering ranks `[0, 64 × granularity)`.
+    pub fn new(granularity: u64) -> Self {
+        Self::with_base(granularity, 0)
+    }
+
+    /// Creates a queue covering ranks `[base, base + 64 × granularity)`.
+    pub fn with_base(granularity: u64, base: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        FfsQueue { bitmap: 0, buckets: Buckets::new(64), granularity, base }
+    }
+
+    /// The number of buckets (always 64: one machine word).
+    pub fn num_buckets(&self) -> usize {
+        64
+    }
+
+    fn bucket_of(&self, rank: u64) -> Option<usize> {
+        let off = rank.checked_sub(self.base)? / self.granularity;
+        if off < 64 {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the element of the *maximum* non-empty bucket —
+    /// both directions are one word-op on a single word.
+    pub fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        let b = word::highest_set(self.bitmap)? as usize;
+        let out = self.buckets.pop(b);
+        if self.buckets.bucket_is_empty(b) {
+            word::clear_bit(&mut self.bitmap, b as u32);
+        }
+        out
+    }
+
+    /// Rank lower edge of the maximum non-empty bucket.
+    pub fn peek_max_rank(&self) -> Option<u64> {
+        word::highest_set(self.bitmap)
+            .map(|b| self.base + b as u64 * self.granularity)
+    }
+}
+
+impl<T> RankedQueue<T> for FfsQueue<T> {
+    fn enqueue(&mut self, rank: u64, item: T) -> Result<(), EnqueueError<T>> {
+        match self.bucket_of(rank) {
+            Some(b) => {
+                self.buckets.push(b, rank, item);
+                word::set_bit(&mut self.bitmap, b as u32);
+                Ok(())
+            }
+            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+        }
+    }
+
+    fn dequeue_min(&mut self) -> Option<(u64, T)> {
+        let b = word::lowest_set(self.bitmap)? as usize;
+        let out = self.buckets.pop(b);
+        if self.buckets.bucket_is_empty(b) {
+            word::clear_bit(&mut self.bitmap, b as u32);
+        }
+        out
+    }
+
+    fn peek_min_rank(&self) -> Option<u64> {
+        word::lowest_set(self.bitmap)
+            .map(|b| self.base + b as u64 * self.granularity)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_order_with_fifo_ties() {
+        let mut q = FfsQueue::new(1);
+        q.enqueue(5, "a").unwrap();
+        q.enqueue(3, "b").unwrap();
+        q.enqueue(5, "c").unwrap();
+        q.enqueue(0, "d").unwrap();
+        assert_eq!(q.peek_min_rank(), Some(0));
+        assert_eq!(q.dequeue_min(), Some((0, "d")));
+        assert_eq!(q.dequeue_min(), Some((3, "b")));
+        assert_eq!(q.dequeue_min(), Some((5, "a")));
+        assert_eq!(q.dequeue_min(), Some((5, "c")));
+        assert_eq!(q.dequeue_min(), None);
+    }
+
+    #[test]
+    fn max_extraction() {
+        let mut q = FfsQueue::new(1);
+        for r in [7u64, 2, 63, 9] {
+            q.enqueue(r, r).unwrap();
+        }
+        assert_eq!(q.peek_max_rank(), Some(63));
+        assert_eq!(q.dequeue_max(), Some((63, 63)));
+        assert_eq!(q.dequeue_max(), Some((9, 9)));
+        assert_eq!(q.peek_min_rank(), Some(2));
+    }
+
+    #[test]
+    fn granularity_groups_ranks() {
+        // 100 µs granularity: "a queue with a granularity of 100 microseconds
+        // cannot insert gaps between packets that are smaller" (§5.2).
+        let mut q = FfsQueue::new(100);
+        q.enqueue(10, "first").unwrap();
+        q.enqueue(99, "second").unwrap(); // same bucket, FIFO
+        q.enqueue(100, "third").unwrap(); // next bucket
+        assert_eq!(q.dequeue_min(), Some((10, "first")));
+        assert_eq!(q.dequeue_min(), Some((99, "second")));
+        assert_eq!(q.dequeue_min(), Some((100, "third")));
+    }
+
+    #[test]
+    fn out_of_range_is_refused_with_item_back() {
+        let mut q = FfsQueue::with_base(1, 100);
+        let err = q.enqueue(64 + 100, "late").unwrap_err();
+        assert_eq!(err.kind, EnqueueErrorKind::OutOfRange);
+        assert_eq!(err.item, "late");
+        let err = q.enqueue(99, "early").unwrap_err();
+        assert_eq!(err.kind, EnqueueErrorKind::OutOfRange);
+        assert!(q.is_empty());
+        q.enqueue(100, "ok").unwrap();
+        q.enqueue(163, "ok2").unwrap();
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Hierarchical FFS-based queue — Figure 3 of the paper (PIQ-style).
+//!
+//! A fixed-range bucketed queue whose occupancy is a [`HierBitmap`]: finding
+//! the minimum element costs one FFS per level, `O(log₆₄ N)` — constant for a
+//! configured policy, because "once an implementation is created N does not
+//! change" (§3.1.1).
+//!
+//! This fixed-range structure is the right choice when priority values do
+//! *not* move — e.g. pFabric's remaining-flow-size ranks (Figure 20: "if the
+//! priority levels are over a fixed range then an FFS-based priority queue is
+//! sufficient"). For moving ranges, see [`crate::CffsQueue`], which is built
+//! out of two of these.
+
+use crate::buckets::Buckets;
+use crate::cffs::BucketCore;
+use crate::hierbitmap::HierBitmap;
+use crate::traits::{EnqueueError, EnqueueErrorKind, RankedQueue};
+
+/// Fixed-range hierarchical FFS queue over `n` buckets.
+#[derive(Debug, Clone)]
+pub struct HierFfsQueue<T> {
+    bitmap: HierBitmap,
+    buckets: Buckets<T>,
+    granularity: u64,
+    base: u64,
+}
+
+impl<T> HierFfsQueue<T> {
+    /// Creates a queue covering ranks `[0, n × granularity)`.
+    pub fn new(n: usize, granularity: u64) -> Self {
+        Self::with_base(n, granularity, 0)
+    }
+
+    /// Creates a queue covering ranks `[base, base + n × granularity)`.
+    pub fn with_base(n: usize, granularity: u64, base: u64) -> Self {
+        assert!(granularity > 0, "granularity must be positive");
+        HierFfsQueue {
+            bitmap: HierBitmap::new(n),
+            buckets: Buckets::new(n),
+            granularity,
+            base,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.num_buckets()
+    }
+
+    /// Lowest representable rank.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    fn bucket_of(&self, rank: u64) -> Option<usize> {
+        let off = rank.checked_sub(self.base)? / self.granularity;
+        if (off as usize) < self.num_buckets() {
+            Some(off as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the element of the maximum non-empty bucket
+    /// (`ExtractMax` — Timing Wheels cannot do this, §2).
+    pub fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        let b = self.bitmap.last_set()?;
+        let out = self.buckets.pop(b);
+        if self.buckets.bucket_is_empty(b) {
+            self.bitmap.clear(b);
+        }
+        out
+    }
+
+    /// Rank lower edge of the maximum non-empty bucket.
+    pub fn peek_max_rank(&self) -> Option<u64> {
+        self.bitmap.last_set().map(|b| self.base + b as u64 * self.granularity)
+    }
+
+    /// Rank lower edge of the first non-empty bucket whose rank is ≥ `rank`.
+    pub fn peek_min_rank_from(&self, rank: u64) -> Option<u64> {
+        let from = match rank.checked_sub(self.base) {
+            Some(off) => (off / self.granularity) as usize,
+            None => 0,
+        };
+        self.bitmap
+            .first_set_from(from)
+            .map(|b| self.base + b as u64 * self.granularity)
+    }
+}
+
+impl<T> RankedQueue<T> for HierFfsQueue<T> {
+    fn enqueue(&mut self, rank: u64, item: T) -> Result<(), EnqueueError<T>> {
+        match self.bucket_of(rank) {
+            Some(b) => {
+                self.buckets.push(b, rank, item);
+                self.bitmap.set(b);
+                Ok(())
+            }
+            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+        }
+    }
+
+    fn dequeue_min(&mut self) -> Option<(u64, T)> {
+        let b = self.bitmap.first_set()?;
+        let out = self.buckets.pop(b);
+        if self.buckets.bucket_is_empty(b) {
+            self.bitmap.clear(b);
+        }
+        out
+    }
+
+    fn peek_min_rank(&self) -> Option<u64> {
+        self.bitmap.first_set().map(|b| self.base + b as u64 * self.granularity)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// [`BucketCore`] lets two `HierFfsQueue`-equivalents form the circular cFFS.
+impl<T> BucketCore<T> for HierFfsQueue<T> {
+    fn push_bucket(&mut self, bucket: usize, rank: u64, item: T) {
+        self.buckets.push(bucket, rank, item);
+        self.bitmap.set(bucket);
+    }
+
+    fn pop_min_bucket(&mut self) -> Option<(usize, u64, T)> {
+        let b = self.bitmap.first_set()?;
+        let (rank, item) = self.buckets.pop(b).expect("bitmap said non-empty");
+        if self.buckets.bucket_is_empty(b) {
+            self.bitmap.clear(b);
+        }
+        Some((b, rank, item))
+    }
+
+    fn min_bucket(&self) -> Option<usize> {
+        self.bitmap.first_set()
+    }
+
+    fn core_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn core_num_buckets(&self) -> usize {
+        self.num_buckets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_range_min_and_max() {
+        // 20k buckets as in the paper's kernel shaper configuration (§5.1.1).
+        let mut q = HierFfsQueue::new(20_000, 100_000); // 100 µs granularity, 2 s horizon
+        q.enqueue(1_999_999_999, "last").unwrap();
+        q.enqueue(0, "first").unwrap();
+        q.enqueue(1_000_000_000, "mid").unwrap();
+        assert_eq!(q.peek_min_rank(), Some(0));
+        assert_eq!(q.peek_max_rank(), Some(1_999_900_000));
+        assert_eq!(q.dequeue_min().unwrap().1, "first");
+        assert_eq!(q.dequeue_max().unwrap().1, "last");
+        assert_eq!(q.dequeue_min().unwrap().1, "mid");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut q: HierFfsQueue<()> = HierFfsQueue::new(100, 10);
+        assert!(q.enqueue(999, ()).is_ok());
+        let err = q.enqueue(1_000, ()).unwrap_err();
+        assert_eq!(err.kind, EnqueueErrorKind::OutOfRange);
+    }
+
+    #[test]
+    fn peek_min_from_skips_earlier_buckets() {
+        let mut q = HierFfsQueue::new(1_000, 10);
+        q.enqueue(50, ()).unwrap();
+        q.enqueue(777, ()).unwrap();
+        assert_eq!(q.peek_min_rank_from(0), Some(50));
+        // 51 falls inside bucket [50,60): that bucket may still hold ranks
+        // ≥ 51, so the bucket-granular answer is its lower edge.
+        assert_eq!(q.peek_min_rank_from(51), Some(50));
+        assert_eq!(q.peek_min_rank_from(60), Some(770));
+        assert_eq!(q.peek_min_rank_from(780), None);
+    }
+
+    #[test]
+    fn drains_in_nondecreasing_bucket_order() {
+        let mut q = HierFfsQueue::new(512, 1);
+        let ranks = [400u64, 3, 3, 511, 0, 128, 64, 65, 127];
+        for &r in &ranks {
+            q.enqueue(r, r).unwrap();
+        }
+        let mut prev = 0;
+        let mut n = 0;
+        while let Some((r, _)) = q.dequeue_min() {
+            assert!(r >= prev);
+            prev = r;
+            n += 1;
+        }
+        assert_eq!(n, ranks.len());
+    }
+}

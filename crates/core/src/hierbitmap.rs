@@ -1,0 +1,300 @@
+//! Hierarchical occupancy bitmap — the meta-data of Figure 3.
+//!
+//! Each node word summarizes the occupancy of 64 child words; the leaves
+//! carry one bit per bucket. Finding the minimum (or maximum) occupied
+//! bucket descends from the root using one FFS per level, giving the
+//! paper's `O(log_w N)` bound with `w = 64` — e.g. a million buckets in
+//! four word operations, a billion in six (§5.2).
+//!
+//! The structure also supports `first_set_from`, the "first non-empty
+//! bucket at or after X" query used by shapers and by the circular queue's
+//! window logic; it costs at most two traversals.
+
+use crate::word;
+
+/// Hierarchical bitmap over `len` buckets.
+///
+/// `levels[0]` is the leaf level (one bit per bucket); `levels.last()` is a
+/// single root word. For `len <= 64` there is exactly one level.
+#[derive(Debug, Clone)]
+pub struct HierBitmap {
+    levels: Vec<Vec<u64>>,
+    len: usize,
+    ones: usize,
+}
+
+impl HierBitmap {
+    /// Creates an all-empty hierarchical bitmap covering `len` buckets.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "bitmap must cover at least one bucket");
+        let mut levels = Vec::new();
+        let mut n = len;
+        loop {
+            let words = n.div_ceil(word::WORD_BITS);
+            levels.push(vec![0u64; words]);
+            if words == 1 {
+                break;
+            }
+            n = words;
+        }
+        HierBitmap { levels, len, ones: 0 }
+    }
+
+    /// Number of buckets covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bucket is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.levels.last().expect("at least one level")[0] == 0
+    }
+
+    /// Number of occupied buckets (maintained incrementally).
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of levels in the hierarchy (`ceil(log64 len)`, at least 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether bucket `i` is occupied.
+    pub fn test(&self, i: usize) -> bool {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        word::test_bit(self.levels[0][i / 64], (i % 64) as u32)
+    }
+
+    /// Marks bucket `i` occupied, propagating empty→non-empty transitions up.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        if self.test(i) {
+            return;
+        }
+        self.ones += 1;
+        let mut idx = i;
+        for level in &mut self.levels {
+            let transition = word::set_bit(&mut level[idx / 64], (idx % 64) as u32);
+            if !transition {
+                break; // parent already knew this subtree was non-empty
+            }
+            idx /= 64;
+        }
+    }
+
+    /// Marks bucket `i` empty, propagating non-empty→empty transitions up.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bucket {i} out of range {}", self.len);
+        if !self.test(i) {
+            return;
+        }
+        self.ones -= 1;
+        let mut idx = i;
+        for level in &mut self.levels {
+            let now_empty = word::clear_bit(&mut level[idx / 64], (idx % 64) as u32);
+            if !now_empty {
+                break; // subtree still non-empty; parent bit stays set
+            }
+            idx /= 64;
+        }
+    }
+
+    /// Lowest occupied bucket: one FFS per level, descending from the root.
+    pub fn first_set(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut idx = 0usize;
+        for level in self.levels.iter().rev() {
+            let b = word::lowest_set(level[idx]).expect("parent bit guaranteed a set child");
+            idx = idx * 64 + b as usize;
+        }
+        Some(idx)
+    }
+
+    /// Highest occupied bucket.
+    pub fn last_set(&self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut idx = 0usize;
+        for level in self.levels.iter().rev() {
+            let b = word::highest_set(level[idx]).expect("parent bit guaranteed a set child");
+            idx = idx * 64 + b as usize;
+        }
+        Some(idx)
+    }
+
+    /// Lowest occupied bucket at or after `from`.
+    ///
+    /// Walks up from the leaf word containing `from` until an ancestor word
+    /// has a set bit to the right, then descends with plain FFS — at most
+    /// `2·depth` word operations.
+    pub fn first_set_from(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        // Ascend: find the lowest level where some subtree at-or-after `from`
+        // (excluding the subtrees already ruled out below) is non-empty, then
+        // descend back to the leaf with plain FFS.
+        let mut idx = from;
+        for (li, level) in self.levels.iter().enumerate() {
+            let w = idx / 64;
+            if w < level.len() {
+                if let Some(b) = word::lowest_set_from(level[w], (idx % 64) as u32) {
+                    let mut node = w * 64 + b as usize;
+                    for lower in self.levels[..li].iter().rev() {
+                        let c =
+                            word::lowest_set(lower[node]).expect("set parent bit implies set child");
+                        node = node * 64 + c as usize;
+                    }
+                    return Some(node);
+                }
+            }
+            // Nothing at-or-after within this word: the next candidate at the
+            // parent level is the node right after our parent.
+            idx = w + 1;
+        }
+        None
+    }
+
+    /// Highest occupied bucket at or before `to`.
+    pub fn last_set_to(&self, to: usize) -> Option<usize> {
+        let to = to.min(self.len - 1);
+        let mut idx = to;
+        for (li, level) in self.levels.iter().enumerate() {
+            let w = idx / 64; // in bounds: idx only decreases level to level
+            if let Some(b) = word::highest_set_to(level[w], (idx % 64) as u32) {
+                let mut node = w * 64 + b as usize;
+                for lower in self.levels[..li].iter().rev() {
+                    let c = word::highest_set(lower[node]).expect("set parent bit implies set child");
+                    node = node * 64 + c as usize;
+                }
+                return Some(node);
+            }
+            if w == 0 {
+                break; // no word to the left at this level either
+            }
+            idx = w - 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_for_small_maps() {
+        let bm = HierBitmap::new(64);
+        assert_eq!(bm.depth(), 1);
+        let bm = HierBitmap::new(65);
+        assert_eq!(bm.depth(), 2);
+        let bm = HierBitmap::new(64 * 64);
+        assert_eq!(bm.depth(), 2);
+        let bm = HierBitmap::new(64 * 64 + 1);
+        assert_eq!(bm.depth(), 3);
+        // A billion buckets: 64^5 ≈ 1.07e9, so five levels of words suffice —
+        // the paper's §5.2 quotes "six bit operations" for a billion buckets,
+        // a one-off count of the same descent.
+        let bm = HierBitmap::new(1_000_000_000);
+        assert_eq!(bm.depth(), 5);
+    }
+
+    #[test]
+    fn set_clear_first_last() {
+        let mut bm = HierBitmap::new(10_000);
+        assert_eq!(bm.first_set(), None);
+        bm.set(9_999);
+        bm.set(5_000);
+        bm.set(77);
+        assert_eq!(bm.first_set(), Some(77));
+        assert_eq!(bm.last_set(), Some(9_999));
+        bm.clear(77);
+        assert_eq!(bm.first_set(), Some(5_000));
+        bm.clear(5_000);
+        bm.clear(9_999);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn first_set_from_all_positions() {
+        let mut bm = HierBitmap::new(500);
+        for &i in &[3usize, 64, 65, 200, 499] {
+            bm.set(i);
+        }
+        assert_eq!(bm.first_set_from(0), Some(3));
+        assert_eq!(bm.first_set_from(3), Some(3));
+        assert_eq!(bm.first_set_from(4), Some(64));
+        assert_eq!(bm.first_set_from(65), Some(65));
+        assert_eq!(bm.first_set_from(66), Some(200));
+        assert_eq!(bm.first_set_from(201), Some(499));
+        assert_eq!(bm.first_set_from(499), Some(499));
+        assert_eq!(bm.first_set_from(500), None);
+    }
+
+    #[test]
+    fn last_set_to_all_positions() {
+        let mut bm = HierBitmap::new(500);
+        for &i in &[3usize, 64, 65, 200, 499] {
+            bm.set(i);
+        }
+        assert_eq!(bm.last_set_to(499), Some(499));
+        assert_eq!(bm.last_set_to(498), Some(200));
+        assert_eq!(bm.last_set_to(200), Some(200));
+        assert_eq!(bm.last_set_to(199), Some(65));
+        assert_eq!(bm.last_set_to(64), Some(64));
+        assert_eq!(bm.last_set_to(63), Some(3));
+        assert_eq!(bm.last_set_to(2), None);
+    }
+
+    #[test]
+    fn idempotent_transitions_keep_count() {
+        let mut bm = HierBitmap::new(128);
+        bm.set(100);
+        bm.set(100);
+        assert_eq!(bm.count_ones(), 1);
+        bm.clear(100);
+        bm.clear(100);
+        assert_eq!(bm.count_ones(), 0);
+        assert!(bm.is_empty());
+    }
+
+    /// Cross-check the hierarchical bitmap against the flat one over a
+    /// deterministic pseudo-random workload.
+    #[test]
+    fn agrees_with_flat_bitmap() {
+        use crate::bitmap::FlatBitmap;
+        let n = 70 * 64 + 13; // three levels, ragged edge
+        let mut hier = HierBitmap::new(n);
+        let mut flat = FlatBitmap::new(n);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % n as u64) as usize;
+            if step % 3 == 0 {
+                hier.clear(i);
+                flat.clear(i);
+            } else {
+                hier.set(i);
+                flat.set(i);
+            }
+            if step % 97 == 0 {
+                assert_eq!(hier.first_set(), flat.first_set());
+                assert_eq!(hier.last_set(), flat.last_set());
+                let probe = (x >> 32) as usize % (n + 10);
+                assert_eq!(hier.first_set_from(probe), flat.first_set_from(probe), "from {probe}");
+                assert_eq!(hier.last_set_to(probe.min(n - 1)), flat.last_set_to(probe.min(n - 1)));
+            }
+        }
+        assert_eq!(hier.count_ones(), flat.count_ones());
+    }
+}

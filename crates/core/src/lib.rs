@@ -1,0 +1,73 @@
+//! # eiffel-core — integer bucketed priority queues
+//!
+//! This crate implements the data-structure contribution of *Eiffel:
+//! Efficient and Flexible Software Packet Scheduling* (NSDI 2019, §3.1):
+//! priority queues for packet scheduling that exploit three properties of
+//! packet ranks — they are **integers**, they fall in a **limited moving
+//! range**, and **many packets share a rank** — to replace the O(log n)
+//! comparison-based queues (RB-trees, binary heaps) used by software
+//! schedulers with O(1)-per-packet bucketed integer queues.
+//!
+//! ## Queue families
+//!
+//! | Type | Paper | Range | Min-find cost |
+//! |---|---|---|---|
+//! | [`FfsQueue`] | Fig 2 | fixed, ≤ 64 buckets | one `trailing_zeros` |
+//! | [`HierFfsQueue`] | Fig 3 (PIQ-style) | fixed, any N | `log₆₄ N` word ops |
+//! | [`CffsQueue`] | Fig 4, the flagship **cFFS** | moving window | `log₆₄ N` word ops |
+//! | [`GradientQueue`] | §3.1.2 exact | fixed, ≤ 64/level | one division |
+//! | [`ApproxGradientQueue`] | §3.1.2 approximate | fixed, ~52·α buckets | one division (+ search on miss) |
+//! | [`CircularApproxQueue`] | §3.1.2 "as with cFFS" | moving window | one division |
+//! | [`BucketHeapQueue`] | §5.2 baseline "BH" | fixed | O(log N) heap op |
+//! | [`HeapPq`], [`TreePq`] | §2 baselines | unbounded | O(log n) comparisons |
+//! | [`TimingWheel`] | Carousel's structure | moving window | none (time-driven only) |
+//!
+//! All bucketed queues share the same bucket semantics (paper §2): the rank
+//! space is divided into `N` buckets of `granularity` rank units each;
+//! elements inside one bucket are FIFO because "packets within a single
+//! bucket effectively have equivalent rank".
+//!
+//! ## Quick example
+//!
+//! ```
+//! use eiffel_core::{CffsQueue, RankedQueue};
+//!
+//! // A shaper horizon: 2_000 buckets of 1_000 ns each (2 ms per window half).
+//! let mut q: CffsQueue<&'static str> = CffsQueue::new(2_000, 1_000, 0);
+//! q.enqueue(5_000, "pkt-a").unwrap();
+//! q.enqueue(1_200, "pkt-b").unwrap();
+//! q.enqueue(5_100, "pkt-c").unwrap();
+//! assert_eq!(q.dequeue_min().unwrap().1, "pkt-b");
+//! assert_eq!(q.dequeue_min().unwrap().1, "pkt-a"); // same bucket as pkt-c: FIFO
+//! assert_eq!(q.dequeue_min().unwrap().1, "pkt-c");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod bitmap;
+pub mod bucket_heap;
+pub mod buckets;
+pub mod cffs;
+pub mod comparison;
+pub mod ffs;
+pub mod gradient;
+pub mod guide;
+pub mod hffs;
+pub mod hierbitmap;
+pub mod timing_wheel;
+pub mod traits;
+pub mod word;
+
+pub use approx::{ApproxGradientQueue, ApproxParams, CircularApproxQueue};
+pub use bucket_heap::BucketHeapQueue;
+pub use cffs::{CffsQueue, Circular};
+pub use comparison::{HeapPq, TreePq};
+pub use ffs::FfsQueue;
+pub use gradient::{GradientQueue, GradientWord, HierGradientQueue};
+pub use guide::{recommend, Recommendation, UseCase};
+pub use hffs::HierFfsQueue;
+pub use hierbitmap::HierBitmap;
+pub use timing_wheel::TimingWheel;
+pub use traits::{EnqueueError, EnqueueErrorKind, QueueConfig, QueueKind, QueueStats, RankedQueue};

@@ -1,0 +1,266 @@
+//! The common ranked-queue interface, runtime queue selection, and errors.
+//!
+//! Every queue in this crate implements [`RankedQueue`], which is
+//! deliberately minimal and object-safe so schedulers (`eiffel-pifo`) can be
+//! programmed against `Box<dyn RankedQueue<T>>` and the queue implementation
+//! chosen at configuration time — the paper's "choose a data structure per
+//! policy" guidance (Figure 20, exposed here via [`crate::guide`]).
+
+use std::fmt;
+
+/// Why an enqueue was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueErrorKind {
+    /// The rank is outside a fixed-range queue's `[base, base + span)` range.
+    ///
+    /// Only fixed-range queues ([`crate::FfsQueue`], [`crate::HierFfsQueue`],
+    /// [`crate::GradientQueue`], …) refuse ranks; moving-window queues clamp
+    /// instead (and count the clamp in [`QueueStats`]).
+    OutOfRange,
+}
+
+/// An enqueue refusal carrying the item back to the caller, so drop policies
+/// can be applied without cloning.
+pub struct EnqueueError<T> {
+    /// Why the enqueue was refused.
+    pub kind: EnqueueErrorKind,
+    /// The rank that was refused.
+    pub rank: u64,
+    /// The item, returned un-consumed.
+    pub item: T,
+}
+
+impl<T> fmt::Debug for EnqueueError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnqueueError")
+            .field("kind", &self.kind)
+            .field("rank", &self.rank)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Display for EnqueueError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EnqueueErrorKind::OutOfRange => {
+                write!(f, "rank {} outside the queue's fixed range", self.rank)
+            }
+        }
+    }
+}
+
+impl<T> std::error::Error for EnqueueError<T> {}
+
+/// Counters describing clamping and approximation behaviour.
+///
+/// These are *observability*, not control flow: moving-window queues accept
+/// every rank but record when one was coerced into the representable window,
+/// and the approximate gradient queue records its estimation error
+/// (regenerating the paper's Figure 18).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Elements whose rank was below the window and were treated as due now.
+    pub clamped_low: u64,
+    /// Elements whose rank was beyond the window and landed in the overflow
+    /// bucket ("enqueued at the last bucket in the secondary queue", §3.1.1).
+    pub clamped_high: u64,
+    /// Min-find operations answered (denominator for `error_sum`).
+    pub lookups: u64,
+    /// Sum over lookups of |estimated bucket − actual bucket| (approximate
+    /// queues only; exact queues keep this at zero).
+    pub error_sum: u64,
+}
+
+impl QueueStats {
+    /// Average bucket-index error per lookup (Figure 18's y-axis).
+    pub fn avg_error(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.error_sum as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A priority queue keyed by integer rank, minimum first.
+///
+/// `dequeue_min` returns the element's *original* rank. For bucketed queues
+/// the dequeue order is only bucket-granular: elements in one bucket come out
+/// FIFO regardless of their sub-granularity rank (paper §2 — that is the
+/// point of bucketing).
+pub trait RankedQueue<T> {
+    /// Inserts `item` with `rank`.
+    fn enqueue(&mut self, rank: u64, item: T) -> Result<(), EnqueueError<T>>;
+
+    /// Removes and returns the minimum-bucket element (FIFO within bucket).
+    fn dequeue_min(&mut self) -> Option<(u64, T)>;
+
+    /// Rank lower edge of the minimum non-empty bucket.
+    ///
+    /// This is the queue's `SoonestDeadline()` (paper §4): a timer armed for
+    /// this value never fires after the true minimum element is due.
+    fn peek_min_rank(&self) -> Option<u64>;
+
+    /// Number of stored elements.
+    fn len(&self) -> usize;
+
+    /// Whether the queue holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clamping/approximation counters. Exact queues return zeros.
+    fn stats(&self) -> QueueStats {
+        QueueStats::default()
+    }
+}
+
+/// Geometry shared by bucketed queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Number of pre-allocated buckets per window.
+    pub num_buckets: usize,
+    /// Rank units covered by one bucket (the paper's `C/N` interval).
+    pub granularity: u64,
+    /// Lowest rank initially representable (moving-window queues advance it).
+    pub start_rank: u64,
+}
+
+impl QueueConfig {
+    /// Convenience constructor.
+    pub fn new(num_buckets: usize, granularity: u64, start_rank: u64) -> Self {
+        QueueConfig { num_buckets, granularity, start_rank }
+    }
+
+    /// Rank units covered by one window (`num_buckets × granularity`).
+    pub fn span(&self) -> u64 {
+        self.num_buckets as u64 * self.granularity
+    }
+}
+
+/// Runtime-selectable queue implementation, for policy compilers and
+/// benchmarks that sweep over data structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Single-word FFS queue (≤ 64 buckets).
+    Ffs,
+    /// Fixed-range hierarchical FFS queue.
+    HierFfs,
+    /// Circular hierarchical FFS queue (the paper's cFFS).
+    Cffs,
+    /// Exact gradient queue (hierarchical when > 64 buckets).
+    Gradient,
+    /// Approximate gradient queue with curvature parameter α.
+    ApproxGradient {
+        /// The paper's α: weights grow as `2^(i/α)`.
+        alpha: u32,
+    },
+    /// Circular approximate gradient queue (moving window).
+    CircularApprox {
+        /// The paper's α: weights grow as `2^(i/α)`.
+        alpha: u32,
+    },
+    /// Bucketed queue indexed by a binary heap of bucket indices (the
+    /// paper's "BH" baseline).
+    BucketHeap,
+    /// Comparison-based binary heap over elements (C++ `std::priority_queue`
+    /// stand-in).
+    BinaryHeap,
+    /// Comparison-based balanced tree over ranks (kernel RB-tree stand-in).
+    BTree,
+}
+
+impl QueueKind {
+    /// Instantiates the selected queue with the given geometry.
+    ///
+    /// Comparison-based kinds ignore the geometry (they are unbounded);
+    /// fixed-range kinds cover `[start_rank, start_rank + span)`; circular
+    /// kinds start their window at `start_rank`.
+    pub fn build<T: 'static>(self, cfg: QueueConfig) -> Box<dyn RankedQueue<T>> {
+        match self {
+            QueueKind::Ffs => Box::new(crate::FfsQueue::with_base(cfg.granularity, cfg.start_rank)),
+            QueueKind::HierFfs => Box::new(crate::HierFfsQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::Cffs => {
+                Box::new(crate::CffsQueue::new(cfg.num_buckets, cfg.granularity, cfg.start_rank))
+            }
+            QueueKind::Gradient => Box::new(crate::HierGradientQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::ApproxGradient { alpha } => Box::new(
+                crate::ApproxGradientQueue::with_base(
+                    cfg.num_buckets,
+                    cfg.granularity,
+                    cfg.start_rank,
+                    alpha,
+                ),
+            ),
+            QueueKind::CircularApprox { alpha } => Box::new(crate::CircularApproxQueue::new(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+                alpha,
+            )),
+            QueueKind::BucketHeap => Box::new(crate::BucketHeapQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::BinaryHeap => Box::new(crate::HeapPq::new()),
+            QueueKind::BTree => Box::new(crate::TreePq::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_span() {
+        let cfg = QueueConfig::new(2_000, 1_000, 0);
+        assert_eq!(cfg.span(), 2_000_000);
+    }
+
+    #[test]
+    fn stats_avg_error_handles_zero_lookups() {
+        assert_eq!(QueueStats::default().avg_error(), 0.0);
+        let s = QueueStats { lookups: 4, error_sum: 6, ..Default::default() };
+        assert!((s.avg_error() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_kind_builds_and_round_trips() {
+        let cfg = QueueConfig::new(128, 10, 0);
+        let kinds = [
+            QueueKind::Ffs,
+            QueueKind::HierFfs,
+            QueueKind::Cffs,
+            QueueKind::Gradient,
+            QueueKind::ApproxGradient { alpha: 16 },
+            QueueKind::CircularApprox { alpha: 16 },
+            QueueKind::BucketHeap,
+            QueueKind::BinaryHeap,
+            QueueKind::BTree,
+        ];
+        for kind in kinds {
+            let mut q: Box<dyn RankedQueue<u32>> = kind.build(cfg);
+            assert!(q.is_empty(), "{kind:?}");
+            q.enqueue(40, 1).unwrap();
+            q.enqueue(620, 2).unwrap();
+            q.enqueue(40, 3).unwrap();
+            assert_eq!(q.len(), 3, "{kind:?}");
+            let (r1, v1) = q.dequeue_min().unwrap();
+            assert_eq!((r1, v1), (40, 1), "{kind:?}");
+            let (_, v2) = q.dequeue_min().unwrap();
+            assert_eq!(v2, 3, "{kind:?} FIFO within rank");
+            assert_eq!(q.dequeue_min().unwrap().1, 2, "{kind:?}");
+            assert!(q.dequeue_min().is_none(), "{kind:?}");
+        }
+    }
+}

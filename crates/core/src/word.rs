@@ -1,0 +1,159 @@
+//! Find-First-Set primitives on machine words.
+//!
+//! The paper builds every FFS queue on the CPU's Find First Set instruction
+//! ("BSR takes three cycles", §3.1.1). In Rust these are the `u64`
+//! `trailing_zeros` / `leading_zeros` intrinsics, which compile to
+//! `TZCNT`/`LZCNT` (or `BSF`/`BSR`) on x86-64.
+//!
+//! Bit `i` of a word represents bucket `i`; a set bit means "bucket
+//! non-empty". The *lowest* set bit is therefore the minimum-rank bucket and
+//! the *highest* set bit the maximum-rank bucket.
+
+/// Number of buckets one word covers.
+pub const WORD_BITS: usize = 64;
+
+/// Index of the lowest set bit (the minimum non-empty bucket), if any.
+///
+/// ```
+/// assert_eq!(eiffel_core::word::lowest_set(0b0110_0000), Some(5));
+/// assert_eq!(eiffel_core::word::lowest_set(0), None);
+/// ```
+#[inline]
+pub fn lowest_set(word: u64) -> Option<u32> {
+    if word == 0 {
+        None
+    } else {
+        Some(word.trailing_zeros())
+    }
+}
+
+/// Index of the highest set bit (the maximum non-empty bucket), if any.
+///
+/// ```
+/// assert_eq!(eiffel_core::word::highest_set(0b0110_0000), Some(6));
+/// assert_eq!(eiffel_core::word::highest_set(0), None);
+/// ```
+#[inline]
+pub fn highest_set(word: u64) -> Option<u32> {
+    if word == 0 {
+        None
+    } else {
+        Some(63 - word.leading_zeros())
+    }
+}
+
+/// Index of the lowest set bit at or above `from`, if any.
+///
+/// Used by range scans ("find the first non-empty bucket not before X"),
+/// e.g. when a shaper asks for the first packet eligible after a deadline.
+#[inline]
+pub fn lowest_set_from(word: u64, from: u32) -> Option<u32> {
+    if from >= 64 {
+        return None;
+    }
+    lowest_set(word & (u64::MAX << from))
+}
+
+/// Index of the highest set bit at or below `from`, if any.
+#[inline]
+pub fn highest_set_to(word: u64, from: u32) -> Option<u32> {
+    let mask = if from >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (from + 1)) - 1
+    };
+    highest_set(word & mask)
+}
+
+/// Set bit `i`, returning whether the word was previously zero
+/// (i.e. whether this transition must propagate to the parent level).
+#[inline]
+pub fn set_bit(word: &mut u64, i: u32) -> bool {
+    debug_assert!(i < 64);
+    let was_zero = *word == 0;
+    *word |= 1u64 << i;
+    was_zero
+}
+
+/// Clear bit `i`, returning whether the word is now zero
+/// (i.e. whether this transition must propagate to the parent level).
+#[inline]
+pub fn clear_bit(word: &mut u64, i: u32) -> bool {
+    debug_assert!(i < 64);
+    *word &= !(1u64 << i);
+    *word == 0
+}
+
+/// Whether bit `i` is set.
+#[inline]
+pub fn test_bit(word: u64, i: u32) -> bool {
+    debug_assert!(i < 64);
+    word & (1u64 << i) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_set_finds_minimum() {
+        assert_eq!(lowest_set(1), Some(0));
+        assert_eq!(lowest_set(0x8000_0000_0000_0000), Some(63));
+        assert_eq!(lowest_set(0b1010), Some(1));
+    }
+
+    #[test]
+    fn highest_set_finds_maximum() {
+        assert_eq!(highest_set(1), Some(0));
+        assert_eq!(highest_set(0x8000_0000_0000_0000), Some(63));
+        assert_eq!(highest_set(0b1010), Some(3));
+    }
+
+    #[test]
+    fn empty_word_has_no_set_bits() {
+        assert_eq!(lowest_set(0), None);
+        assert_eq!(highest_set(0), None);
+        assert_eq!(lowest_set_from(0, 0), None);
+        assert_eq!(highest_set_to(0, 63), None);
+    }
+
+    #[test]
+    fn lowest_set_from_skips_below() {
+        let w = 0b0001_0010; // bits 1, 4
+        assert_eq!(lowest_set_from(w, 0), Some(1));
+        assert_eq!(lowest_set_from(w, 1), Some(1));
+        assert_eq!(lowest_set_from(w, 2), Some(4));
+        assert_eq!(lowest_set_from(w, 5), None);
+        assert_eq!(lowest_set_from(w, 64), None);
+    }
+
+    #[test]
+    fn highest_set_to_skips_above() {
+        let w = 0b0001_0010; // bits 1, 4
+        assert_eq!(highest_set_to(w, 63), Some(4));
+        assert_eq!(highest_set_to(w, 4), Some(4));
+        assert_eq!(highest_set_to(w, 3), Some(1));
+        assert_eq!(highest_set_to(w, 0), None);
+    }
+
+    #[test]
+    fn set_and_clear_report_transitions() {
+        let mut w = 0u64;
+        assert!(set_bit(&mut w, 7)); // empty -> non-empty propagates
+        assert!(!set_bit(&mut w, 9)); // already non-empty
+        assert!(test_bit(w, 7));
+        assert!(!clear_bit(&mut w, 7)); // still bit 9
+        assert!(clear_bit(&mut w, 9)); // now empty, propagates
+        assert_eq!(w, 0);
+    }
+
+    #[test]
+    fn boundary_bit_63() {
+        let mut w = 0u64;
+        set_bit(&mut w, 63);
+        assert!(test_bit(w, 63));
+        assert_eq!(lowest_set_from(w, 63), Some(63));
+        assert_eq!(highest_set_to(w, 63), Some(63));
+        assert!(clear_bit(&mut w, 63));
+    }
+}

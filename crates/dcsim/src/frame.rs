@@ -1,0 +1,43 @@
+//! The datacenter simulator's wire frame.
+//!
+//! Richer than the scheduler-facing `eiffel_sim::Packet`: it carries a
+//! sequence number, the pFabric priority (remaining flow size at emission)
+//! and the ECN Congestion Experienced bit DCTCP marks in switches.
+
+/// One data packet in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Flow index.
+    pub flow: u32,
+    /// Sequence number in packets (0-based).
+    pub seq: u32,
+    /// Wire size in bytes.
+    pub bytes: u32,
+    /// pFabric priority: the flow's remaining size (packets) when this
+    /// frame was (re)transmitted. Lower = more urgent.
+    pub rank: u32,
+    /// ECN Congestion Experienced — set by DCTCP switches above threshold.
+    pub ce: bool,
+}
+
+/// MTU wire size used by the simulations (1460B payload + headers).
+pub const MTU_BYTES: u32 = 1_500;
+
+impl Frame {
+    /// A full-sized data frame.
+    pub fn data(flow: u32, seq: u32, rank: u32) -> Self {
+        Frame { flow, seq, bytes: MTU_BYTES, rank, ce: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frames_default_unmarked() {
+        let f = Frame::data(3, 7, 100);
+        assert!(!f.ce);
+        assert_eq!((f.flow, f.seq, f.rank, f.bytes), (3, 7, 100, MTU_BYTES));
+    }
+}

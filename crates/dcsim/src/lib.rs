@@ -1,0 +1,29 @@
+//! # eiffel-dcsim — packet-level datacenter simulation (paper §5.2, Fig 19)
+//!
+//! "A natural question is: how does approximate prioritization, at every
+//! switch in a network, affect network-wide objectives?" The paper answers
+//! with ns-2 simulations of pFabric on a 144-host leaf-spine fabric under
+//! the web-search workload, comparing DCTCP, pFabric with exact priority
+//! queues, and pFabric with Eiffel's approximate gradient queue.
+//!
+//! This crate is that simulator: leaf-spine [`Topology`], output-queued
+//! switches with pluggable [`queues::PortQueue`]s (drop-tail+ECN or
+//! pFabric priority scheduling *and* priority dropping), DCTCP and minimal
+//! pFabric [`transport`]s, Poisson arrivals from the web-search flow-size
+//! CDF, and normalized-FCT [`stats`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod queues;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+pub mod transport;
+
+pub use frame::Frame;
+pub use queues::{PfabricVariant, PortQueue, Verdict};
+pub use sim::{run, SimConfig, SimCounters, SimResult, System};
+pub use stats::{FctRecord, Summary};
+pub use topology::Topology;

@@ -1,0 +1,500 @@
+//! The event-driven fabric simulation for Figure 19.
+//!
+//! Ties together: leaf-spine [`Topology`], per-port [`PortQueue`]s, DCTCP /
+//! pFabric [`transport`](crate::transport) state machines, web-search flow
+//! sizes under Poisson arrivals, and flow-completion-time recording.
+//!
+//! Simplifications relative to the authors' ns-2 setup, chosen to preserve
+//! the comparison (identical across the three systems; see DESIGN.md):
+//! ACKs are delivered after the path's uncontended reverse latency instead
+//! of traversing queues (ACK load ≲ 3% and pFabric gives ACKs the highest
+//! priority anyway), and ECMP hashes per flow rather than per packet.
+
+use eiffel_sim::{EventQueue, Nanos, SplitMix64};
+use eiffel_workloads::{FlowSizeDist, PoissonArrivals};
+
+use crate::frame::{Frame, MTU_BYTES};
+use crate::queues::{PfabricVariant, PortQueue, Verdict};
+use crate::stats::{FctRecord, Summary};
+use crate::topology::{Topology, PROP_DELAY};
+use crate::transport::{Dctcp, PfabricTx};
+
+/// Which system the fabric runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// DCTCP over ECN-marking drop-tail queues.
+    Dctcp,
+    /// pFabric with exact priority queues.
+    PfabricExact,
+    /// pFabric with approximate gradient priority queues.
+    PfabricApprox,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The fabric.
+    pub topo: Topology,
+    /// System under test.
+    pub system: System,
+    /// Offered load as a fraction of aggregate edge capacity (0, 1].
+    pub load: f64,
+    /// Number of flow arrivals to simulate.
+    pub flows: usize,
+    /// RNG seed (fixes sizes, endpoints, arrival times).
+    pub seed: u64,
+    /// DCTCP marking threshold on edge ports, packets (fabric ports 4×).
+    pub dctcp_k: usize,
+    /// pFabric per-port buffer, packets.
+    pub pfabric_buf: usize,
+    /// DCTCP min RTO.
+    pub dctcp_rto: Nanos,
+    /// pFabric RTO (paper: a small multiple of the fabric RTT).
+    pub pfabric_rto: Nanos,
+    /// Safety valve: stop after this many events (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// Defaults mirroring the paper's setup on a given topology.
+    pub fn new(topo: Topology, system: System, load: f64, flows: usize, seed: u64) -> Self {
+        let rtt = topo.base_rtt();
+        SimConfig {
+            topo,
+            system,
+            load,
+            flows,
+            seed,
+            dctcp_k: 65,
+            pfabric_buf: (2 * topo.bdp_packets() as usize).max(24),
+            dctcp_rto: 5_000_000, // 5 ms (a scaled stand-in for min_RTO)
+            pfabric_rto: 3 * rtt.max(10_000),
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+/// Per-flow transport state.
+enum Tx {
+    Dctcp(Dctcp),
+    Pfabric(PfabricTx),
+}
+
+struct Flow {
+    /// Endpoints, kept for trace inspection and future per-pair stats.
+    #[allow(dead_code)]
+    src: usize,
+    #[allow(dead_code)]
+    dst: usize,
+    size: u32,
+    path: Vec<usize>,
+    start: Nanos,
+    finish: Option<Nanos>,
+    tx: Tx,
+    /// Receiver state: next expected (DCTCP) or received bitmap (pFabric).
+    rcv_nxt: u32,
+    rcv_seen: Vec<bool>,
+    rcv_count: u32,
+    rto_epoch: u64,
+    rto_armed: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The `i`-th flow arrives.
+    Arrive(u32),
+    /// Port finished serializing its current frame.
+    PortFree(u32),
+    /// Frame reaches the input of port `path[hop]` of its flow.
+    EnterPort { frame: Frame, hop: u8 },
+    /// Frame reaches the destination host.
+    Receive(Frame),
+    /// ACK reaches the sender.
+    Ack { flow: u32, seq: u32, cum: u32, ce: bool },
+    /// Retransmission timer.
+    Rto { flow: u32, epoch: u64 },
+}
+
+/// Counters reported alongside FCT statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimCounters {
+    /// Frames dropped (tail drop or priority eviction).
+    pub drops: u64,
+    /// Frames delivered to receivers.
+    pub delivered: u64,
+    /// RTO firings.
+    pub timeouts: u64,
+    /// Events processed.
+    pub events: u64,
+    /// Flows that completed.
+    pub completed: usize,
+}
+
+/// Full result of one run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-completed-flow records.
+    pub records: Vec<FctRecord>,
+    /// The three Figure 19 panels (and extras).
+    pub summary: Summary,
+    /// Operational counters.
+    pub counters: SimCounters,
+}
+
+struct Sim {
+    cfg: SimConfig,
+    events: EventQueue<Ev>,
+    flows: Vec<Flow>,
+    ports: Vec<PortQueue>,
+    port_busy: Vec<Option<Frame>>,
+    counters: SimCounters,
+}
+
+impl Sim {
+    fn new(cfg: SimConfig) -> Self {
+        let topo = cfg.topo;
+        let mut ports = Vec::with_capacity(topo.ports());
+        for p in 0..topo.ports() {
+            let q = match cfg.system {
+                System::Dctcp => {
+                    let k = if topo.port_rate(p) == topo.edge {
+                        cfg.dctcp_k
+                    } else {
+                        cfg.dctcp_k * 4
+                    };
+                    PortQueue::dctcp(k)
+                }
+                System::PfabricExact => {
+                    PortQueue::pfabric(PfabricVariant::Exact, cfg.pfabric_buf)
+                }
+                System::PfabricApprox => {
+                    PortQueue::pfabric(PfabricVariant::Approx, cfg.pfabric_buf)
+                }
+            };
+            ports.push(q);
+        }
+        let n_ports = ports.len();
+        Sim {
+            cfg,
+            events: EventQueue::new(),
+            flows: Vec::new(),
+            ports,
+            port_busy: (0..n_ports).map(|_| None).collect(),
+            counters: SimCounters::default(),
+        }
+    }
+
+    /// If `port` is idle and has queued frames, start serializing one.
+    fn try_start(&mut self, now: Nanos, port: usize) {
+        if self.port_busy[port].is_some() {
+            return;
+        }
+        let Some(frame) = self.ports[port].dequeue() else { return };
+        let tx = self
+            .cfg
+            .topo
+            .port_rate(port)
+            .tx_time(frame.bytes as u64)
+            .expect("links have non-zero rates");
+        self.port_busy[port] = Some(frame);
+        self.events.schedule(now + tx, Ev::PortFree(port as u32));
+    }
+
+    /// Sends whatever the flow's window allows into its NIC port.
+    fn pump(&mut self, now: Nanos, fid: u32) {
+        let nic = self.flows[fid as usize].path[0];
+        loop {
+            let f = &mut self.flows[fid as usize];
+            let frame = match &mut f.tx {
+                Tx::Dctcp(t) => {
+                    if !t.can_send(f.size) {
+                        break;
+                    }
+                    let seq = t.take_next();
+                    Frame::data(fid, seq, 0)
+                }
+                Tx::Pfabric(t) => {
+                    let Some(seq) = t.take_next(f.size) else { break };
+                    let mut fr = Frame::data(fid, seq, 0);
+                    fr.rank = t.remaining(f.size);
+                    fr
+                }
+            };
+            match self.ports[nic].enqueue(frame) {
+                Verdict::Queued => {}
+                Verdict::Dropped(_) => self.counters.drops += 1,
+            }
+            self.try_start(now, nic);
+        }
+        self.arm_rto(now, fid);
+    }
+
+    fn arm_rto(&mut self, now: Nanos, fid: u32) {
+        let f = &mut self.flows[fid as usize];
+        let outstanding = match &f.tx {
+            Tx::Dctcp(t) => t.snd_nxt > t.snd_una && !t.done(f.size),
+            Tx::Pfabric(t) => !t.outstanding.is_empty() && !t.done(f.size),
+        };
+        if !outstanding {
+            f.rto_epoch += 1; // cancels any pending timer
+            f.rto_armed = false;
+            return;
+        }
+        if f.rto_armed {
+            return;
+        }
+        let (base, backoff) = match &f.tx {
+            Tx::Dctcp(t) => (self.cfg.dctcp_rto, t.backoff as u64),
+            Tx::Pfabric(t) => (self.cfg.pfabric_rto, t.backoff as u64),
+        };
+        f.rto_epoch += 1;
+        f.rto_armed = true;
+        let epoch = f.rto_epoch;
+        self.events.schedule(now + base * backoff, Ev::Rto { flow: fid, epoch });
+    }
+
+    fn handle(&mut self, now: Nanos, ev: Ev) {
+        match ev {
+            Ev::Arrive(fid) => self.pump(now, fid),
+            Ev::PortFree(port) => {
+                let port = port as usize;
+                let frame = self.port_busy[port].take().expect("PortFree only after start");
+                let f = &self.flows[frame.flow as usize];
+                let hop = f
+                    .path
+                    .iter()
+                    .position(|&p| p == port)
+                    .expect("frames travel their flow's path");
+                if hop + 1 < f.path.len() {
+                    self.events
+                        .schedule(now + PROP_DELAY, Ev::EnterPort { frame, hop: hop as u8 + 1 });
+                } else {
+                    self.events.schedule(now + PROP_DELAY, Ev::Receive(frame));
+                }
+                self.try_start(now, port);
+            }
+            Ev::EnterPort { frame, hop } => {
+                let port = self.flows[frame.flow as usize].path[hop as usize];
+                match self.ports[port].enqueue(frame) {
+                    Verdict::Queued => {}
+                    Verdict::Dropped(_) => self.counters.drops += 1,
+                }
+                self.try_start(now, port);
+            }
+            Ev::Receive(frame) => {
+                self.counters.delivered += 1;
+                let fid = frame.flow;
+                let hops = self.flows[fid as usize].path.len();
+                let ack_latency = self.cfg.topo.base_one_way(hops, 40);
+                let f = &mut self.flows[fid as usize];
+                let (cum, seq) = match &f.tx {
+                    Tx::Dctcp(_) => {
+                        if frame.seq == f.rcv_nxt {
+                            f.rcv_nxt += 1;
+                        }
+                        (f.rcv_nxt, frame.seq)
+                    }
+                    Tx::Pfabric(_) => {
+                        let slot = &mut f.rcv_seen[frame.seq as usize];
+                        if !*slot {
+                            *slot = true;
+                            f.rcv_count += 1;
+                        }
+                        (f.rcv_count, frame.seq)
+                    }
+                };
+                // Receiver-side completion: all data has arrived.
+                let complete = match &f.tx {
+                    Tx::Dctcp(_) => f.rcv_nxt >= f.size,
+                    Tx::Pfabric(_) => f.rcv_count >= f.size,
+                };
+                if complete && f.finish.is_none() {
+                    f.finish = Some(now);
+                    self.counters.completed += 1;
+                }
+                self.events
+                    .schedule(now + ack_latency, Ev::Ack { flow: fid, seq, cum, ce: frame.ce });
+            }
+            Ev::Ack { flow, seq, cum, ce } => {
+                let f = &mut self.flows[flow as usize];
+                let progressed = match &mut f.tx {
+                    Tx::Dctcp(t) => t.on_ack(cum, ce),
+                    Tx::Pfabric(t) => t.on_ack(seq),
+                };
+                if progressed {
+                    // Fresh progress: re-arm the timer from now.
+                    f.rto_epoch += 1;
+                    f.rto_armed = false;
+                }
+                self.pump(now, flow);
+            }
+            Ev::Rto { flow, epoch } => {
+                let f = &mut self.flows[flow as usize];
+                if epoch != f.rto_epoch {
+                    return; // cancelled or superseded
+                }
+                f.rto_armed = false;
+                self.counters.timeouts += 1;
+                match &mut f.tx {
+                    Tx::Dctcp(t) => t.on_timeout(),
+                    Tx::Pfabric(t) => t.on_timeout(),
+                }
+                self.pump(now, flow);
+            }
+        }
+    }
+}
+
+/// Runs the configured simulation to completion.
+pub fn run(cfg: SimConfig) -> SimResult {
+    let topo = cfg.topo;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let cdf = FlowSizeDist::WebSearch.cdf();
+    let mean_bytes = FlowSizeDist::WebSearch.mean_bytes();
+    let agg = eiffel_sim::Rate::bps(topo.edge.as_bps() * topo.hosts() as u64);
+    let mut arrivals = PoissonArrivals::for_load(cfg.load, agg, mean_bytes);
+    let bdp = topo.bdp_packets();
+
+    let mut sim = Sim::new(cfg.clone());
+
+    // Pre-generate all flows and their arrival events.
+    for i in 0..cfg.flows {
+        let at = arrivals.next_arrival(&mut rng);
+        let src = rng.next_below(topo.hosts() as u64) as usize;
+        let mut dst = rng.next_below(topo.hosts() as u64) as usize;
+        while dst == src {
+            dst = rng.next_below(topo.hosts() as u64) as usize;
+        }
+        let size = cdf.sample_packets(&mut rng) as u32;
+        let path = topo.route(src, dst, rng.next_u64());
+        let tx = match cfg.system {
+            System::Dctcp => Tx::Dctcp(Dctcp::new(10.0)),
+            System::PfabricExact | System::PfabricApprox => {
+                Tx::Pfabric(PfabricTx::new(size, bdp))
+            }
+        };
+        sim.flows.push(Flow {
+            src,
+            dst,
+            size,
+            path,
+            start: at,
+            finish: None,
+            tx,
+            rcv_nxt: 0,
+            rcv_seen: match cfg.system {
+                System::Dctcp => Vec::new(),
+                _ => vec![false; size as usize],
+            },
+            rcv_count: 0,
+            rto_epoch: 0,
+            rto_armed: false,
+        });
+        sim.events.schedule(at, Ev::Arrive(i as u32));
+    }
+
+    while let Some((now, ev)) = sim.events.pop() {
+        sim.counters.events += 1;
+        if sim.cfg.max_events > 0 && sim.counters.events > sim.cfg.max_events {
+            break;
+        }
+        sim.handle(now, ev);
+    }
+
+    // Collect FCTs of completed flows.
+    let edge_tx = topo.edge.tx_time(MTU_BYTES as u64).expect("non-zero rate");
+    let mut records = Vec::new();
+    for f in &sim.flows {
+        let Some(fin) = f.finish else { continue };
+        let ideal =
+            (f.size.saturating_sub(1)) as u64 * edge_tx + topo.base_one_way(f.path.len(), 1_500);
+        records.push(FctRecord {
+            size_bytes: f.size as u64 * MTU_BYTES as u64,
+            fct: fin - f.start,
+            ideal,
+        });
+    }
+    let summary = Summary::from_records(&records);
+    SimResult { records, summary, counters: sim.counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg(system: System, load: f64, flows: usize) -> SimConfig {
+        SimConfig::new(Topology::small(), system, load, flows, 7)
+    }
+
+    /// Every flow must complete under every system at moderate load.
+    #[test]
+    fn all_flows_complete_under_all_systems() {
+        for system in [System::Dctcp, System::PfabricExact, System::PfabricApprox] {
+            let r = run(base_cfg(system, 0.3, 60));
+            assert_eq!(r.counters.completed, 60, "{system:?}: {:?}", r.counters);
+            assert_eq!(r.records.len(), 60);
+            // FCT can never beat ideal.
+            for rec in &r.records {
+                assert!(rec.fct >= rec.ideal, "{system:?}: fct {} < ideal {}", rec.fct, rec.ideal);
+            }
+        }
+    }
+
+    /// A single flow on an idle fabric finishes near its ideal FCT.
+    #[test]
+    fn lone_flow_is_near_ideal() {
+        for system in [System::Dctcp, System::PfabricExact] {
+            let mut cfg = base_cfg(system, 0.05, 1);
+            cfg.seed = 3;
+            let r = run(cfg);
+            assert_eq!(r.counters.completed, 1);
+            let rec = &r.records[0];
+            let norm = rec.normalized();
+            // DCTCP pays slow start on big flows; pFabric starts at line
+            // rate. Either way a lone flow should be within ~8x of ideal.
+            assert!(norm < 8.0, "{system:?}: normalized FCT {norm}");
+        }
+    }
+
+    /// pFabric must beat DCTCP on small-flow FCT under load — the paper's
+    /// core claim (and the sanity bar for this simulator).
+    #[test]
+    fn pfabric_beats_dctcp_for_small_flows_under_load() {
+        let flows = 300;
+        let d = run(base_cfg(System::Dctcp, 0.6, flows));
+        let p = run(base_cfg(System::PfabricExact, 0.6, flows));
+        let ds = d.summary.avg_small.expect("small flows exist");
+        let ps = p.summary.avg_small.expect("small flows exist");
+        assert!(
+            ps < ds,
+            "pFabric small-flow NFCT {ps:.2} must beat DCTCP {ds:.2}"
+        );
+    }
+
+    /// The approximate queue must track the exact one closely — Figure 19's
+    /// "approximation has minimal effect on overall network behavior".
+    #[test]
+    fn approx_tracks_exact_pfabric() {
+        let flows = 300;
+        let e = run(base_cfg(System::PfabricExact, 0.6, flows));
+        let a = run(base_cfg(System::PfabricApprox, 0.6, flows));
+        let (es, as_) = (
+            e.summary.avg_small.expect("small flows"),
+            a.summary.avg_small.expect("small flows"),
+        );
+        let rel = (as_ - es).abs() / es;
+        assert!(rel < 0.35, "approx small-flow NFCT {as_:.2} vs exact {es:.2}");
+    }
+
+    /// Determinism: same seed, same result.
+    #[test]
+    fn same_seed_same_result() {
+        let a = run(base_cfg(System::PfabricExact, 0.4, 80));
+        let b = run(base_cfg(System::PfabricExact, 0.4, 80));
+        assert_eq!(a.counters.events, b.counters.events);
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.fct, y.fct);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-flow ranking and on-dequeue ranking — Eiffel extensions #1 and #2
+//! (§3.2.1).
+//!
+//! PIFO ranks each packet individually on enqueue; it "doesn't support
+//! reordering packets already enqueued based on changes in their flow
+//! ranking" nor "ranking of elements on packet dequeue". Eiffel adds both:
+//! a per-flow transaction keeps one FIFO per flow and lets the policy
+//! recompute the *flow's* rank on every enqueue **and** dequeue; "a single
+//! PIFO block orders flows, rather than packets, based on their rank".
+//!
+//! Re-ranking an enqueued flow uses the bucketed queues' O(1) (re)move:
+//! entries are epoch-stamped and stale ones are skipped lazily at dequeue,
+//! so a rank change costs one enqueue, never a scan.
+
+use std::collections::VecDeque;
+
+use eiffel_core::{QueueConfig, QueueKind, RankedQueue};
+use eiffel_sim::{FlowId, Nanos, Packet};
+
+/// Per-flow state visible to policies.
+#[derive(Debug)]
+pub struct FlowState<D> {
+    /// Flow identity.
+    pub id: FlowId,
+    /// Packets of this flow, in arrival order (never reordered within a
+    /// flow — §3.2.1's assumption).
+    fifo: VecDeque<Packet>,
+    /// Current flow rank (`f.rank` in the paper's Figures 6/11/14).
+    pub rank: u64,
+    /// Bytes currently queued.
+    pub bytes: u64,
+    /// Policy-private state (virtual times, deficit counters…).
+    pub data: D,
+    /// Stamp matching the flow's one valid entry in the flow queue.
+    epoch: u64,
+    /// Whether a valid entry for this flow is present in the flow queue.
+    active: bool,
+}
+
+impl<D> FlowState<D> {
+    /// Number of queued packets (`f.len` in the paper's LQF example).
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the flow has no queued packets.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// The head packet (`f.front()` in the paper's pFabric example).
+    pub fn front(&self) -> Option<&Packet> {
+        self.fifo.front()
+    }
+
+    /// The most recently enqueued packet.
+    pub fn back(&self) -> Option<&Packet> {
+        self.fifo.back()
+    }
+}
+
+/// A scheduling policy over flows.
+///
+/// Both hooks may read the whole flow state (length, head packet, private
+/// data) — this is exactly the expressiveness PIFO lacks.
+pub trait FlowPolicy {
+    /// Policy-private per-flow state.
+    type Data: Default;
+
+    /// New rank for flow `f` after packet `p` was appended to it.
+    fn rank_on_enqueue(&mut self, now: Nanos, f: &FlowState<Self::Data>, p: &Packet) -> u64;
+
+    /// New rank for flow `f` after its head packet was removed (`f` is
+    /// non-empty). Returning `None` keeps the current rank — policies that
+    /// only rank on enqueue (plain PIFO behaviour) use the default.
+    fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<Self::Data>) -> Option<u64> {
+        let _ = (now, f);
+        None
+    }
+}
+
+/// Queue entry: flow id + epoch stamp for lazy invalidation.
+type FlowEntry = (FlowId, u64);
+
+/// The per-flow transaction: one ranked queue ordering flows, one FIFO per
+/// flow.
+pub struct FlowScheduler<P: FlowPolicy> {
+    policy: P,
+    queue: Box<dyn RankedQueue<FlowEntry>>,
+    flows: Vec<FlowState<P::Data>>,
+    packets: usize,
+    /// Stale entries skipped so far (observability for tests/benches).
+    stale_skipped: u64,
+}
+
+impl<P: FlowPolicy> FlowScheduler<P> {
+    /// Creates a scheduler with the given flow-ordering queue.
+    pub fn new(policy: P, queue: Box<dyn RankedQueue<FlowEntry>>) -> Self {
+        FlowScheduler { policy, queue, flows: Vec::new(), packets: 0, stale_skipped: 0 }
+    }
+
+    /// Creates a scheduler with a queue chosen via [`QueueKind`].
+    pub fn with_kind(policy: P, kind: QueueKind, cfg: QueueConfig) -> Self {
+        Self::new(policy, kind.build(cfg))
+    }
+
+    fn flow_mut(&mut self, id: FlowId) -> &mut FlowState<P::Data> {
+        let idx = id as usize;
+        while self.flows.len() <= idx {
+            let new_id = self.flows.len() as FlowId;
+            self.flows.push(FlowState {
+                id: new_id,
+                fifo: VecDeque::new(),
+                rank: 0,
+                bytes: 0,
+                data: P::Data::default(),
+                epoch: 0,
+                active: false,
+            });
+        }
+        &mut self.flows[idx]
+    }
+
+    /// Read access to a flow's state (allocating it if never seen).
+    pub fn flow(&mut self, id: FlowId) -> &FlowState<P::Data> {
+        self.flow_mut(id)
+    }
+
+    /// Total queued packets.
+    pub fn len(&self) -> usize {
+        self.packets
+    }
+
+    /// Whether no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.packets == 0
+    }
+
+    /// Stale (lazily invalidated) entries skipped so far.
+    pub fn stale_skipped(&self) -> u64 {
+        self.stale_skipped
+    }
+
+    /// Access to the policy (e.g. to adjust weights at runtime).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Enqueues `p` into its flow, re-ranking the flow per the policy.
+    pub fn enqueue(&mut self, now: Nanos, p: Packet) {
+        let id = p.flow;
+        // Compute the new rank against the state *including* the new packet
+        // (the paper's `f.rank = f.len` reads the updated length).
+        let f = self.flow_mut(id);
+        f.bytes += p.bytes as u64;
+        f.fifo.push_back(p);
+        let f = &self.flows[id as usize];
+        let new_rank = self.policy.rank_on_enqueue(now, f, f.back().expect("just pushed"));
+        let f = &mut self.flows[id as usize];
+        let needs_entry = !f.active || new_rank != f.rank;
+        f.rank = new_rank;
+        if needs_entry {
+            // Invalidate any previous entry and insert the fresh one: the
+            // O(1) re-rank.
+            f.epoch += 1;
+            f.active = true;
+            let entry = (id, f.epoch);
+            self.queue
+                .enqueue(new_rank, entry)
+                .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
+        }
+        self.packets += 1;
+    }
+
+    /// Dequeues the head packet of the minimum-rank flow, re-ranking the
+    /// flow per the policy's on-dequeue hook.
+    pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        loop {
+            let (_, (id, epoch)) = self.queue.dequeue_min()?;
+            let f = &mut self.flows[id as usize];
+            if !f.active || f.epoch != epoch {
+                self.stale_skipped += 1;
+                continue; // lazily dropped re-rank leftover
+            }
+            // Valid entry: this flow is the scheduler's choice.
+            f.active = false;
+            let pkt = f.fifo.pop_front().expect("active flows hold packets");
+            f.bytes -= pkt.bytes as u64;
+            self.packets -= 1;
+            if !f.fifo.is_empty() {
+                let fr = &self.flows[id as usize];
+                let new_rank = self.policy.rank_on_dequeue(now, fr).unwrap_or(fr.rank);
+                let f = &mut self.flows[id as usize];
+                f.rank = new_rank;
+                f.epoch += 1;
+                f.active = true;
+                let entry = (id, f.epoch);
+                self.queue
+                    .enqueue(new_rank, entry)
+                    .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
+            }
+            return Some(pkt);
+        }
+    }
+
+    /// Rank of the best flow, skipping stale entries (read-only best effort:
+    /// may report a stale bucket edge until the next dequeue cleans it).
+    pub fn peek_min_rank(&self) -> Option<u64> {
+        self.queue.peek_min_rank()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shortest-queue-first (inverse LQF) for testing: rank = queue length.
+    struct SqfPolicy;
+
+    impl FlowPolicy for SqfPolicy {
+        type Data = ();
+        fn rank_on_enqueue(&mut self, _now: Nanos, f: &FlowState<()>, _p: &Packet) -> u64 {
+            f.len() as u64
+        }
+        fn rank_on_dequeue(&mut self, _now: Nanos, f: &FlowState<()>) -> Option<u64> {
+            Some(f.len() as u64)
+        }
+    }
+
+    fn pkt(id: u64, flow: FlowId) -> Packet {
+        Packet::mtu(id, flow, 0)
+    }
+
+    fn sched() -> FlowScheduler<SqfPolicy> {
+        FlowScheduler::with_kind(
+            SqfPolicy,
+            QueueKind::Cffs,
+            QueueConfig::new(1_024, 1, 0),
+        )
+    }
+
+    #[test]
+    fn per_flow_fifo_is_preserved() {
+        let mut s = sched();
+        for i in 0..5 {
+            s.enqueue(0, pkt(i, 0));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dequeue(0).map(|p| p.id)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4], "no intra-flow reordering");
+    }
+
+    #[test]
+    fn enqueue_rerank_moves_flow() {
+        let mut s = sched();
+        // Flow 0 gets 3 packets (rank 3), flow 1 gets 1 packet (rank 1):
+        // shortest-queue-first must pick flow 1.
+        s.enqueue(0, pkt(0, 0));
+        s.enqueue(0, pkt(1, 0));
+        s.enqueue(0, pkt(2, 0));
+        s.enqueue(0, pkt(3, 1));
+        assert_eq!(s.dequeue(0).unwrap().flow, 1);
+        assert!(s.stale_skipped() >= 1, "flow 0's re-ranks left stale entries");
+    }
+
+    #[test]
+    fn dequeue_rerank_keeps_policy_consistent() {
+        let mut s = sched();
+        for i in 0..4 {
+            s.enqueue(0, pkt(i, 0)); // flow 0: 4 pkts → rank 4
+        }
+        s.enqueue(0, pkt(10, 1));
+        s.enqueue(0, pkt(11, 1)); // flow 1: 2 pkts → rank 2
+        // SQF drains: f1 (2) → f1 becomes 1 → still min → f1 (1) → f1 empty
+        // → f0 (rank recomputed downward as it drains).
+        let flows: Vec<FlowId> =
+            std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
+        assert_eq!(flows, vec![1, 1, 0, 0, 0, 0]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn interleaves_flows_with_equal_ranks_fairly() {
+        let mut s = sched();
+        // Two flows with one packet each: both rank 1, FIFO between them.
+        s.enqueue(0, pkt(0, 0));
+        s.enqueue(0, pkt(1, 1));
+        assert_eq!(s.dequeue(0).unwrap().flow, 0);
+        assert_eq!(s.dequeue(0).unwrap().flow, 1);
+    }
+
+    #[test]
+    fn flow_count_grows_on_demand() {
+        let mut s = sched();
+        s.enqueue(0, pkt(0, 500));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.flow(500).len(), 1);
+        assert_eq!(s.flow(499).len(), 0);
+        assert_eq!(s.dequeue(0).unwrap().flow, 500);
+    }
+}

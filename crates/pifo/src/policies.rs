@@ -1,0 +1,463 @@
+//! The policy library: scheduling transactions and per-flow policies.
+//!
+//! Scheduling transactions ([`Transaction`]) are PIFO's rank functions —
+//! pure "compute a rank on enqueue" logic, one per tree node. Per-flow
+//! policies ([`ObjFlowPolicy`]) are Eiffel's extension: they may re-rank a
+//! whole flow on enqueue *and* dequeue (Figures 6 and 14 of the paper are
+//! implemented verbatim here as [`Lqf`] and [`Pfabric`]).
+
+use std::collections::HashMap;
+
+use eiffel_core::{QueueConfig, QueueKind};
+use eiffel_sim::{Nanos, Packet};
+
+use crate::flow::{FlowPolicy, FlowState};
+
+/// Everything a rank function may look at.
+#[derive(Debug)]
+pub struct RankCtx<'a> {
+    /// Virtual time of the operation.
+    pub now: Nanos,
+    /// The packet being ranked (for inner nodes: the packet whose arrival
+    /// created the child entry).
+    pub pkt: &'a Packet,
+    /// Key identifying the element being ranked at this node: the child
+    /// node id for inner nodes, the flow id for leaves.
+    pub key: u64,
+}
+
+/// A scheduling transaction: ranks elements on enqueue (PIFO's model),
+/// optionally observing dequeues (needed by virtual-time schemes).
+pub trait Transaction {
+    /// Rank for the element described by `ctx`. Smaller = sooner.
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64;
+
+    /// Called with the rank of each element dequeued from this node's
+    /// queue; virtual-time transactions advance their clock here.
+    fn on_dequeue(&mut self, rank: u64) {
+        let _ = rank;
+    }
+
+    /// Which queue geometry suits this transaction's rank distribution.
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        (QueueKind::Cffs, QueueConfig::new(4_096, 1, 0))
+    }
+}
+
+/// First-in-first-out: rank is an arrival counter.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    seq: u64,
+}
+
+impl Fifo {
+    /// A fresh FIFO transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transaction for Fifo {
+    fn rank(&mut self, _ctx: &RankCtx<'_>) -> u64 {
+        let r = self.seq;
+        self.seq += 1;
+        r
+    }
+}
+
+/// Strict priority by the packet's annotated class (the 8-level 802.1Q
+/// pattern; up to 64 levels in one FFS word).
+#[derive(Debug, Default)]
+pub struct StrictPriority;
+
+impl Transaction for StrictPriority {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        ctx.pkt.class as u64
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        (QueueKind::Ffs, QueueConfig::new(64, 1, 0))
+    }
+}
+
+/// Strict priority between *children* of an inner node, by a static map.
+#[derive(Debug)]
+pub struct ChildPriority {
+    prio: HashMap<u64, u64>,
+}
+
+impl ChildPriority {
+    /// Builds from `(child key, priority)` pairs; unlisted children get the
+    /// lowest priority (63).
+    pub fn new(pairs: &[(u64, u64)]) -> Self {
+        ChildPriority { prio: pairs.iter().copied().collect() }
+    }
+}
+
+impl Transaction for ChildPriority {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        self.prio.get(&ctx.key).copied().unwrap_or(63)
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        (QueueKind::Ffs, QueueConfig::new(64, 1, 0))
+    }
+}
+
+/// Start-Time Fair Queueing (Goyal et al.) — the classic software WFQ
+/// approximation the paper cites (§2), and PIFO's canonical example.
+///
+/// Each key (child or flow) has a weight; an element's rank is
+/// `max(virtual_time, finish[key])` and the key's finish advances by
+/// `bytes / weight`. The virtual time is the start tag of the last
+/// dequeued element.
+#[derive(Debug)]
+pub struct Stfq {
+    vtime: u64,
+    finish: HashMap<u64, u64>,
+    weights: HashMap<u64, u64>,
+    default_weight: u64,
+    /// Rank units per byte at weight 1 (scales byte counts into ranks).
+    bytes_scale: u64,
+}
+
+impl Stfq {
+    /// Equal-weight STFQ.
+    pub fn new() -> Self {
+        Stfq {
+            vtime: 0,
+            finish: HashMap::new(),
+            weights: HashMap::new(),
+            default_weight: 1,
+            bytes_scale: 1,
+        }
+    }
+
+    /// Sets the weight for a key (share of bandwidth relative to siblings).
+    pub fn set_weight(&mut self, key: u64, weight: u64) {
+        assert!(weight > 0, "weights must be positive");
+        self.weights.insert(key, weight);
+    }
+
+    fn weight(&self, key: u64) -> u64 {
+        self.weights.get(&key).copied().unwrap_or(self.default_weight)
+    }
+}
+
+impl Default for Stfq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Transaction for Stfq {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        let start = self.vtime.max(self.finish.get(&ctx.key).copied().unwrap_or(0));
+        let cost = (ctx.pkt.bytes as u64 * self.bytes_scale) / self.weight(ctx.key);
+        self.finish.insert(ctx.key, start + cost.max(1));
+        start
+    }
+
+    fn on_dequeue(&mut self, rank: u64) {
+        // Virtual time = start tag of the packet in service.
+        self.vtime = self.vtime.max(rank);
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        // Virtual times move forward; bucket ≈ one MTU of virtual work.
+        (QueueKind::Cffs, QueueConfig::new(8_192, 1_500, 0))
+    }
+}
+
+/// Earliest Deadline First: rank = arrival time + per-class relative
+/// deadline (Liu & Layland; paper §3.2.1 cites EDF as the per-packet
+/// large-range example).
+#[derive(Debug)]
+pub struct Edf {
+    /// Relative deadline per class; classes beyond the table use the last.
+    deadlines: Vec<Nanos>,
+}
+
+impl Edf {
+    /// Builds with one relative deadline per traffic class.
+    pub fn new(deadlines: Vec<Nanos>) -> Self {
+        assert!(!deadlines.is_empty());
+        Edf { deadlines }
+    }
+}
+
+impl Transaction for Edf {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        let class = (ctx.pkt.class as usize).min(self.deadlines.len() - 1);
+        ctx.pkt.created_at + self.deadlines[class]
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        // Deadlines are timestamps: moving range, microsecond buckets.
+        (QueueKind::Cffs, QueueConfig::new(16_384, 1_000, 0))
+    }
+}
+
+/// Least Slack Time First: the rank is whatever slack the annotator wrote
+/// into `pkt.rank` (Universal Packet Scheduling's headline policy — the
+/// slack is computed upstream, the scheduler only orders by it).
+#[derive(Debug, Default)]
+pub struct SlackRank;
+
+impl Transaction for SlackRank {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        ctx.pkt.rank
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-flow policies (Eiffel extensions) — object-safe form for tree leaves.
+// ---------------------------------------------------------------------------
+
+/// Object-safe per-flow policy: per-flow bookkeeping lives inside the
+/// policy (keyed by `FlowState::id`), so the trait has no associated type
+/// and can be boxed into a scheduling tree.
+pub trait ObjFlowPolicy {
+    /// New rank for flow `f` after `p` was appended.
+    fn rank_on_enqueue(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) -> u64;
+
+    /// New rank after the head packet left `f` (non-empty). `None` keeps.
+    fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        let _ = (now, f);
+        None
+    }
+}
+
+impl FlowPolicy for Box<dyn ObjFlowPolicy> {
+    type Data = ();
+
+    fn rank_on_enqueue(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) -> u64 {
+        (**self).rank_on_enqueue(now, f, p)
+    }
+
+    fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        (**self).rank_on_dequeue(now, f)
+    }
+}
+
+/// Figure 6 of the paper, verbatim — Longest Queue First:
+///
+/// ```text
+/// # On enqueue of packet p of flow f:   f.rank = f.len
+/// # On dequeue of packet p of flow f:   f.rank = f.len
+/// ```
+///
+/// LQF serves the *longest* queue first; ranks are min-first, so the rank
+/// is `CAP − len`.
+#[derive(Debug, Default)]
+pub struct Lqf;
+
+/// Rank ceiling for [`Lqf`] (queues longer than this tie at the top).
+pub const LQF_CAP: u64 = 1 << 24;
+
+impl ObjFlowPolicy for Lqf {
+    fn rank_on_enqueue(&mut self, _now: Nanos, f: &FlowState<()>, _p: &Packet) -> u64 {
+        LQF_CAP - (f.len() as u64).min(LQF_CAP)
+    }
+
+    fn rank_on_dequeue(&mut self, _now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        Some(LQF_CAP - (f.len() as u64).min(LQF_CAP))
+    }
+}
+
+/// Figure 14 of the paper, verbatim — pFabric's SRTF approximation:
+///
+/// ```text
+/// # On enqueue of packet p of flow f:   f.rank = min(p.rank, f.rank)
+/// # On dequeue of packet p of flow f:   f.rank = min(p.rank, f.front().rank)
+/// ```
+///
+/// `p.rank` is the flow's remaining size at emission, written by the
+/// annotator; the flow's rank tracks the minimum remaining size among its
+/// queued packets, and changes on *both* enqueue and dequeue — the policy
+/// PIFO cannot express (§5.1.3).
+#[derive(Debug, Default)]
+pub struct Pfabric;
+
+impl ObjFlowPolicy for Pfabric {
+    fn rank_on_enqueue(&mut self, _now: Nanos, f: &FlowState<()>, p: &Packet) -> u64 {
+        if f.len() == 1 {
+            p.rank // first packet of a (re)activated flow
+        } else {
+            f.rank.min(p.rank)
+        }
+    }
+
+    fn rank_on_dequeue(&mut self, _now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        // Remaining sizes decrease towards the tail, so the head carries the
+        // minimum among what is left.
+        f.front().map(|head| head.rank)
+    }
+}
+
+/// Per-flow FIFO service in arrival order of flow *heads* — used as the
+/// neutral per-flow policy (fair round-robin emerges when combined with
+/// on-dequeue re-ranking by last-service time).
+#[derive(Debug, Default)]
+pub struct FlowFifo {
+    seq: u64,
+}
+
+impl ObjFlowPolicy for FlowFifo {
+    fn rank_on_enqueue(&mut self, _now: Nanos, f: &FlowState<()>, _p: &Packet) -> u64 {
+        if f.len() == 1 {
+            self.seq += 1;
+            self.seq
+        } else {
+            f.rank
+        }
+    }
+
+    fn rank_on_dequeue(&mut self, _now: Nanos, _f: &FlowState<()>) -> Option<u64> {
+        // Move to the back of the service order: round-robin.
+        self.seq += 1;
+        Some(self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowScheduler;
+    use eiffel_sim::FlowId;
+
+    fn pkt(id: u64, flow: FlowId, rank: u64) -> Packet {
+        let mut p = Packet::mtu(id, flow, 0);
+        p.rank = rank;
+        p
+    }
+
+    #[test]
+    fn fifo_ranks_monotonically() {
+        let mut t = Fifo::new();
+        let p = pkt(0, 0, 0);
+        let ctx = RankCtx { now: 0, pkt: &p, key: 0 };
+        let a = t.rank(&ctx);
+        let b = t.rank(&ctx);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn strict_priority_uses_class() {
+        let mut t = StrictPriority;
+        let mut p = pkt(0, 0, 0);
+        p.class = 5;
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 5);
+    }
+
+    #[test]
+    fn child_priority_defaults_low() {
+        let mut t = ChildPriority::new(&[(1, 0), (2, 3)]);
+        let p = pkt(0, 0, 0);
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 1 }), 0);
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 2 }), 3);
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 99 }), 63);
+    }
+
+    #[test]
+    fn stfq_interleaves_by_weight() {
+        // Key 1 has weight 2, key 2 weight 1: over equal backlogs, key 1's
+        // start tags advance half as fast, so it gets ~2/3 of service.
+        let mut t = Stfq::new();
+        t.set_weight(1, 2);
+        t.set_weight(2, 1);
+        let p = pkt(0, 0, 0);
+        let mut ranks = Vec::new();
+        for _ in 0..6 {
+            ranks.push((1u64, t.rank(&RankCtx { now: 0, pkt: &p, key: 1 })));
+            ranks.push((2u64, t.rank(&RankCtx { now: 0, pkt: &p, key: 2 })));
+        }
+        ranks.sort_by_key(|&(_, r)| r);
+        let first_nine: Vec<u64> = ranks.iter().take(9).map(|&(k, _)| k).collect();
+        let ones = first_nine.iter().filter(|&&k| k == 1).count();
+        assert!(ones >= 5, "weight-2 key should dominate early service, got {ones}/9");
+    }
+
+    #[test]
+    fn edf_combines_arrival_and_class_deadline() {
+        let mut t = Edf::new(vec![1_000_000, 10_000_000]);
+        let mut p = pkt(0, 0, 0);
+        p.created_at = 500;
+        p.class = 0;
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 1_000_500);
+        p.class = 1;
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 10_000_500);
+        p.class = 9; // beyond table: clamps to last
+        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 10_000_500);
+    }
+
+    #[test]
+    fn lqf_serves_longest_queue_first() {
+        let mut s: FlowScheduler<Box<dyn ObjFlowPolicy>> = FlowScheduler::with_kind(
+            Box::new(Lqf),
+            QueueKind::Cffs,
+            QueueConfig::new(4_096, 1, LQF_CAP - 4_096),
+        );
+        s.enqueue(0, pkt(0, 0, 0));
+        s.enqueue(0, pkt(1, 0, 0));
+        s.enqueue(0, pkt(2, 0, 0)); // flow 0: len 3
+        s.enqueue(0, pkt(3, 1, 0)); // flow 1: len 1
+        // LQF drains flow 0 until lengths equalize.
+        assert_eq!(s.dequeue(0).unwrap().flow, 0);
+        assert_eq!(s.dequeue(0).unwrap().flow, 0);
+        // Now both len 1 — flow 1's entry is older at the same rank? Flow
+        // ranks re-derive from lengths; either flow is acceptable, but all
+        // four packets must drain.
+        let mut rest = 0;
+        while s.dequeue(0).is_some() {
+            rest += 1;
+        }
+        assert_eq!(rest, 2);
+    }
+
+    #[test]
+    fn pfabric_tracks_min_remaining_on_both_hooks() {
+        let mut s: FlowScheduler<Box<dyn ObjFlowPolicy>> = FlowScheduler::with_kind(
+            Box::new(Pfabric),
+            QueueKind::HierFfs,
+            QueueConfig::new(100_000, 1, 0),
+        );
+        // Flow 7: remaining sizes 3,2,1 → flow rank settles at 1? No: rank
+        // follows min(p.rank, f.rank) = 1 only after the rank-1 packet
+        // arrives.
+        s.enqueue(0, pkt(0, 7, 3));
+        assert_eq!(s.flow(7).rank, 3);
+        s.enqueue(0, pkt(1, 7, 2));
+        assert_eq!(s.flow(7).rank, 2);
+        s.enqueue(0, pkt(2, 7, 1));
+        assert_eq!(s.flow(7).rank, 1);
+        // Competing flow with 2 remaining.
+        s.enqueue(0, pkt(3, 9, 2));
+        // Flow 7 (rank 1) wins; after its head leaves, rank re-derives from
+        // the new head (2), tying with flow 9.
+        assert_eq!(s.dequeue(0).unwrap().flow, 7);
+        let next = s.dequeue(0).unwrap();
+        assert_eq!(next.rank, 2, "either flow at remaining 2");
+        let mut left = 0;
+        while s.dequeue(0).is_some() {
+            left += 1;
+        }
+        assert_eq!(left, 2);
+    }
+
+    #[test]
+    fn flow_fifo_round_robins() {
+        let mut s: FlowScheduler<Box<dyn ObjFlowPolicy>> = FlowScheduler::with_kind(
+            Box::new(FlowFifo::default()),
+            QueueKind::Cffs,
+            QueueConfig::new(4_096, 1, 0),
+        );
+        for i in 0..3 {
+            s.enqueue(0, pkt(i, 0, 0));
+            s.enqueue(0, pkt(10 + i, 1, 0));
+        }
+        let flows: Vec<FlowId> =
+            std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
+        assert_eq!(flows, vec![0, 1, 0, 1, 0, 1], "round-robin service");
+    }
+}

@@ -1,0 +1,136 @@
+//! The Figure 1 facade: annotator → enqueue → queue → dequeue.
+//!
+//! "Eiffel['s architecture has] four main components: 1) a packet annotator
+//! to set the input to the enqueue component, 2) an enqueue component that
+//! calculates a rank, 3) a queue that holds packets sorted based on their
+//! rank, and 4) a dequeue component which is triggered to re-rank elements."
+//!
+//! [`EiffelScheduler`] wires a packet annotator (classification +
+//! leaf-selection function) in front of a compiled [`PifoTree`]. Hosts in
+//! either deployment style drive it the same way: event-driven kernels ask
+//! for [`EiffelScheduler::soonest_deadline`] and arm one timer; busy-polling
+//! switches just call [`EiffelScheduler::dequeue`] in their task loop.
+
+use eiffel_sim::{Nanos, Packet};
+
+use crate::tree::{NodeId, PifoTree, TreeError};
+
+/// Annotates packets (sets class/rank) and picks the leaf they enter.
+pub trait Annotator {
+    /// Inspects and optionally rewrites the packet, returning the target
+    /// leaf.
+    fn annotate(&mut self, now: Nanos, pkt: &mut Packet) -> NodeId;
+}
+
+/// Any closure can be an annotator.
+impl<F: FnMut(Nanos, &mut Packet) -> NodeId> Annotator for F {
+    fn annotate(&mut self, now: Nanos, pkt: &mut Packet) -> NodeId {
+        self(now, pkt)
+    }
+}
+
+/// The assembled programmable scheduler.
+pub struct EiffelScheduler<A: Annotator> {
+    annotator: A,
+    tree: PifoTree,
+}
+
+impl<A: Annotator> EiffelScheduler<A> {
+    /// Wires an annotator in front of a scheduling tree.
+    pub fn new(annotator: A, tree: PifoTree) -> Self {
+        EiffelScheduler { annotator, tree }
+    }
+
+    /// The underlying tree (for inspection and tests).
+    pub fn tree(&self) -> &PifoTree {
+        &self.tree
+    }
+
+    /// Accepts a packet: annotate, rank, enqueue.
+    pub fn enqueue(&mut self, now: Nanos, mut pkt: Packet) -> Result<(), TreeError> {
+        let leaf = self.annotator.annotate(now, &mut pkt);
+        self.tree.enqueue(now, leaf, pkt)
+    }
+
+    /// Releases due shaper work and pops the next transmittable packet.
+    pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.tree.dequeue(now)
+    }
+
+    /// When a timer-driven host should wake next.
+    pub fn soonest_deadline(&self, now: Nanos) -> Option<Nanos> {
+        self.tree.soonest_deadline(now)
+    }
+
+    /// Packets currently held.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the scheduler holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::compile;
+
+    #[test]
+    fn annotator_routes_by_class() {
+        let t = compile(
+            "node root kind=childprio\n\
+             node rt   parent=root kind=fifo prio=0\n\
+             node bulk parent=root kind=fifo prio=1\n",
+        )
+        .unwrap();
+        let rt = t.node_by_name("rt").unwrap();
+        let bulk = t.node_by_name("bulk").unwrap();
+        // The annotator: small packets are "real-time", the rest bulk.
+        let mut s = EiffelScheduler::new(
+            move |_now: Nanos, p: &mut Packet| {
+                if p.bytes <= 100 {
+                    p.class = 0;
+                    rt
+                } else {
+                    p.class = 1;
+                    bulk
+                }
+            },
+            t,
+        );
+        s.enqueue(0, Packet::mtu(0, 0, 0)).unwrap();
+        s.enqueue(0, Packet::min_sized(1, 1, 0)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dequeue(0).unwrap().id, 1, "small packet classed real-time");
+        assert_eq!(s.dequeue(0).unwrap().id, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.soonest_deadline(0), None);
+    }
+
+    #[test]
+    fn timer_driven_host_pattern() {
+        // A paced root: the host sleeps until soonest_deadline and drains.
+        let t = compile("node root kind=fifo limit=12mbps\n").unwrap();
+        let root = t.node_by_name("root").unwrap();
+        let mut s = EiffelScheduler::new(move |_: Nanos, _: &mut Packet| root, t);
+        for i in 0..3 {
+            s.enqueue(0, Packet::mtu(i, 0, 0)).unwrap();
+        }
+        let mut now = 0;
+        let mut sent = Vec::new();
+        while !s.is_empty() {
+            now = s.soonest_deadline(now).expect("packets pending").max(now);
+            while let Some(p) = s.dequeue(now) {
+                sent.push((now, p.id));
+            }
+            now += 1; // timers re-arm strictly in the future
+        }
+        assert_eq!(sent.len(), 3);
+        // 12 Mbps MTU pacing = 1 ms spacing (bucket-granular).
+        let gap = sent[2].0 - sent[1].0;
+        assert!((900_000..=1_100_000).contains(&gap), "pacing gap {gap} ns");
+    }
+}

@@ -1,0 +1,508 @@
+//! The scheduling tree: PIFO's hierarchy plus Eiffel's extensions.
+//!
+//! A tree of nodes, each carrying a scheduling transaction
+//! ([`crate::policies::Transaction`]) and a ranked queue of entries:
+//!
+//! * **inner nodes** order references to children — PIFO semantics: every
+//!   packet arrival pushes one child reference per un-shaped ancestor, so
+//!   dequeue is a rank-guided descent from the root;
+//! * **packet leaves** order packets directly (per-packet transactions);
+//! * **flow leaves** embed a [`FlowScheduler`] — Eiffel's per-flow ranking
+//!   and on-dequeue ranking (§3.2.1);
+//! * any node may carry a **rate limit**: its sub-tree's traffic is then
+//!   gated by the hierarchy-wide [`Shaper`] (§3.2.2). A packet below shaped
+//!   nodes clears one shaper stage per limit on its path — the Figure 8
+//!   journey — and each stage re-enters the work-conserving hierarchy one
+//!   level up, at a rank computed by that level's transaction.
+//!
+//! The tree is driven in poll style: `advance(now)` fires due shaper
+//! releases, `dequeue(now)` pops the best transmittable packet,
+//! `soonest_deadline()` tells a timer-driven host when to wake up.
+
+use std::collections::VecDeque;
+
+use eiffel_core::RankedQueue;
+use eiffel_sim::{Nanos, Packet, Rate};
+
+use crate::flow::FlowScheduler;
+use crate::policies::{ObjFlowPolicy, RankCtx, Transaction};
+use crate::shaper::{Shaper, TokenStamper};
+
+/// Node handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// What a node's queue orders.
+enum Entry {
+    /// A packet promoted (or directly enqueued) into this node.
+    Packet(Packet),
+    /// A reference to the child subtree holding the next element.
+    Child(usize),
+}
+
+/// What a node holds besides its queue.
+enum Body {
+    /// Inner node / per-packet leaf: the ranked queue of [`Entry`].
+    Queue(Box<dyn RankedQueue<Entry>>),
+    /// Per-flow leaf (Eiffel extension #1/#2).
+    Flows(FlowScheduler<Box<dyn ObjFlowPolicy>>),
+}
+
+struct Node {
+    name: String,
+    parent: Option<usize>,
+    tx: Box<dyn Transaction>,
+    body: Body,
+    /// Rate limit: if present, elements below this node are invisible to
+    /// the parent until the shaper releases them.
+    limit: Option<TokenStamper>,
+    /// Whether a shaper credit for this node is already pending.
+    credit_pending: bool,
+}
+
+impl Node {
+    /// Elements visible inside this node (packets for leaves, entries for
+    /// inner nodes — one per packet below, by construction).
+    fn backlog(&self) -> usize {
+        match &self.body {
+            Body::Queue(q) => q.len(),
+            Body::Flows(f) => f.len(),
+        }
+    }
+}
+
+/// Error raised when a policy tree is assembled inconsistently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Enqueue targeted a node that is not a leaf.
+    NotALeaf(String),
+    /// A node name was not found.
+    UnknownNode(String),
+    /// The tree has no nodes.
+    Empty,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::NotALeaf(n) => write!(f, "node '{n}' is not a leaf"),
+            TreeError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            TreeError::Empty => write!(f, "tree has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// The assembled scheduler.
+pub struct PifoTree {
+    nodes: Vec<Node>,
+    shaper: Shaper<usize>,
+    /// Packets that cleared the root's own rate limit (if any) and are
+    /// ready for the wire.
+    ready: VecDeque<Packet>,
+    packets: usize,
+}
+
+impl std::fmt::Debug for PifoTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PifoTree")
+            .field("nodes", &self.nodes.len())
+            .field("packets", &self.packets)
+            .field("shaper_pending", &self.shaper.len())
+            .field("ready", &self.ready.len())
+            .finish()
+    }
+}
+
+/// Builder for [`PifoTree`].
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    shaper_buckets: usize,
+    shaper_granularity: Nanos,
+}
+
+impl TreeBuilder {
+    /// Starts a builder; the shaper geometry covers the longest rate-limit
+    /// horizon the policy needs (default: 64k buckets of 1 µs — a 65 ms
+    /// half-window, fine for multi-Mbps limits; override for slower ones).
+    pub fn new() -> Self {
+        TreeBuilder { nodes: Vec::new(), shaper_buckets: 65_536, shaper_granularity: 1_000 }
+    }
+
+    /// Overrides the shared shaper's geometry.
+    pub fn shaper_geometry(mut self, buckets: usize, granularity: Nanos) -> Self {
+        self.shaper_buckets = buckets;
+        self.shaper_granularity = granularity;
+        self
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        parent: Option<NodeId>,
+        tx: Box<dyn Transaction>,
+        body: Body,
+        limit: Option<Rate>,
+    ) -> NodeId {
+        let id = self.nodes.len();
+        if let Some(p) = parent {
+            assert!(p.0 < id, "parent must be created before child");
+            assert!(
+                matches!(self.nodes[p.0].body, Body::Queue(_)),
+                "flow leaves cannot have children"
+            );
+        }
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent: parent.map(|p| p.0),
+            tx,
+            body,
+            limit: limit.map(TokenStamper::new),
+            credit_pending: false,
+        });
+        NodeId(id)
+    }
+
+    /// Adds an inner or per-packet-leaf node (usable as either: a node with
+    /// children never receives direct enqueues).
+    pub fn node(
+        &mut self,
+        name: &str,
+        parent: Option<NodeId>,
+        tx: Box<dyn Transaction>,
+        limit: Option<Rate>,
+    ) -> NodeId {
+        let (kind, cfg) = tx.queue_hint();
+        let queue = kind.build(cfg);
+        self.push(name, parent, tx, Body::Queue(queue), limit)
+    }
+
+    /// Adds a per-flow leaf (Eiffel extension): `policy` ranks flows, and
+    /// the flows are ordered by a queue built from `policy_queue`.
+    pub fn flow_leaf(
+        &mut self,
+        name: &str,
+        parent: Option<NodeId>,
+        policy: Box<dyn ObjFlowPolicy>,
+        flow_queue: Box<dyn RankedQueue<(u32, u64)>>,
+        limit: Option<Rate>,
+    ) -> NodeId {
+        let fs = FlowScheduler::new(policy, flow_queue);
+        // Flow leaves rank flows internally; the node-level transaction is
+        // unused, a FIFO placeholder keeps the type uniform.
+        self.push(name, parent, Box::new(crate::policies::Fifo::new()), Body::Flows(fs), limit)
+    }
+
+    /// Finalizes the tree. Node 0 must be the root.
+    pub fn build(self) -> Result<PifoTree, TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::Empty);
+        }
+        assert!(self.nodes[0].parent.is_none(), "node 0 must be the root");
+        Ok(PifoTree {
+            nodes: self.nodes,
+            shaper: Shaper::new(self.shaper_buckets, self.shaper_granularity, 0),
+            ready: VecDeque::new(),
+            packets: 0,
+        })
+    }
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PifoTree {
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Result<NodeId, TreeError> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId)
+            .ok_or_else(|| TreeError::UnknownNode(name.to_string()))
+    }
+
+    /// Total packets held anywhere in the tree (including shaper stages and
+    /// the ready line).
+    pub fn len(&self) -> usize {
+        self.packets
+    }
+
+    /// Whether the tree holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets == 0
+    }
+
+    /// Enqueues `pkt` at leaf `leaf` (chosen by the packet annotator).
+    pub fn enqueue(&mut self, now: Nanos, leaf: NodeId, pkt: Packet) -> Result<(), TreeError> {
+        let idx = leaf.0;
+        let meta = pkt.clone();
+        if matches!(self.nodes[idx].body, Body::Flows(_)) {
+            let Body::Flows(fs) = &mut self.nodes[idx].body else { unreachable!() };
+            fs.enqueue(now, pkt);
+        } else {
+            let ctx = RankCtx { now, pkt: &meta, key: meta.flow as u64 };
+            let rank = self.nodes[idx].tx.rank(&ctx);
+            let Body::Queue(q) = &mut self.nodes[idx].body else { unreachable!() };
+            q.enqueue(rank, Entry::Packet(pkt))
+                .unwrap_or_else(|e| panic!("rank {} outside node queue range", e.rank));
+        }
+        self.packets += 1;
+        self.propagate_up(now, idx, &meta);
+        Ok(())
+    }
+
+    /// After an element landed in `idx`, make it visible upward: push child
+    /// references at each un-shaped ancestor; stop at a shaped node and arm
+    /// its shaper credit instead (§3.2.2 decoupling).
+    fn propagate_up(&mut self, now: Nanos, mut idx: usize, meta: &Packet) {
+        loop {
+            if self.nodes[idx].limit.is_some() {
+                self.ensure_credit(now, idx);
+                return;
+            }
+            let Some(parent) = self.nodes[idx].parent else { return };
+            let ctx = RankCtx { now, pkt: meta, key: idx as u64 };
+            let rank = self.nodes[parent].tx.rank(&ctx);
+            let Body::Queue(q) = &mut self.nodes[parent].body else {
+                unreachable!("flow leaves have no children")
+            };
+            q.enqueue(rank, Entry::Child(idx))
+                .unwrap_or_else(|e| panic!("rank {} outside node queue range", e.rank));
+            idx = parent;
+        }
+    }
+
+    /// Arms a shaper credit for node `idx` if none is pending.
+    fn ensure_credit(&mut self, now: Nanos, idx: usize) {
+        if self.nodes[idx].credit_pending {
+            return;
+        }
+        let st = self.nodes[idx].limit.as_ref().expect("only shaped nodes get credits");
+        let release = st.next_eligible().max(now);
+        self.nodes[idx].credit_pending = true;
+        self.shaper.schedule(release, idx);
+    }
+
+    /// Pops the best packet *within* node `idx`'s subtree (rank-guided
+    /// descent; never crosses a shaped descendant — its elements are not
+    /// visible here until released).
+    fn pop_local(&mut self, now: Nanos, idx: usize) -> Packet {
+        let (rank, entry) = match &mut self.nodes[idx].body {
+            Body::Flows(fs) => {
+                return fs.dequeue(now).expect("descent reached an empty flow leaf")
+            }
+            Body::Queue(q) => q.dequeue_min().expect("descent reached an empty node"),
+        };
+        self.nodes[idx].tx.on_dequeue(rank);
+        match entry {
+            Entry::Packet(p) => p,
+            Entry::Child(c) => self.pop_local(now, c),
+        }
+    }
+
+    /// Fires every shaper release due at or before `now`: each release pops
+    /// the best packet of the shaped node's subtree and re-inserts it one
+    /// level up (or into the ready line if the node is the root).
+    pub fn advance(&mut self, now: Nanos) {
+        let mut due = Vec::new();
+        self.shaper.release_due(now, &mut due);
+        for (ts, idx) in due {
+            self.nodes[idx].credit_pending = false;
+            debug_assert!(self.nodes[idx].backlog() > 0, "credit without backlog");
+            let pkt = self.pop_local(ts.max(now), idx);
+            // Advance the node's rate-limit clock by this packet's cost.
+            let st = self.nodes[idx].limit.as_mut().expect("credit on unshaped node");
+            let _ = st.stamp(ts, pkt.bytes as u64);
+            // More backlog ⇒ next credit at the limit's new eligibility.
+            if self.nodes[idx].backlog() > 0 {
+                self.ensure_credit(ts, idx);
+            }
+            match self.nodes[idx].parent {
+                None => self.ready.push_back(pkt),
+                Some(parent) => {
+                    let meta = pkt.clone();
+                    let ctx = RankCtx { now, pkt: &meta, key: idx as u64 };
+                    let rank = self.nodes[parent].tx.rank(&ctx);
+                    let Body::Queue(q) = &mut self.nodes[parent].body else {
+                        unreachable!("flow leaves have no children")
+                    };
+                    q.enqueue(rank, Entry::Packet(pkt))
+                        .unwrap_or_else(|e| panic!("rank {} outside node queue range", e.rank));
+                    self.propagate_up(now, parent, &meta);
+                }
+            }
+        }
+    }
+
+    /// Removes the next transmittable packet: the ready line first (root
+    /// shaping), then the root's work-conserving order.
+    pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.advance(now);
+        if let Some(p) = self.ready.pop_front() {
+            self.packets -= 1;
+            return Some(p);
+        }
+        if self.nodes[0].limit.is_some() {
+            // Root is paced: everything must flow through the shaper.
+            return None;
+        }
+        if self.nodes[0].backlog() == 0 {
+            return None;
+        }
+        let p = self.pop_local(now, 0);
+        self.packets -= 1;
+        Some(p)
+    }
+
+    /// When a timer-driven host should wake next: immediately if something
+    /// is transmittable, else the shaper's earliest release.
+    pub fn soonest_deadline(&self, now: Nanos) -> Option<Nanos> {
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        if self.nodes[0].limit.is_none() && self.nodes[0].backlog() > 0 {
+            return Some(now);
+        }
+        self.shaper.soonest_deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::{ChildPriority, Fifo, Lqf, StrictPriority};
+    use eiffel_core::{QueueConfig, QueueKind};
+
+    fn pkt(id: u64, flow: u32, class: u32, at: Nanos) -> Packet {
+        let mut p = Packet::mtu(id, flow, at);
+        p.class = class;
+        p
+    }
+
+    #[test]
+    fn single_fifo_leaf_acts_as_fifo() {
+        let mut b = TreeBuilder::new();
+        let root = b.node("root", None, Box::new(Fifo::new()), None);
+        let mut t = b.build().unwrap();
+        for i in 0..5 {
+            t.enqueue(0, root, pkt(i, 0, 0, 0)).unwrap();
+        }
+        let ids: Vec<u64> = std::iter::from_fn(|| t.dequeue(0).map(|p| p.id)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn strict_priority_between_leaves() {
+        // root(ChildPriority) ── hi(Fifo), lo(Fifo)
+        let mut b = TreeBuilder::new();
+        let root = b.node("root", None, Box::new(ChildPriority::new(&[(1, 0), (2, 1)])), None);
+        let hi = b.node("hi", Some(root), Box::new(Fifo::new()), None);
+        let lo = b.node("lo", Some(root), Box::new(Fifo::new()), None);
+        let mut t = b.build().unwrap();
+        t.enqueue(0, lo, pkt(0, 0, 0, 0)).unwrap();
+        t.enqueue(0, lo, pkt(1, 0, 0, 0)).unwrap();
+        t.enqueue(0, hi, pkt(2, 1, 0, 0)).unwrap();
+        // High-priority child drains first even though it arrived last.
+        assert_eq!(t.dequeue(0).unwrap().id, 2);
+        assert_eq!(t.dequeue(0).unwrap().id, 0);
+        assert_eq!(t.dequeue(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn leaf_rate_limit_gates_release() {
+        // One leaf limited to 12 Mbps (1 ms per MTU), unshaped root.
+        let mut b = TreeBuilder::new();
+        let root = b.node("root", None, Box::new(Fifo::new()), None);
+        let leaf = b.node("leaf", Some(root), Box::new(Fifo::new()), Some(Rate::mbps(12)));
+        let mut t = b.build().unwrap();
+        for i in 0..3 {
+            t.enqueue(0, leaf, pkt(i, 0, 0, 0)).unwrap();
+        }
+        // t=0: first packet released immediately (idle limiter).
+        assert_eq!(t.dequeue(0).map(|p| p.id), Some(0));
+        assert_eq!(t.dequeue(0), None, "second packet still shaped");
+        // Soonest deadline points at the next release (bucket-granular ≤ 1ms).
+        let d = t.soonest_deadline(0).unwrap();
+        assert!(d <= 1_000_000);
+        assert_eq!(t.dequeue(1_000_000).map(|p| p.id), Some(1));
+        assert_eq!(t.dequeue(1_999_999), None);
+        assert_eq!(t.dequeue(2_000_000).map(|p| p.id), Some(2));
+    }
+
+    #[test]
+    fn figure7_two_nested_limits_and_paced_root() {
+        // The paper's Figure 7/8 example: leaf at 7 Mbps under an inner node
+        // at 10 Mbps under a paced root. A packet must clear three shaper
+        // stages; the total rate is min(7, 10, pace).
+        let mut b = TreeBuilder::new();
+        let root = b.node("root", None, Box::new(Fifo::new()), Some(Rate::mbps(20)));
+        let inner = b.node("pq2", Some(root), Box::new(Fifo::new()), Some(Rate::mbps(10)));
+        let leaf = b.node("pq3", Some(inner), Box::new(Fifo::new()), Some(Rate::mbps(7)));
+        let mut t = b.build().unwrap();
+        let n = 20u64;
+        for i in 0..n {
+            t.enqueue(0, leaf, pkt(i, 0, 0, 0)).unwrap();
+        }
+        // Drain with a 1 µs-stepped clock for 3 simulated seconds.
+        let mut got = Vec::new();
+        let mut now = 0;
+        while got.len() < n as usize && now < 3_000_000_000 {
+            now += 100_000;
+            while let Some(p) = t.dequeue(now) {
+                got.push((now, p.id));
+            }
+        }
+        assert_eq!(got.len(), n as usize, "all packets eventually released");
+        // In order (single flow through FIFOs).
+        assert!(got.windows(2).all(|w| w[0].1 < w[1].1));
+        // Effective rate ≈ 7 Mbps: 20 MTU = 240 kbit / 7 Mbps ≈ 34.3 ms.
+        let last = got.last().unwrap().0;
+        let expect = 8 * 1_500 * (n - 1) * 1_000 / 7; // ns
+        let rel = (last as f64 - expect as f64).abs() / expect as f64;
+        assert!(rel < 0.05, "drain took {last} ns, expected ≈{expect} ns");
+    }
+
+    #[test]
+    fn flow_leaf_inside_tree() {
+        let mut b = TreeBuilder::new();
+        let root = b.node("root", None, Box::new(StrictPriority), None);
+        let lqf = b.flow_leaf(
+            "lqf",
+            Some(root),
+            Box::new(Lqf),
+            QueueKind::Cffs.build(QueueConfig::new(4_096, 1, crate::policies::LQF_CAP - 4_096)),
+            None,
+        );
+        let mut t = b.build().unwrap();
+        t.enqueue(0, lqf, pkt(0, 0, 0, 0)).unwrap();
+        t.enqueue(0, lqf, pkt(1, 0, 0, 0)).unwrap();
+        t.enqueue(0, lqf, pkt(2, 1, 0, 0)).unwrap();
+        // Flow 0 is longer: LQF serves it first.
+        assert_eq!(t.dequeue(0).unwrap().flow, 0);
+        let mut rest = Vec::new();
+        while let Some(p) = t.dequeue(0) {
+            rest.push(p.flow);
+        }
+        assert_eq!(rest.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn unknown_node_lookup_fails() {
+        let mut b = TreeBuilder::new();
+        b.node("root", None, Box::new(Fifo::new()), None);
+        let t = b.build().unwrap();
+        assert!(matches!(t.node_by_name("nope"), Err(TreeError::UnknownNode(_))));
+        assert!(t.node_by_name("root").is_ok());
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert!(matches!(TreeBuilder::new().build(), Err(TreeError::Empty)));
+    }
+}

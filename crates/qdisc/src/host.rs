@@ -1,0 +1,263 @@
+//! The kernel host model: drives a qdisc with the §5.1.1 workload and
+//! meters its CPU into virtual-second bins.
+//!
+//! Workload: `n` *bulk* flows (neper keeps them continuously backlogged),
+//! each with `SO_MAX_PACING_RATE = aggregate/n`; the **qdisc** does the
+//! pacing. TCP Small Queues is modelled as a cap on per-flow packets inside
+//! the qdisc: a flow emits back-to-back until its budget is exhausted and
+//! resumes when a dequeue completion hands budget back (the TSQ callback).
+//! This keeps ~`tsq_budget × n` packets inside the shaper at all times —
+//! "the maximum amount of calculations", as the paper puts it.
+//!
+//! CPU accounting (see `eiffel_sim::cpu` for the constants):
+//! * enqueue path (syscall context → `System`): modelled lock + stack cost,
+//!   plus the *measured* real nanoseconds of the qdisc's enqueue code;
+//! * timer path (softirq → `SoftIrq`): modelled IRQ entry per timer fire,
+//!   plus the measured real nanoseconds of the dequeue loop;
+//! * timers: `Exact` qdiscs arm at `next_deadline()`; `Periodic` qdiscs
+//!   (Carousel) fire every wheel slot while packets are pending.
+
+use eiffel_sim::cpu::{IRQ_ENTRY_NS, LOCK_NS, PER_PACKET_STACK_NS};
+use eiffel_sim::{CpuCategory, CpuMeter, EventQueue, Nanos, Packet, Rate, SECOND};
+
+use crate::qdisc::{ShaperQdisc, TimerStyle};
+
+/// Experiment parameters (defaults = the paper's §5.1.1 setup, scaled in
+/// duration).
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Number of paced flows (paper: 20 000).
+    pub flows: usize,
+    /// Aggregate `SO_MAX_PACING_RATE` across flows (paper: 24 Gbps).
+    pub aggregate: Rate,
+    /// Virtual duration of the run (paper: 100 s; default 2 s keeps the
+    /// harness fast — CPU shares are per-bin, so duration only adds
+    /// samples).
+    pub duration: Nanos,
+    /// CPU accounting bin (paper sampled 1 s with dstat; default 100 ms for
+    /// more CDF points per virtual second).
+    pub bin: Nanos,
+    /// TSQ: max packets a flow may have inside the qdisc.
+    pub tsq_budget: u32,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            flows: 20_000,
+            aggregate: Rate::gbps(24),
+            duration: 2 * SECOND,
+            bin: SECOND / 10,
+            tsq_budget: 2,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Qdisc name.
+    pub name: &'static str,
+    /// Sorted per-bin total cores (CDF samples, Figure 9).
+    pub cores_sorted: Vec<f64>,
+    /// Median cores.
+    pub median_cores: f64,
+    /// Per-bin `(system, softirq)` cores (Figure 10 panels).
+    pub breakdown: Vec<(f64, f64)>,
+    /// Packets transmitted.
+    pub transmitted: u64,
+    /// Achieved aggregate rate in bits/s.
+    pub achieved_bps: f64,
+    /// Timer fires observed.
+    pub timer_fires: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A flow has (possibly) TSQ budget: emit its next bulk packet.
+    Source(u32),
+    /// The qdisc timer fires (epoch guards stale timers).
+    Timer(u64),
+}
+
+/// Runs the workload against `qdisc` and reports metered CPU.
+pub fn run(mut qdisc: impl ShaperQdisc, cfg: &HostConfig) -> HostReport {
+    let mut meter = CpuMeter::new(cfg.bin, cfg.duration);
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let per_flow_bps = (cfg.aggregate.as_bps() / cfg.flows as u64).max(1);
+    let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
+
+    // TSQ budgets.
+    let mut budget = vec![cfg.tsq_budget; cfg.flows];
+
+    // Timer management: epoch invalidates superseded timers.
+    let mut timer_epoch: u64 = 0;
+    let mut timer_armed_at: Option<Nanos> = None;
+
+    // Stagger first emissions across one pacing gap so the shaper sees a
+    // smooth aggregate from the start rather than a synchronized burst.
+    for id in 0..cfg.flows as u32 {
+        let at = pacing_gap * id as u64 / cfg.flows as u64;
+        events.schedule(at, Ev::Source(id));
+    }
+
+    let mut next_pkt_id = 0u64;
+    let mut transmitted = 0u64;
+    let mut tx_bytes = 0u64;
+    let mut timer_fires = 0u64;
+
+    while let Some((now, ev)) = events.pop() {
+        if now >= cfg.duration {
+            break;
+        }
+        match ev {
+            Ev::Source(id) => {
+                if budget[id as usize] == 0 {
+                    continue; // TSQ: a completion will reschedule us.
+                }
+                budget[id as usize] -= 1;
+                let pkt = Packet::mtu(next_pkt_id, id, now);
+                next_pkt_id += 1;
+                // Syscall path: lock + stack constants, measured enqueue.
+                meter.charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
+                meter.measure(now, CpuCategory::System, || {
+                    qdisc.enqueue(now, pkt, per_flow_bps);
+                });
+                if budget[id as usize] > 0 {
+                    // Bulk sender: next packet goes straight away.
+                    events.schedule(now, Ev::Source(id));
+                }
+                // Arm (or tighten) the timer.
+                let want = match qdisc.timer_style() {
+                    TimerStyle::Exact => qdisc.next_deadline(now),
+                    TimerStyle::Periodic { period } => {
+                        qdisc.next_deadline(now).map(|_| now + period)
+                    }
+                };
+                if let Some(want) = want {
+                    let want = want.max(now);
+                    if timer_armed_at.map_or(true, |at| want < at) {
+                        timer_epoch += 1;
+                        timer_armed_at = Some(want);
+                        events.schedule(want, Ev::Timer(timer_epoch));
+                    }
+                }
+            }
+            Ev::Timer(epoch) => {
+                if epoch != timer_epoch {
+                    continue; // superseded timer, never fired in hardware
+                }
+                timer_armed_at = None;
+                timer_fires += 1;
+                meter.charge(now, CpuCategory::SoftIrq, IRQ_ENTRY_NS);
+                // Drain everything due, under measurement.
+                let mut released: Vec<(u32, u32)> = Vec::new();
+                meter.measure(now, CpuCategory::SoftIrq, || {
+                    while let Some(p) = qdisc.dequeue(now) {
+                        released.push((p.flow, p.bytes));
+                    }
+                });
+                for (flow, bytes) in released {
+                    transmitted += 1;
+                    tx_bytes += bytes as u64;
+                    let i = flow as usize;
+                    if budget[i] == 0 {
+                        // TSQ callback: the flow was throttled — resume it.
+                        events.schedule(now, Ev::Source(flow));
+                    }
+                    budget[i] += 1;
+                }
+                // Re-arm.
+                let want = match qdisc.timer_style() {
+                    TimerStyle::Exact => qdisc.next_deadline(now),
+                    TimerStyle::Periodic { period } => {
+                        qdisc.next_deadline(now).map(|_| now + period)
+                    }
+                };
+                if let Some(want) = want {
+                    let want = want.max(now + 1);
+                    timer_epoch += 1;
+                    timer_armed_at = Some(want);
+                    events.schedule(want, Ev::Timer(timer_epoch));
+                }
+            }
+        }
+    }
+
+    let breakdown = meter.cores_per_bin();
+    HostReport {
+        name: qdisc.name(),
+        cores_sorted: meter.total_cores_sorted(),
+        median_cores: meter.median_cores(),
+        breakdown,
+        transmitted,
+        achieved_bps: tx_bytes as f64 * 8.0 / (cfg.duration as f64 / 1e9),
+        timer_fires,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carousel::CarouselQdisc;
+    use crate::eiffel::EiffelQdisc;
+    use crate::fq::FqQdisc;
+
+    fn small_cfg() -> HostConfig {
+        HostConfig {
+            flows: 200,
+            aggregate: Rate::mbps(240), // 1.2 Mbps per flow, as in the paper
+            duration: SECOND / 2,
+            bin: SECOND / 10,
+            tsq_budget: 2,
+        }
+    }
+
+    /// All three qdiscs must deliver the configured aggregate rate — the
+    /// paper compares CPU at *equal shaping behaviour*.
+    #[test]
+    fn all_qdiscs_achieve_the_aggregate_rate() {
+        let cfg = small_cfg();
+        let want = cfg.aggregate.as_bps() as f64;
+        for report in [
+            run(EiffelQdisc::new(20_000, 100_000), &cfg),
+            run(CarouselQdisc::new(1 << 20, 2_000), &cfg),
+            run(FqQdisc::new(), &cfg),
+        ] {
+            let rel = (report.achieved_bps - want).abs() / want;
+            assert!(
+                rel < 0.05,
+                "{}: achieved {:.1} Mbps vs {} Mbps configured",
+                report.name,
+                report.achieved_bps / 1e6,
+                want / 1e6
+            );
+        }
+    }
+
+    /// Carousel must fire its timer far more often than Eiffel (periodic
+    /// slots vs exact deadlines) — the mechanism behind Figure 10 (right).
+    #[test]
+    fn carousel_fires_many_more_timers_than_eiffel() {
+        let cfg = small_cfg();
+        let e = run(EiffelQdisc::new(20_000, 100_000), &cfg);
+        let c = run(CarouselQdisc::new(1 << 20, 2_000), &cfg);
+        assert!(
+            c.timer_fires > 5 * e.timer_fires,
+            "carousel {} vs eiffel {} timer fires",
+            c.timer_fires,
+            e.timer_fires
+        );
+    }
+
+    /// The TSQ mechanism must keep the shaper loaded (the worst-case
+    /// backlog the paper wants) yet never deadlock the sources.
+    #[test]
+    fn tsq_does_not_deadlock_sources() {
+        let mut cfg = small_cfg();
+        cfg.tsq_budget = 1;
+        let r = run(EiffelQdisc::new(20_000, 100_000), &cfg);
+        let want = cfg.aggregate.as_bps() as f64;
+        assert!((r.achieved_bps - want).abs() / want < 0.1, "budget-1 still paces");
+    }
+}

@@ -1,0 +1,30 @@
+//! # eiffel-qdisc — the kernel shaping use case (paper §5.1.1)
+//!
+//! Three shaping queuing disciplines under one host model:
+//!
+//! * [`FqQdisc`] — the FQ/pacing baseline (balanced-tree flow table,
+//!   balanced-tree delayed set, flow garbage collection);
+//! * [`CarouselQdisc`] — the Carousel baseline (per-socket timestamps into
+//!   a Timing Wheel, timer fires every slot);
+//! * [`EiffelQdisc`] — per-socket timestamps into a cFFS, timer armed
+//!   exactly at `SoonestDeadline()` (20k buckets / 2 s horizon in the
+//!   paper's configuration).
+//!
+//! [`host::run`] drives any of them with the 20k-flow neper-like workload
+//! and meters real data-structure CPU into virtual-time bins — the
+//! regeneration path for Figures 9 and 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod carousel;
+pub mod eiffel;
+pub mod fq;
+pub mod host;
+pub mod qdisc;
+
+pub use carousel::CarouselQdisc;
+pub use eiffel::EiffelQdisc;
+pub use fq::FqQdisc;
+pub use host::{run, HostConfig, HostReport};
+pub use qdisc::{ShaperQdisc, TimerStyle};

@@ -1,0 +1,56 @@
+//! The queuing-discipline interface of the kernel host model.
+//!
+//! A qdisc in this substrate mirrors the kernel contract the paper targets
+//! (§4, "Kernel Implementation"): an `enqueue` called from the sender's
+//! system-call path, a `dequeue` called from timer (softirq) context, and a
+//! way to decide when the timer should next fire. The three shaping qdiscs
+//! of Figure 9 — FQ/pacing, Carousel, Eiffel — implement this trait; the
+//! host ([`crate::host`]) drives them identically and meters their CPU.
+
+use eiffel_sim::{Nanos, Packet};
+
+/// How a qdisc wants its dequeue timer driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerStyle {
+    /// Arm the timer exactly at the qdisc's reported next deadline (Eiffel,
+    /// FQ): "Eiffel can trigger timers exactly when needed" (§5.1.1).
+    Exact,
+    /// Fire every `period` nanoseconds regardless of occupancy (Carousel's
+    /// timing-wheel slot clock): "a timer fires every time instant
+    /// (according to the granularity of the timing wheel)".
+    Periodic {
+        /// The polling period (= wheel slot width).
+        period: Nanos,
+    },
+}
+
+/// A shaping queuing discipline.
+pub trait ShaperQdisc {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accepts a packet from the stack. `pacing_rate_bps` is the flow's
+    /// `SO_MAX_PACING_RATE` (the paper keeps it in `sock.h`; the host passes
+    /// it down so the qdisc needs no flow table of its own if it can avoid
+    /// one).
+    fn enqueue(&mut self, now: Nanos, pkt: Packet, pacing_rate_bps: u64);
+
+    /// Releases at most one due packet (timer/softirq context). The host
+    /// calls this in a loop until `None`.
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
+
+    /// When the timer should next fire, given nothing else happens.
+    /// `None` = idle (no packets pending).
+    fn next_deadline(&self, now: Nanos) -> Option<Nanos>;
+
+    /// The timer discipline this qdisc requires.
+    fn timer_style(&self) -> TimerStyle;
+
+    /// Packets currently held.
+    fn len(&self) -> usize;
+
+    /// Whether the qdisc holds no packets.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

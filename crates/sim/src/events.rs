@@ -1,0 +1,133 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events fire in `(time, insertion order)` order, so simulations are
+//! reproducible: two events at the same instant fire in the order they were
+//! scheduled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour on BinaryHeap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Min-heap of timestamped events with FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current virtual time — an event in the
+    /// past is always a simulation bug, and failing fast beats silent
+    /// causality violations.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pops the next event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "b");
+        q.schedule(5, "a");
+        q.schedule(10, "c");
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(7, 1);
+        q.pop();
+        q.schedule(7, 2); // same instant as `now`: fine (fires next)
+        assert_eq!(q.pop(), Some((7, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(9, ());
+    }
+}

@@ -1,0 +1,91 @@
+//! A serializing link: one packet on the wire at a time, at a fixed rate.
+
+use crate::time::{Nanos, Rate};
+
+/// Output link with a serialization rate and a busy-until horizon.
+#[derive(Debug, Clone)]
+pub struct Link {
+    rate: Rate,
+    /// The link is serializing a previous packet until this instant.
+    busy_until: Nanos,
+    /// Total bytes ever accepted (for utilization accounting).
+    bytes_sent: u64,
+}
+
+impl Link {
+    /// Creates an idle link of the given rate.
+    pub fn new(rate: Rate) -> Self {
+        Link { rate, busy_until: 0, bytes_sent: 0 }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// When the link next becomes idle.
+    pub fn busy_until(&self) -> Nanos {
+        self.busy_until
+    }
+
+    /// Total bytes accepted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Whether a packet handed over at `now` would start serializing
+    /// immediately.
+    pub fn is_idle_at(&self, now: Nanos) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Accepts a packet at `now`; returns the instant its last bit leaves.
+    ///
+    /// If the link is still busy the packet starts after the current one —
+    /// the caller models any queueing above this point.
+    pub fn transmit(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        let start = self.busy_until.max(now);
+        let tx = self
+            .rate
+            .tx_time(bytes)
+            .expect("links must have a non-zero rate");
+        self.busy_until = start + tx;
+        self.bytes_sent += bytes;
+        self.busy_until
+    }
+
+    /// Achieved throughput in bits per second over `[0, now]`.
+    pub fn throughput_bps(&self, now: Nanos) -> f64 {
+        if now == 0 {
+            return 0.0;
+        }
+        self.bytes_sent as f64 * 8.0 / (now as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SECOND;
+
+    #[test]
+    fn serializes_back_to_back() {
+        let mut l = Link::new(Rate::gbps(10));
+        // 1500B at 10G = 1200 ns each.
+        assert_eq!(l.transmit(0, 1_500), 1_200);
+        assert_eq!(l.transmit(0, 1_500), 2_400); // queued behind the first
+        assert_eq!(l.transmit(10_000, 1_500), 11_200); // idle gap
+        assert!(l.is_idle_at(11_200));
+        assert!(!l.is_idle_at(11_199));
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let mut l = Link::new(Rate::gbps(10));
+        for i in 0..1_000u64 {
+            l.transmit(i * 1_200, 1_500);
+        }
+        let bps = l.throughput_bps(SECOND);
+        assert!((bps - 12_000_000.0).abs() < 1.0, "1000×1500B in 1s = 12 Mbps, got {bps}");
+    }
+}

@@ -1,0 +1,59 @@
+//! The packet representation shared by the scheduling substrates.
+//!
+//! Deliberately small: schedulers only look at flow identity, size, and
+//! rank. Substrates with richer needs (the datacenter simulator's sequence
+//! numbers and ECN bits) define their own frame types and carry a `Packet`
+//! only where they meet a scheduler.
+
+use crate::time::Nanos;
+
+/// Identifies a flow (paper: "unit of scheduling" may be flows or packets).
+pub type FlowId = u32;
+
+/// A packet as seen by a scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique, monotonically assigned by the source.
+    pub id: u64,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Wire size in bytes (including headers).
+    pub bytes: u32,
+    /// Creation (enqueue at the host stack) virtual time.
+    pub created_at: Nanos,
+    /// The scheduler-assigned rank (deadline, slack, virtual time…).
+    /// Written by enqueue transactions; 0 until ranked.
+    pub rank: u64,
+    /// Traffic class set by the packet annotator (Figure 1).
+    pub class: u32,
+}
+
+impl Packet {
+    /// Convenience constructor for a packet awaiting ranking.
+    pub fn new(id: u64, flow: FlowId, bytes: u32, created_at: Nanos) -> Self {
+        Packet { id, flow, bytes, created_at, rank: 0, class: 0 }
+    }
+
+    /// MTU-sized packet (the evaluation's 1500B default).
+    pub fn mtu(id: u64, flow: FlowId, created_at: Nanos) -> Self {
+        Packet::new(id, flow, 1_500, created_at)
+    }
+
+    /// Minimum-sized packet (the evaluation's 60B small-packet case).
+    pub fn min_sized(id: u64, flow: FlowId, created_at: Nanos) -> Self {
+        Packet::new(id, flow, 60, created_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_sizes() {
+        assert_eq!(Packet::mtu(1, 2, 3).bytes, 1_500);
+        assert_eq!(Packet::min_sized(1, 2, 3).bytes, 60);
+        let p = Packet::new(7, 9, 100, 55);
+        assert_eq!((p.id, p.flow, p.bytes, p.created_at, p.rank, p.class), (7, 9, 100, 55, 0, 0));
+    }
+}

@@ -1,0 +1,99 @@
+//! Virtual time and rates.
+//!
+//! All simulation time is `u64` nanoseconds (`Nanos`). Rates convert bytes
+//! to wire time; all integer arithmetic rounds up so simulated links never
+//! run faster than configured.
+
+/// Virtual time in nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// A transmission rate in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Rate(u64);
+
+impl Rate {
+    /// Constructs from bits per second.
+    pub const fn bps(bits_per_second: u64) -> Self {
+        Rate(bits_per_second)
+    }
+
+    /// Constructs from kilobits per second.
+    pub const fn kbps(k: u64) -> Self {
+        Rate(k * 1_000)
+    }
+
+    /// Constructs from megabits per second.
+    pub const fn mbps(m: u64) -> Self {
+        Rate(m * 1_000_000)
+    }
+
+    /// Constructs from gigabits per second.
+    pub const fn gbps(g: u64) -> Self {
+        Rate(g * 1_000_000_000)
+    }
+
+    /// Bits per second.
+    pub fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Time to serialize `bytes` at this rate, rounded up; `None` for a
+    /// zero rate (nothing can ever be sent — callers must handle it).
+    pub fn tx_time(self, bytes: u64) -> Option<Nanos> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bits = bytes * 8;
+        // ns = bits / (bits/s) * 1e9, computed as bits*1e9/rate rounded up.
+        Some((bits.saturating_mul(SECOND)).div_ceil(self.0))
+    }
+
+    /// Bytes fully serializable in `dur` nanoseconds.
+    pub fn bytes_in(self, dur: Nanos) -> u64 {
+        (self.0 as u128 * dur as u128 / (8 * SECOND as u128)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_rounds_up() {
+        // 1500B at 10 Gbps = 1.2 µs exactly.
+        assert_eq!(Rate::gbps(10).tx_time(1_500), Some(1_200));
+        // 1 byte at 3 bps: 8/3 s → rounds up.
+        assert_eq!(Rate::bps(3).tx_time(1), Some(8 * SECOND / 3 + 1));
+        assert_eq!(Rate::bps(0).tx_time(1), None);
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let r = Rate::mbps(100);
+        let t = r.tx_time(12_345).unwrap();
+        let b = r.bytes_in(t);
+        assert!(b >= 12_345 && b <= 12_346, "round trip within a byte, got {b}");
+    }
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Rate::kbps(1_000), Rate::mbps(1));
+        assert_eq!(Rate::mbps(1_000), Rate::gbps(1));
+        assert_eq!(Rate::gbps(24).as_bps(), 24_000_000_000);
+    }
+
+    #[test]
+    fn large_rates_do_not_overflow() {
+        // 100 Gbps, 9000B jumbo: 720 ns.
+        assert_eq!(Rate::gbps(100).tx_time(9_000), Some(720));
+        // A second of traffic at 100 Gbps.
+        assert_eq!(Rate::gbps(100).bytes_in(SECOND), 12_500_000_000);
+    }
+}

@@ -1,0 +1,156 @@
+//! Rate-limited flow sets — the neper-like workload of §5.1.1.
+//!
+//! "We generate traffic from 20k flows and use `SO_MAX_PACING_RATE` to rate
+//! limit individual flows to achieve a maximum aggregate rate of 24 Gbps."
+//! A [`FlowSet`] models exactly that: `n` flows, each continuously backlogged
+//! and paced at `aggregate/n`, emitting MTU packets. TCP Small Queues is
+//! modelled by the qdisc host (a cap on in-qdisc packets per flow), not here.
+
+use eiffel_sim::{FlowId, Nanos, Packet, Rate};
+
+/// One paced flow: continuously backlogged, next packet due at `next_at`.
+#[derive(Debug, Clone)]
+pub struct PacedFlow {
+    /// Flow identity.
+    pub id: FlowId,
+    /// The flow's `SO_MAX_PACING_RATE`.
+    pub rate: Rate,
+    /// Packet size the flow emits.
+    pub bytes: u32,
+    /// Virtual time when the flow's next packet is due to enter the stack.
+    pub next_at: Nanos,
+    /// Packets emitted so far.
+    pub emitted: u64,
+}
+
+impl PacedFlow {
+    /// Inter-packet gap at the configured rate.
+    pub fn gap(&self) -> Nanos {
+        self.rate
+            .tx_time(self.bytes as u64)
+            .expect("paced flows have non-zero rates")
+    }
+
+    /// Emits the packet due at `next_at` and schedules the next one.
+    pub fn emit(&mut self, id_counter: &mut u64) -> Packet {
+        let p = Packet::new(*id_counter, self.id, self.bytes, self.next_at);
+        *id_counter += 1;
+        self.emitted += 1;
+        self.next_at += self.gap();
+        p
+    }
+}
+
+/// A set of identical paced flows sharing an aggregate rate.
+#[derive(Debug, Clone)]
+pub struct FlowSet {
+    flows: Vec<PacedFlow>,
+    next_packet_id: u64,
+}
+
+impl FlowSet {
+    /// Creates `n` flows splitting `aggregate` evenly, all emitting
+    /// `bytes`-sized packets. Start times are staggered across one gap so
+    /// the aggregate is smooth from t = 0.
+    pub fn paced(n: usize, aggregate: Rate, bytes: u32) -> Self {
+        assert!(n > 0);
+        let per_flow = Rate::bps(aggregate.as_bps() / n as u64);
+        assert!(per_flow.as_bps() > 0, "aggregate too small for {n} flows");
+        let gap = per_flow.tx_time(bytes as u64).expect("non-zero rate");
+        let flows = (0..n)
+            .map(|i| PacedFlow {
+                id: i as FlowId,
+                rate: per_flow,
+                bytes,
+                next_at: gap * i as u64 / n as u64,
+                emitted: 0,
+            })
+            .collect();
+        FlowSet { flows, next_packet_id: 0 }
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the set is empty (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Access a flow.
+    pub fn flow(&self, id: FlowId) -> &PacedFlow {
+        &self.flows[id as usize]
+    }
+
+    /// Mutable access to a flow.
+    pub fn flow_mut(&mut self, id: FlowId) -> &mut PacedFlow {
+        &mut self.flows[id as usize]
+    }
+
+    /// Emits the next due packet of flow `id`.
+    pub fn emit(&mut self, id: FlowId) -> Packet {
+        let next_id = &mut self.next_packet_id;
+        self.flows[id as usize].emit(next_id)
+    }
+
+    /// Iterates over flows.
+    pub fn iter(&self) -> impl Iterator<Item = &PacedFlow> {
+        self.flows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eiffel_sim::SECOND;
+
+    #[test]
+    fn aggregate_rate_splits_evenly() {
+        let fs = FlowSet::paced(20_000, Rate::gbps(24), 1_500);
+        assert_eq!(fs.len(), 20_000);
+        let per_flow = fs.flow(0).rate;
+        assert_eq!(per_flow, Rate::bps(1_200_000)); // 1.2 Mbps each
+        // Gap for 1500B at 1.2 Mbps = 10 ms.
+        assert_eq!(fs.flow(0).gap(), 10 * 1_000_000);
+    }
+
+    #[test]
+    fn emission_paces_a_single_flow() {
+        let mut fs = FlowSet::paced(1, Rate::mbps(12), 1_500);
+        // 12 Mbps, 1500B → 1 ms gap.
+        let p0 = fs.emit(0);
+        let p1 = fs.emit(0);
+        let p2 = fs.emit(0);
+        assert_eq!(p0.created_at, 0);
+        assert_eq!(p1.created_at, 1_000_000);
+        assert_eq!(p2.created_at, 2_000_000);
+        assert_eq!((p0.id, p1.id, p2.id), (0, 1, 2));
+        assert_eq!(fs.flow(0).emitted, 3);
+    }
+
+    #[test]
+    fn staggered_starts_cover_the_gap() {
+        let fs = FlowSet::paced(10, Rate::mbps(120), 1_500);
+        // Per-flow 12 Mbps → 1 ms gap; starts spread within [0, 1 ms).
+        let starts: Vec<Nanos> = fs.iter().map(|f| f.next_at).collect();
+        assert!(starts.iter().all(|&s| s < 1_000_000));
+        let distinct: std::collections::BTreeSet<_> = starts.iter().collect();
+        assert!(distinct.len() > 1, "starts must be staggered");
+    }
+
+    #[test]
+    fn emitted_packets_sum_to_aggregate() {
+        let mut fs = FlowSet::paced(100, Rate::mbps(100), 1_500);
+        // Drive every flow for one simulated second.
+        let mut bytes = 0u64;
+        for id in 0..100u32 {
+            while fs.flow(id).next_at < SECOND {
+                bytes += fs.emit(id).bytes as u64;
+            }
+        }
+        let bps = bytes as f64 * 8.0;
+        assert!((bps - 1e8).abs() / 1e8 < 0.02, "aggregate ≈ 100 Mbps, got {bps}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # eiffel-workloads — traffic generators for the Eiffel reproduction
+//!
+//! The paper's evaluation drives its schedulers with: a neper-generated set
+//! of 20k rate-limited TCP flows (§5.1.1), synthetic packet generators with
+//! configurable flow counts and packet sizes (§5.1.2–§5.1.3), and the
+//! DCTCP-paper *web search* flow-size distribution under Poisson arrivals
+//! for the ns-2 study (§5.2, Figure 19). This crate provides all of those as
+//! deterministic, seedable generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod flows;
+pub mod sizes;
+
+pub use arrivals::PoissonArrivals;
+pub use flows::{FlowSet, PacedFlow};
+pub use sizes::{EmpiricalCdf, FlowSizeDist, PACKET_PAYLOAD_BYTES};

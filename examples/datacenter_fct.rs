@@ -1,0 +1,49 @@
+//! Datacenter flow scheduling (paper §5.2, Figure 19) at demo scale:
+//! DCTCP vs pFabric vs pFabric with Eiffel's approximate queue, on a
+//! 32-host leaf-spine fabric under the web-search workload.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_fct
+//! ```
+
+use eiffel_repro::dcsim::{run, SimConfig, System, Topology};
+
+fn main() {
+    let topo = Topology::small();
+    let load = 0.6;
+    let flows = 300;
+    println!(
+        "{} hosts, load {:.0}%, {} web-search flows per system…\n",
+        topo.hosts(),
+        load * 100.0,
+        flows
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "system", "avg small", "p99 small", "avg large", "drops", "timeouts"
+    );
+    for (name, sys) in [
+        ("DCTCP", System::Dctcp),
+        ("pFabric", System::PfabricExact),
+        ("pFabric-Approx", System::PfabricApprox),
+    ] {
+        let r = run(SimConfig::new(topo, sys, load, flows, 0xD17));
+        let f = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>9} {:>9}",
+            name,
+            f(r.summary.avg_small),
+            f(r.summary.p99_small),
+            f(r.summary.avg_large),
+            r.counters.drops,
+            r.counters.timeouts
+        );
+    }
+    println!(
+        "\nNormalized FCT (measured / ideal). pFabric's priority scheduling +\n\
+         priority dropping protect short flows; replacing its exact priority\n\
+         queue with Eiffel's approximate gradient queue barely moves the\n\
+         numbers — \"approximation has minimal effect on overall network\n\
+         behavior\" (paper §5.2)."
+    );
+}

@@ -1,0 +1,52 @@
+//! The kernel shaping shoot-out (paper §5.1.1) at demo scale: FQ/pacing vs
+//! Carousel vs Eiffel, same workload, metered CPU.
+//!
+//! ```sh
+//! cargo run --release --example kernel_shaping
+//! ```
+
+use eiffel_repro::qdisc::{
+    run, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig,
+};
+use eiffel_repro::sim::{Rate, SECOND};
+
+fn main() {
+    let cfg = HostConfig {
+        flows: 2_000,
+        aggregate: Rate::mbps(2_400), // 1.2 Mbps per flow, as in the paper
+        duration: SECOND / 2,
+        bin: SECOND / 20,
+        tsq_budget: 2,
+    };
+    println!(
+        "Shaping {} flows at {} Mbps aggregate for {:.1} virtual seconds…\n",
+        cfg.flows,
+        cfg.aggregate.as_bps() / 1_000_000,
+        cfg.duration as f64 / 1e9
+    );
+    let reports = vec![
+        run(FqQdisc::new(), &cfg),
+        run(CarouselQdisc::new(1 << 20, 2_000), &cfg),
+        run(EiffelQdisc::paper_config(), &cfg),
+    ];
+    println!("{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "qdisc", "median cores", "rate (Mbps)", "packets", "timer fires");
+    for r in &reports {
+        println!(
+            "{:<10} {:>14.4} {:>14.1} {:>12} {:>12}",
+            r.name,
+            r.median_cores,
+            r.achieved_bps / 1e6,
+            r.transmitted,
+            r.timer_fires
+        );
+    }
+    let eiffel = reports.last().expect("three reports");
+    println!(
+        "\nAll three enforce the same rate; Eiffel does it with the least CPU\n\
+         (the paper's Figure 9: 14x less than FQ, 3x less than Carousel at the\n\
+         median on their testbed). Carousel's timer fires every wheel slot —\n\
+         compare its count with Eiffel's {} exact wakeups.",
+        eiffel.timer_fires
+    );
+}

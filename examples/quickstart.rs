@@ -1,0 +1,65 @@
+//! Quickstart: the Eiffel priority queues and the programmable scheduler
+//! in five minutes.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use eiffel_repro::core::{
+    recommend, ApproxGradientQueue, CffsQueue, RankedQueue, Recommendation, UseCase,
+};
+use eiffel_repro::pifo::lang::compile;
+use eiffel_repro::sim::Packet;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The cFFS: a moving-window integer priority queue (paper §3.1.1).
+    //    Ranks here are nanosecond transmission timestamps; buckets are
+    //    100 µs wide, 2 000 buckets per window half.
+    // ------------------------------------------------------------------
+    let mut shaper: CffsQueue<&str> = CffsQueue::new(2_000, 100_000, 0);
+    shaper.enqueue(1_500_000, "video frame").unwrap();
+    shaper.enqueue(200_000, "voice sample").unwrap();
+    shaper.enqueue(1_499_999, "telemetry").unwrap();
+    println!("cFFS dequeue order (by timestamp, FIFO within a bucket):");
+    while let Some((ts, what)) = shaper.dequeue_min() {
+        println!("  t={:>9} ns  {}", ts, what);
+    }
+
+    // ------------------------------------------------------------------
+    // 2. The approximate gradient queue: one division instead of a
+    //    bitmap descent (§3.1.2) — exact while occupancy is dense.
+    // ------------------------------------------------------------------
+    let mut approx: ApproxGradientQueue<u32> = ApproxGradientQueue::new(523, 1);
+    for rank in 0..523u64 {
+        approx.enqueue(rank, rank as u32).unwrap();
+    }
+    let (first, _) = approx.dequeue_min().unwrap();
+    println!("\napprox gradient queue over 523 dense buckets: min = {first} (exact)");
+
+    // ------------------------------------------------------------------
+    // 3. Which queue should your policy use? (Figure 20)
+    // ------------------------------------------------------------------
+    let policy = UseCase {
+        moving_range: true,
+        priority_levels: 20_000,
+        uniform_occupancy: false,
+    };
+    assert_eq!(recommend(&policy), Recommendation::Cffs);
+    println!("\nFigure 20 guide: rate limiting over 20k levels → {:?}", recommend(&policy));
+
+    // ------------------------------------------------------------------
+    // 4. The programming model: compile a policy, schedule packets.
+    //    LQF (Figure 6) needs per-flow + on-dequeue ranking — the part
+    //    of Eiffel plain PIFO cannot express.
+    // ------------------------------------------------------------------
+    let mut tree = compile("node root kind=flow:lqf").unwrap();
+    let root = tree.node_by_name("root").unwrap();
+    for (id, flow) in [(0u64, 1u32), (1, 1), (2, 1), (3, 2)] {
+        tree.enqueue(0, root, Packet::mtu(id, flow, 0)).unwrap();
+    }
+    println!("\nLongest-Queue-First over two flows (flow 1 is 3-deep):");
+    while let Some(p) = tree.dequeue(0) {
+        println!("  served flow {}", p.flow);
+    }
+}

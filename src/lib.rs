@@ -1,0 +1,29 @@
+//! # eiffel-repro — Eiffel: Efficient and Flexible Software Packet Scheduling
+//!
+//! A Rust reproduction of the NSDI 2019 paper (Saeed, Zhao, Dukkipati,
+//! Ammar, Zegura, Harras, Vahdat). This facade crate re-exports the
+//! workspace members and hosts the runnable examples and cross-crate
+//! integration tests.
+//!
+//! * [`core`] — the integer bucketed priority queues (§3.1): cFFS, exact
+//!   and approximate gradient queues, baselines, the Figure 20 guide;
+//! * [`pifo`] — the programmable scheduler model (§3.2): PIFO trees plus
+//!   Eiffel's per-flow ranking, on-dequeue ranking, unified shaper;
+//! * [`sim`] — virtual-time event simulation and CPU metering;
+//! * [`workloads`] — flow-size distributions and arrival processes;
+//! * [`qdisc`] — the kernel shaping use case (Figures 9–10);
+//! * [`bess`] — the busy-polling switch use cases (Figures 12, 13, 15);
+//! * [`dcsim`] — the leaf-spine datacenter simulation (Figure 19).
+//!
+//! Start with `examples/quickstart.rs`, then DESIGN.md for the system
+//! inventory and EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use eiffel_bess as bess;
+pub use eiffel_core as core;
+pub use eiffel_dcsim as dcsim;
+pub use eiffel_pifo as pifo;
+pub use eiffel_qdisc as qdisc;
+pub use eiffel_sim as sim;
+pub use eiffel_workloads as workloads;

@@ -1,0 +1,98 @@
+//! Integration smoke of every experiment harness at miniature scale: the
+//! exact code paths behind the figure binaries must run end to end and
+//! produce correctly-ordered results.
+
+use std::time::Duration;
+
+use eiffel_bench::microbench::{
+    approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket,
+    QueueUnderTest,
+};
+use eiffel_bench::runners;
+use eiffel_repro::dcsim::{System, Topology};
+
+/// Figure 9/10 path: quick kernel-shaping run with the headline ordering.
+#[test]
+fn fig09_fig10_quick() {
+    let reports = runners::kernel_shaping(&runners::KernelShapingScale::quick());
+    let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
+    assert!(eiffel.median_cores < fq.median_cores, "Eiffel must beat FQ");
+    assert!(eiffel.median_cores < carousel.median_cores, "Eiffel must beat Carousel");
+    // Fig 10 mechanism: Carousel's softirq share dominates Eiffel's.
+    let softirq = |r: &eiffel_repro::qdisc::HostReport| {
+        r.breakdown.iter().map(|&(_, i)| i).sum::<f64>() / r.breakdown.len() as f64
+    };
+    assert!(softirq(carousel) > softirq(eiffel), "Carousel pays more softirq");
+}
+
+/// Figure 12 path: every scheduler produces a rate; Eiffel ≥ heap at the
+/// largest quick flow count.
+#[test]
+fn fig12_quick() {
+    let dur = Duration::from_millis(80);
+    for flows in [16usize, 512] {
+        let e = runners::hclock_max_rate("eiffel", flows, 10_000, 1_500, 1, dur);
+        let h = runners::hclock_max_rate("hclock", flows, 10_000, 1_500, 1, dur);
+        let t = runners::hclock_max_rate("tc", flows, 10_000, 1_500, 1, dur);
+        for (name, v) in [("eiffel", e), ("hclock", h), ("tc", t)] {
+            assert!(v > 1.0, "{name}@{flows}: {v} Mbps");
+        }
+    }
+}
+
+/// Figure 15 path: Eiffel's pFabric beats the heap baseline at scale.
+#[test]
+fn fig15_quick() {
+    let e = runners::pfabric_max_rate(true, 2_000, Duration::from_millis(100));
+    let h = runners::pfabric_max_rate(false, 2_000, Duration::from_millis(100));
+    assert!(e > h, "eiffel {e:.0} Mbps vs heap {h:.0} Mbps");
+}
+
+/// Figure 16/17 paths: positive rates; BH never the fastest at 1 pkt/bucket.
+#[test]
+fn fig16_fig17_quick() {
+    let budget = Duration::from_millis(40);
+    let bh = drain_rate_packets_per_bucket(QueueUnderTest::BucketHeap, 2_000, 1, budget);
+    let cf = drain_rate_packets_per_bucket(QueueUnderTest::Cffs, 2_000, 1, budget);
+    assert!(bh > 0.0 && cf > 0.0);
+    assert!(cf > bh, "cFFS ({cf:.1} Mpps) must beat BH ({bh:.1} Mpps)");
+    let occ = drain_rate_occupancy(QueueUnderTest::Approx, 2_000, 0.9, budget);
+    assert!(occ > 0.0);
+}
+
+/// Figure 18 path: error rises as occupancy falls.
+#[test]
+fn fig18_quick() {
+    let lo = approx_error_at_occupancy(2_000, 0.7, 6, 1);
+    let hi = approx_error_at_occupancy(2_000, 0.99, 6, 1);
+    assert!(
+        lo > hi,
+        "error at 0.7 occupancy ({lo:.2}) must exceed error at 0.99 ({hi:.2})"
+    );
+}
+
+/// Figure 19 path: one load point, all three systems, orderings hold.
+#[test]
+fn fig19_quick() {
+    let loads = [0.5];
+    let flows = 150;
+    let d = runners::pfabric_fct_sweep(System::Dctcp, Topology::small(), &loads, flows, 9);
+    let p = runners::pfabric_fct_sweep(System::PfabricExact, Topology::small(), &loads, flows, 9);
+    let a =
+        runners::pfabric_fct_sweep(System::PfabricApprox, Topology::small(), &loads, flows, 9);
+    let (ds, ps, as_) = (d[0].1, p[0].1, a[0].1);
+    assert!(ps < ds, "pFabric small-flow NFCT {ps:.2} must beat DCTCP {ds:.2}");
+    assert!(
+        (as_ - ps).abs() / ps < 0.5,
+        "approx ({as_:.2}) tracks exact ({ps:.2})"
+    );
+}
+
+/// Table 1 rows exist and include every compared system.
+#[test]
+fn table1_contents() {
+    let rows = runners::table1_rows();
+    for sys in ["FQ/pacing qdisc", "hClock", "Carousel", "OpenQueue", "PIFO", "Eiffel"] {
+        assert!(rows.iter().any(|r| r[0] == sys), "missing {sys}");
+    }
+}
