@@ -4,8 +4,8 @@
 //! claim of §1.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use eiffel_bess::{FlowSpec, HClockEiffel, HClockHeap, PfabricEiffel, PfabricHeap};
 use eiffel_pifo::{Shaper, TokenStamper};
@@ -126,5 +126,10 @@ fn pfabric_per_packet(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, shaper_stamp_and_release, hclock_per_packet, pfabric_per_packet);
+criterion_group!(
+    benches,
+    shaper_stamp_and_release,
+    hclock_per_packet,
+    pfabric_per_packet
+);
 criterion_main!(benches);

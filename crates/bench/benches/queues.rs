@@ -7,8 +7,8 @@
 //! pre-loaded to a fixed occupancy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use eiffel_core::{
     ApproxGradientQueue, BucketHeapQueue, CffsQueue, HeapPq, HierFfsQueue, RankedQueue, TreePq,
@@ -17,6 +17,8 @@ use eiffel_sim::SplitMix64;
 
 const NB: usize = 10_000;
 const PRELOAD: usize = 20_000;
+
+type QueueFactory = Box<dyn Fn() -> Box<dyn RankedQueue<u64>>>;
 
 fn preload(q: &mut dyn RankedQueue<u64>, rng: &mut SplitMix64) {
     for _ in 0..PRELOAD {
@@ -30,11 +32,17 @@ fn churn(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     group.sample_size(30);
-    let contenders: Vec<(&str, Box<dyn Fn() -> Box<dyn RankedQueue<u64>>>)> = vec![
+    let contenders: Vec<(&str, QueueFactory)> = vec![
         ("cffs", Box::new(|| Box::new(CffsQueue::new(NB, 1, 0)))),
         ("hffs", Box::new(|| Box::new(HierFfsQueue::new(NB, 1)))),
-        ("approx", Box::new(|| Box::new(ApproxGradientQueue::new(NB, 1)))),
-        ("bucket_heap", Box::new(|| Box::new(BucketHeapQueue::new(NB, 1)))),
+        (
+            "approx",
+            Box::new(|| Box::new(ApproxGradientQueue::new(NB, 1))),
+        ),
+        (
+            "bucket_heap",
+            Box::new(|| Box::new(BucketHeapQueue::new(NB, 1))),
+        ),
         ("binary_heap", Box::new(|| Box::new(HeapPq::new()))),
         ("btree", Box::new(|| Box::new(TreePq::new()))),
     ];
@@ -59,10 +67,16 @@ fn peek(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
     group.sample_size(30);
-    let contenders: Vec<(&str, Box<dyn Fn() -> Box<dyn RankedQueue<u64>>>)> = vec![
+    let contenders: Vec<(&str, QueueFactory)> = vec![
         ("cffs", Box::new(|| Box::new(CffsQueue::new(NB, 1, 0)))),
-        ("approx", Box::new(|| Box::new(ApproxGradientQueue::new(NB, 1)))),
-        ("bucket_heap", Box::new(|| Box::new(BucketHeapQueue::new(NB, 1)))),
+        (
+            "approx",
+            Box::new(|| Box::new(ApproxGradientQueue::new(NB, 1))),
+        ),
+        (
+            "bucket_heap",
+            Box::new(|| Box::new(BucketHeapQueue::new(NB, 1))),
+        ),
         ("btree", Box::new(|| Box::new(TreePq::new()))),
     ];
     for (name, make) in contenders {

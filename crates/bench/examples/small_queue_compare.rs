@@ -5,7 +5,11 @@ use std::time::Duration;
 
 fn main() {
     for nb in [523usize, 768] {
-        for kind in [QueueUnderTest::Approx, QueueUnderTest::Cffs, QueueUnderTest::BucketHeap] {
+        for kind in [
+            QueueUnderTest::Approx,
+            QueueUnderTest::Cffs,
+            QueueUnderTest::BucketHeap,
+        ] {
             let r = drain_rate_packets_per_bucket(kind, nb, 1, Duration::from_millis(300));
             println!("nb={nb} {:>7}: {r:.2} Mpps", kind.name());
         }

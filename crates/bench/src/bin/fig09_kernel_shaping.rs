@@ -25,8 +25,10 @@ fn main() {
     let reports = runners::kernel_shaping(&scale);
     // CDF series per system.
     for r in &reports {
-        println!("\n[{}] median = {:.3} cores, transmitted = {} pkts, timer fires = {}",
-            r.name, r.median_cores, r.transmitted, r.timer_fires);
+        println!(
+            "\n[{}] median = {:.3} cores, transmitted = {} pkts, timer fires = {}",
+            r.name, r.median_cores, r.transmitted, r.timer_fires
+        );
         let rows: Vec<Vec<String>> = report::cdf(&r.cores_sorted, 10)
             .into_iter()
             .map(|(cores, frac)| vec![format!("{cores:.4}"), format!("{frac:.2}")])
@@ -34,9 +36,7 @@ fn main() {
         report::table(&["cores", "CDF"], &rows);
     }
     let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
-    println!(
-        "\nPaper: Eiffel outperforms FQ by a median 14x and Carousel by 3x."
-    );
+    println!("\nPaper: Eiffel outperforms FQ by a median 14x and Carousel by 3x.");
     println!(
         "Measured: FQ/Eiffel = {:.1}x, Carousel/Eiffel = {:.1}x",
         fq.median_cores / eiffel.median_cores.max(1e-9),

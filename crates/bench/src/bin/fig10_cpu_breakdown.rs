@@ -25,9 +25,7 @@ fn main() {
         let rows: Vec<Vec<String>> = report::cdf(&sys, 10)
             .into_iter()
             .zip(report::cdf(&irq, 10))
-            .map(|((s, f), (i, _))| {
-                vec![format!("{f:.2}"), format!("{s:.4}"), format!("{i:.4}")]
-            })
+            .map(|((s, f), (i, _))| vec![format!("{f:.2}"), format!("{s:.4}"), format!("{i:.4}")])
             .collect();
         report::table(&["CDF", "system cores", "softirq cores"], &rows);
     }

@@ -11,12 +11,16 @@ use eiffel_bench::{quick_mode, report, runners};
 
 fn main() {
     let quick = quick_mode();
-    let flows: &[usize] =
-        if quick { &[10, 100, 1_000] } else { &[10, 100, 1_000, 10_000, 50_000, 100_000] };
+    let flows: &[usize] = if quick {
+        &[10, 100, 1_000]
+    } else {
+        &[10, 100, 1_000, 10_000, 50_000, 100_000]
+    };
     let dur = Duration::from_millis(if quick { 100 } else { 1_000 });
-    for (title, agg_mbps) in
-        [("10 Gbps line rate", 10_000u64), ("5 Gbps aggregate rate limit", 5_000)]
-    {
+    for (title, agg_mbps) in [
+        ("10 Gbps line rate", 10_000u64),
+        ("5 Gbps aggregate rate limit", 5_000),
+    ] {
         report::banner(
             &format!("FIGURE 12 — max aggregate rate vs #flows ({title})"),
             "series: Eiffel-hClock, hClock (min-heap), BESS tc — Mbps on one core",
@@ -33,7 +37,10 @@ fn main() {
                 format!("{t:.0}"),
             ]);
         }
-        report::table(&["flows", "Eiffel (Mbps)", "hClock (Mbps)", "BESS tc (Mbps)"], &rows);
+        report::table(
+            &["flows", "Eiffel (Mbps)", "hClock (Mbps)", "BESS tc (Mbps)"],
+            &rows,
+        );
         println!();
     }
     println!(

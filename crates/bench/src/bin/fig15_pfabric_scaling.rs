@@ -26,6 +26,13 @@ fn main() {
         let h = runners::pfabric_max_rate(false, n, dur);
         rows.push(vec![n.to_string(), format!("{e:.0}"), format!("{h:.0}")]);
     }
-    report::table(&["flows", "pFabric-Eiffel (Mbps)", "pFabric-BinaryHeap (Mbps)"], &rows);
+    report::table(
+        &[
+            "flows",
+            "pFabric-Eiffel (Mbps)",
+            "pFabric-BinaryHeap (Mbps)",
+        ],
+        &rows,
+    );
     println!("\nPaper: Eiffel sustains line rate at 5x the number of flows.");
 }

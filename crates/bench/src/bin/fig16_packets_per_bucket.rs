@@ -6,9 +6,7 @@
 
 use std::time::Duration;
 
-use eiffel_bench::microbench::{
-    drain_rate_packets_per_bucket, QueueUnderTest,
-};
+use eiffel_bench::microbench::{drain_rate_packets_per_bucket, QueueUnderTest};
 use eiffel_bench::{quick_mode, report};
 
 fn main() {
@@ -21,14 +19,20 @@ fn main() {
         let mut rows = Vec::new();
         for ppb in [1usize, 2, 4, 6, 8] {
             let mut row = vec![ppb.to_string()];
-            for kind in [QueueUnderTest::Approx, QueueUnderTest::Cffs, QueueUnderTest::BucketHeap]
-            {
+            for kind in [
+                QueueUnderTest::Approx,
+                QueueUnderTest::Cffs,
+                QueueUnderTest::BucketHeap,
+            ] {
                 let mpps = drain_rate_packets_per_bucket(kind, nb, ppb, budget);
                 row.push(format!("{mpps:.2}"));
             }
             rows.push(row);
         }
-        report::table(&["pkts/bucket", "Approx (Mpps)", "cFFS (Mpps)", "BH (Mpps)"], &rows);
+        report::table(
+            &["pkts/bucket", "Approx (Mpps)", "cFFS (Mpps)", "BH (Mpps)"],
+            &rows,
+        );
         println!();
     }
     println!(

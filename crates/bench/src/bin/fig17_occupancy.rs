@@ -19,14 +19,20 @@ fn main() {
         let mut rows = Vec::new();
         for occ in [0.7, 0.8, 0.9, 0.99] {
             let mut row = vec![format!("{occ:.2}")];
-            for kind in [QueueUnderTest::BucketHeap, QueueUnderTest::Approx, QueueUnderTest::Cffs]
-            {
+            for kind in [
+                QueueUnderTest::BucketHeap,
+                QueueUnderTest::Approx,
+                QueueUnderTest::Cffs,
+            ] {
                 let mpps = drain_rate_occupancy(kind, nb, occ, budget);
                 row.push(format!("{mpps:.2}"));
             }
             rows.push(row);
         }
-        report::table(&["occupancy", "BH (Mpps)", "Approx (Mpps)", "cFFS (Mpps)"], &rows);
+        report::table(
+            &["occupancy", "BH (Mpps)", "Approx (Mpps)", "cFFS (Mpps)"],
+            &rows,
+        );
         println!();
     }
     println!(

@@ -17,9 +17,16 @@ fn main() {
     for occ in [0.7, 0.8, 0.9, 0.99] {
         let e5 = approx_error_at_occupancy(5_000, occ, rounds, 0xF18);
         let e10 = approx_error_at_occupancy(10_000, occ, rounds, 0xF18);
-        rows.push(vec![format!("{occ:.2}"), format!("{e5:.2}"), format!("{e10:.2}")]);
+        rows.push(vec![
+            format!("{occ:.2}"),
+            format!("{e5:.2}"),
+            format!("{e10:.2}"),
+        ]);
     }
-    report::table(&["occupancy", "5k buckets (avg err)", "10k buckets (avg err)"], &rows);
+    report::table(
+        &["occupancy", "5k buckets (avg err)", "10k buckets (avg err)"],
+        &rows,
+    );
     println!(
         "\nPaper: error grows as buckets empty (≈12 at 0.7 occupancy down to ≈2 near \
          full for 10k buckets); \"cases where the queue is more than 30% empty should \

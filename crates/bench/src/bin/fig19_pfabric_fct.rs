@@ -11,7 +11,11 @@ use eiffel_dcsim::{System, Topology};
 fn main() {
     let quick = quick_mode();
     let paper_topo = std::env::args().any(|a| a == "--paper");
-    let topo = if paper_topo { Topology::paper() } else { Topology::small() };
+    let topo = if paper_topo {
+        Topology::paper()
+    } else {
+        Topology::small()
+    };
     let loads: Vec<f64> = if quick {
         vec![0.2, 0.4, 0.6]
     } else {
@@ -51,7 +55,11 @@ fn main() {
                     2 => sweep[li].2,
                     _ => sweep[li].3,
                 };
-                row.push(if v.is_nan() { "-".into() } else { format!("{v:.2}") });
+                row.push(if v.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{v:.2}")
+                });
             }
             rows.push(row);
         }

@@ -11,26 +11,38 @@ fn main() {
         "recommend() from eiffel-core::guide on the paper's canonical policies",
     );
     let cases = [
-        ("802.1Q strict priority (8 levels)", UseCase {
-            moving_range: false,
-            priority_levels: 8,
-            uniform_occupancy: false,
-        }),
-        ("pFabric remaining-size ranks (fixed range)", UseCase {
-            moving_range: false,
-            priority_levels: 100_000,
-            uniform_occupancy: false,
-        }),
-        ("Carousel-style rate limiting (moving range, skewed)", UseCase {
-            moving_range: true,
-            priority_levels: 20_000,
-            uniform_occupancy: false,
-        }),
-        ("LSTF / hClock (moving range, highly occupied)", UseCase {
-            moving_range: true,
-            priority_levels: 10_000,
-            uniform_occupancy: true,
-        }),
+        (
+            "802.1Q strict priority (8 levels)",
+            UseCase {
+                moving_range: false,
+                priority_levels: 8,
+                uniform_occupancy: false,
+            },
+        ),
+        (
+            "pFabric remaining-size ranks (fixed range)",
+            UseCase {
+                moving_range: false,
+                priority_levels: 100_000,
+                uniform_occupancy: false,
+            },
+        ),
+        (
+            "Carousel-style rate limiting (moving range, skewed)",
+            UseCase {
+                moving_range: true,
+                priority_levels: 20_000,
+                uniform_occupancy: false,
+            },
+        ),
+        (
+            "LSTF / hClock (moving range, highly occupied)",
+            UseCase {
+                moving_range: true,
+                priority_levels: 10_000,
+                uniform_occupancy: true,
+            },
+        ),
     ];
     let rows: Vec<Vec<String>> = cases
         .iter()

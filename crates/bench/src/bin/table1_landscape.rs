@@ -10,7 +10,16 @@ fn main() {
         "Flexibility columns: unit of scheduling, work conserving, shaping, programmable",
     );
     report::table(
-        &["System", "Efficiency", "HW/SW", "Unit", "WorkCons", "Shaping", "Prog", "Notes"],
+        &[
+            "System",
+            "Efficiency",
+            "HW/SW",
+            "Unit",
+            "WorkCons",
+            "Shaping",
+            "Prog",
+            "Notes",
+        ],
         &runners::table1_rows(),
     );
 }

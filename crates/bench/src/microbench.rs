@@ -159,7 +159,11 @@ mod tests {
 
     #[test]
     fn all_queues_report_positive_rates() {
-        for kind in [QueueUnderTest::BucketHeap, QueueUnderTest::Cffs, QueueUnderTest::Approx] {
+        for kind in [
+            QueueUnderTest::BucketHeap,
+            QueueUnderTest::Cffs,
+            QueueUnderTest::Approx,
+        ] {
             let r = drain_rate_packets_per_bucket(kind, 512, 2, Duration::from_millis(30));
             assert!(r > 0.1, "{kind:?} rate {r} Mpps");
             let r = drain_rate_occupancy(kind, 512, 0.9, Duration::from_millis(30));

@@ -30,7 +30,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) {
     };
     let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&hdr));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -163,26 +163,80 @@ pub fn pfabric_fct_sweep(
 
 /// Table 1 rows, tied to the implementations in this workspace.
 pub fn table1_rows() -> Vec<Vec<String>> {
-    let row = |sys: &str, eff: &str, hw: &str, unit: &str, wc: &str, shaping: &str,
-               prog: &str, notes: &str| {
+    let row = |sys: &str,
+               eff: &str,
+               hw: &str,
+               unit: &str,
+               wc: &str,
+               shaping: &str,
+               prog: &str,
+               notes: &str| {
         vec![sys, eff, hw, unit, wc, shaping, prog, notes]
             .into_iter()
             .map(String::from)
             .collect()
     };
     vec![
-        row("FQ/pacing qdisc", "O(log n)", "SW", "Flows", "No", "Yes", "No",
-            "only non-work-conserving FQ (crate eiffel-qdisc::fq)"),
-        row("hClock", "O(log n)", "SW", "Flows", "Yes", "Yes", "No",
-            "heap-based QoS (crate eiffel-bess::hclock::HClockHeap)"),
-        row("Carousel", "O(1)", "SW", "Packets", "No", "Yes", "No",
-            "timing wheel (crate eiffel-qdisc::carousel)"),
-        row("OpenQueue", "O(log n)", "SW", "Pkts+Flows", "Yes", "No", "enq/deq",
-            "not rebuilt: no artifact; characteristics from the paper"),
-        row("PIFO", "O(1)", "HW", "Packets", "Yes", "Yes", "enq",
-            "model reimplemented in SW (crate eiffel-pifo::tree)"),
-        row("Eiffel", "O(1)", "SW", "Pkts+Flows", "Yes", "Yes", "enq/deq",
-            "this repository (eiffel-core + eiffel-pifo)"),
+        row(
+            "FQ/pacing qdisc",
+            "O(log n)",
+            "SW",
+            "Flows",
+            "No",
+            "Yes",
+            "No",
+            "only non-work-conserving FQ (crate eiffel-qdisc::fq)",
+        ),
+        row(
+            "hClock",
+            "O(log n)",
+            "SW",
+            "Flows",
+            "Yes",
+            "Yes",
+            "No",
+            "heap-based QoS (crate eiffel-bess::hclock::HClockHeap)",
+        ),
+        row(
+            "Carousel",
+            "O(1)",
+            "SW",
+            "Packets",
+            "No",
+            "Yes",
+            "No",
+            "timing wheel (crate eiffel-qdisc::carousel)",
+        ),
+        row(
+            "OpenQueue",
+            "O(log n)",
+            "SW",
+            "Pkts+Flows",
+            "Yes",
+            "No",
+            "enq/deq",
+            "not rebuilt: no artifact; characteristics from the paper",
+        ),
+        row(
+            "PIFO",
+            "O(1)",
+            "HW",
+            "Packets",
+            "Yes",
+            "Yes",
+            "enq",
+            "model reimplemented in SW (crate eiffel-pifo::tree)",
+        ),
+        row(
+            "Eiffel",
+            "O(1)",
+            "SW",
+            "Pkts+Flows",
+            "Yes",
+            "Yes",
+            "enq/deq",
+            "this repository (eiffel-core + eiffel-pifo)",
+        ),
     ]
 }
 
@@ -194,8 +248,7 @@ mod tests {
     fn kernel_shaping_quick_orders_fq_worst() {
         let reports = kernel_shaping(&KernelShapingScale::quick());
         assert_eq!(reports.len(), 3);
-        let (fq, carousel, eiffel) =
-            (&reports[0], &reports[1], &reports[2]);
+        let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
         assert_eq!(fq.name, "fq");
         assert_eq!(carousel.name, "carousel");
         assert_eq!(eiffel.name, "eiffel");

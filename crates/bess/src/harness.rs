@@ -26,6 +26,10 @@ pub trait BessScheduler {
     fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
     /// Queued packets.
     fn len(&self) -> usize;
+    /// Whether no packets are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl BessScheduler for crate::hclock::HClockHeap {
@@ -188,7 +192,13 @@ mod tests {
         let specs = flat_specs(16, 160);
         let mut s = HClockEiffel::new(&specs);
         let mut gen = RoundRobinGen::new(16, 1_500);
-        let r = measure_rate(&mut s, &mut gen, &mut |_| {}, 64, Duration::from_millis(200));
+        let r = measure_rate(
+            &mut s,
+            &mut gen,
+            &mut |_| {},
+            64,
+            Duration::from_millis(200),
+        );
         assert!(
             r.mbps > 100.0 && r.mbps < 200.0,
             "rate {:.1} Mbps should hug the 160 Mbps limit",
@@ -210,7 +220,17 @@ mod tests {
             p.rank = *rem;
             *rem -= 1;
         };
-        let r = measure_rate(&mut s, &mut gen, &mut stamper, 256, Duration::from_millis(100));
-        assert!(r.pps > 100_000.0, "an FFS scheduler must push >100kpps, got {}", r.pps);
+        let r = measure_rate(
+            &mut s,
+            &mut gen,
+            &mut stamper,
+            256,
+            Duration::from_millis(100),
+        );
+        assert!(
+            r.pps > 100_000.0,
+            "an FFS scheduler must push >100kpps, got {}",
+            r.pps
+        );
     }
 }

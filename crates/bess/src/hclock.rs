@@ -52,7 +52,13 @@ struct FlowState {
 
 impl FlowState {
     fn new(spec: FlowSpec) -> Self {
-        FlowState { spec, fifo: VecDeque::new(), r_rank: 0, l_rank: 0, s_rank: 0 }
+        FlowState {
+            spec,
+            fifo: VecDeque::new(),
+            r_rank: 0,
+            l_rank: 0,
+            s_rank: 0,
+        }
     }
 
     /// Advances the three clocks after serving `bytes` at `now` — the
@@ -61,7 +67,11 @@ impl FlowState {
     /// `f.l_rank += p.size / f.limit` (ns),
     /// `f.s_rank += p.size / f.share` (virtual bytes).
     fn charge(&mut self, now: Nanos, bytes: u64) {
-        let r_cost = self.spec.reservation.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+        let r_cost = self
+            .spec
+            .reservation
+            .tx_time(bytes)
+            .unwrap_or(Nanos::MAX / 4);
         let l_cost = self.spec.limit.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
         self.r_rank = self.r_rank.max(now) + r_cost;
         self.l_rank = self.l_rank.max(now) + l_cost;
@@ -425,7 +435,11 @@ mod tests {
     #[test]
     fn reservations_trump_shares() {
         let mut sp = specs(2, 1, 1_000, 100);
-        sp[1] = FlowSpec { reservation: Rate::mbps(60), limit: Rate::mbps(1_000), share: 1 };
+        sp[1] = FlowSpec {
+            reservation: Rate::mbps(60),
+            limit: Rate::mbps(1_000),
+            share: 1,
+        };
         let mut eiff = HClockEiffel::new(&sp);
         for i in 0..200 {
             eiff.enqueue(0, mtu(i, 0));

@@ -84,7 +84,11 @@ struct FlowSlot {
 impl PfabricHeap {
     /// Creates the baseline scheduler.
     pub fn new() -> Self {
-        PfabricHeap { heap: Vec::new(), flows: Vec::new(), len: 0 }
+        PfabricHeap {
+            heap: Vec::new(),
+            flows: Vec::new(),
+            len: 0,
+        }
     }
 
     fn flow_mut(&mut self, id: u32) -> &mut FlowSlot {
@@ -213,8 +217,12 @@ mod tests {
                 h.enqueue(0, pkt(flow as u64 * 100 + k, flow, size));
             }
         }
-        let eo: Vec<u32> = std::iter::from_fn(|| e.dequeue(0)).map(|p| p.flow).collect();
-        let ho: Vec<u32> = std::iter::from_fn(|| h.dequeue(0)).map(|p| p.flow).collect();
+        let eo: Vec<u32> = std::iter::from_fn(|| e.dequeue(0))
+            .map(|p| p.flow)
+            .collect();
+        let ho: Vec<u32> = std::iter::from_fn(|| h.dequeue(0))
+            .map(|p| p.flow)
+            .collect();
         // Shortest-remaining flow 1 first, then 2, then 0 — entirely.
         assert_eq!(eo, vec![1, 2, 2, 0, 0, 0]);
         assert_eq!(ho, eo);

@@ -54,7 +54,13 @@ impl ApproxParams {
         let i0 = (alpha as f64 * (1.0 / eps).log2() - 1.0).ceil() as u32;
         // |u(α)| = 1/(r − 1); refined by calibration in `with_capacity`.
         let shift = 1.0 / (r - 1.0);
-        ApproxParams { alpha, i0, shift, r, eps }
+        ApproxParams {
+            alpha,
+            i0,
+            shift,
+            r,
+            eps,
+        }
     }
 
     /// The paper's configuration: α = 16 with its decay threshold, giving
@@ -136,8 +142,9 @@ impl<T> ApproxGradientQueue<T> {
             ApproxParams::max_buckets(alpha)
         );
         let mut params = ApproxParams::derive(alpha, 1e-4);
-        let weights: Vec<f64> =
-            (0..nb).map(|k| params.r.powi((params.i0 + k as u32) as i32)).collect();
+        let weights: Vec<f64> = (0..nb)
+            .map(|k| params.r.powi((params.i0 + k as u32) as i32))
+            .collect();
         // Calibrate the shift at full occupancy so a dense queue is exact:
         // shift = Imax − b/a when every bucket is occupied.
         let (mut a, mut bsum) = (0.0f64, 0.0f64);
@@ -260,7 +267,7 @@ impl<T> ApproxGradientQueue<T> {
         if self.nonempty == 0 {
             return None;
         }
-        if !(self.a > 0.0) {
+        if self.a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             // Cancellation drove the accumulator non-positive: the caller
             // rebuilds; meanwhile fall back to scanning from the top.
             let k = (0..self.nb).rev().find(|&k| self.counts[k] > 0)?;
@@ -343,7 +350,11 @@ impl<T> RankedQueue<T> for ApproxGradientQueue<T> {
                 self.occupy(k);
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 
@@ -463,7 +474,11 @@ mod tests {
                 let (r, _) = q.dequeue_min().unwrap();
                 assert_eq!(r, want, "nb={nb}");
             }
-            assert_eq!(q.stats().error_sum, 0, "dense queue must be exact (nb={nb})");
+            assert_eq!(
+                q.stats().error_sum,
+                0,
+                "dense queue must be exact (nb={nb})"
+            );
         }
     }
 
@@ -546,7 +561,10 @@ mod tests {
         }
         assert_eq!(q.len(), 4_000, "churn conserves elements");
         let avg = q.stats().avg_error();
-        assert!(avg > 0.0, "this adversarial pattern should show *some* error");
+        assert!(
+            avg > 0.0,
+            "this adversarial pattern should show *some* error"
+        );
         assert!(avg < 64.0, "error must stay bounded, got {avg}");
     }
 
@@ -555,8 +573,14 @@ mod tests {
         let mut q: ApproxGradientQueue<()> = ApproxGradientQueue::with_base(100, 10, 50, 16);
         assert!(q.enqueue(50, ()).is_ok());
         assert!(q.enqueue(1_049, ()).is_ok());
-        assert_eq!(q.enqueue(1_050, ()).unwrap_err().kind, EnqueueErrorKind::OutOfRange);
-        assert_eq!(q.enqueue(49, ()).unwrap_err().kind, EnqueueErrorKind::OutOfRange);
+        assert_eq!(
+            q.enqueue(1_050, ()).unwrap_err().kind,
+            EnqueueErrorKind::OutOfRange
+        );
+        assert_eq!(
+            q.enqueue(49, ()).unwrap_err().kind,
+            EnqueueErrorKind::OutOfRange
+        );
     }
 
     #[test]
@@ -590,6 +614,10 @@ mod tests {
                 q.dequeue_min().unwrap();
             }
         }
-        assert_eq!(q.stats().error_sum, 0, "dense queue stayed exact under churn");
+        assert_eq!(
+            q.stats().error_sum,
+            0,
+            "dense queue stayed exact under churn"
+        );
     }
 }

@@ -82,7 +82,11 @@ impl<T> RankedQueue<T> for BucketHeapQueue<T> {
                 self.buckets.push(b, rank, item);
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 

@@ -57,7 +57,10 @@ pub struct HeapPq<T> {
 impl<T> HeapPq<T> {
     /// Creates an empty heap queue.
     pub fn new() -> Self {
-        HeapPq { heap: BinaryHeap::new(), seq: 0 }
+        HeapPq {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 
@@ -99,7 +102,10 @@ pub struct TreePq<T> {
 impl<T> TreePq<T> {
     /// Creates an empty tree queue.
     pub fn new() -> Self {
-        TreePq { tree: BTreeMap::new(), len: 0 }
+        TreePq {
+            tree: BTreeMap::new(),
+            len: 0,
+        }
     }
 }
 

@@ -32,7 +32,12 @@ impl<T> FfsQueue<T> {
     /// Creates a queue covering ranks `[base, base + 64 × granularity)`.
     pub fn with_base(granularity: u64, base: u64) -> Self {
         assert!(granularity > 0, "granularity must be positive");
-        FfsQueue { bitmap: 0, buckets: Buckets::new(64), granularity, base }
+        FfsQueue {
+            bitmap: 0,
+            buckets: Buckets::new(64),
+            granularity,
+            base,
+        }
     }
 
     /// The number of buckets (always 64: one machine word).
@@ -62,8 +67,7 @@ impl<T> FfsQueue<T> {
 
     /// Rank lower edge of the maximum non-empty bucket.
     pub fn peek_max_rank(&self) -> Option<u64> {
-        word::highest_set(self.bitmap)
-            .map(|b| self.base + b as u64 * self.granularity)
+        word::highest_set(self.bitmap).map(|b| self.base + b as u64 * self.granularity)
     }
 }
 
@@ -75,7 +79,11 @@ impl<T> RankedQueue<T> for FfsQueue<T> {
                 word::set_bit(&mut self.bitmap, b as u32);
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 
@@ -89,8 +97,7 @@ impl<T> RankedQueue<T> for FfsQueue<T> {
     }
 
     fn peek_min_rank(&self) -> Option<u64> {
-        word::lowest_set(self.bitmap)
-            .map(|b| self.base + b as u64 * self.granularity)
+        word::lowest_set(self.bitmap).map(|b| self.base + b as u64 * self.granularity)
     }
 
     fn len(&self) -> usize {

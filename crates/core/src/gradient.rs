@@ -77,7 +77,7 @@ impl GradientWord {
         if self.a == 0 {
             None
         } else {
-            Some(((self.b + self.a - 1) / self.a) as u32)
+            Some(self.b.div_ceil(self.a) as u32)
         }
     }
 }
@@ -135,7 +135,9 @@ impl HierGradient {
         root.max_index()?;
         let mut idx = 0usize;
         for level in self.levels.iter().rev() {
-            let j = level[idx].max_index().expect("parent weight guaranteed a child");
+            let j = level[idx]
+                .max_index()
+                .expect("parent weight guaranteed a child");
             idx = idx * 64 + j as usize;
         }
         Some(idx)
@@ -164,7 +166,10 @@ impl<T> GradientQueue<T> {
 
     /// Creates a queue covering ranks `[base, base + n × granularity)`.
     pub fn with_base(n: usize, granularity: u64, base: u64) -> Self {
-        assert!(n > 0 && n <= 64, "single gradient word covers at most 64 buckets");
+        assert!(
+            n > 0 && n <= 64,
+            "single gradient word covers at most 64 buckets"
+        );
         assert!(granularity > 0);
         GradientQueue {
             word: GradientWord::new(),
@@ -197,7 +202,11 @@ impl<T> RankedQueue<T> for GradientQueue<T> {
                 self.word.set(self.internal(b));
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 
@@ -269,7 +278,11 @@ impl<T> RankedQueue<T> for HierGradientQueue<T> {
                 self.grad.set(self.nb - 1 - b);
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 
@@ -401,8 +414,14 @@ mod tests {
     fn out_of_range_refused() {
         let mut q: GradientQueue<()> = GradientQueue::new(32, 10);
         assert!(q.enqueue(319, ()).is_ok());
-        assert_eq!(q.enqueue(320, ()).unwrap_err().kind, EnqueueErrorKind::OutOfRange);
+        assert_eq!(
+            q.enqueue(320, ()).unwrap_err().kind,
+            EnqueueErrorKind::OutOfRange
+        );
         let mut q: HierGradientQueue<()> = HierGradientQueue::new(100, 10);
-        assert_eq!(q.enqueue(1_000, ()).unwrap_err().kind, EnqueueErrorKind::OutOfRange);
+        assert_eq!(
+            q.enqueue(1_000, ()).unwrap_err().kind,
+            EnqueueErrorKind::OutOfRange
+        );
     }
 }

@@ -74,7 +74,9 @@ impl<T> HierFfsQueue<T> {
 
     /// Rank lower edge of the maximum non-empty bucket.
     pub fn peek_max_rank(&self) -> Option<u64> {
-        self.bitmap.last_set().map(|b| self.base + b as u64 * self.granularity)
+        self.bitmap
+            .last_set()
+            .map(|b| self.base + b as u64 * self.granularity)
     }
 
     /// Rank lower edge of the first non-empty bucket whose rank is ≥ `rank`.
@@ -97,7 +99,11 @@ impl<T> RankedQueue<T> for HierFfsQueue<T> {
                 self.bitmap.set(b);
                 Ok(())
             }
-            None => Err(EnqueueError { kind: EnqueueErrorKind::OutOfRange, rank, item }),
+            None => Err(EnqueueError {
+                kind: EnqueueErrorKind::OutOfRange,
+                rank,
+                item,
+            }),
         }
     }
 
@@ -111,7 +117,9 @@ impl<T> RankedQueue<T> for HierFfsQueue<T> {
     }
 
     fn peek_min_rank(&self) -> Option<u64> {
-        self.bitmap.first_set().map(|b| self.base + b as u64 * self.granularity)
+        self.bitmap
+            .first_set()
+            .map(|b| self.base + b as u64 * self.granularity)
     }
 
     fn len(&self) -> usize {

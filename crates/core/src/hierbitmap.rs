@@ -40,7 +40,11 @@ impl HierBitmap {
             }
             n = words;
         }
-        HierBitmap { levels, len, ones: 0 }
+        HierBitmap {
+            levels,
+            len,
+            ones: 0,
+        }
     }
 
     /// Number of buckets covered.
@@ -148,8 +152,8 @@ impl HierBitmap {
                 if let Some(b) = word::lowest_set_from(level[w], (idx % 64) as u32) {
                     let mut node = w * 64 + b as usize;
                     for lower in self.levels[..li].iter().rev() {
-                        let c =
-                            word::lowest_set(lower[node]).expect("set parent bit implies set child");
+                        let c = word::lowest_set(lower[node])
+                            .expect("set parent bit implies set child");
                         node = node * 64 + c as usize;
                     }
                     return Some(node);
@@ -171,7 +175,8 @@ impl HierBitmap {
             if let Some(b) = word::highest_set_to(level[w], (idx % 64) as u32) {
                 let mut node = w * 64 + b as usize;
                 for lower in self.levels[..li].iter().rev() {
-                    let c = word::highest_set(lower[node]).expect("set parent bit implies set child");
+                    let c =
+                        word::highest_set(lower[node]).expect("set parent bit implies set child");
                     node = node * 64 + c as usize;
                 }
                 return Some(node);
@@ -291,8 +296,15 @@ mod tests {
                 assert_eq!(hier.first_set(), flat.first_set());
                 assert_eq!(hier.last_set(), flat.last_set());
                 let probe = (x >> 32) as usize % (n + 10);
-                assert_eq!(hier.first_set_from(probe), flat.first_set_from(probe), "from {probe}");
-                assert_eq!(hier.last_set_to(probe.min(n - 1)), flat.last_set_to(probe.min(n - 1)));
+                assert_eq!(
+                    hier.first_set_from(probe),
+                    flat.first_set_from(probe),
+                    "from {probe}"
+                );
+                assert_eq!(
+                    hier.last_set_to(probe.min(n - 1)),
+                    flat.last_set_to(probe.min(n - 1))
+                );
             }
         }
         assert_eq!(hier.count_ones(), flat.count_ones());

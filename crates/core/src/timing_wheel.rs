@@ -180,7 +180,10 @@ mod tests {
             w.advance(round, &mut out);
         }
         assert_eq!(out.len(), 100);
-        assert!(out.windows(2).all(|p| p[0].0 <= p[1].0), "time-ordered release");
+        assert!(
+            out.windows(2).all(|p| p[0].0 <= p[1].0),
+            "time-ordered release"
+        );
         assert!(w.is_empty());
     }
 

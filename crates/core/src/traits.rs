@@ -129,7 +129,11 @@ pub struct QueueConfig {
 impl QueueConfig {
     /// Convenience constructor.
     pub fn new(num_buckets: usize, granularity: u64, start_rank: u64) -> Self {
-        QueueConfig { num_buckets, granularity, start_rank }
+        QueueConfig {
+            num_buckets,
+            granularity,
+            start_rank,
+        }
     }
 
     /// Rank units covered by one window (`num_buckets × granularity`).
@@ -184,22 +188,22 @@ impl QueueKind {
                 cfg.granularity,
                 cfg.start_rank,
             )),
-            QueueKind::Cffs => {
-                Box::new(crate::CffsQueue::new(cfg.num_buckets, cfg.granularity, cfg.start_rank))
-            }
+            QueueKind::Cffs => Box::new(crate::CffsQueue::new(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
             QueueKind::Gradient => Box::new(crate::HierGradientQueue::with_base(
                 cfg.num_buckets,
                 cfg.granularity,
                 cfg.start_rank,
             )),
-            QueueKind::ApproxGradient { alpha } => Box::new(
-                crate::ApproxGradientQueue::with_base(
-                    cfg.num_buckets,
-                    cfg.granularity,
-                    cfg.start_rank,
-                    alpha,
-                ),
-            ),
+            QueueKind::ApproxGradient { alpha } => Box::new(crate::ApproxGradientQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+                alpha,
+            )),
             QueueKind::CircularApprox { alpha } => Box::new(crate::CircularApproxQueue::new(
                 cfg.num_buckets,
                 cfg.granularity,
@@ -230,7 +234,11 @@ mod tests {
     #[test]
     fn stats_avg_error_handles_zero_lookups() {
         assert_eq!(QueueStats::default().avg_error(), 0.0);
-        let s = QueueStats { lookups: 4, error_sum: 6, ..Default::default() };
+        let s = QueueStats {
+            lookups: 4,
+            error_sum: 6,
+            ..Default::default()
+        };
         assert!((s.avg_error() - 1.5).abs() < 1e-12);
     }
 

@@ -8,8 +8,8 @@ use std::collections::{BTreeMap, VecDeque};
 use proptest::prelude::*;
 
 use eiffel_core::{
-    ApproxGradientQueue, BucketHeapQueue, CffsQueue, FfsQueue, GradientQueue, GradientWord,
-    HeapPq, HierBitmap, HierFfsQueue, HierGradientQueue, RankedQueue, TreePq,
+    ApproxGradientQueue, BucketHeapQueue, CffsQueue, FfsQueue, GradientQueue, GradientWord, HeapPq,
+    HierBitmap, HierFfsQueue, HierGradientQueue, RankedQueue, TreePq,
 };
 
 /// Reference model with the same FIFO-within-rank tie policy.
@@ -135,13 +135,12 @@ proptest! {
     fn cffs_matches_model_within_window(deltas in prop::collection::vec((0u64..500, any::<bool>()), 1..500)) {
         let mut q: CffsQueue<u64> = CffsQueue::new(256, 1, 0);
         let mut model = Model::default();
-        let mut seq = 0u64;
-        for (delta, deq) in deltas {
+        for (seq, (delta, deq)) in deltas.into_iter().enumerate() {
+            let seq = seq as u64;
             // Rank relative to the moving window start: always in coverage.
             let rank = q.h_index() + delta;
             q.enqueue(rank, seq).unwrap();
             model.enqueue(rank, seq);
-            seq += 1;
             if deq {
                 assert_eq!(q.dequeue_min(), model.dequeue_min());
             }

@@ -26,7 +26,13 @@ pub const MTU_BYTES: u32 = 1_500;
 impl Frame {
     /// A full-sized data frame.
     pub fn data(flow: u32, seq: u32, rank: u32) -> Self {
-        Frame { flow, seq, bytes: MTU_BYTES, rank, ce: false }
+        Frame {
+            flow,
+            seq,
+            bytes: MTU_BYTES,
+            rank,
+            ce: false,
+        }
     }
 }
 

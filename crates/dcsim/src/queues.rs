@@ -49,9 +49,7 @@ pub enum PfabricPq {
 impl PfabricPq {
     fn new(variant: PfabricVariant) -> Self {
         match variant {
-            PfabricVariant::Exact => {
-                PfabricPq::Exact(HierFfsQueue::new(RANK_CAP as usize + 1, 1))
-            }
+            PfabricVariant::Exact => PfabricPq::Exact(HierFfsQueue::new(RANK_CAP as usize + 1, 1)),
             PfabricVariant::Approx => PfabricPq::Approx(ApproxGradientQueue::with_base(
                 RANK_CAP as usize + 1,
                 1,
@@ -64,8 +62,12 @@ impl PfabricPq {
 
     fn enqueue(&mut self, rank: u64, f: Frame) {
         match self {
-            PfabricPq::Exact(q) => q.enqueue(rank, f).unwrap_or_else(|_| unreachable!("clamped")),
-            PfabricPq::Approx(q) => q.enqueue(rank, f).unwrap_or_else(|_| unreachable!("clamped")),
+            PfabricPq::Exact(q) => q
+                .enqueue(rank, f)
+                .unwrap_or_else(|_| unreachable!("clamped")),
+            PfabricPq::Approx(q) => q
+                .enqueue(rank, f)
+                .unwrap_or_else(|_| unreachable!("clamped")),
         }
     }
 
@@ -124,12 +126,19 @@ pub enum PortQueue {
 impl PortQueue {
     /// DCTCP port with standard thresholds (cap ≈ 4×K).
     pub fn dctcp(ecn_k: usize) -> Self {
-        PortQueue::DropTailEcn { fifo: VecDeque::new(), cap: ecn_k * 4, ecn_k }
+        PortQueue::DropTailEcn {
+            fifo: VecDeque::new(),
+            cap: ecn_k * 4,
+            ecn_k,
+        }
     }
 
     /// pFabric port with `cap` packets of buffer.
     pub fn pfabric(variant: PfabricVariant, cap: usize) -> Self {
-        PortQueue::Pfabric { pq: PfabricPq::new(variant), cap }
+        PortQueue::Pfabric {
+            pq: PfabricPq::new(variant),
+            cap,
+        }
     }
 
     /// Queued packets.
@@ -208,9 +217,11 @@ mod tests {
             v => panic!("expected tail drop, got {v:?}"),
         }
         // First two unmarked, the rest CE-marked.
-        let marks: Vec<bool> =
-            std::iter::from_fn(|| q.dequeue()).map(|f| f.ce).collect();
-        assert_eq!(marks, vec![false, false, true, true, true, true, true, true]);
+        let marks: Vec<bool> = std::iter::from_fn(|| q.dequeue()).map(|f| f.ce).collect();
+        assert_eq!(
+            marks,
+            vec![false, false, true, true, true, true, true, true]
+        );
     }
 
     #[test]
@@ -220,8 +231,7 @@ mod tests {
             q.enqueue(Frame::data(0, 0, 1_000));
             q.enqueue(Frame::data(1, 0, 3));
             q.enqueue(Frame::data(2, 0, 50));
-            let order: Vec<u32> =
-                std::iter::from_fn(|| q.dequeue()).map(|f| f.flow).collect();
+            let order: Vec<u32> = std::iter::from_fn(|| q.dequeue()).map(|f| f.flow).collect();
             assert_eq!(order, vec![1, 2, 0], "{variant:?}");
         }
     }

@@ -110,7 +110,12 @@ enum Ev {
     /// Frame reaches the destination host.
     Receive(Frame),
     /// ACK reaches the sender.
-    Ack { flow: u32, seq: u32, cum: u32, ce: bool },
+    Ack {
+        flow: u32,
+        seq: u32,
+        cum: u32,
+        ce: bool,
+    },
     /// Retransmission timer.
     Rto { flow: u32, epoch: u64 },
 }
@@ -164,9 +169,7 @@ impl Sim {
                     };
                     PortQueue::dctcp(k)
                 }
-                System::PfabricExact => {
-                    PortQueue::pfabric(PfabricVariant::Exact, cfg.pfabric_buf)
-                }
+                System::PfabricExact => PortQueue::pfabric(PfabricVariant::Exact, cfg.pfabric_buf),
                 System::PfabricApprox => {
                     PortQueue::pfabric(PfabricVariant::Approx, cfg.pfabric_buf)
                 }
@@ -189,7 +192,9 @@ impl Sim {
         if self.port_busy[port].is_some() {
             return;
         }
-        let Some(frame) = self.ports[port].dequeue() else { return };
+        let Some(frame) = self.ports[port].dequeue() else {
+            return;
+        };
         let tx = self
             .cfg
             .topo
@@ -214,7 +219,9 @@ impl Sim {
                     Frame::data(fid, seq, 0)
                 }
                 Tx::Pfabric(t) => {
-                    let Some(seq) = t.take_next(f.size) else { break };
+                    let Some(seq) = t.take_next(f.size) else {
+                        break;
+                    };
                     let mut fr = Frame::data(fid, seq, 0);
                     fr.rank = t.remaining(f.size);
                     fr
@@ -250,7 +257,8 @@ impl Sim {
         f.rto_epoch += 1;
         f.rto_armed = true;
         let epoch = f.rto_epoch;
-        self.events.schedule(now + base * backoff, Ev::Rto { flow: fid, epoch });
+        self.events
+            .schedule(now + base * backoff, Ev::Rto { flow: fid, epoch });
     }
 
     fn handle(&mut self, now: Nanos, ev: Ev) {
@@ -258,7 +266,9 @@ impl Sim {
             Ev::Arrive(fid) => self.pump(now, fid),
             Ev::PortFree(port) => {
                 let port = port as usize;
-                let frame = self.port_busy[port].take().expect("PortFree only after start");
+                let frame = self.port_busy[port]
+                    .take()
+                    .expect("PortFree only after start");
                 let f = &self.flows[frame.flow as usize];
                 let hop = f
                     .path
@@ -266,8 +276,13 @@ impl Sim {
                     .position(|&p| p == port)
                     .expect("frames travel their flow's path");
                 if hop + 1 < f.path.len() {
-                    self.events
-                        .schedule(now + PROP_DELAY, Ev::EnterPort { frame, hop: hop as u8 + 1 });
+                    self.events.schedule(
+                        now + PROP_DELAY,
+                        Ev::EnterPort {
+                            frame,
+                            hop: hop as u8 + 1,
+                        },
+                    );
                 } else {
                     self.events.schedule(now + PROP_DELAY, Ev::Receive(frame));
                 }
@@ -312,8 +327,15 @@ impl Sim {
                     f.finish = Some(now);
                     self.counters.completed += 1;
                 }
-                self.events
-                    .schedule(now + ack_latency, Ev::Ack { flow: fid, seq, cum, ce: frame.ce });
+                self.events.schedule(
+                    now + ack_latency,
+                    Ev::Ack {
+                        flow: fid,
+                        seq,
+                        cum,
+                        ce: frame.ce,
+                    },
+                );
             }
             Ev::Ack { flow, seq, cum, ce } => {
                 let f = &mut self.flows[flow as usize];
@@ -369,9 +391,7 @@ pub fn run(cfg: SimConfig) -> SimResult {
         let path = topo.route(src, dst, rng.next_u64());
         let tx = match cfg.system {
             System::Dctcp => Tx::Dctcp(Dctcp::new(10.0)),
-            System::PfabricExact | System::PfabricApprox => {
-                Tx::Pfabric(PfabricTx::new(size, bdp))
-            }
+            System::PfabricExact | System::PfabricApprox => Tx::Pfabric(PfabricTx::new(size, bdp)),
         };
         sim.flows.push(Flow {
             src,
@@ -415,7 +435,11 @@ pub fn run(cfg: SimConfig) -> SimResult {
         });
     }
     let summary = Summary::from_records(&records);
-    SimResult { records, summary, counters: sim.counters }
+    SimResult {
+        records,
+        summary,
+        counters: sim.counters,
+    }
 }
 
 #[cfg(test)]
@@ -435,7 +459,12 @@ mod tests {
             assert_eq!(r.records.len(), 60);
             // FCT can never beat ideal.
             for rec in &r.records {
-                assert!(rec.fct >= rec.ideal, "{system:?}: fct {} < ideal {}", rec.fct, rec.ideal);
+                assert!(
+                    rec.fct >= rec.ideal,
+                    "{system:?}: fct {} < ideal {}",
+                    rec.fct,
+                    rec.ideal
+                );
             }
         }
     }
@@ -483,7 +512,10 @@ mod tests {
             a.summary.avg_small.expect("small flows"),
         );
         let rel = (as_ - es).abs() / es;
-        assert!(rel < 0.35, "approx small-flow NFCT {as_:.2} vs exact {es:.2}");
+        assert!(
+            rel < 0.35,
+            "approx small-flow NFCT {as_:.2} vs exact {es:.2}"
+        );
     }
 
     /// Determinism: same seed, same result.

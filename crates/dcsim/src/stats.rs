@@ -98,7 +98,11 @@ mod tests {
     use super::*;
 
     fn rec(size_bytes: u64, norm: u64) -> FctRecord {
-        FctRecord { size_bytes, fct: norm * 1_000, ideal: 1_000 }
+        FctRecord {
+            size_bytes,
+            fct: norm * 1_000,
+            ideal: 1_000,
+        }
     }
 
     #[test]
@@ -137,7 +141,11 @@ mod tests {
 
     #[test]
     fn normalized_is_fct_over_ideal() {
-        let r = FctRecord { size_bytes: 1, fct: 3_000, ideal: 1_500 };
+        let r = FctRecord {
+            size_bytes: 1,
+            fct: 3_000,
+            ideal: 1_500,
+        };
         assert!((r.normalized() - 2.0).abs() < 1e-12);
     }
 }

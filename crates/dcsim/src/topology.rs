@@ -202,6 +202,9 @@ mod tests {
     fn bdp_is_a_handful_of_packets() {
         let t = Topology::paper();
         let bdp = t.bdp_packets();
-        assert!((4..40).contains(&bdp), "10G × ~10µs ≈ a dozen MTUs, got {bdp}");
+        assert!(
+            (4..40).contains(&bdp),
+            "10G × ~10µs ≈ a dozen MTUs, got {bdp}"
+        );
     }
 }

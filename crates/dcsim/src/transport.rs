@@ -231,7 +231,12 @@ mod tests {
             let target = (t.snd_una + t.cwnd as u32).min(size);
             t.on_ack(target, true);
         }
-        assert!(t.cwnd < before, "marks must shrink cwnd ({} → {})", before, t.cwnd);
+        assert!(
+            t.cwnd < before,
+            "marks must shrink cwnd ({} → {})",
+            before,
+            t.cwnd
+        );
         assert!(t.alpha > 0.0);
     }
 

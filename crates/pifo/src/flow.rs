@@ -96,7 +96,13 @@ pub struct FlowScheduler<P: FlowPolicy> {
 impl<P: FlowPolicy> FlowScheduler<P> {
     /// Creates a scheduler with the given flow-ordering queue.
     pub fn new(policy: P, queue: Box<dyn RankedQueue<FlowEntry>>) -> Self {
-        FlowScheduler { policy, queue, flows: Vec::new(), packets: 0, stale_skipped: 0 }
+        FlowScheduler {
+            policy,
+            queue,
+            flows: Vec::new(),
+            packets: 0,
+            stale_skipped: 0,
+        }
     }
 
     /// Creates a scheduler with a queue chosen via [`QueueKind`].
@@ -155,7 +161,9 @@ impl<P: FlowPolicy> FlowScheduler<P> {
         f.bytes += p.bytes as u64;
         f.fifo.push_back(p);
         let f = &self.flows[id as usize];
-        let new_rank = self.policy.rank_on_enqueue(now, f, f.back().expect("just pushed"));
+        let new_rank = self
+            .policy
+            .rank_on_enqueue(now, f, f.back().expect("just pushed"));
         let f = &mut self.flows[id as usize];
         let needs_entry = !f.active || new_rank != f.rank;
         f.rank = new_rank;
@@ -232,11 +240,7 @@ mod tests {
     }
 
     fn sched() -> FlowScheduler<SqfPolicy> {
-        FlowScheduler::with_kind(
-            SqfPolicy,
-            QueueKind::Cffs,
-            QueueConfig::new(1_024, 1, 0),
-        )
+        FlowScheduler::with_kind(SqfPolicy, QueueKind::Cffs, QueueConfig::new(1_024, 1, 0))
     }
 
     #[test]
@@ -259,7 +263,10 @@ mod tests {
         s.enqueue(0, pkt(2, 0));
         s.enqueue(0, pkt(3, 1));
         assert_eq!(s.dequeue(0).unwrap().flow, 1);
-        assert!(s.stale_skipped() >= 1, "flow 0's re-ranks left stale entries");
+        assert!(
+            s.stale_skipped() >= 1,
+            "flow 0's re-ranks left stale entries"
+        );
     }
 
     #[test]
@@ -270,10 +277,9 @@ mod tests {
         }
         s.enqueue(0, pkt(10, 1));
         s.enqueue(0, pkt(11, 1)); // flow 1: 2 pkts → rank 2
-        // SQF drains: f1 (2) → f1 becomes 1 → still min → f1 (1) → f1 empty
-        // → f0 (rank recomputed downward as it drains).
-        let flows: Vec<FlowId> =
-            std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
+                                  // SQF drains: f1 (2) → f1 becomes 1 → still min → f1 (1) → f1 empty
+                                  // → f0 (rank recomputed downward as it drains).
+        let flows: Vec<FlowId> = std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
         assert_eq!(flows, vec![1, 1, 0, 0, 0, 0]);
         assert!(s.is_empty());
     }

@@ -38,8 +38,8 @@ use eiffel_core::{QueueConfig, QueueKind};
 use eiffel_sim::Rate;
 
 use crate::policies::{
-    ChildPriority, Edf, Fifo, FlowFifo, Lqf, ObjFlowPolicy, Pfabric, SlackRank, StrictPriority,
-    Stfq, LQF_CAP,
+    ChildPriority, Edf, Fifo, FlowFifo, Lqf, ObjFlowPolicy, Pfabric, SlackRank, Stfq,
+    StrictPriority, LQF_CAP,
 };
 use crate::tree::{NodeId, PifoTree, TreeBuilder};
 
@@ -73,7 +73,10 @@ struct NodeSpec {
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a rate like `750kbps`, `10mbps`, `2gbps`, `1000bps`.
@@ -88,9 +91,14 @@ pub fn parse_rate(s: &str, line: usize) -> Result<Rate, ParseError> {
     } else if let Some(n) = lower.strip_suffix("bps") {
         (n, 1)
     } else {
-        return Err(err(line, format!("rate '{s}' needs a bps/kbps/mbps/gbps suffix")));
+        return Err(err(
+            line,
+            format!("rate '{s}' needs a bps/kbps/mbps/gbps suffix"),
+        ));
     };
-    let v: f64 = num.parse().map_err(|_| err(line, format!("bad rate number '{num}'")))?;
+    let v: f64 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad rate number '{num}'")))?;
     if v <= 0.0 {
         return Err(err(line, format!("rate '{s}' must be positive")));
     }
@@ -109,9 +117,14 @@ pub fn parse_duration(s: &str, line: usize) -> Result<u64, ParseError> {
     } else if let Some(n) = lower.strip_suffix('s') {
         (n, 1_000_000_000)
     } else {
-        return Err(err(line, format!("duration '{s}' needs an ns/us/ms/s suffix")));
+        return Err(err(
+            line,
+            format!("duration '{s}' needs an ns/us/ms/s suffix"),
+        ));
     };
-    let v: f64 = num.parse().map_err(|_| err(line, format!("bad duration number '{num}'")))?;
+    let v: f64 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad duration number '{num}'")))?;
     if v < 0.0 {
         return Err(err(line, format!("duration '{s}' must be non-negative")));
     }
@@ -146,11 +159,16 @@ fn parse_spec(line_no: usize, line: &str) -> Result<NodeSpec, ParseError> {
             "parent" => spec.parent = Some(v.to_string()),
             "kind" => spec.kind = v.to_string(),
             "weight" => {
-                spec.weight =
-                    Some(v.parse().map_err(|_| err(line_no, format!("bad weight '{v}'")))?)
+                spec.weight = Some(
+                    v.parse()
+                        .map_err(|_| err(line_no, format!("bad weight '{v}'")))?,
+                )
             }
             "prio" => {
-                spec.prio = Some(v.parse().map_err(|_| err(line_no, format!("bad prio '{v}'")))?)
+                spec.prio = Some(
+                    v.parse()
+                        .map_err(|_| err(line_no, format!("bad prio '{v}'")))?,
+                )
             }
             "limit" => spec.limit = Some(parse_rate(v, line_no)?),
             "deadlines" => {
@@ -205,10 +223,16 @@ pub fn compile(policy: &str) -> Result<PifoTree, ParseError> {
                 .get(pname)
                 .ok_or_else(|| err(spec.line, format!("unknown parent '{pname}'")))?;
             if p >= i {
-                return Err(err(spec.line, format!("parent '{pname}' must be declared first")));
+                return Err(err(
+                    spec.line,
+                    format!("parent '{pname}' must be declared first"),
+                ));
             }
             if specs[p].kind.starts_with("flow:") {
-                return Err(err(spec.line, format!("flow leaf '{pname}' cannot have children")));
+                return Err(err(
+                    spec.line,
+                    format!("flow leaf '{pname}' cannot have children"),
+                ));
             }
             parent_idx[i] = Some(p);
             children[p].push(i);
@@ -236,7 +260,12 @@ pub fn compile(policy: &str) -> Result<PifoTree, ParseError> {
                     .iter()
                     .map(|&c| (c as u64, specs[c].prio.unwrap_or(63)))
                     .collect();
-                b.node(&spec.name, parent, Box::new(ChildPriority::new(&pairs)), spec.limit)
+                b.node(
+                    &spec.name,
+                    parent,
+                    Box::new(ChildPriority::new(&pairs)),
+                    spec.limit,
+                )
             }
             "stfq" => {
                 let mut tx = Stfq::new();
@@ -255,8 +284,7 @@ pub fn compile(policy: &str) -> Result<PifoTree, ParseError> {
                     ),
                     "flow:lqf" => (
                         Box::new(Lqf),
-                        QueueKind::Cffs
-                            .build(QueueConfig::new(4_096, 1, LQF_CAP - 4_096)),
+                        QueueKind::Cffs.build(QueueConfig::new(4_096, 1, LQF_CAP - 4_096)),
                     ),
                     _ => (
                         Box::new(Pfabric),

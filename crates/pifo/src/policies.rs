@@ -90,7 +90,9 @@ impl ChildPriority {
     /// Builds from `(child key, priority)` pairs; unlisted children get the
     /// lowest priority (63).
     pub fn new(pairs: &[(u64, u64)]) -> Self {
-        ChildPriority { prio: pairs.iter().copied().collect() }
+        ChildPriority {
+            prio: pairs.iter().copied().collect(),
+        }
     }
 }
 
@@ -140,7 +142,10 @@ impl Stfq {
     }
 
     fn weight(&self, key: u64) -> u64 {
-        self.weights.get(&key).copied().unwrap_or(self.default_weight)
+        self.weights
+            .get(&key)
+            .copied()
+            .unwrap_or(self.default_weight)
     }
 }
 
@@ -152,7 +157,9 @@ impl Default for Stfq {
 
 impl Transaction for Stfq {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
-        let start = self.vtime.max(self.finish.get(&ctx.key).copied().unwrap_or(0));
+        let start = self
+            .vtime
+            .max(self.finish.get(&ctx.key).copied().unwrap_or(0));
         let cost = (ctx.pkt.bytes as u64 * self.bytes_scale) / self.weight(ctx.key);
         self.finish.insert(ctx.key, start + cost.max(1));
         start
@@ -336,7 +343,11 @@ mod tests {
     fn fifo_ranks_monotonically() {
         let mut t = Fifo::new();
         let p = pkt(0, 0, 0);
-        let ctx = RankCtx { now: 0, pkt: &p, key: 0 };
+        let ctx = RankCtx {
+            now: 0,
+            pkt: &p,
+            key: 0,
+        };
         let a = t.rank(&ctx);
         let b = t.rank(&ctx);
         assert!(b > a);
@@ -347,16 +358,44 @@ mod tests {
         let mut t = StrictPriority;
         let mut p = pkt(0, 0, 0);
         p.class = 5;
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 5);
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 0
+            }),
+            5
+        );
     }
 
     #[test]
     fn child_priority_defaults_low() {
         let mut t = ChildPriority::new(&[(1, 0), (2, 3)]);
         let p = pkt(0, 0, 0);
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 1 }), 0);
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 2 }), 3);
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 99 }), 63);
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 1
+            }),
+            0
+        );
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 2
+            }),
+            3
+        );
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 99
+            }),
+            63
+        );
     }
 
     #[test]
@@ -369,13 +408,30 @@ mod tests {
         let p = pkt(0, 0, 0);
         let mut ranks = Vec::new();
         for _ in 0..6 {
-            ranks.push((1u64, t.rank(&RankCtx { now: 0, pkt: &p, key: 1 })));
-            ranks.push((2u64, t.rank(&RankCtx { now: 0, pkt: &p, key: 2 })));
+            ranks.push((
+                1u64,
+                t.rank(&RankCtx {
+                    now: 0,
+                    pkt: &p,
+                    key: 1,
+                }),
+            ));
+            ranks.push((
+                2u64,
+                t.rank(&RankCtx {
+                    now: 0,
+                    pkt: &p,
+                    key: 2,
+                }),
+            ));
         }
         ranks.sort_by_key(|&(_, r)| r);
         let first_nine: Vec<u64> = ranks.iter().take(9).map(|&(k, _)| k).collect();
         let ones = first_nine.iter().filter(|&&k| k == 1).count();
-        assert!(ones >= 5, "weight-2 key should dominate early service, got {ones}/9");
+        assert!(
+            ones >= 5,
+            "weight-2 key should dominate early service, got {ones}/9"
+        );
     }
 
     #[test]
@@ -384,11 +440,32 @@ mod tests {
         let mut p = pkt(0, 0, 0);
         p.created_at = 500;
         p.class = 0;
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 1_000_500);
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 0
+            }),
+            1_000_500
+        );
         p.class = 1;
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 10_000_500);
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 0
+            }),
+            10_000_500
+        );
         p.class = 9; // beyond table: clamps to last
-        assert_eq!(t.rank(&RankCtx { now: 0, pkt: &p, key: 0 }), 10_000_500);
+        assert_eq!(
+            t.rank(&RankCtx {
+                now: 0,
+                pkt: &p,
+                key: 0
+            }),
+            10_000_500
+        );
     }
 
     #[test]
@@ -402,7 +479,7 @@ mod tests {
         s.enqueue(0, pkt(1, 0, 0));
         s.enqueue(0, pkt(2, 0, 0)); // flow 0: len 3
         s.enqueue(0, pkt(3, 1, 0)); // flow 1: len 1
-        // LQF drains flow 0 until lengths equalize.
+                                    // LQF drains flow 0 until lengths equalize.
         assert_eq!(s.dequeue(0).unwrap().flow, 0);
         assert_eq!(s.dequeue(0).unwrap().flow, 0);
         // Now both len 1 — flow 1's entry is older at the same rank? Flow
@@ -456,8 +533,7 @@ mod tests {
             s.enqueue(0, pkt(i, 0, 0));
             s.enqueue(0, pkt(10 + i, 1, 0));
         }
-        let flows: Vec<FlowId> =
-            std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
+        let flows: Vec<FlowId> = std::iter::from_fn(|| s.dequeue(0).map(|p| p.flow)).collect();
         assert_eq!(flows, vec![0, 1, 0, 1, 0, 1], "round-robin service");
     }
 }

@@ -104,7 +104,11 @@ mod tests {
         s.enqueue(0, Packet::mtu(0, 0, 0)).unwrap();
         s.enqueue(0, Packet::min_sized(1, 1, 0)).unwrap();
         assert_eq!(s.len(), 2);
-        assert_eq!(s.dequeue(0).unwrap().id, 1, "small packet classed real-time");
+        assert_eq!(
+            s.dequeue(0).unwrap().id,
+            1,
+            "small packet classed real-time"
+        );
         assert_eq!(s.dequeue(0).unwrap().id, 0);
         assert!(s.is_empty());
         assert_eq!(s.soonest_deadline(0), None);

@@ -31,7 +31,10 @@ pub struct TokenStamper {
 impl TokenStamper {
     /// A stamper for `rate`.
     pub fn new(rate: Rate) -> Self {
-        TokenStamper { rate, next_eligible: 0 }
+        TokenStamper {
+            rate,
+            next_eligible: 0,
+        }
     }
 
     /// The configured rate.
@@ -77,7 +80,9 @@ impl<T> Shaper<T> {
     /// nanoseconds per window half (the paper's kernel configuration is
     /// 20k buckets over a 2-second horizon).
     pub fn new(num_buckets: usize, granularity: Nanos, start: Nanos) -> Self {
-        Shaper { queue: CffsQueue::new(num_buckets, granularity, start) }
+        Shaper {
+            queue: CffsQueue::new(num_buckets, granularity, start),
+        }
     }
 
     /// Schedules `item` for release at `ts`.
@@ -152,11 +157,29 @@ mod tests {
         let mut sh: Shaper<&str> = Shaper::new(4_096, 100_000, 0);
         for i in 0..3 {
             let ts = slow.stamp(0, 1_500).unwrap();
-            sh.schedule(ts, if i == 0 { "s0" } else if i == 1 { "s1" } else { "s2" });
+            sh.schedule(
+                ts,
+                if i == 0 {
+                    "s0"
+                } else if i == 1 {
+                    "s1"
+                } else {
+                    "s2"
+                },
+            );
         }
         for i in 0..3 {
             let ts = fast.stamp(0, 1_500).unwrap();
-            sh.schedule(ts, if i == 0 { "f0" } else if i == 1 { "f1" } else { "f2" });
+            sh.schedule(
+                ts,
+                if i == 0 {
+                    "f0"
+                } else if i == 1 {
+                    "f1"
+                } else {
+                    "f2"
+                },
+            );
         }
         let mut out = Vec::new();
         sh.release_due(1_000_000, &mut out); // everything due ≤ 1 ms

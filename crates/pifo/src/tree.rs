@@ -127,7 +127,11 @@ impl TreeBuilder {
     /// horizon the policy needs (default: 64k buckets of 1 µs — a 65 ms
     /// half-window, fine for multi-Mbps limits; override for slower ones).
     pub fn new() -> Self {
-        TreeBuilder { nodes: Vec::new(), shaper_buckets: 65_536, shaper_granularity: 1_000 }
+        TreeBuilder {
+            nodes: Vec::new(),
+            shaper_buckets: 65_536,
+            shaper_granularity: 1_000,
+        }
     }
 
     /// Overrides the shared shaper's geometry.
@@ -191,7 +195,13 @@ impl TreeBuilder {
         let fs = FlowScheduler::new(policy, flow_queue);
         // Flow leaves rank flows internally; the node-level transaction is
         // unused, a FIFO placeholder keeps the type uniform.
-        self.push(name, parent, Box::new(crate::policies::Fifo::new()), Body::Flows(fs), limit)
+        self.push(
+            name,
+            parent,
+            Box::new(crate::policies::Fifo::new()),
+            Body::Flows(fs),
+            limit,
+        )
     }
 
     /// Finalizes the tree. Node 0 must be the root.
@@ -241,12 +251,20 @@ impl PifoTree {
         let idx = leaf.0;
         let meta = pkt.clone();
         if matches!(self.nodes[idx].body, Body::Flows(_)) {
-            let Body::Flows(fs) = &mut self.nodes[idx].body else { unreachable!() };
+            let Body::Flows(fs) = &mut self.nodes[idx].body else {
+                unreachable!()
+            };
             fs.enqueue(now, pkt);
         } else {
-            let ctx = RankCtx { now, pkt: &meta, key: meta.flow as u64 };
+            let ctx = RankCtx {
+                now,
+                pkt: &meta,
+                key: meta.flow as u64,
+            };
             let rank = self.nodes[idx].tx.rank(&ctx);
-            let Body::Queue(q) = &mut self.nodes[idx].body else { unreachable!() };
+            let Body::Queue(q) = &mut self.nodes[idx].body else {
+                unreachable!()
+            };
             q.enqueue(rank, Entry::Packet(pkt))
                 .unwrap_or_else(|e| panic!("rank {} outside node queue range", e.rank));
         }
@@ -264,8 +282,14 @@ impl PifoTree {
                 self.ensure_credit(now, idx);
                 return;
             }
-            let Some(parent) = self.nodes[idx].parent else { return };
-            let ctx = RankCtx { now, pkt: meta, key: idx as u64 };
+            let Some(parent) = self.nodes[idx].parent else {
+                return;
+            };
+            let ctx = RankCtx {
+                now,
+                pkt: meta,
+                key: idx as u64,
+            };
             let rank = self.nodes[parent].tx.rank(&ctx);
             let Body::Queue(q) = &mut self.nodes[parent].body else {
                 unreachable!("flow leaves have no children")
@@ -281,7 +305,10 @@ impl PifoTree {
         if self.nodes[idx].credit_pending {
             return;
         }
-        let st = self.nodes[idx].limit.as_ref().expect("only shaped nodes get credits");
+        let st = self.nodes[idx]
+            .limit
+            .as_ref()
+            .expect("only shaped nodes get credits");
         let release = st.next_eligible().max(now);
         self.nodes[idx].credit_pending = true;
         self.shaper.schedule(release, idx);
@@ -292,9 +319,7 @@ impl PifoTree {
     /// visible here until released).
     fn pop_local(&mut self, now: Nanos, idx: usize) -> Packet {
         let (rank, entry) = match &mut self.nodes[idx].body {
-            Body::Flows(fs) => {
-                return fs.dequeue(now).expect("descent reached an empty flow leaf")
-            }
+            Body::Flows(fs) => return fs.dequeue(now).expect("descent reached an empty flow leaf"),
             Body::Queue(q) => q.dequeue_min().expect("descent reached an empty node"),
         };
         self.nodes[idx].tx.on_dequeue(rank);
@@ -315,7 +340,10 @@ impl PifoTree {
             debug_assert!(self.nodes[idx].backlog() > 0, "credit without backlog");
             let pkt = self.pop_local(ts.max(now), idx);
             // Advance the node's rate-limit clock by this packet's cost.
-            let st = self.nodes[idx].limit.as_mut().expect("credit on unshaped node");
+            let st = self.nodes[idx]
+                .limit
+                .as_mut()
+                .expect("credit on unshaped node");
             let _ = st.stamp(ts, pkt.bytes as u64);
             // More backlog ⇒ next credit at the limit's new eligibility.
             if self.nodes[idx].backlog() > 0 {
@@ -325,7 +353,11 @@ impl PifoTree {
                 None => self.ready.push_back(pkt),
                 Some(parent) => {
                     let meta = pkt.clone();
-                    let ctx = RankCtx { now, pkt: &meta, key: idx as u64 };
+                    let ctx = RankCtx {
+                        now,
+                        pkt: &meta,
+                        key: idx as u64,
+                    };
                     let rank = self.nodes[parent].tx.rank(&ctx);
                     let Body::Queue(q) = &mut self.nodes[parent].body else {
                         unreachable!("flow leaves have no children")
@@ -400,7 +432,12 @@ mod tests {
     fn strict_priority_between_leaves() {
         // root(ChildPriority) ── hi(Fifo), lo(Fifo)
         let mut b = TreeBuilder::new();
-        let root = b.node("root", None, Box::new(ChildPriority::new(&[(1, 0), (2, 1)])), None);
+        let root = b.node(
+            "root",
+            None,
+            Box::new(ChildPriority::new(&[(1, 0), (2, 1)])),
+            None,
+        );
         let hi = b.node("hi", Some(root), Box::new(Fifo::new()), None);
         let lo = b.node("lo", Some(root), Box::new(Fifo::new()), None);
         let mut t = b.build().unwrap();
@@ -418,7 +455,12 @@ mod tests {
         // One leaf limited to 12 Mbps (1 ms per MTU), unshaped root.
         let mut b = TreeBuilder::new();
         let root = b.node("root", None, Box::new(Fifo::new()), None);
-        let leaf = b.node("leaf", Some(root), Box::new(Fifo::new()), Some(Rate::mbps(12)));
+        let leaf = b.node(
+            "leaf",
+            Some(root),
+            Box::new(Fifo::new()),
+            Some(Rate::mbps(12)),
+        );
         let mut t = b.build().unwrap();
         for i in 0..3 {
             t.enqueue(0, leaf, pkt(i, 0, 0, 0)).unwrap();
@@ -441,8 +483,18 @@ mod tests {
         // stages; the total rate is min(7, 10, pace).
         let mut b = TreeBuilder::new();
         let root = b.node("root", None, Box::new(Fifo::new()), Some(Rate::mbps(20)));
-        let inner = b.node("pq2", Some(root), Box::new(Fifo::new()), Some(Rate::mbps(10)));
-        let leaf = b.node("pq3", Some(inner), Box::new(Fifo::new()), Some(Rate::mbps(7)));
+        let inner = b.node(
+            "pq2",
+            Some(root),
+            Box::new(Fifo::new()),
+            Some(Rate::mbps(10)),
+        );
+        let leaf = b.node(
+            "pq3",
+            Some(inner),
+            Box::new(Fifo::new()),
+            Some(Rate::mbps(7)),
+        );
         let mut t = b.build().unwrap();
         let n = 20u64;
         for i in 0..n {
@@ -497,7 +549,10 @@ mod tests {
         let mut b = TreeBuilder::new();
         b.node("root", None, Box::new(Fifo::new()), None);
         let t = b.build().unwrap();
-        assert!(matches!(t.node_by_name("nope"), Err(TreeError::UnknownNode(_))));
+        assert!(matches!(
+            t.node_by_name("nope"),
+            Err(TreeError::UnknownNode(_))
+        ));
         assert!(t.node_by_name("root").is_ok());
     }
 

@@ -46,11 +46,10 @@ impl CarouselQdisc {
     fn stamp(&mut self, now: Nanos, flow: FlowId, bytes: u64, rate_bps: u64) -> Nanos {
         let clock = self.next_eligible.entry(flow).or_insert(0);
         let release = (*clock).max(now);
-        let wire_ns = if rate_bps == 0 {
-            0
-        } else {
-            (bytes * 8).saturating_mul(1_000_000_000) / rate_bps
-        };
+        let wire_ns = (bytes * 8)
+            .saturating_mul(1_000_000_000)
+            .checked_div(rate_bps)
+            .unwrap_or(0);
         *clock = release + wire_ns;
         release
     }
@@ -94,7 +93,9 @@ impl ShaperQdisc for CarouselQdisc {
     }
 
     fn timer_style(&self) -> TimerStyle {
-        TimerStyle::Periodic { period: self.slot_ns }
+        TimerStyle::Periodic {
+            period: self.slot_ns,
+        }
     }
 
     fn len(&self) -> usize {
@@ -109,13 +110,16 @@ mod tests {
     #[test]
     fn paces_like_a_shaper_with_slot_granularity() {
         let mut q = CarouselQdisc::new(1 << 20, 2_000); // 2 µs slots
-        // 12 Mbps → 1 ms per MTU.
+                                                        // 12 Mbps → 1 ms per MTU.
         for i in 0..3 {
             q.enqueue(0, Packet::mtu(i, 1, 0), 12_000_000);
         }
         assert_eq!(q.dequeue(0).unwrap().id, 0);
         assert!(q.dequeue(0).is_none());
-        assert!(q.dequeue(999_000).is_none(), "not yet: slot for t=1ms not reached");
+        assert!(
+            q.dequeue(999_000).is_none(),
+            "not yet: slot for t=1ms not reached"
+        );
         assert_eq!(q.dequeue(1_000_000).unwrap().id, 1);
         assert_eq!(q.dequeue(2_000_001).unwrap().id, 2);
         assert!(q.is_empty());

@@ -43,11 +43,10 @@ impl EiffelQdisc {
     fn stamp(&mut self, now: Nanos, flow: FlowId, bytes: u64, rate_bps: u64) -> Nanos {
         let clock = self.next_eligible.entry(flow).or_insert(0);
         let release = (*clock).max(now);
-        let wire_ns = if rate_bps == 0 {
-            0
-        } else {
-            (bytes * 8).saturating_mul(1_000_000_000) / rate_bps
-        };
+        let wire_ns = (bytes * 8)
+            .saturating_mul(1_000_000_000)
+            .checked_div(rate_bps)
+            .unwrap_or(0);
         *clock = release + wire_ns;
         release
     }

@@ -168,11 +168,10 @@ impl ShaperQdisc for FqQdisc {
         let pkt = f.fifo.pop_front().expect("active flows hold packets");
         self.len -= 1;
         // Advance the flow's pacing clock.
-        let wire_ns = if f.rate_bps == 0 {
-            0
-        } else {
-            (pkt.bytes as u64 * 8).saturating_mul(1_000_000_000) / f.rate_bps
-        };
+        let wire_ns = (pkt.bytes as u64 * 8)
+            .saturating_mul(1_000_000_000)
+            .checked_div(f.rate_bps)
+            .unwrap_or(0);
         f.time_next_packet = now.max(f.time_next_packet) + wire_ns;
         f.last_seen = now;
         if !f.fifo.is_empty() {
@@ -234,8 +233,7 @@ mod tests {
             q.enqueue(0, pkt(i, 1), 0); // rate 0 = unpaced
             q.enqueue(0, pkt(10 + i, 2), 0);
         }
-        let flows: Vec<FlowId> =
-            std::iter::from_fn(|| q.dequeue(0).map(|p| p.flow)).collect();
+        let flows: Vec<FlowId> = std::iter::from_fn(|| q.dequeue(0).map(|p| p.flow)).collect();
         assert_eq!(flows, vec![1, 2, 1, 2, 1, 2]);
     }
 
@@ -254,7 +252,11 @@ mod tests {
             q.enqueue(much_later + i, pkt(i, 2_000), 0);
             q.dequeue(much_later + i);
         }
-        assert!(q.gc_reclaimed > 900, "idle flows reclaimed, got {}", q.gc_reclaimed);
+        assert!(
+            q.gc_reclaimed > 900,
+            "idle flows reclaimed, got {}",
+            q.gc_reclaimed
+        );
         assert!(q.tracked_flows() < 100);
     }
 

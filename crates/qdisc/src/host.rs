@@ -258,6 +258,9 @@ mod tests {
         cfg.tsq_budget = 1;
         let r = run(EiffelQdisc::new(20_000, 100_000), &cfg);
         let want = cfg.aggregate.as_bps() as f64;
-        assert!((r.achieved_bps - want).abs() / want < 0.1, "budget-1 still paces");
+        assert!(
+            (r.achieved_bps - want).abs() / want < 0.1,
+            "budget-1 still paces"
+        );
     }
 }

@@ -59,7 +59,11 @@ impl CpuMeter {
         assert!(bin_width > 0);
         let nbins = horizon.div_ceil(bin_width) as usize;
         let probe_overhead_ns = Self::calibrate();
-        CpuMeter { bin_width, bins: vec![(0, 0); nbins], probe_overhead_ns }
+        CpuMeter {
+            bin_width,
+            bins: vec![(0, 0); nbins],
+            probe_overhead_ns,
+        }
     }
 
     /// Median cost of a no-op measurement, to subtract from every sample.
@@ -103,14 +107,18 @@ impl CpuMeter {
     pub fn cores_per_bin(&self) -> Vec<(f64, f64)> {
         self.bins
             .iter()
-            .map(|&(s, i)| (s as f64 / self.bin_width as f64, i as f64 / self.bin_width as f64))
+            .map(|&(s, i)| {
+                (
+                    s as f64 / self.bin_width as f64,
+                    i as f64 / self.bin_width as f64,
+                )
+            })
             .collect()
     }
 
     /// Sorted total-cores samples (the CDF input of Figure 9).
     pub fn total_cores_sorted(&self) -> Vec<f64> {
-        let mut v: Vec<f64> =
-            self.cores_per_bin().iter().map(|&(s, i)| s + i).collect();
+        let mut v: Vec<f64> = self.cores_per_bin().iter().map(|&(s, i)| s + i).collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in accounting"));
         v
     }

@@ -52,7 +52,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// Current virtual time: the timestamp of the last popped event.
@@ -67,7 +71,11 @@ impl<E> EventQueue<E> {
     /// past is always a simulation bug, and failing fast beats silent
     /// causality violations.
     pub fn schedule(&mut self, at: Nanos, event: E) {
-        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Scheduled { at, seq, event });

@@ -15,7 +15,11 @@ pub struct Link {
 impl Link {
     /// Creates an idle link of the given rate.
     pub fn new(rate: Rate) -> Self {
-        Link { rate, busy_until: 0, bytes_sent: 0 }
+        Link {
+            rate,
+            busy_until: 0,
+            bytes_sent: 0,
+        }
     }
 
     /// The configured rate.
@@ -86,6 +90,9 @@ mod tests {
             l.transmit(i * 1_200, 1_500);
         }
         let bps = l.throughput_bps(SECOND);
-        assert!((bps - 12_000_000.0).abs() < 1.0, "1000×1500B in 1s = 12 Mbps, got {bps}");
+        assert!(
+            (bps - 12_000_000.0).abs() < 1.0,
+            "1000×1500B in 1s = 12 Mbps, got {bps}"
+        );
     }
 }

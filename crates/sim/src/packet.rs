@@ -31,7 +31,14 @@ pub struct Packet {
 impl Packet {
     /// Convenience constructor for a packet awaiting ranking.
     pub fn new(id: u64, flow: FlowId, bytes: u32, created_at: Nanos) -> Self {
-        Packet { id, flow, bytes, created_at, rank: 0, class: 0 }
+        Packet {
+            id,
+            flow,
+            bytes,
+            created_at,
+            rank: 0,
+            class: 0,
+        }
     }
 
     /// MTU-sized packet (the evaluation's 1500B default).
@@ -54,6 +61,9 @@ mod tests {
         assert_eq!(Packet::mtu(1, 2, 3).bytes, 1_500);
         assert_eq!(Packet::min_sized(1, 2, 3).bytes, 60);
         let p = Packet::new(7, 9, 100, 55);
-        assert_eq!((p.id, p.flow, p.bytes, p.created_at, p.rank, p.class), (7, 9, 100, 55, 0, 0));
+        assert_eq!(
+            (p.id, p.flow, p.bytes, p.created_at, p.rank, p.class),
+            (7, 9, 100, 55, 0, 0)
+        );
     }
 }

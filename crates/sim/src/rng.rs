@@ -92,6 +92,9 @@ mod tests {
         let mean = 250.0;
         let sum: f64 = (0..20_000).map(|_| r.next_exp(mean)).sum();
         let got = sum / 20_000.0;
-        assert!((got - mean).abs() < mean * 0.05, "exp mean ≈ {mean}, got {got}");
+        assert!(
+            (got - mean).abs() < mean * 0.05,
+            "exp mean ≈ {mean}, got {got}"
+        );
     }
 }

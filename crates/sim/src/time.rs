@@ -79,7 +79,10 @@ mod tests {
         let r = Rate::mbps(100);
         let t = r.tx_time(12_345).unwrap();
         let b = r.bytes_in(t);
-        assert!(b >= 12_345 && b <= 12_346, "round trip within a byte, got {b}");
+        assert!(
+            (12_345..=12_346).contains(&b),
+            "round trip within a byte, got {b}"
+        );
     }
 
     #[test]

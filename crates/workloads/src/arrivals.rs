@@ -18,7 +18,10 @@ impl PoissonArrivals {
     /// Creates a process with the given mean inter-arrival time.
     pub fn with_mean_gap(mean_interarrival_ns: f64) -> Self {
         assert!(mean_interarrival_ns > 0.0);
-        PoissonArrivals { mean_interarrival_ns, next_at: 0.0 }
+        PoissonArrivals {
+            mean_interarrival_ns,
+            next_at: 0.0,
+        }
     }
 
     /// Creates the process that offers `load` (0–1] of `capacity` given an
@@ -57,7 +60,10 @@ mod tests {
             count += 1;
         }
         let per_sec = count as f64 / 20.0;
-        assert!((per_sec - 500.0).abs() < 25.0, "expected ≈500 flows/s, got {per_sec}");
+        assert!(
+            (per_sec - 500.0).abs() < 25.0,
+            "expected ≈500 flows/s, got {per_sec}"
+        );
     }
 
     #[test]

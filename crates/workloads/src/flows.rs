@@ -66,7 +66,10 @@ impl FlowSet {
                 emitted: 0,
             })
             .collect();
-        FlowSet { flows, next_packet_id: 0 }
+        FlowSet {
+            flows,
+            next_packet_id: 0,
+        }
     }
 
     /// Number of flows.
@@ -112,7 +115,7 @@ mod tests {
         assert_eq!(fs.len(), 20_000);
         let per_flow = fs.flow(0).rate;
         assert_eq!(per_flow, Rate::bps(1_200_000)); // 1.2 Mbps each
-        // Gap for 1500B at 1.2 Mbps = 10 ms.
+                                                    // Gap for 1500B at 1.2 Mbps = 10 ms.
         assert_eq!(fs.flow(0).gap(), 10 * 1_000_000);
     }
 
@@ -151,6 +154,9 @@ mod tests {
             }
         }
         let bps = bytes as f64 * 8.0;
-        assert!((bps - 1e8).abs() / 1e8 < 0.02, "aggregate ≈ 100 Mbps, got {bps}");
+        assert!(
+            (bps - 1e8).abs() / 1e8 < 0.02,
+            "aggregate ≈ 100 Mbps, got {bps}"
+        );
     }
 }

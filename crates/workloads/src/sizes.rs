@@ -33,7 +33,9 @@ impl EmpiricalCdf {
         }
         let last = points.last().expect("non-empty");
         assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
-        EmpiricalCdf { points: points.to_vec() }
+        EmpiricalCdf {
+            points: points.to_vec(),
+        }
     }
 
     /// Samples a flow size in whole packets (≥ 1).
@@ -146,7 +148,10 @@ mod tests {
         let sample_mean = sum / n as f64;
         let analytic = cdf.mean_packets();
         let rel = (sample_mean - analytic).abs() / analytic;
-        assert!(rel < 0.03, "sample mean {sample_mean} vs analytic {analytic}");
+        assert!(
+            rel < 0.03,
+            "sample mean {sample_mean} vs analytic {analytic}"
+        );
     }
 
     #[test]

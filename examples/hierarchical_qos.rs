@@ -45,8 +45,14 @@ fn main() {
     let mbps = |b: u64| b as f64 * 8.0 / 1e6;
     println!("After 1 simulated second under the Figure 7 policy:");
     println!("  left  (weight 1, unlimited): {:6.2} Mbps", mbps(bytes[1]));
-    println!("  right (weight 3, nested 7 Mbps limit): {:6.2} Mbps", mbps(bytes[2]));
-    println!("  total (paced at 20 Mbps):    {:6.2} Mbps", mbps(bytes[1] + bytes[2]));
+    println!(
+        "  right (weight 3, nested 7 Mbps limit): {:6.2} Mbps",
+        mbps(bytes[2])
+    );
+    println!(
+        "  total (paced at 20 Mbps):    {:6.2} Mbps",
+        mbps(bytes[1] + bytes[2])
+    );
     println!(
         "\nThe right subtree's share would entitle it to 15 Mbps, but the nested\n\
          7/10 Mbps limits cap it at 7; the left class takes the rest of the\n\

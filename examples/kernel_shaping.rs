@@ -5,9 +5,7 @@
 //! cargo run --release --example kernel_shaping
 //! ```
 
-use eiffel_repro::qdisc::{
-    run, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig,
-};
+use eiffel_repro::qdisc::{run, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig};
 use eiffel_repro::sim::{Rate, SECOND};
 
 fn main() {
@@ -29,8 +27,10 @@ fn main() {
         run(CarouselQdisc::new(1 << 20, 2_000), &cfg),
         run(EiffelQdisc::paper_config(), &cfg),
     ];
-    println!("{:<10} {:>14} {:>14} {:>12} {:>12}",
-        "qdisc", "median cores", "rate (Mbps)", "packets", "timer fires");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "qdisc", "median cores", "rate (Mbps)", "packets", "timer fires"
+    );
     for r in &reports {
         println!(
             "{:<10} {:>14.4} {:>14.1} {:>12} {:>12}",

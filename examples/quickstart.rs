@@ -46,7 +46,10 @@ fn main() {
         uniform_occupancy: false,
     };
     assert_eq!(recommend(&policy), Recommendation::Cffs);
-    println!("\nFigure 20 guide: rate limiting over 20k levels → {:?}", recommend(&policy));
+    println!(
+        "\nFigure 20 guide: rate limiting over 20k levels → {:?}",
+        recommend(&policy)
+    );
 
     // ------------------------------------------------------------------
     // 4. The programming model: compile a policy, schedule packets.

@@ -5,8 +5,7 @@
 use std::time::Duration;
 
 use eiffel_bench::microbench::{
-    approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket,
-    QueueUnderTest,
+    approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket, QueueUnderTest,
 };
 use eiffel_bench::runners;
 use eiffel_repro::dcsim::{System, Topology};
@@ -17,12 +16,18 @@ fn fig09_fig10_quick() {
     let reports = runners::kernel_shaping(&runners::KernelShapingScale::quick());
     let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
     assert!(eiffel.median_cores < fq.median_cores, "Eiffel must beat FQ");
-    assert!(eiffel.median_cores < carousel.median_cores, "Eiffel must beat Carousel");
+    assert!(
+        eiffel.median_cores < carousel.median_cores,
+        "Eiffel must beat Carousel"
+    );
     // Fig 10 mechanism: Carousel's softirq share dominates Eiffel's.
     let softirq = |r: &eiffel_repro::qdisc::HostReport| {
         r.breakdown.iter().map(|&(_, i)| i).sum::<f64>() / r.breakdown.len() as f64
     };
-    assert!(softirq(carousel) > softirq(eiffel), "Carousel pays more softirq");
+    assert!(
+        softirq(carousel) > softirq(eiffel),
+        "Carousel pays more softirq"
+    );
 }
 
 /// Figure 12 path: every scheduler produces a rate; Eiffel ≥ heap at the
@@ -78,10 +83,12 @@ fn fig19_quick() {
     let flows = 150;
     let d = runners::pfabric_fct_sweep(System::Dctcp, Topology::small(), &loads, flows, 9);
     let p = runners::pfabric_fct_sweep(System::PfabricExact, Topology::small(), &loads, flows, 9);
-    let a =
-        runners::pfabric_fct_sweep(System::PfabricApprox, Topology::small(), &loads, flows, 9);
+    let a = runners::pfabric_fct_sweep(System::PfabricApprox, Topology::small(), &loads, flows, 9);
     let (ds, ps, as_) = (d[0].1, p[0].1, a[0].1);
-    assert!(ps < ds, "pFabric small-flow NFCT {ps:.2} must beat DCTCP {ds:.2}");
+    assert!(
+        ps < ds,
+        "pFabric small-flow NFCT {ps:.2} must beat DCTCP {ds:.2}"
+    );
     assert!(
         (as_ - ps).abs() / ps < 0.5,
         "approx ({as_:.2}) tracks exact ({ps:.2})"
@@ -92,7 +99,14 @@ fn fig19_quick() {
 #[test]
 fn table1_contents() {
     let rows = runners::table1_rows();
-    for sys in ["FQ/pacing qdisc", "hClock", "Carousel", "OpenQueue", "PIFO", "Eiffel"] {
+    for sys in [
+        "FQ/pacing qdisc",
+        "hClock",
+        "Carousel",
+        "OpenQueue",
+        "PIFO",
+        "Eiffel",
+    ] {
         assert!(rows.iter().any(|r| r[0] == sys), "missing {sys}");
     }
 }

@@ -40,7 +40,9 @@ fn strict_priority_policy() {
     for id in 4..6u64 {
         s.enqueue(0, mtu(id, 0)).unwrap();
     }
-    let order: Vec<u32> = std::iter::from_fn(|| s.dequeue(0)).map(|p| p.flow).collect();
+    let order: Vec<u32> = std::iter::from_fn(|| s.dequeue(0))
+        .map(|p| p.flow)
+        .collect();
     assert_eq!(order, vec![0, 0, 1, 1, 2, 2]);
 }
 
@@ -88,8 +90,14 @@ fn pfabric_policy_via_dsl() {
         p.rank = 2;
         t.enqueue(0, root, p).unwrap();
     }
-    let order: Vec<u32> = std::iter::from_fn(|| t.dequeue(0)).map(|p| p.flow).collect();
-    assert_eq!(order, vec![2, 2, 1, 1, 1, 1, 1], "short flow first, entirely");
+    let order: Vec<u32> = std::iter::from_fn(|| t.dequeue(0))
+        .map(|p| p.flow)
+        .collect();
+    assert_eq!(
+        order,
+        vec![2, 2, 1, 1, 1, 1, 1],
+        "short flow first, entirely"
+    );
 }
 
 /// Rate limiting through the single shaper adheres to the configured rate

@@ -3,9 +3,7 @@
 //! "We only report CPU efficiency results as we find that Eiffel matches
 //! the scheduling behavior of the baselines."
 
-use eiffel_repro::qdisc::{
-    run, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, ShaperQdisc,
-};
+use eiffel_repro::qdisc::{run, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, ShaperQdisc};
 use eiffel_repro::sim::{Packet, Rate, SECOND};
 
 /// Identical stamping ⇒ identical release schedules between Eiffel and
@@ -54,7 +52,13 @@ fn all_shapers_hold_the_aggregate_rate() {
     ];
     for r in &reports {
         let rel = (r.achieved_bps - want).abs() / want;
-        assert!(rel < 0.05, "{}: {:.1} vs {:.1} Mbps", r.name, r.achieved_bps / 1e6, want / 1e6);
+        assert!(
+            rel < 0.05,
+            "{}: {:.1} vs {:.1} Mbps",
+            r.name,
+            r.achieved_bps / 1e6,
+            want / 1e6
+        );
     }
     // Work accounting: every transmitted packet is a full MTU.
     for r in &reports {
