@@ -1,0 +1,18 @@
+//! Captures `rustc --version` at build time so bench reports can record
+//! the exact compiler in their environment block without spawning
+//! processes at run time.
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "rustc (version unknown)".to_string());
+    println!("cargo:rustc-env=EIFFEL_BENCH_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-env-changed=RUSTC");
+}

@@ -1,0 +1,28 @@
+//! Single-cell hClock probe for profiling the Figure 12 hot path.
+//!
+//! Runs one `(scheduler, flows, aggregate-limit)` cell of Figure 12 and
+//! prints the achieved rate — the minimal reproducer for `perf`/before-after
+//! work on `HClockEiffel` and `CffsQueue` (see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p eiffel-bench --example hclock_probe -- \
+//!     eiffel 50000 200000 1000   # scheduler flows agg_mbps duration_ms
+//! ```
+
+use std::time::Duration;
+
+use eiffel_bench::runners;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("eiffel");
+    let parse = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let flows = parse(1, 50_000) as usize;
+    let agg_mbps = parse(2, 200_000);
+    let dur = Duration::from_millis(parse(3, 1_000));
+    let mbps = runners::hclock_max_rate(which, flows, agg_mbps, 1_500, 1, dur);
+    let pps = mbps * 1e6 / (1_500.0 * 8.0);
+    println!("{which} flows={flows} agg={agg_mbps}Mbps -> {mbps:.0} Mbps ({pps:.0} pps)");
+}

@@ -3,48 +3,14 @@
 //! of hClock, and BESS tc on a single core with no batching".
 //!
 //! 1500B packets; the busy-poll harness measures achieved Mbps in real
-//! time on one core. `--quick` shrinks the sweep and durations.
+//! time on one core, plus a CPU-bound capacity panel (see
+//! `runners::fig12_report`). `--quick` shrinks the sweep and durations;
+//! `--json <path>` records the run (the committed
+//! `BENCH_fig12_hclock_scaling.json` is such a report).
 
-use std::time::Duration;
-
-use eiffel_bench::{quick_mode, report, runners};
+use eiffel_bench::{runners, BenchArgs};
 
 fn main() {
-    let quick = quick_mode();
-    let flows: &[usize] = if quick {
-        &[10, 100, 1_000]
-    } else {
-        &[10, 100, 1_000, 10_000, 50_000, 100_000]
-    };
-    let dur = Duration::from_millis(if quick { 100 } else { 1_000 });
-    for (title, agg_mbps) in [
-        ("10 Gbps line rate", 10_000u64),
-        ("5 Gbps aggregate rate limit", 5_000),
-    ] {
-        report::banner(
-            &format!("FIGURE 12 — max aggregate rate vs #flows ({title})"),
-            "series: Eiffel-hClock, hClock (min-heap), BESS tc — Mbps on one core",
-        );
-        let mut rows = Vec::new();
-        for &n in flows {
-            let e = runners::hclock_max_rate("eiffel", n, agg_mbps, 1_500, 1, dur);
-            let h = runners::hclock_max_rate("hclock", n, agg_mbps, 1_500, 1, dur);
-            let t = runners::hclock_max_rate("tc", n, agg_mbps, 1_500, 1, dur);
-            rows.push(vec![
-                n.to_string(),
-                format!("{e:.0}"),
-                format!("{h:.0}"),
-                format!("{t:.0}"),
-            ]);
-        }
-        report::table(
-            &["flows", "Eiffel (Mbps)", "hClock (Mbps)", "BESS tc (Mbps)"],
-            &rows,
-        );
-        println!();
-    }
-    println!(
-        "Paper: Eiffel sustains line rate at up to 40x the number of flows compared \
-         to hClock, with a larger advantage over BESS tc."
-    );
+    let args = BenchArgs::parse();
+    runners::fig12_report(&args).finish(&args);
 }

@@ -2,36 +2,44 @@
 //! Eiffel and hClock for 5k flows": {60B, 1500B} × {no batching, per-flow
 //! batching}.
 //!
-//! `--quick` shrinks flow count and durations.
+//! `--quick` shrinks flow count and durations; `--json <path>` records the
+//! run.
 
 use std::time::Duration;
 
-use eiffel_bench::{quick_mode, report, runners};
+use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::{runners, BenchArgs};
 
 fn main() {
-    let quick = quick_mode();
-    let flows = if quick { 500 } else { 5_000 };
-    let dur = Duration::from_millis(if quick { 100 } else { 800 });
-    report::banner(
-        &format!("FIGURE 13 — batching × packet size, {flows} flows"),
+    let args = BenchArgs::parse();
+    let flows = if args.quick { 500 } else { 5_000 };
+    let dur = Duration::from_millis(if args.quick { 100 } else { 800 });
+    let mut r = BenchReport::new(
+        "fig13_batching",
+        "Figure 13",
+        format!("batching × packet size, {flows} flows"),
+        &args,
+    );
+    r.paper_claim(
+        "with per-flow batching and small packets both schedulers approach line rate (Eiffel \
+         5-10% behind); without batching Eiffel wins at large packet sizes (§5.1.2, Figure 13).",
+    );
+    r.config_num("flows", flows as f64);
+    r.config_num("duration_ms_per_cell", dur.as_millis() as f64);
+    r.config_str(
+        "batching",
         "per-flow batching = 8-packet runs from the generator (Buffer modules)",
     );
-    let mut rows = Vec::new();
+    let mut sw = Sweep::new("", "case");
+    sw.add_series("hClock (min-heap)", "Mbps", 0);
+    sw.add_series("Eiffel-hClock", "Mbps", 0);
     for (batch_label, batch) in [("no batching", 1u32), ("batching", 8)] {
         for bytes in [60u32, 1_500] {
             let e = runners::hclock_max_rate("eiffel", flows, 10_000, bytes, batch, dur);
             let h = runners::hclock_max_rate("hclock", flows, 10_000, bytes, batch, dur);
-            rows.push(vec![
-                format!("{batch_label} {bytes}B"),
-                format!("{h:.0}"),
-                format!("{e:.0}"),
-            ]);
+            sw.push_row(format!("{batch_label} {bytes}B"), &[h, e]);
         }
     }
-    report::table(&["case", "hClock (Mbps)", "Eiffel (Mbps)"], &rows);
-    println!(
-        "\nPaper: with per-flow batching and small packets both schedulers approach \
-         line rate (Eiffel 5-10% behind); without batching Eiffel wins at large \
-         packet sizes."
-    );
+    r.push_sweep(sw);
+    r.finish(&args);
 }

@@ -2,41 +2,45 @@
 //! Queue for 5k (left) and 10k (right) buckets": drain Mpps vs fraction of
 //! non-empty buckets for BH, Approx, cFFS.
 //!
-//! `--quick` shortens measurement budgets.
+//! `--quick` shortens measurement budgets; `--json <path>` records the run.
 
 use std::time::Duration;
 
 use eiffel_bench::microbench::{drain_rate_occupancy, QueueUnderTest};
-use eiffel_bench::{quick_mode, report};
+use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::BenchArgs;
 
 fn main() {
-    let budget = Duration::from_millis(if quick_mode() { 50 } else { 400 });
+    let args = BenchArgs::parse();
+    let budget = Duration::from_millis(if args.quick { 50 } else { 400 });
+    let mut r = BenchReport::new(
+        "fig17_occupancy",
+        "Figure 17",
+        "drain Mpps vs occupancy (each occupied bucket holds one packet; drain phase timed)",
+        &args,
+    );
+    r.paper_claim(
+        "empty buckets trigger the approximate queue's linear search, so its throughput climbs \
+         with occupancy; cFFS is insensitive (§5.2, Figure 17).",
+    );
+    r.config_num("budget_ms_per_cell", budget.as_millis() as f64);
     for nb in [5_000usize, 10_000] {
-        report::banner(
-            &format!("FIGURE 17 — Mpps vs occupancy, {nb} buckets"),
-            "each occupied bucket holds one packet; drain phase timed",
-        );
-        let mut rows = Vec::new();
+        let mut sw = Sweep::new(format!("{nb} buckets"), "occupancy");
+        sw.add_series("BH", "Mpps", 2);
+        sw.add_series("Approx", "Mpps", 2);
+        sw.add_series("cFFS", "Mpps", 2);
         for occ in [0.7, 0.8, 0.9, 0.99] {
-            let mut row = vec![format!("{occ:.2}")];
-            for kind in [
+            let row: Vec<f64> = [
                 QueueUnderTest::BucketHeap,
                 QueueUnderTest::Approx,
                 QueueUnderTest::Cffs,
-            ] {
-                let mpps = drain_rate_occupancy(kind, nb, occ, budget);
-                row.push(format!("{mpps:.2}"));
-            }
-            rows.push(row);
+            ]
+            .into_iter()
+            .map(|kind| drain_rate_occupancy(kind, nb, occ, budget))
+            .collect();
+            sw.push_row(occ, &row);
         }
-        report::table(
-            &["occupancy", "BH (Mpps)", "Approx (Mpps)", "cFFS (Mpps)"],
-            &rows,
-        );
-        println!();
+        r.push_sweep(sw);
     }
-    println!(
-        "Paper: empty buckets trigger the approximate queue's linear search, so its \
-         throughput climbs with occupancy; cFFS is insensitive."
-    );
+    r.finish(&args);
 }

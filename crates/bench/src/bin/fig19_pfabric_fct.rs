@@ -4,32 +4,47 @@
 //!
 //! Default: the scaled (32-host) fabric with the full load sweep.
 //! `--quick`: fewer loads/flows. `--paper`: the 144-host topology.
+//! `--json <path>` records the run.
 
-use eiffel_bench::{quick_mode, report, runners};
+use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::{runners, BenchArgs};
 use eiffel_dcsim::{System, Topology};
 
 fn main() {
-    let quick = quick_mode();
+    let args = BenchArgs::parse();
     let paper_topo = std::env::args().any(|a| a == "--paper");
     let topo = if paper_topo {
         Topology::paper()
     } else {
         Topology::small()
     };
-    let loads: Vec<f64> = if quick {
+    let loads: Vec<f64> = if args.quick {
         vec![0.2, 0.4, 0.6]
     } else {
         vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
     };
-    let flows = if quick { 200 } else { 1_000 };
-    report::banner(
-        "FIGURE 19 — normalized FCT vs load (web-search workload)",
-        &format!(
-            "{}-host leaf-spine, {flows} flows/point; panels: avg (0,100kB], \
-             p99 (0,100kB], avg (10MB,∞)",
-            topo.hosts()
-        ),
+    let flows = if args.quick { 200 } else { 1_000 };
+    let mut r = BenchReport::new(
+        "fig19_pfabric_fct",
+        "Figure 19",
+        "normalized FCT vs load (web-search workload)",
+        &args,
     );
+    r.paper_claim(
+        "\"approximation has minimal effect on overall network behavior\" — the two pFabric \
+         series should track each other and beat DCTCP on small-flow FCT (§5.2, Figure 19).",
+    );
+    r.config_num("hosts", topo.hosts() as f64);
+    r.config_num("flows_per_point", flows as f64);
+    r.config_str(
+        "topology",
+        if paper_topo {
+            "paper (144-host)"
+        } else {
+            "small (32-host)"
+        },
+    );
+
     let systems = [
         ("DCTCP", System::Dctcp),
         ("pFabric", System::PfabricExact),
@@ -45,29 +60,22 @@ fn main() {
         ("99th percentile NFCT, flows (0, 100kB]", 2),
         ("Average NFCT, flows (10MB, inf)", 3),
     ] {
-        println!("\n--- {panel} ---");
-        let mut rows = Vec::new();
+        let mut sw = Sweep::new(panel, "load");
+        for (name, _) in &sweeps {
+            sw.add_series(*name, "normalized FCT", 2);
+        }
         for (li, &load) in loads.iter().enumerate() {
-            let mut row = vec![format!("{load:.1}")];
-            for (_, sweep) in &sweeps {
-                let v = match idx {
+            let row: Vec<f64> = sweeps
+                .iter()
+                .map(|(_, sweep)| match idx {
                     1 => sweep[li].1,
                     2 => sweep[li].2,
                     _ => sweep[li].3,
-                };
-                row.push(if v.is_nan() {
-                    "-".into()
-                } else {
-                    format!("{v:.2}")
-                });
-            }
-            rows.push(row);
+                })
+                .collect();
+            sw.push_row(load, &row);
         }
-        report::table(&["load", "DCTCP", "pFabric", "pFabric-Approx"], &rows);
+        r.push_sweep(sw);
     }
-    println!(
-        "\nPaper: \"approximation has minimal effect on overall network behavior\" — \
-         the two pFabric series should track each other and beat DCTCP on small-flow \
-         FCT."
-    );
+    r.finish(&args);
 }

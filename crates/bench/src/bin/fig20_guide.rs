@@ -1,14 +1,22 @@
 //! Figure 20 — "Decision tree for selecting a priority queue based on the
 //! characteristics of the scheduling algorithm", exercised on the paper's
-//! canonical policies.
+//! canonical policies. `--json <path>` records the outcome.
 
-use eiffel_bench::report;
+use eiffel_bench::report::{BenchReport, TextTable};
+use eiffel_bench::BenchArgs;
 use eiffel_core::{recommend, UseCase};
 
 fn main() {
-    report::banner(
-        "FIGURE 20 — queue selection decision tree",
-        "recommend() from eiffel-core::guide on the paper's canonical policies",
+    let args = BenchArgs::parse();
+    let mut r = BenchReport::new(
+        "fig20_guide",
+        "Figure 20",
+        "queue selection decision tree (recommend() from eiffel-core::guide)",
+        &args,
+    );
+    r.paper_claim(
+        "few levels → any priority queue; fixed range → FFS-based; moving range → cFFS, or the \
+         approximate queue when occupancy is dense and uniform (§6, Figure 20).",
     );
     let cases = [
         (
@@ -44,9 +52,11 @@ fn main() {
             },
         ),
     ];
-    let rows: Vec<Vec<String>> = cases
+    let mut t = TextTable::new("", &["policy", "recommendation"]);
+    t.rows = cases
         .iter()
         .map(|(name, uc)| vec![name.to_string(), format!("{:?}", recommend(uc))])
         .collect();
-    report::table(&["policy", "recommendation"], &rows);
+    r.push_table(t);
+    r.finish(&args);
 }

@@ -1,25 +1,10 @@
 //! Table 1 — "Proposed work in the context of the state of the art in
 //! scheduling": the capability matrix, tied to the implementations in this
-//! workspace.
+//! workspace. `--json <path>` records the matrix as a report.
 
-use eiffel_bench::{report, runners};
+use eiffel_bench::{runners, BenchArgs};
 
 fn main() {
-    report::banner(
-        "TABLE 1 — scheduler landscape",
-        "Flexibility columns: unit of scheduling, work conserving, shaping, programmable",
-    );
-    report::table(
-        &[
-            "System",
-            "Efficiency",
-            "HW/SW",
-            "Unit",
-            "WorkCons",
-            "Shaping",
-            "Prog",
-            "Notes",
-        ],
-        &runners::table1_rows(),
-    );
+    let args = BenchArgs::parse();
+    runners::table1_report(&args).finish(&args);
 }

@@ -1,0 +1,504 @@
+//! Minimal JSON value tree with a serializer and parser.
+//!
+//! The container has no crates.io access, so `BENCH_*.json` reports are
+//! produced by this hand-rolled implementation instead of `serde_json`.
+//! Scope is exactly what [`crate::report::BenchReport`] needs:
+//!
+//! * objects keep **insertion order** (reports read top-to-bottom),
+//! * numbers are `f64` (integers up to 2⁵³ round-trip exactly),
+//! * non-finite numbers serialize as `null` (JSON has no NaN — figure
+//!   harnesses use NaN for "no sample", e.g. empty FCT buckets),
+//! * strings escape the control characters, quotes and backslashes
+//!   required by RFC 8259.
+//!
+//! The parser exists so tests can round-trip reports and so integration
+//! tests can validate what the figure binaries wrote; it accepts exactly
+//! the JSON this module emits plus standard whitespace and escapes.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number. Non-finite values serialize as `null`.
+    Number(f64),
+    /// A string (unescaped in memory).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; pairs keep insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor: an object from key/value pairs.
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor: a string node.
+    pub fn string(s: impl Into<String>) -> JsonValue {
+        JsonValue::String(s.into())
+    }
+
+    /// Looks up a key in an object node; `None` for other node kinds.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string node.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number node.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean node.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array node.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the `BENCH_*.json` house style.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars stay on one line; nested structures
+                // get one element per line.
+                let flat = items
+                    .iter()
+                    .all(|i| !matches!(i, JsonValue::Array(_) | JsonValue::Object(_)));
+                if flat {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write_pretty(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        pad(out, indent + 1);
+                        item.write_pretty(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    pad(out, indent);
+                    out.push(']');
+                }
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits, which is all
+    /// of standard JSON except exponent-heavy number formats are
+    /// normalized through `f64`).
+    pub fn parse(text: &str) -> Result<JsonValue, ParseError> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.chars.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // JSON has no NaN/Infinity
+    } else if n == n.trunc() && n.abs() < 9e15 {
+        fmt::write(out, format_args!("{}", n as i64)).expect("string write");
+    } else {
+        fmt::write(out, format_args!("{n}")).expect("string write");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                fmt::write(out, format_args!("\\u{:04x}", c as u32)).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Error from [`JsonValue::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Character offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{c}'")))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, ParseError> {
+        for c in lit.chars() {
+            self.expect(c)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        match self.peek() {
+            Some('n') => self.literal("null", JsonValue::Null),
+            Some('t') => self.literal("true", JsonValue::Bool(true)),
+            Some('f') => self.literal("false", JsonValue::Bool(false)),
+            Some('"') => Ok(JsonValue::String(self.string()?)),
+            Some('[') => self.array(),
+            Some('{') => self.object(),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(JsonValue::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(JsonValue::Object(pairs)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Breadth-first iterator over every string payload in a document — used
+/// by tests asserting "series X appears somewhere in the report".
+pub fn all_strings(root: &JsonValue) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut queue: VecDeque<&JsonValue> = VecDeque::new();
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        match v {
+            JsonValue::String(s) => out.push(s.as_str()),
+            JsonValue::Array(items) => queue.extend(items.iter()),
+            JsonValue::Object(pairs) => queue.extend(pairs.iter().map(|(_, v)| v)),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            JsonValue::Null,
+            JsonValue::Bool(true),
+            JsonValue::Bool(false),
+            JsonValue::Number(0.0),
+            JsonValue::Number(-17.0),
+            JsonValue::Number(3.25),
+            JsonValue::Number(1e15),
+            JsonValue::string("plain"),
+        ] {
+            let text = v.to_pretty_string();
+            assert_eq!(JsonValue::parse(&text).unwrap(), v, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Number(f64::NAN).to_pretty_string(), "null\n");
+        assert_eq!(
+            JsonValue::Number(f64::INFINITY).to_pretty_string(),
+            "null\n"
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let nasty = "quote\" backslash\\ newline\n tab\t ctrl\u{1} unicode→é";
+        let v = JsonValue::string(nasty);
+        let text = v.to_pretty_string();
+        assert!(text.contains("\\\""));
+        assert!(text.contains("\\\\"));
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\\u0001"));
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_document_round_trips_preserving_order() {
+        let doc = JsonValue::object(vec![
+            ("zeta", JsonValue::Number(1.0)),
+            ("alpha", JsonValue::Array(vec![])),
+            (
+                "rows",
+                JsonValue::Array(vec![
+                    JsonValue::object(vec![
+                        ("flows", JsonValue::Number(100.0)),
+                        ("mbps", JsonValue::Number(9923.5)),
+                    ]),
+                    JsonValue::Null,
+                ]),
+            ),
+            ("empty", JsonValue::Object(vec![])),
+        ]);
+        let text = doc.to_pretty_string();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Key order survives (Vec-backed objects).
+        if let JsonValue::Object(pairs) = &back {
+            assert_eq!(pairs[0].0, "zeta");
+            assert_eq!(pairs[3].0, "empty");
+        } else {
+            panic!("expected object");
+        }
+    }
+
+    #[test]
+    fn integers_have_no_fraction_in_output() {
+        let text = JsonValue::Number(100_000.0).to_pretty_string();
+        assert_eq!(text, "100000\n");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"open", "nul", "{\"a\" 1}", "1 2"] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_foreign_whitespace_and_escapes() {
+        let text = "\t{ \"a\" : [ 1 , 2.5 , \"\\u0041\\/\" ] }\n";
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str().unwrap(),
+            "A/"
+        );
+    }
+
+    #[test]
+    fn all_strings_walks_everything() {
+        let doc = JsonValue::object(vec![
+            ("k", JsonValue::string("v1")),
+            ("arr", JsonValue::Array(vec![JsonValue::string("v2")])),
+        ]);
+        let strings = all_strings(&doc);
+        assert!(strings.contains(&"v1") && strings.contains(&"v2"));
+    }
+}

@@ -18,15 +18,27 @@
 //! | `fig18_approx_error` | Fig 18 (approx error vs occupancy) |
 //! | `fig19_pfabric_fct` | Fig 19 (normalized FCT vs load) |
 //! | `fig20_guide` | Fig 20 (queue-selection decision tree) |
+//!
+//! Every binary accepts `--quick` (scaled-down sweep) and `--json <path>`
+//! (write a machine-readable [`report::BenchReport`]; the
+//! `EIFFEL_BENCH_JSON` environment variable sets a default path). The
+//! committed `BENCH_*.json` baselines at the repo root are these reports —
+//! see the [`report`] module docs for the schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod microbench;
 pub mod report;
 pub mod runners;
 
+pub use report::BenchArgs;
+
 /// Parses the shared `--quick` flag used by every figure binary.
+///
+/// Prefer [`BenchArgs::parse`], which also handles `--json`; this remains
+/// for callers that only care about scaling.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }

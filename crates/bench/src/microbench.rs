@@ -6,6 +6,12 @@
 //! results are in million packets per second." We measure the drain phase
 //! (the min-find cost under study) and repeat fill+drain rounds until a
 //! time budget elapses.
+//!
+//! Units: the drain-rate functions return **Mpps** (million packets per
+//! second, drain phase only); [`approx_error_at_occupancy`] returns an
+//! **average bucket-index error** (dimensionless bucket distance). The
+//! figure binaries record these through [`crate::report::BenchReport`]
+//! with the same unit strings.
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,120 @@
+//! End-to-end checks of the `--json` report plumbing: run the real figure
+//! binaries (the same executables CI and operators run) and validate the
+//! reports they write against the `eiffel-bench-report/v1` schema.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use eiffel_bench::json::{all_strings, JsonValue};
+use eiffel_bench::report::SCHEMA;
+
+/// Runs a figure binary with `--quick --json <tmp>` and parses the report.
+fn run_and_parse(exe: &str, extra: &[&str]) -> JsonValue {
+    let mut path = PathBuf::from(
+        std::env::var("CARGO_TARGET_TMPDIR")
+            .unwrap_or_else(|_| std::env::temp_dir().to_string_lossy().into_owned()),
+    );
+    path.push(format!(
+        "report_{}.json",
+        PathBuf::from(exe)
+            .file_stem()
+            .expect("binary has a name")
+            .to_string_lossy()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut cmd = Command::new(exe);
+    cmd.args(extra).arg("--json").arg(&path);
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{exe} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    JsonValue::parse(&text).expect("report is valid JSON")
+}
+
+/// Schema-level assertions shared by every report.
+fn assert_schema(doc: &JsonValue, figure: &str) {
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+    assert_eq!(doc.get("figure").unwrap().as_str(), Some(figure));
+    for key in [
+        "artifact",
+        "title",
+        "paper_claim",
+        "quick",
+        "config",
+        "environment",
+        "sweeps",
+        "tables",
+        "notes",
+        "wall_secs",
+    ] {
+        assert!(doc.get(key).is_some(), "missing key {key}");
+    }
+    let env = doc.get("environment").unwrap();
+    for key in ["host", "cpus", "rustc", "profile", "date_utc", "cmdline"] {
+        assert!(env.get(key).is_some(), "missing environment key {key}");
+    }
+}
+
+#[test]
+fn fig12_quick_json_report_has_expected_series() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig12_hclock_scaling"), &["--quick"]);
+    assert_schema(&doc, "fig12_hclock_scaling");
+    assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 3, "two rate-limited panels + capacity panel");
+    let names: Vec<&str> = sweeps
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names[0].contains("10 Gbps line rate"), "{names:?}");
+    assert!(names[1].contains("5 Gbps"), "{names:?}");
+    assert!(names[2].contains("capacity"), "{names:?}");
+
+    for sweep in sweeps {
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        let series_names: Vec<&str> = series
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            series_names,
+            ["Eiffel-hClock", "hClock (min-heap)", "BESS tc"],
+            "every Figure 12 panel compares the same three schedulers"
+        );
+        let n_params = sweep.get("param_values").unwrap().as_array().unwrap().len();
+        assert!(
+            n_params >= 3,
+            "quick sweep still covers several flow counts"
+        );
+        for s in series {
+            let values = s.get("values").unwrap().as_array().unwrap();
+            assert_eq!(values.len(), n_params, "values align with param_values");
+            for v in values {
+                let rate = v.as_f64().expect("measured rates are numbers");
+                assert!(rate > 0.0, "rates are positive, got {rate}");
+            }
+        }
+    }
+    // The reconciled paper claim (the 40x/10x drift fix) travels with the
+    // data.
+    let claim = doc.get("paper_claim").unwrap().as_str().unwrap();
+    assert!(claim.contains("10x") && claim.contains("§5.1.2"), "{claim}");
+}
+
+#[test]
+fn table1_json_report_carries_the_matrix() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_table1_landscape"), &[]);
+    assert_schema(&doc, "table1_landscape");
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 1);
+    let rows = tables[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 6, "six systems in the landscape");
+    let strings = all_strings(&doc);
+    for sys in ["Eiffel", "hClock", "Carousel", "PIFO"] {
+        assert!(strings.contains(&sys), "missing system {sys}");
+    }
+}

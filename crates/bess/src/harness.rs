@@ -106,11 +106,21 @@ pub struct RateReport {
 /// BESS processes packets in batches of 32.
 pub const BATCH: usize = 32;
 
+/// Fraction of a [`measure_rate`] run spent as untimed warmup (see there).
+pub const WARMUP_FRACTION: f64 = 0.1;
+
 /// Busy-polls `sched` for `duration` (real time), topping the backlog up to
 /// `occupancy` packets from `gen` and draining in batches of [`BATCH`].
 ///
 /// `stamp` is the annotator hook: it ranks packets before they enter the
 /// scheduler (pFabric stamps remaining sizes here).
+///
+/// The first [`WARMUP_FRACTION`] of `duration` runs the same loop untimed:
+/// the pre-filled backlog is stamped at `now = 0`, so every flow's limit
+/// clock starts eligible and the whole backlog drains as one burst before
+/// rate limits bind. Counting only after the warmup keeps that artifact
+/// out of the reported steady-state rate (without it, reported rates
+/// exceed the configured aggregate limit at high occupancy).
 pub fn measure_rate<S: BessScheduler>(
     sched: &mut S,
     gen: &mut RoundRobinGen,
@@ -129,13 +139,25 @@ pub fn measure_rate<S: BessScheduler>(
             sched.enqueue(now0, p);
         }
     }
+    let warmup = duration.mul_f64(WARMUP_FRACTION);
+    let total = duration + warmup;
     let start = Instant::now();
     let mut sent_pkts = 0u64;
     let mut sent_bytes = 0u64;
+    let mut measured_from = Duration::ZERO;
+    let mut warming = true;
     loop {
         let elapsed = start.elapsed();
-        if elapsed >= duration {
+        if elapsed >= total {
             break;
+        }
+        if warming && elapsed >= warmup {
+            // Steady state reached: discard the warmup burst and start
+            // the measured window here.
+            warming = false;
+            sent_pkts = 0;
+            sent_bytes = 0;
+            measured_from = elapsed;
         }
         let now = elapsed.as_nanos() as Nanos;
         // Consumer side: one batch.
@@ -158,7 +180,7 @@ pub fn measure_rate<S: BessScheduler>(
             sched.enqueue(now, p);
         }
     }
-    let secs = start.elapsed().as_secs_f64();
+    let secs = (start.elapsed() - measured_from).as_secs_f64();
     RateReport {
         pps: sent_pkts as f64 / secs,
         mbps: sent_bytes as f64 * 8.0 / secs / 1e6,

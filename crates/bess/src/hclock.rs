@@ -48,6 +48,15 @@ struct FlowState {
     l_rank: Nanos,
     /// Share virtual time (weighted virtual bytes).
     s_rank: u64,
+    /// Packet size the memoized per-packet costs below were computed for
+    /// (`u64::MAX` = none yet; packet sizes are `u32` so it can't collide).
+    cost_bytes: u64,
+    /// Memoized `tx_time` of `cost_bytes` on the reservation clock.
+    r_cost: Nanos,
+    /// Memoized `tx_time` of `cost_bytes` on the limit clock.
+    l_cost: Nanos,
+    /// Memoized `cost_bytes / share`.
+    s_cost: u64,
 }
 
 impl FlowState {
@@ -58,6 +67,10 @@ impl FlowState {
             r_rank: 0,
             l_rank: 0,
             s_rank: 0,
+            cost_bytes: u64::MAX,
+            r_cost: 0,
+            l_cost: 0,
+            s_cost: 0,
         }
     }
 
@@ -66,16 +79,26 @@ impl FlowState {
     /// `f.r_rank += p.size / f.reservation` (ns),
     /// `f.l_rank += p.size / f.limit` (ns),
     /// `f.s_rank += p.size / f.share` (virtual bytes).
+    ///
+    /// The three divisions depend only on `(spec, bytes)`, and a flow's
+    /// packets are overwhelmingly one size (MTU or min-frame in every §5.1
+    /// workload), so the costs are memoized per flow and recomputed only
+    /// when the packet size changes — this halved the per-packet charge
+    /// cost in the Figure 12 hot path (see EXPERIMENTS.md).
     fn charge(&mut self, now: Nanos, bytes: u64) {
-        let r_cost = self
-            .spec
-            .reservation
-            .tx_time(bytes)
-            .unwrap_or(Nanos::MAX / 4);
-        let l_cost = self.spec.limit.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
-        self.r_rank = self.r_rank.max(now) + r_cost;
-        self.l_rank = self.l_rank.max(now) + l_cost;
-        self.s_rank += bytes / self.spec.share.max(1);
+        if bytes != self.cost_bytes {
+            self.cost_bytes = bytes;
+            self.r_cost = self
+                .spec
+                .reservation
+                .tx_time(bytes)
+                .unwrap_or(Nanos::MAX / 4);
+            self.l_cost = self.spec.limit.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+            self.s_cost = bytes / self.spec.share.max(1);
+        }
+        self.r_rank = self.r_rank.max(now) + self.r_cost;
+        self.l_rank = self.l_rank.max(now) + self.l_cost;
+        self.s_rank += self.s_cost;
     }
 }
 
@@ -293,11 +316,9 @@ impl HClockEiffel {
 
     /// Moves limit-gated flows whose `l_rank` arrived into the share queue.
     fn release_gated(&mut self, now: Nanos) {
-        while let Some(rank) = self.gated_q.peek_min_rank() {
-            if rank > now {
-                break;
-            }
-            let (_, (id, e)) = self.gated_q.dequeue_min().expect("peek said non-empty");
+        // `dequeue_min_le` fuses the eligibility peek with the pop: one
+        // bitmap descent per released flow instead of two.
+        while let Some((_, (id, e))) = self.gated_q.dequeue_min_le(now) {
             if self.epoch[id as usize] != e || self.location[id as usize] != Location::Gated {
                 continue; // stale
             }
@@ -326,12 +347,8 @@ impl HClockEiffel {
     /// Dequeues per the two-pass semantics — every step O(1) word ops.
     pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
         self.release_gated(now);
-        // Reservation pass.
-        while let Some(rank) = self.res_q.peek_min_rank() {
-            if rank > now {
-                break;
-            }
-            let (_, (id, e)) = self.res_q.dequeue_min().expect("peek said non-empty");
+        // Reservation pass (fused peek+pop, as in `release_gated`).
+        while let Some((_, (id, e))) = self.res_q.dequeue_min_le(now) {
             if self.epoch[id as usize] != e {
                 continue; // stale
             }

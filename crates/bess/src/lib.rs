@@ -24,7 +24,7 @@ pub mod pfabric;
 pub mod pktgen;
 pub mod tc;
 
-pub use harness::{measure_rate, BessScheduler, RateReport, BATCH};
+pub use harness::{measure_rate, BessScheduler, RateReport, BATCH, WARMUP_FRACTION};
 pub use hclock::{FlowSpec, HClockEiffel, HClockHeap};
 pub use pfabric::{PfabricEiffel, PfabricHeap};
 pub use pktgen::RoundRobinGen;

@@ -208,6 +208,40 @@ impl<T> CffsQueue<T> {
             start_rank,
         )
     }
+
+    /// Pops the minimum element only if its bucket-edge rank is ≤ `bound`;
+    /// otherwise leaves the queue untouched and returns `None`.
+    ///
+    /// Equivalent to `peek_min_rank()` + compare + `dequeue_min()`, but with
+    /// a single bitmap word-descent instead of two — the peek already found
+    /// the minimum bucket, so the pop reuses it. Like `dequeue_min`, the
+    /// window rotates only when an element actually leaves; a rejected probe
+    /// must not advance `h_index`, or ranks that were still inside the old
+    /// primary window would arrive clamped and be released a span late.
+    /// Time-indexed consumers (shapers, the hClock reservation/limit clocks)
+    /// call this once per service with `bound = now`, which halves the
+    /// descent cost of their hot loop; see
+    /// `BENCH_fig12_hclock_scaling.json`.
+    pub fn dequeue_min_le(&mut self, bound: u64) -> Option<(u64, T)> {
+        let (half, base) = if self.primary_ref().core_len() > 0 {
+            (self.primary, self.h_index)
+        } else if self.secondary_ref().core_len() > 0 {
+            (1 - self.primary, self.h_index + self.span())
+        } else {
+            return None;
+        };
+        let b = self.halves[half].min_bucket().expect("half is non-empty");
+        if base + b as u64 * self.granularity > bound {
+            return None;
+        }
+        if half != self.primary {
+            self.rotate();
+        }
+        let (rank, item) = self.halves[half]
+            .pop_bucket(b)
+            .expect("min_bucket said non-empty");
+        Some((rank, item))
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +327,70 @@ mod tests {
         q.enqueue(1_000_050, 3).unwrap();
         assert_eq!(q.h_index(), 1_000_000);
         assert_eq!(q.dequeue_min().unwrap().0, 1_000_050);
+    }
+
+    #[test]
+    fn dequeue_min_le_matches_peek_then_pop() {
+        // Reference semantics: pop iff peek_min_rank() ≤ bound.
+        let mut fused: CffsQueue<u64> = CffsQueue::new(16, 10, 0);
+        let mut split: CffsQueue<u64> = CffsQueue::new(16, 10, 0);
+        let ranks = [5u64, 5, 42, 160, 170, 170, 319, 500];
+        for &r in &ranks {
+            fused.enqueue(r, r).unwrap();
+            split.enqueue(r, r).unwrap();
+        }
+        for bound in [0u64, 4, 5, 50, 100, 165, 200, 320, 1_000, 5_000] {
+            loop {
+                let expect = match split.peek_min_rank() {
+                    Some(edge) if edge <= bound => split.dequeue_min(),
+                    _ => None,
+                };
+                let got = fused.dequeue_min_le(bound);
+                assert_eq!(got, expect, "bound {bound}");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(fused.is_empty() && split.is_empty());
+    }
+
+    #[test]
+    fn dequeue_min_le_rotates_into_secondary() {
+        let mut q: CffsQueue<u32> = CffsQueue::new(4, 1, 0);
+        // Only the secondary window [4, 8) is occupied.
+        q.enqueue(6, 1).unwrap();
+        assert_eq!(q.dequeue_min_le(5), None, "6 is not yet due at bound 5");
+        assert_eq!(q.dequeue_min_le(6), Some((6, 1)));
+        assert_eq!(q.dequeue_min_le(u64::MAX), None, "drained");
+    }
+
+    #[test]
+    fn rejected_probe_does_not_rotate_the_window() {
+        // Regression: an ineligible dequeue_min_le on a secondary-only
+        // queue must NOT advance the window. If it did, a later enqueue of
+        // a rank still inside the old primary window would clamp into
+        // bucket 0 (edge = new h_index) and be held a full span past due.
+        let mut q: CffsQueue<u32> = CffsQueue::new(4, 1, 0);
+        q.enqueue(6, 6).unwrap(); // secondary window [4, 8)
+        assert_eq!(q.dequeue_min_le(0), None);
+        assert_eq!(q.h_index(), 0, "rejected probe left the window alone");
+        q.enqueue(2, 2).unwrap(); // still representable in the primary
+        assert_eq!(q.stats().clamped_low, 0);
+        assert_eq!(q.dequeue_min_le(2), Some((2, 2)), "due at its true rank");
+        assert_eq!(q.dequeue_min_le(5), None);
+        assert_eq!(q.dequeue_min_le(6), Some((6, 6)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn dequeue_min_le_uses_bucket_edge_like_peek() {
+        // 523 lives in bucket [500, 600): eligible from bound 500 onwards,
+        // exactly when peek_min_rank() (the timer deadline) says so.
+        let mut q: CffsQueue<u32> = CffsQueue::new(10, 100, 0);
+        q.enqueue(523, 1).unwrap();
+        assert_eq!(q.dequeue_min_le(499), None);
+        assert_eq!(q.dequeue_min_le(500), Some((523, 1)));
     }
 
     #[test]

@@ -79,6 +79,19 @@ impl<T> HierFfsQueue<T> {
             .map(|b| self.base + b as u64 * self.granularity)
     }
 
+    /// Pops the oldest element of bucket `bucket` directly, maintaining the
+    /// occupancy bitmap. The fast half of a fused find-then-pop: callers
+    /// that already located the minimum bucket (and perhaps rejected it
+    /// against an eligibility bound) pop it without a second FFS descent —
+    /// see [`crate::CffsQueue::dequeue_min_le`].
+    pub fn pop_bucket(&mut self, bucket: usize) -> Option<(u64, T)> {
+        let out = self.buckets.pop(bucket);
+        if out.is_some() && self.buckets.bucket_is_empty(bucket) {
+            self.bitmap.clear(bucket);
+        }
+        out
+    }
+
     /// Rank lower edge of the first non-empty bucket whose rank is ≥ `rank`.
     pub fn peek_min_rank_from(&self, rank: u64) -> Option<u64> {
         let from = match rank.checked_sub(self.base) {

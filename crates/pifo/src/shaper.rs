@@ -94,11 +94,8 @@ impl<T> Shaper<T> {
 
     /// Releases every item due at or before `now`, in release-time order.
     pub fn release_due(&mut self, now: Nanos, out: &mut Vec<(Nanos, T)>) {
-        while let Some(ts) = self.queue.peek_min_rank() {
-            if ts > now {
-                break;
-            }
-            let (ts, item) = self.queue.dequeue_min().expect("peek said non-empty");
+        // Fused peek+pop: one bitmap descent per released item.
+        while let Some((ts, item)) = self.queue.dequeue_min_le(now) {
             out.push((ts, item));
         }
     }

@@ -65,10 +65,8 @@ impl ShaperQdisc for EiffelQdisc {
     }
 
     fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
-        match self.queue.peek_min_rank() {
-            Some(ts) if ts <= now => self.queue.dequeue_min().map(|(_, p)| p),
-            _ => None,
-        }
+        // Fused peek+pop: one bitmap descent per released packet.
+        self.queue.dequeue_min_le(now).map(|(_, p)| p)
     }
 
     fn next_deadline(&self, _now: Nanos) -> Option<Nanos> {
