@@ -1,0 +1,66 @@
+//! Criterion microbenchmark of the discrete-event scheduler backends:
+//! the `BinaryHeap` baseline (`eiffel_sim::EventQueue`) vs the
+//! FFS-bucketed timing wheel (`eiffel_sim::BucketedEventQueue`).
+//!
+//! Workload is the classic *hold model*: the queue is pre-loaded with a
+//! fixed population of pending events, then every iteration pops the next
+//! event and reschedules it a pseudo-random delta into the future —
+//! steady-state churn at constant occupancy, the access pattern a
+//! simulation event loop produces. A fraction of deltas lands beyond the
+//! wheel horizon so the overflow level is exercised too (RTO-style
+//! timers). The comparison-based heap degrades with the pending-event
+//! population; the wheel's FFS descent does not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use eiffel_sim::{BucketedEventQueue, EventQueue, EventScheduler, SplitMix64};
+
+/// Pending-event populations: a quick fig19 point holds a few hundred
+/// events; a full-scale run tens of thousands (pre-generated arrivals).
+const POPULATIONS: [usize; 3] = [500, 5_000, 50_000];
+
+/// Delta distribution: mostly sub-horizon (serialization, propagation,
+/// ACK latencies), occasionally far future (RTO-scale, overflow level).
+fn next_delta(rng: &mut SplitMix64) -> u64 {
+    if rng.next_below(64) == 0 {
+        1_000_000 + rng.next_below(4_000_000) // RTO-scale: overflow level
+    } else {
+        1 + rng.next_below(6_000) // in-wheel: µs-scale fabric events
+    }
+}
+
+fn hold<S: EventScheduler<u64>>(q: &mut S, rng: &mut SplitMix64) {
+    let (at, ev) = q.pop().expect("hold model keeps population constant");
+    q.schedule(at + next_delta(rng), black_box(ev));
+}
+
+fn scheduler_hold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_scheduler_hold");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    group.sample_size(30);
+    for &n in &POPULATIONS {
+        group.bench_function(BenchmarkId::new("binary_heap", n), |b| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut rng = SplitMix64::new(0xE7);
+            for i in 0..n as u64 {
+                q.schedule(rng.next_below(60_000), i);
+            }
+            b.iter(|| hold(&mut q, &mut rng));
+        });
+        group.bench_function(BenchmarkId::new("ffs_wheel", n), |b| {
+            let mut q: BucketedEventQueue<u64> = BucketedEventQueue::new();
+            let mut rng = SplitMix64::new(0xE7);
+            for i in 0..n as u64 {
+                EventScheduler::schedule(&mut q, rng.next_below(60_000), i);
+            }
+            b.iter(|| hold(&mut q, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_hold);
+criterion_main!(benches);

@@ -4,78 +4,15 @@
 //!
 //! Default: the scaled (32-host) fabric with the full load sweep.
 //! `--quick`: fewer loads/flows. `--paper`: the 144-host topology.
-//! `--json <path>` records the run.
+//! `--json <path>` records the run. The report also carries the dcsim
+//! event-loop throughput per system and a heap-vs-wheel scheduler backend
+//! comparison (see `eiffel_bench::runners::fig19_report`).
 
-use eiffel_bench::report::{BenchReport, Sweep};
 use eiffel_bench::{runners, BenchArgs};
-use eiffel_dcsim::{System, Topology};
 
 fn main() {
     let args = BenchArgs::parse();
     let paper_topo = std::env::args().any(|a| a == "--paper");
-    let topo = if paper_topo {
-        Topology::paper()
-    } else {
-        Topology::small()
-    };
-    let loads: Vec<f64> = if args.quick {
-        vec![0.2, 0.4, 0.6]
-    } else {
-        vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
-    };
-    let flows = if args.quick { 200 } else { 1_000 };
-    let mut r = BenchReport::new(
-        "fig19_pfabric_fct",
-        "Figure 19",
-        "normalized FCT vs load (web-search workload)",
-        &args,
-    );
-    r.paper_claim(
-        "\"approximation has minimal effect on overall network behavior\" — the two pFabric \
-         series should track each other and beat DCTCP on small-flow FCT (§5.2, Figure 19).",
-    );
-    r.config_num("hosts", topo.hosts() as f64);
-    r.config_num("flows_per_point", flows as f64);
-    r.config_str(
-        "topology",
-        if paper_topo {
-            "paper (144-host)"
-        } else {
-            "small (32-host)"
-        },
-    );
-
-    let systems = [
-        ("DCTCP", System::Dctcp),
-        ("pFabric", System::PfabricExact),
-        ("pFabric-Approx", System::PfabricApprox),
-    ];
-    let mut sweeps = Vec::new();
-    for (name, sys) in systems {
-        let rows = runners::pfabric_fct_sweep(sys, topo, &loads, flows, 0xF19);
-        sweeps.push((name, rows));
-    }
-    for (panel, idx) in [
-        ("Average NFCT, flows (0, 100kB]", 1usize),
-        ("99th percentile NFCT, flows (0, 100kB]", 2),
-        ("Average NFCT, flows (10MB, inf)", 3),
-    ] {
-        let mut sw = Sweep::new(panel, "load");
-        for (name, _) in &sweeps {
-            sw.add_series(*name, "normalized FCT", 2);
-        }
-        for (li, &load) in loads.iter().enumerate() {
-            let row: Vec<f64> = sweeps
-                .iter()
-                .map(|(_, sweep)| match idx {
-                    1 => sweep[li].1,
-                    2 => sweep[li].2,
-                    _ => sweep[li].3,
-                })
-                .collect();
-            sw.push_row(load, &row);
-        }
-        r.push_sweep(sw);
-    }
-    r.finish(&args);
+    let scale = runners::Fig19Scale::from_args(&args, paper_topo);
+    runners::fig19_report(&args, &scale).finish(&args);
 }

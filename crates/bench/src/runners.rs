@@ -8,13 +8,13 @@
 //! parse-args-and-finish wrapper, and tests/CI validate the same
 //! [`BenchReport`] the operator records with `--json`.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use eiffel_bess::{
     measure_rate, BessTc, FlowSpec, HClockEiffel, HClockHeap, PfabricEiffel, PfabricHeap,
     RoundRobinGen, WARMUP_FRACTION,
 };
-use eiffel_dcsim::{SimConfig, System, Topology};
+use eiffel_dcsim::{run_with, SchedulerBackend, SimConfig, System, Topology};
 use eiffel_qdisc::{CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport};
 use eiffel_sim::{Nanos, Packet, Rate, SECOND};
 
@@ -242,27 +242,216 @@ pub fn pfabric_max_rate(eiffel: bool, flows: usize, dur: Duration) -> f64 {
     report.mbps
 }
 
-/// One Figure 19 sweep: runs a system over the given loads, returning
-/// `(load, avg_small, p99_small, avg_large)` rows.
+/// One Figure 19 measurement point: FCT panels plus the event-loop
+/// throughput counter (the runner-level before/after metric for the
+/// scheduler work — see [`fig19_report`]).
+#[derive(Debug, Clone)]
+pub struct FctPoint {
+    /// Offered load fraction.
+    pub load: f64,
+    /// Average normalized FCT, (0, 100 kB] flows.
+    pub avg_small: f64,
+    /// 99th-percentile normalized FCT, (0, 100 kB] flows.
+    pub p99_small: f64,
+    /// Average normalized FCT, (10 MB, ∞) flows.
+    pub avg_large: f64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+}
+
+impl FctPoint {
+    /// Event-loop throughput in million events per second.
+    pub fn mev_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs / 1e6
+    }
+}
+
+/// One Figure 19 sweep: runs a system over the given loads on an explicit
+/// scheduler backend, timing each point.
 pub fn pfabric_fct_sweep(
     system: System,
     topo: Topology,
     loads: &[f64],
     flows: usize,
     seed: u64,
-) -> Vec<(f64, f64, f64, f64)> {
+    backend: SchedulerBackend,
+) -> Vec<FctPoint> {
     loads
         .iter()
         .map(|&load| {
-            let r = eiffel_dcsim::run(SimConfig::new(topo, system, load, flows, seed));
-            (
+            let t = Instant::now();
+            let r = run_with(SimConfig::new(topo, system, load, flows, seed), backend);
+            FctPoint {
                 load,
-                r.summary.avg_small.unwrap_or(f64::NAN),
-                r.summary.p99_small.unwrap_or(f64::NAN),
-                r.summary.avg_large.unwrap_or(f64::NAN),
-            )
+                avg_small: r.summary.avg_small.unwrap_or(f64::NAN),
+                p99_small: r.summary.p99_small.unwrap_or(f64::NAN),
+                avg_large: r.summary.avg_large.unwrap_or(f64::NAN),
+                events: r.counters.events,
+                wall_secs: t.elapsed().as_secs_f64(),
+            }
         })
         .collect()
+}
+
+/// The Figure 19 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG19_PAPER_CLAIM: &str = "\"approximation has minimal effect on overall network \
+     behavior\" — the two pFabric series should track each other and beat DCTCP on small-flow \
+     FCT (§5.2, Figure 19).";
+
+/// Scale knobs of the Figure 19 harness, so tests drive miniatures of the
+/// exact code path the binary records.
+#[derive(Debug, Clone)]
+pub struct Fig19Scale {
+    /// Load sweep points.
+    pub loads: Vec<f64>,
+    /// Flow arrivals per point.
+    pub flows: usize,
+    /// Use the paper's 144-host fabric instead of the scaled 32-host one.
+    pub paper_topo: bool,
+}
+
+impl Fig19Scale {
+    /// Scale chosen from the shared `--quick` flag and a `--paper` request.
+    pub fn from_args(args: &BenchArgs, paper_topo: bool) -> Self {
+        Fig19Scale {
+            loads: if args.quick {
+                vec![0.2, 0.4, 0.6]
+            } else {
+                vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+            },
+            flows: if args.quick { 200 } else { 1_000 },
+            paper_topo,
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig19Scale {
+            loads: vec![0.3, 0.6],
+            flows: 30,
+            paper_topo: false,
+        }
+    }
+}
+
+/// Builds the complete Figure 19 report: the paper's three normalized-FCT
+/// panels (DCTCP vs pFabric vs pFabric-Approx across load), plus two
+/// event-loop panels — per-system events-per-second on the FFS-wheel
+/// scheduler, and a heap-vs-wheel backend comparison at the highest load
+/// (the runner-level counter pairing the `event_scheduler` criterion
+/// microbench).
+pub fn fig19_report(args: &BenchArgs, scale: &Fig19Scale) -> BenchReport {
+    let topo = if scale.paper_topo {
+        Topology::paper()
+    } else {
+        Topology::small()
+    };
+    let mut r = BenchReport::new(
+        "fig19_pfabric_fct",
+        "Figure 19",
+        "normalized FCT vs load (web-search workload)",
+        args,
+    );
+    r.paper_claim(FIG19_PAPER_CLAIM);
+    r.config_num("hosts", topo.hosts() as f64);
+    r.config_num("flows_per_point", scale.flows as f64);
+    r.config_str(
+        "topology",
+        if scale.paper_topo {
+            "paper (144-host)"
+        } else {
+            "small (32-host)"
+        },
+    );
+    r.config_str("scheduler", "eiffel_sim::BucketedEventQueue (FFS wheel)");
+
+    let systems = [
+        ("DCTCP", System::Dctcp),
+        ("pFabric", System::PfabricExact),
+        ("pFabric-Approx", System::PfabricApprox),
+    ];
+    let mut sweeps = Vec::new();
+    for (name, sys) in systems {
+        let rows = pfabric_fct_sweep(
+            sys,
+            topo,
+            &scale.loads,
+            scale.flows,
+            0xF19,
+            SchedulerBackend::FfsWheel,
+        );
+        sweeps.push((name, rows));
+    }
+    type Panel = (&'static str, fn(&FctPoint) -> f64);
+    let panels: [Panel; 3] = [
+        ("Average NFCT, flows (0, 100kB]", |p| p.avg_small),
+        ("99th percentile NFCT, flows (0, 100kB]", |p| p.p99_small),
+        ("Average NFCT, flows (10MB, inf)", |p| p.avg_large),
+    ];
+    for (panel, pick) in panels {
+        let mut sw = Sweep::new(panel, "load");
+        for (name, _) in &sweeps {
+            sw.add_series(*name, "normalized FCT", 2);
+        }
+        for (li, &load) in scale.loads.iter().enumerate() {
+            let row: Vec<f64> = sweeps.iter().map(|(_, sweep)| pick(&sweep[li])).collect();
+            sw.push_row(load, &row);
+        }
+        r.push_sweep(sw);
+    }
+    // Event-loop throughput: the runner-level counter for the scheduler
+    // and frame-path optimization work.
+    let mut sw = Sweep::new("dcsim event-loop throughput (FFS-wheel scheduler)", "load");
+    for (name, _) in &sweeps {
+        sw.add_series(*name, "Mev/s", 2);
+    }
+    for (li, &load) in scale.loads.iter().enumerate() {
+        let row: Vec<f64> = sweeps
+            .iter()
+            .map(|(_, sweep)| sweep[li].mev_per_sec())
+            .collect();
+        sw.push_row(load, &row);
+    }
+    r.push_sweep(sw);
+    // Backend comparison at the highest load: same simulation, binary-heap
+    // event queue vs the FFS-bucketed wheel. Event sequences are
+    // deterministic and identical across backends (asserted here).
+    let &cmp_load = scale.loads.last().expect("at least one load");
+    let mut sw = Sweep::new(
+        format!("event scheduler backend comparison (pFabric, load {cmp_load})"),
+        "backend",
+    );
+    sw.add_series("wall time", "s", 3);
+    sw.add_series("event rate", "Mev/s", 2);
+    let mut event_counts = Vec::new();
+    for (label, backend) in [
+        ("BinaryHeap baseline", SchedulerBackend::BinaryHeap),
+        ("FFS wheel", SchedulerBackend::FfsWheel),
+    ] {
+        let p = pfabric_fct_sweep(
+            System::PfabricExact,
+            topo,
+            &[cmp_load],
+            scale.flows,
+            0xF19,
+            backend,
+        );
+        event_counts.push(p[0].events);
+        sw.push_row(label, &[p[0].wall_secs, p[0].mev_per_sec()]);
+    }
+    assert_eq!(
+        event_counts[0], event_counts[1],
+        "backends must run bit-identical simulations"
+    );
+    r.push_sweep(sw);
+    r.note(format!(
+        "Backend comparison processed identical event sequences ({} events) — the wheel \
+         changes wall time only, never results.",
+        event_counts[0]
+    ));
+    r
 }
 
 /// Table 1 rows, tied to the implementations in this workspace.
@@ -394,5 +583,33 @@ mod tests {
         let rows = table1_rows();
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().any(|r| r[0] == "Eiffel"));
+    }
+
+    /// The exact Figure 19 report path at miniature scale: panel/series
+    /// shape, the event-loop counters, the backend-comparison assertion,
+    /// and a JSON round trip.
+    #[test]
+    fn fig19_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig19_report(&args, &Fig19Scale::tiny());
+        assert_eq!(r.sweeps.len(), 5, "3 NFCT panels + throughput + backends");
+        for sweep in &r.sweeps[..3] {
+            assert_eq!(sweep.series.len(), 3, "DCTCP, pFabric, pFabric-Approx");
+            assert_eq!(sweep.param_values.len(), 2, "tiny load sweep");
+        }
+        let throughput = &r.sweeps[3];
+        for s in &throughput.series {
+            assert_eq!(s.unit, "Mev/s");
+            assert!(s.values.iter().all(|&v| v > 0.0), "positive event rates");
+        }
+        let backends = &r.sweeps[4];
+        assert_eq!(backends.param_values.len(), 2, "heap and wheel rows");
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig19_pfabric_fct")
+        );
+        assert_eq!(doc.get("sweeps").unwrap().as_array().unwrap().len(), 5);
     }
 }

@@ -1,0 +1,75 @@
+//! Lazily-grown sequence bitmap for receiver / SACK state.
+//!
+//! The simulator pre-creates every flow of a run, so per-flow state must be
+//! cheap until the flow actually carries traffic. `SeqBits` replaces the
+//! old `Vec<bool>` (one byte per packet, allocated for the full flow size
+//! at flow creation) with a word bitmap that starts empty and grows only
+//! when a sequence is first marked — 8× denser, and flows that never start
+//! (or short prefixes of long flows) allocate next to nothing.
+
+/// A growable set of `u32` sequence numbers backed by 64-bit words.
+#[derive(Debug, Clone, Default)]
+pub struct SeqBits {
+    words: Vec<u64>,
+    ones: u32,
+}
+
+impl SeqBits {
+    /// An empty set; no allocation until the first [`SeqBits::set`].
+    pub fn new() -> Self {
+        SeqBits::default()
+    }
+
+    /// Number of distinct sequences marked.
+    pub fn count(&self) -> u32 {
+        self.ones
+    }
+
+    /// Whether `seq` is marked.
+    pub fn test(&self, seq: u32) -> bool {
+        let w = (seq / 64) as usize;
+        self.words
+            .get(w)
+            .is_some_and(|&x| x & (1 << (seq % 64)) != 0)
+    }
+
+    /// Marks `seq`; returns `true` if it was newly set.
+    pub fn set(&mut self, seq: u32) -> bool {
+        let w = (seq / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (seq % 64);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.ones += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_idempotent_and_counts() {
+        let mut b = SeqBits::new();
+        assert!(!b.test(100));
+        assert!(b.set(100));
+        assert!(!b.set(100), "second set reports not-new");
+        assert!(b.set(0));
+        assert!(b.set(6_000));
+        assert_eq!(b.count(), 3);
+        assert!(b.test(0) && b.test(100) && b.test(6_000));
+        assert!(!b.test(99) && !b.test(101));
+    }
+
+    #[test]
+    fn empty_set_allocates_nothing() {
+        let b = SeqBits::new();
+        assert_eq!(b.words.capacity(), 0);
+        assert!(!b.test(u32::MAX));
+    }
+}

@@ -5,6 +5,11 @@
 //! and the ECN Congestion Experienced bit DCTCP marks in switches.
 
 /// One data packet in flight.
+///
+/// Small and `Copy`: frames travel through ports and the event queue by
+/// value, with no heap state attached. The route itself lives in the
+/// per-flow table ([`Path`](crate::Path)); the frame carries only its
+/// current hop index, so no per-hop path scan (or allocation) is needed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Frame {
     /// Flow index.
@@ -16,6 +21,9 @@ pub struct Frame {
     /// pFabric priority: the flow's remaining size (packets) when this
     /// frame was (re)transmitted. Lower = more urgent.
     pub rank: u32,
+    /// Index into the flow's [`Path`](crate::Path) of the port currently
+    /// holding (or serializing) this frame.
+    pub hop: u8,
     /// ECN Congestion Experienced — set by DCTCP switches above threshold.
     pub ce: bool,
 }
@@ -24,13 +32,14 @@ pub struct Frame {
 pub const MTU_BYTES: u32 = 1_500;
 
 impl Frame {
-    /// A full-sized data frame.
+    /// A full-sized data frame entering the network at hop 0.
     pub fn data(flow: u32, seq: u32, rank: u32) -> Self {
         Frame {
             flow,
             seq,
             bytes: MTU_BYTES,
             rank,
+            hop: 0,
             ce: false,
         }
     }

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod frame;
 pub mod queues;
 pub mod sim;
@@ -22,8 +23,9 @@ pub mod stats;
 pub mod topology;
 pub mod transport;
 
+pub use bits::SeqBits;
 pub use frame::Frame;
 pub use queues::{PfabricVariant, PortQueue, Verdict};
-pub use sim::{run, SimConfig, SimCounters, SimResult, System};
+pub use sim::{run, run_with, SchedulerBackend, SimConfig, SimCounters, SimResult, System};
 pub use stats::{FctRecord, Summary};
-pub use topology::Topology;
+pub use topology::{Path, Topology};

@@ -88,10 +88,10 @@ impl PfabricPq {
     fn peek_max_rank(&self) -> Option<u64> {
         match self {
             PfabricPq::Exact(q) => q.peek_max_rank(),
-            // The approximate queue has no max-peek; eviction decisions use
-            // the exact scan inside dequeue_max. Compare against the cap:
-            // admit and evict, unless the arrival itself is the worst.
-            PfabricPq::Approx(_) => None,
+            // Exact max-peek via the cached-bound scan: the admission test
+            // no longer pays a full counter scan (plus an eviction and
+            // re-enqueue round trip) on every arrival at a full port.
+            PfabricPq::Approx(q) => q.peek_max_rank(),
         }
     }
 
@@ -116,8 +116,9 @@ pub enum PortQueue {
     },
     /// pFabric: priority scheduling + priority dropping.
     Pfabric {
-        /// The ranked queue.
-        pq: PfabricPq,
+        /// The ranked queue, boxed so the per-port array stride stays one
+        /// cache line for every variant.
+        pq: Box<PfabricPq>,
         /// Capacity in packets.
         cap: usize,
     },
@@ -136,7 +137,7 @@ impl PortQueue {
     /// pFabric port with `cap` packets of buffer.
     pub fn pfabric(variant: PfabricVariant, cap: usize) -> Self {
         PortQueue::Pfabric {
-            pq: PfabricPq::new(variant),
+            pq: Box::new(PfabricPq::new(variant)),
             cap,
         }
     }
@@ -171,19 +172,17 @@ impl PortQueue {
                 let rank = frame.rank.min(RANK_CAP) as u64;
                 if pq.len() >= *cap {
                     // Priority drop: evict the worst, unless the arrival is
-                    // at least as bad as the current worst.
-                    if let Some(max) = pq.peek_max_rank() {
-                        if rank >= max {
-                            return Verdict::Dropped(frame);
-                        }
-                    }
-                    let evicted = pq.dequeue_max().expect("full queue has a max");
-                    if evicted.0 <= rank {
-                        // (approx path, no peek): arrival is the worst after
-                        // all — put the evictee back and drop the arrival.
-                        pq.enqueue(evicted.0, evicted.1);
+                    // at least as bad as the current worst. Both variants
+                    // answer the admission test exactly (FFS bitmap /
+                    // occupancy bitmap), so past this guard the arrival
+                    // strictly beats the evictee (granularity 1: the max
+                    // bucket's stored ranks all equal `max`).
+                    let max = pq.peek_max_rank().expect("full queue has a max");
+                    if rank >= max {
                         return Verdict::Dropped(frame);
                     }
+                    let evicted = pq.dequeue_max().expect("full queue has a max");
+                    debug_assert!(evicted.0 > rank, "admission test said strictly better");
                     pq.enqueue(rank, frame);
                     return Verdict::Dropped(evicted.1);
                 }

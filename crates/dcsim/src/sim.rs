@@ -4,19 +4,27 @@
 //! pFabric [`transport`](crate::transport) state machines, web-search flow
 //! sizes under Poisson arrivals, and flow-completion-time recording.
 //!
+//! The event loop itself runs on Eiffel's own machinery: the default
+//! scheduler is [`eiffel_sim::BucketedEventQueue`], the FFS-bucketed timing
+//! wheel, with the original [`eiffel_sim::EventQueue`] binary heap kept as
+//! a selectable baseline ([`SchedulerBackend`]) — both fire events in
+//! identical `(time, insertion-order)` order, so results are bit-identical
+//! across backends (asserted in tests and the fig19 runner).
+//!
 //! Simplifications relative to the authors' ns-2 setup, chosen to preserve
 //! the comparison (identical across the three systems; see DESIGN.md):
 //! ACKs are delivered after the path's uncontended reverse latency instead
 //! of traversing queues (ACK load ≲ 3% and pFabric gives ACKs the highest
 //! priority anyway), and ECMP hashes per flow rather than per packet.
 
-use eiffel_sim::{EventQueue, Nanos, SplitMix64};
+use eiffel_sim::{BucketedEventQueue, EventQueue, EventScheduler, Nanos, SplitMix64};
 use eiffel_workloads::{FlowSizeDist, PoissonArrivals};
 
+use crate::bits::SeqBits;
 use crate::frame::{Frame, MTU_BYTES};
 use crate::queues::{PfabricVariant, PortQueue, Verdict};
 use crate::stats::{FctRecord, Summary};
-use crate::topology::{Topology, PROP_DELAY};
+use crate::topology::{Path, Topology, MAX_HOPS, PROP_DELAY};
 use crate::transport::{Dctcp, PfabricTx};
 
 /// Which system the fabric runs.
@@ -28,6 +36,16 @@ pub enum System {
     PfabricExact,
     /// pFabric with approximate gradient priority queues.
     PfabricApprox,
+}
+
+/// Which event scheduler drives the simulation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerBackend {
+    /// The comparison-based `BinaryHeap` baseline (`eiffel_sim::EventQueue`).
+    BinaryHeap,
+    /// Eiffel's FFS-bucketed timing wheel with an overflow level
+    /// (`eiffel_sim::BucketedEventQueue`) — the default.
+    FfsWheel,
 }
 
 /// Simulation parameters.
@@ -87,16 +105,26 @@ struct Flow {
     #[allow(dead_code)]
     dst: usize,
     size: u32,
-    path: Vec<usize>,
+    /// The ECMP route, inline (`Copy`) — no heap allocation per flow.
+    path: Path,
     start: Nanos,
     finish: Option<Nanos>,
     tx: Tx,
     /// Receiver state: next expected (DCTCP) or received bitmap (pFabric).
     rcv_nxt: u32,
-    rcv_seen: Vec<bool>,
-    rcv_count: u32,
+    rcv_seen: SeqBits,
     rto_epoch: u64,
     rto_armed: bool,
+    /// Absolute time the armed retransmission timer should really fire.
+    /// Progress ACKs usually push this *forward* without touching the
+    /// event queue; a timer that fires early re-arms itself at the updated
+    /// deadline (classic timer coalescing — one pending timer per flow).
+    /// The rare backward move (progress resets a backed-off timer to a
+    /// sooner deadline) falls back to cancel + fresh schedule.
+    rto_deadline: Nanos,
+    /// Absolute time the currently pending `Ev::Rto` will pop — needed to
+    /// detect deadline moves the pending event would fire *after*.
+    rto_fires_at: Nanos,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -105,8 +133,8 @@ enum Ev {
     Arrive(u32),
     /// Port finished serializing its current frame.
     PortFree(u32),
-    /// Frame reaches the input of port `path[hop]` of its flow.
-    EnterPort { frame: Frame, hop: u8 },
+    /// Frame reaches the input of the port at its own `hop` index.
+    EnterPort(Frame),
     /// Frame reaches the destination host.
     Receive(Frame),
     /// ACK reaches the sender.
@@ -146,17 +174,22 @@ pub struct SimResult {
     pub counters: SimCounters,
 }
 
-struct Sim {
+struct Sim<S> {
     cfg: SimConfig,
-    events: EventQueue<Ev>,
+    events: S,
     flows: Vec<Flow>,
     ports: Vec<PortQueue>,
     port_busy: Vec<Option<Frame>>,
+    /// Memoized MTU serialization time per port (the only frame size the
+    /// data path emits) — no division on the per-frame path.
+    port_tx_mtu: Vec<Nanos>,
+    /// Memoized 40 B reverse-path latency per hop count.
+    ack_lat: [Nanos; MAX_HOPS + 1],
     counters: SimCounters,
 }
 
-impl Sim {
-    fn new(cfg: SimConfig) -> Self {
+impl<S: EventScheduler<Ev>> Sim<S> {
+    fn new(cfg: SimConfig, events: S) -> Self {
         let topo = cfg.topo;
         let mut ports = Vec::with_capacity(topo.ports());
         for p in 0..topo.ports() {
@@ -177,12 +210,25 @@ impl Sim {
             ports.push(q);
         }
         let n_ports = ports.len();
+        let port_tx_mtu = (0..n_ports)
+            .map(|p| {
+                topo.port_rate(p)
+                    .tx_time(MTU_BYTES as u64)
+                    .expect("links have non-zero rates")
+            })
+            .collect();
+        let mut ack_lat = [0; MAX_HOPS + 1];
+        for (hops, slot) in ack_lat.iter_mut().enumerate() {
+            *slot = topo.base_one_way(hops, 40);
+        }
         Sim {
             cfg,
-            events: EventQueue::new(),
+            events,
             flows: Vec::new(),
             ports,
             port_busy: (0..n_ports).map(|_| None).collect(),
+            port_tx_mtu,
+            ack_lat,
             counters: SimCounters::default(),
         }
     }
@@ -195,19 +241,22 @@ impl Sim {
         let Some(frame) = self.ports[port].dequeue() else {
             return;
         };
-        let tx = self
-            .cfg
-            .topo
-            .port_rate(port)
-            .tx_time(frame.bytes as u64)
-            .expect("links have non-zero rates");
+        let tx = if frame.bytes == MTU_BYTES {
+            self.port_tx_mtu[port]
+        } else {
+            self.cfg
+                .topo
+                .port_rate(port)
+                .tx_time(frame.bytes as u64)
+                .expect("links have non-zero rates")
+        };
         self.port_busy[port] = Some(frame);
         self.events.schedule(now + tx, Ev::PortFree(port as u32));
     }
 
     /// Sends whatever the flow's window allows into its NIC port.
     fn pump(&mut self, now: Nanos, fid: u32) {
-        let nic = self.flows[fid as usize].path[0];
+        let nic = self.flows[fid as usize].path.port(0);
         loop {
             let f = &mut self.flows[fid as usize];
             let frame = match &mut f.tx {
@@ -256,9 +305,11 @@ impl Sim {
         };
         f.rto_epoch += 1;
         f.rto_armed = true;
+        f.rto_deadline = now + base * backoff;
+        f.rto_fires_at = f.rto_deadline;
         let epoch = f.rto_epoch;
         self.events
-            .schedule(now + base * backoff, Ev::Rto { flow: fid, epoch });
+            .schedule(f.rto_deadline, Ev::Rto { flow: fid, epoch });
     }
 
     fn handle(&mut self, now: Nanos, ev: Ev) {
@@ -266,30 +317,23 @@ impl Sim {
             Ev::Arrive(fid) => self.pump(now, fid),
             Ev::PortFree(port) => {
                 let port = port as usize;
-                let frame = self.port_busy[port]
+                let mut frame = self.port_busy[port]
                     .take()
                     .expect("PortFree only after start");
-                let f = &self.flows[frame.flow as usize];
-                let hop = f
-                    .path
-                    .iter()
-                    .position(|&p| p == port)
-                    .expect("frames travel their flow's path");
-                if hop + 1 < f.path.len() {
-                    self.events.schedule(
-                        now + PROP_DELAY,
-                        Ev::EnterPort {
-                            frame,
-                            hop: hop as u8 + 1,
-                        },
-                    );
+                let hop = frame.hop as usize;
+                debug_assert_eq!(self.flows[frame.flow as usize].path.port(hop), port);
+                if hop + 1 < self.flows[frame.flow as usize].path.hops() {
+                    frame.hop += 1;
+                    self.events.schedule(now + PROP_DELAY, Ev::EnterPort(frame));
                 } else {
                     self.events.schedule(now + PROP_DELAY, Ev::Receive(frame));
                 }
                 self.try_start(now, port);
             }
-            Ev::EnterPort { frame, hop } => {
-                let port = self.flows[frame.flow as usize].path[hop as usize];
+            Ev::EnterPort(frame) => {
+                let port = self.flows[frame.flow as usize]
+                    .path
+                    .port(frame.hop as usize);
                 match self.ports[port].enqueue(frame) {
                     Verdict::Queued => {}
                     Verdict::Dropped(_) => self.counters.drops += 1,
@@ -299,9 +343,8 @@ impl Sim {
             Ev::Receive(frame) => {
                 self.counters.delivered += 1;
                 let fid = frame.flow;
-                let hops = self.flows[fid as usize].path.len();
-                let ack_latency = self.cfg.topo.base_one_way(hops, 40);
                 let f = &mut self.flows[fid as usize];
+                let ack_latency = self.ack_lat[f.path.hops()];
                 let (cum, seq) = match &f.tx {
                     Tx::Dctcp(_) => {
                         if frame.seq == f.rcv_nxt {
@@ -310,18 +353,14 @@ impl Sim {
                         (f.rcv_nxt, frame.seq)
                     }
                     Tx::Pfabric(_) => {
-                        let slot = &mut f.rcv_seen[frame.seq as usize];
-                        if !*slot {
-                            *slot = true;
-                            f.rcv_count += 1;
-                        }
-                        (f.rcv_count, frame.seq)
+                        f.rcv_seen.set(frame.seq);
+                        (f.rcv_seen.count(), frame.seq)
                     }
                 };
                 // Receiver-side completion: all data has arrived.
                 let complete = match &f.tx {
                     Tx::Dctcp(_) => f.rcv_nxt >= f.size,
-                    Tx::Pfabric(_) => f.rcv_count >= f.size,
+                    Tx::Pfabric(_) => f.rcv_seen.count() >= f.size,
                 };
                 if complete && f.finish.is_none() {
                     f.finish = Some(now);
@@ -343,10 +382,26 @@ impl Sim {
                     Tx::Dctcp(t) => t.on_ack(cum, ce),
                     Tx::Pfabric(t) => t.on_ack(seq),
                 };
-                if progressed {
-                    // Fresh progress: re-arm the timer from now.
-                    f.rto_epoch += 1;
-                    f.rto_armed = false;
+                if progressed && f.rto_armed {
+                    // Fresh progress restarts the timer from now
+                    // (transport backoff was just reset to 1). Usually the
+                    // new deadline is at or after the pending event, which
+                    // re-arms itself when it fires early; but progress on
+                    // a backed-off timer can move the deadline *earlier*
+                    // than the pending pop — then coalescing would fire
+                    // late, so cancel and schedule afresh.
+                    let base = match &f.tx {
+                        Tx::Dctcp(_) => self.cfg.dctcp_rto,
+                        Tx::Pfabric(_) => self.cfg.pfabric_rto,
+                    };
+                    f.rto_deadline = now + base;
+                    if f.rto_deadline < f.rto_fires_at {
+                        f.rto_epoch += 1; // orphans the pending event
+                        f.rto_fires_at = f.rto_deadline;
+                        let epoch = f.rto_epoch;
+                        self.events
+                            .schedule(f.rto_deadline, Ev::Rto { flow, epoch });
+                    }
                 }
                 self.pump(now, flow);
             }
@@ -354,6 +409,14 @@ impl Sim {
                 let f = &mut self.flows[flow as usize];
                 if epoch != f.rto_epoch {
                     return; // cancelled or superseded
+                }
+                if now < f.rto_deadline {
+                    // Progress pushed the deadline forward since this event
+                    // was scheduled: re-arm at the real deadline.
+                    let at = f.rto_deadline;
+                    f.rto_fires_at = at;
+                    self.events.schedule(at, Ev::Rto { flow, epoch });
+                    return;
                 }
                 f.rto_armed = false;
                 self.counters.timeouts += 1;
@@ -367,8 +430,26 @@ impl Sim {
     }
 }
 
-/// Runs the configured simulation to completion.
+/// Runs the configured simulation to completion on the default
+/// FFS-bucketed wheel scheduler.
 pub fn run(cfg: SimConfig) -> SimResult {
+    run_with(cfg, SchedulerBackend::FfsWheel)
+}
+
+/// Runs the configured simulation on an explicit scheduler backend.
+///
+/// Both backends pop events in identical `(time, insertion-order)` order,
+/// so the result — records, summary, counters — is the same; only wall
+/// time differs. The fig19 runner uses this for its before/after
+/// events-per-second comparison.
+pub fn run_with(cfg: SimConfig, backend: SchedulerBackend) -> SimResult {
+    match backend {
+        SchedulerBackend::BinaryHeap => run_on::<EventQueue<Ev>>(cfg),
+        SchedulerBackend::FfsWheel => run_on::<BucketedEventQueue<Ev>>(cfg),
+    }
+}
+
+fn run_on<S: EventScheduler<Ev> + Default>(cfg: SimConfig) -> SimResult {
     let topo = cfg.topo;
     let mut rng = SplitMix64::new(cfg.seed);
     let cdf = FlowSizeDist::WebSearch.cdf();
@@ -377,7 +458,7 @@ pub fn run(cfg: SimConfig) -> SimResult {
     let mut arrivals = PoissonArrivals::for_load(cfg.load, agg, mean_bytes);
     let bdp = topo.bdp_packets();
 
-    let mut sim = Sim::new(cfg.clone());
+    let mut sim = Sim::new(cfg.clone(), S::default());
 
     // Pre-generate all flows and their arrival events.
     for i in 0..cfg.flows {
@@ -402,13 +483,11 @@ pub fn run(cfg: SimConfig) -> SimResult {
             finish: None,
             tx,
             rcv_nxt: 0,
-            rcv_seen: match cfg.system {
-                System::Dctcp => Vec::new(),
-                _ => vec![false; size as usize],
-            },
-            rcv_count: 0,
+            rcv_seen: SeqBits::new(),
             rto_epoch: 0,
             rto_armed: false,
+            rto_deadline: 0,
+            rto_fires_at: 0,
         });
         sim.events.schedule(at, Ev::Arrive(i as u32));
     }
@@ -427,7 +506,7 @@ pub fn run(cfg: SimConfig) -> SimResult {
     for f in &sim.flows {
         let Some(fin) = f.finish else { continue };
         let ideal =
-            (f.size.saturating_sub(1)) as u64 * edge_tx + topo.base_one_way(f.path.len(), 1_500);
+            (f.size.saturating_sub(1)) as u64 * edge_tx + topo.base_one_way(f.path.hops(), 1_500);
         records.push(FctRecord {
             size_bytes: f.size as u64 * MTU_BYTES as u64,
             fct: fin - f.start,
@@ -527,6 +606,44 @@ mod tests {
         assert_eq!(a.records.len(), b.records.len());
         for (x, y) in a.records.iter().zip(&b.records) {
             assert_eq!(x.fct, y.fct);
+        }
+    }
+
+    /// Heavy-loss regime: tiny pFabric buffers force drops, timeouts and
+    /// RTO backoff, exercising the timer-coalescing paths (including
+    /// progress moving a backed-off deadline *earlier* than the pending
+    /// event). Every flow must still complete, and both backends must
+    /// still agree bit for bit.
+    #[test]
+    fn completes_under_heavy_loss_and_backoff() {
+        let mut cfg = base_cfg(System::PfabricExact, 0.8, 120);
+        cfg.pfabric_buf = 4;
+        let w = run_with(cfg.clone(), SchedulerBackend::FfsWheel);
+        assert!(w.counters.timeouts > 0, "loss regime must trigger RTOs");
+        assert!(w.counters.drops > 0);
+        assert_eq!(w.counters.completed, 120, "{:?}", w.counters);
+        let h = run_with(cfg, SchedulerBackend::BinaryHeap);
+        assert_eq!(w.counters.events, h.counters.events);
+        for (x, y) in w.records.iter().zip(&h.records) {
+            assert_eq!(x.fct, y.fct);
+        }
+    }
+
+    /// The two scheduler backends must produce bit-identical simulations:
+    /// same event count, same timeouts, same per-flow FCTs.
+    #[test]
+    fn backends_are_bit_identical() {
+        for system in [System::Dctcp, System::PfabricExact, System::PfabricApprox] {
+            let cfg = base_cfg(system, 0.6, 120);
+            let w = run_with(cfg.clone(), SchedulerBackend::FfsWheel);
+            let h = run_with(cfg, SchedulerBackend::BinaryHeap);
+            assert_eq!(w.counters.events, h.counters.events, "{system:?}");
+            assert_eq!(w.counters.timeouts, h.counters.timeouts, "{system:?}");
+            assert_eq!(w.counters.drops, h.counters.drops, "{system:?}");
+            assert_eq!(w.records.len(), h.records.len(), "{system:?}");
+            for (x, y) in w.records.iter().zip(&h.records) {
+                assert_eq!(x.fct, y.fct, "{system:?}");
+            }
         }
     }
 }

@@ -10,6 +10,49 @@ use eiffel_sim::{Nanos, Rate};
 /// Per-hop propagation delay (the pFabric simulations use 0.2 µs/hop).
 pub const PROP_DELAY: Nanos = 200;
 
+/// Longest route through the leaf-spine fabric, in ports traversed
+/// (host uplink → leaf uplink → spine downlink → leaf downlink).
+pub const MAX_HOPS: usize = 4;
+
+/// An ECMP route: the ports a frame traverses, inline and `Copy` so the
+/// per-flow table holds it without a heap allocation (port ids fit `u16`
+/// comfortably: the paper fabric has 360).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Path {
+    ports: [u16; MAX_HOPS],
+    len: u8,
+}
+
+impl Path {
+    fn new(ports: &[usize]) -> Self {
+        debug_assert!(ports.len() <= MAX_HOPS);
+        let mut p = Path {
+            ports: [0; MAX_HOPS],
+            len: ports.len() as u8,
+        };
+        for (slot, &port) in p.ports.iter_mut().zip(ports) {
+            *slot = u16::try_from(port).expect("port ids fit u16");
+        }
+        p
+    }
+
+    /// Number of ports traversed.
+    pub fn hops(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Port traversed at hop `i` (0-based).
+    pub fn port(&self, i: usize) -> usize {
+        debug_assert!(i < self.hops());
+        self.ports[i] as usize
+    }
+
+    /// The traversed ports in order.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.ports[..self.len as usize]
+    }
+}
+
 /// Fabric parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct Topology {
@@ -93,21 +136,21 @@ impl Topology {
         }
     }
 
-    /// The ECMP path (list of ports traversed) from `src` to `dst` for a
-    /// flow hashed to `hash` (per-flow ECMP spine selection).
-    pub fn route(&self, src: usize, dst: usize, hash: u64) -> Vec<usize> {
+    /// The ECMP path (ports traversed) from `src` to `dst` for a flow
+    /// hashed to `hash` (per-flow ECMP spine selection).
+    pub fn route(&self, src: usize, dst: usize, hash: u64) -> Path {
         assert_ne!(src, dst, "flows need distinct endpoints");
         let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
         if ls == ld {
-            vec![self.host_uplink(src), self.leaf_down(dst)]
+            Path::new(&[self.host_uplink(src), self.leaf_down(dst)])
         } else {
             let s = (hash % self.spines as u64) as usize;
-            vec![
+            Path::new(&[
                 self.host_uplink(src),
                 self.leaf_up(ls, s),
                 self.spine_down(s, ld),
                 self.leaf_down(dst),
-            ]
+            ])
         }
     }
 
@@ -177,16 +220,20 @@ mod tests {
         let t = Topology::small();
         // Same leaf: two hops.
         let r = t.route(0, 1, 42);
-        assert_eq!(r, vec![t.host_uplink(0), t.leaf_down(1)]);
+        assert_eq!(r.hops(), 2);
+        assert_eq!(
+            r.as_slice(),
+            &[t.host_uplink(0) as u16, t.leaf_down(1) as u16]
+        );
         // Cross leaf: four hops through the hashed spine.
         let r = t.route(0, t.hosts_per_leaf, 1);
-        assert_eq!(r.len(), 4);
-        assert_eq!(r[0], t.host_uplink(0));
-        assert_eq!(r[3], t.leaf_down(t.hosts_per_leaf));
+        assert_eq!(r.hops(), 4);
+        assert_eq!(r.port(0), t.host_uplink(0));
+        assert_eq!(r.port(3), t.leaf_down(t.hosts_per_leaf));
         // Hash steers the spine.
         let r0 = t.route(0, t.hosts_per_leaf, 0);
         let r1 = t.route(0, t.hosts_per_leaf, 1);
-        assert_ne!(r0[1], r1[1], "different hashes, different spines");
+        assert_ne!(r0.port(1), r1.port(1), "different hashes, different spines");
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeSet;
 
+use crate::bits::SeqBits;
+
 /// DCTCP's EWMA gain for the marked fraction (the paper's g = 1/16).
 pub const DCTCP_G: f64 = 1.0 / 16.0;
 
@@ -128,24 +130,23 @@ pub struct PfabricTx {
     pub outstanding: BTreeSet<u32>,
     /// Sequences marked lost, awaiting retransmission (lowest first).
     pub retx: BTreeSet<u32>,
-    /// Per-sequence delivered flags (SACK state).
-    acked: Vec<bool>,
-    /// Count of distinct acked sequences.
-    pub acked_count: u32,
+    /// Per-sequence delivered flags (SACK state), grown lazily so the
+    /// pre-created flow table stays allocation-free until traffic flows.
+    acked: SeqBits,
     /// Exponential RTO backoff.
     pub backoff: u32,
 }
 
 impl PfabricTx {
-    /// A fresh sender for a `size`-packet flow.
-    pub fn new(size: u32, window: u32) -> Self {
+    /// A fresh sender for a flow; `size` is carried per call, so the state
+    /// here allocates nothing until packets move.
+    pub fn new(_size: u32, window: u32) -> Self {
         PfabricTx {
             window: window.max(1),
             next_new: 0,
             outstanding: BTreeSet::new(),
             retx: BTreeSet::new(),
-            acked: vec![false; size as usize],
-            acked_count: 0,
+            acked: SeqBits::new(),
             backoff: 1,
         }
     }
@@ -175,34 +176,28 @@ impl PfabricTx {
     pub fn on_ack(&mut self, seq: u32) -> bool {
         self.outstanding.remove(&seq);
         self.retx.remove(&seq);
-        let slot = &mut self.acked[seq as usize];
-        if *slot {
+        if !self.acked.set(seq) {
             return false;
         }
-        *slot = true;
-        self.acked_count += 1;
         self.backoff = 1;
         true
     }
 
-    /// Timeout: every in-flight packet is presumed lost.
+    /// Timeout: every in-flight packet is presumed lost. Allocation-free:
+    /// the outstanding set's nodes move wholesale into the retransmit set.
     pub fn on_timeout(&mut self) {
-        let lost: Vec<u32> = self.outstanding.iter().copied().collect();
-        self.outstanding.clear();
-        for s in lost {
-            self.retx.insert(s);
-        }
+        self.retx.append(&mut self.outstanding);
         self.backoff = (self.backoff * 2).min(16);
     }
 
     /// Remaining size in packets (the pFabric rank source).
     pub fn remaining(&self, size: u32) -> u32 {
-        size - self.acked_count
+        size - self.acked.count()
     }
 
     /// Whether every packet is acknowledged.
     pub fn done(&self, size: u32) -> bool {
-        self.acked_count >= size
+        self.acked.count() >= size
     }
 }
 

@@ -7,6 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::sched::EventScheduler;
 use crate::time::Nanos;
 
 struct Scheduled<E> {
@@ -101,6 +102,34 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+/// The baseline backend of the [`EventScheduler`] trait (see
+/// [`crate::sched`] for the FFS-bucketed alternative).
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn now(&self) -> Nanos {
+        EventQueue::now(self)
+    }
+
+    fn schedule(&mut self, at: Nanos, event: E) {
+        EventQueue::schedule(self, at, event);
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<Nanos> {
+        EventQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        EventQueue::is_empty(self)
     }
 }
 

@@ -21,6 +21,7 @@ pub mod events;
 pub mod link;
 pub mod packet;
 pub mod rng;
+pub mod sched;
 pub mod time;
 
 pub use cpu::{CpuCategory, CpuMeter};
@@ -28,4 +29,5 @@ pub use events::EventQueue;
 pub use link::Link;
 pub use packet::{FlowId, Packet};
 pub use rng::SplitMix64;
+pub use sched::{BucketedEventQueue, EventScheduler, DEFAULT_WHEEL_SLOTS};
 pub use time::{Nanos, Rate, MICROSECOND, MILLISECOND, SECOND};

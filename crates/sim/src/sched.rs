@@ -1,0 +1,457 @@
+//! FFS-bucketed event scheduler — Eiffel's own machinery driving the
+//! simulator's event loop.
+//!
+//! [`EventQueue`](crate::EventQueue) is the comparison-based priority queue
+//! the paper's bucketed-FFS design (§3.1) exists to beat; using it to drive
+//! the `dcsim` harness means every simulated packet pays `O(log n)` sift
+//! costs twice. [`BucketedEventQueue`] replaces it with the paper's own
+//! structure: a rotating timing wheel of 1 ns slots whose occupancy is an
+//! [`eiffel_core::HierBitmap`] (one FFS word-descent per pop, `O(log₆₄ N)`),
+//! plus an **overflow level** — a small `(time, insertion-order)` min-heap —
+//! for far-future timers such as RTOs that land beyond the wheel horizon.
+//!
+//! # Determinism
+//!
+//! Both schedulers fire events in exactly `(time, insertion order)` order —
+//! the property every simulation result depends on. For the wheel this holds
+//! structurally:
+//!
+//! * Slots are 1 ns wide, so every event in one slot shares one timestamp
+//!   and the slot's FIFO *is* insertion order — provided insertions into a
+//!   slot happen in global sequence order.
+//! * Overflow events are keyed `(time, seq)` and migrate into the wheel the
+//!   moment the horizon reaches them, which is re-established after every
+//!   cursor advance (`pop`). A direct insertion at time `t` is only possible
+//!   while `t` is inside the horizon; any earlier-sequenced overflow event at
+//!   the same `t` entered the wheel at the horizon advance that first covered
+//!   `t` — strictly before the direct insertion. Hence slot FIFOs always
+//!   accumulate in sequence order.
+//!
+//! The property suite (`crates/sim/tests/scheduler_equivalence.rs`) drives
+//! both implementations with identical random schedules — same-instant ties,
+//! far-future overflow timers, interleaved pops — and asserts identical pop
+//! sequences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use eiffel_core::HierBitmap;
+
+use crate::time::Nanos;
+
+/// A deterministic discrete-event scheduler: events fire in
+/// `(time, insertion order)` order.
+///
+/// Implemented by the [`EventQueue`](crate::EventQueue) binary heap (the
+/// baseline) and by [`BucketedEventQueue`] (the FFS-bucketed wheel), so
+/// harnesses can run on either backend and be compared.
+pub trait EventScheduler<E> {
+    /// Current virtual time: the timestamp of the last popped event.
+    fn now(&self) -> Nanos;
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current virtual time.
+    fn schedule(&mut self, at: Nanos, event: E);
+
+    /// Pops the next event, advancing virtual time to its timestamp.
+    fn pop(&mut self) -> Option<(Nanos, E)>;
+
+    /// Timestamp of the next event without popping it.
+    fn peek_time(&self) -> Option<Nanos>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An overflow entry: explicit `(time, seq)` key for far-future events.
+struct Far<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Far<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Far<E> {}
+
+impl<E> PartialOrd for Far<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Far<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour on BinaryHeap.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Default wheel span: 2¹⁶ slots of 1 ns ≈ 65.5 µs of horizon — covers
+/// serialization times, propagation delays, fabric RTTs and pFabric RTOs;
+/// millisecond-scale timers (DCTCP RTOs, pre-generated arrival processes)
+/// take the overflow level.
+pub const DEFAULT_WHEEL_SLOTS: usize = 1 << 16;
+
+// The slot storage mirrors `eiffel_core::buckets::Buckets`' slab-FIFO
+// layout, minus the per-node rank (a wheel slot's timestamp is implied by
+// its index). Kept separate rather than generalized so each stays exactly
+// as wide as its payload; change them in tandem.
+
+/// Sentinel index terminating slot FIFOs and the free list.
+const NIL: u32 = u32::MAX;
+
+/// Head and tail of one slot's FIFO, packed so both land on one line.
+#[derive(Debug, Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
+}
+
+struct WheelNode<E> {
+    next: u32,
+    /// `None` only while the node sits on the free list.
+    event: Option<E>,
+}
+
+/// FFS-bucketed discrete-event scheduler: a rotating timing wheel of 1 ns
+/// slots over a hierarchical-FFS occupancy bitmap, with a `(time, seq)`
+/// min-heap as the overflow level for events beyond the horizon.
+///
+/// Slots are intrusive singly-linked FIFOs over one shared node slab
+/// (8 bytes per slot, nodes recycled through a free list), so the wheel's
+/// footprint is slots × 8 B plus memory proportional to the number of
+/// *pending* events — not per-slot buffers.
+///
+/// Pop order is exactly `(time, insertion order)` — see the
+/// [module docs](self) for the determinism argument.
+pub struct BucketedEventQueue<E> {
+    /// One FIFO per 1 ns slot; all events in a slot share one timestamp.
+    slots: Vec<SlotList>,
+    /// Shared node slab behind the slot FIFOs.
+    nodes: Vec<WheelNode<E>>,
+    /// Free-list head into `nodes`.
+    free: u32,
+    /// Occupancy of `slots`, searched by FFS word-descent.
+    occupied: HierBitmap,
+    /// `slots.len() - 1`; slot count is a power of two.
+    mask: u64,
+    /// Events with `at >= now + slots.len()` wait here until the horizon
+    /// reaches them.
+    overflow: BinaryHeap<Far<E>>,
+    /// Cached `overflow.peek().at` (`u64::MAX` when empty), so the per-pop
+    /// migration check is a register compare, not a heap access.
+    overflow_min: Nanos,
+    /// Events currently stored in wheel slots.
+    wheel_len: usize,
+    /// Global insertion sequence (keys the overflow level).
+    seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for BucketedEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BucketedEventQueue<E> {
+    /// An empty scheduler at time zero with the default wheel span.
+    pub fn new() -> Self {
+        Self::with_slots(DEFAULT_WHEEL_SLOTS)
+    }
+
+    /// An empty scheduler whose wheel spans `slots` nanoseconds (rounded up
+    /// to a power of two, minimum 64).
+    pub fn with_slots(slots: usize) -> Self {
+        let n = slots.next_power_of_two().max(64);
+        BucketedEventQueue {
+            slots: vec![
+                SlotList {
+                    head: NIL,
+                    tail: NIL
+                };
+                n
+            ],
+            nodes: Vec::new(),
+            free: NIL,
+            occupied: HierBitmap::new(n),
+            mask: n as u64 - 1,
+            overflow: BinaryHeap::new(),
+            overflow_min: u64::MAX,
+            wheel_len: 0,
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Wheel span in nanoseconds (= slot count at 1 ns granularity).
+    pub fn horizon(&self) -> Nanos {
+        self.slots.len() as Nanos
+    }
+
+    /// Events currently parked at the overflow level (diagnostics).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, at: Nanos) -> usize {
+        (at & self.mask) as usize
+    }
+
+    /// Absolute timestamp of wheel slot `idx`, given that every wheel event
+    /// lies in `[now, now + horizon)`.
+    #[inline]
+    fn slot_time(&self, idx: usize) -> Nanos {
+        let base = self.now & !self.mask;
+        let t = base + idx as Nanos;
+        if t < self.now {
+            t + self.horizon()
+        } else {
+            t
+        }
+    }
+
+    /// First occupied slot in wheel time order (at or after `now`, wrapping).
+    #[inline]
+    fn first_slot(&self) -> Option<usize> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = self.slot_of(self.now);
+        self.occupied
+            .first_set_from(start)
+            .or_else(|| self.occupied.first_set())
+    }
+
+    /// Appends an event to slot `idx`'s FIFO through the shared slab.
+    fn slot_push(&mut self, idx: usize, event: E) {
+        let node = if self.free != NIL {
+            let node = self.free;
+            let n = &mut self.nodes[node as usize];
+            self.free = n.next;
+            n.next = NIL;
+            n.event = Some(event);
+            node
+        } else {
+            let node = self.nodes.len() as u32;
+            assert!(node < NIL, "slab index space is u32 with a sentinel");
+            self.nodes.push(WheelNode {
+                next: NIL,
+                event: Some(event),
+            });
+            node
+        };
+        let list = &mut self.slots[idx];
+        if list.tail == NIL {
+            list.head = node;
+        } else {
+            self.nodes[list.tail as usize].next = node;
+        }
+        list.tail = node;
+        self.occupied.set(idx);
+        self.wheel_len += 1;
+    }
+
+    /// Pops the oldest event of slot `idx`, maintaining the bitmap.
+    fn slot_pop(&mut self, idx: usize) -> E {
+        let list = &mut self.slots[idx];
+        let node = list.head;
+        debug_assert_ne!(node, NIL, "bitmap said occupied");
+        let n = &mut self.nodes[node as usize];
+        let event = n.event.take().expect("listed node holds an event");
+        list.head = n.next;
+        if list.head == NIL {
+            list.tail = NIL;
+            self.occupied.clear(idx);
+        }
+        n.next = self.free;
+        self.free = node;
+        self.wheel_len -= 1;
+        event
+    }
+
+    /// Moves every overflow event the horizon now covers into its slot.
+    /// Called after every advance of `now` so slot FIFOs accumulate in
+    /// global sequence order (see the module docs).
+    fn migrate_overflow(&mut self) {
+        let limit = self.now.saturating_add(self.horizon());
+        while self.overflow_min < limit {
+            let far = self.overflow.pop().expect("cached min says non-empty");
+            let idx = self.slot_of(far.at);
+            self.slot_push(idx, far.event);
+            self.overflow_min = self.overflow.peek().map_or(u64::MAX, |f| f.at);
+        }
+    }
+}
+
+impl<E> EventScheduler<E> for BucketedEventQueue<E> {
+    fn now(&self) -> Nanos {
+        self.now
+    }
+
+    fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        if at - self.now < self.horizon() {
+            let idx = self.slot_of(at);
+            self.slot_push(idx, event);
+        } else {
+            if at < self.overflow_min {
+                self.overflow_min = at;
+            }
+            self.overflow.push(Far { at, seq, event });
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, E)> {
+        let idx = match self.first_slot() {
+            Some(idx) => idx,
+            None => {
+                // Wheel empty: jump the cursor to the earliest far-future
+                // event and pull everything the new horizon covers in.
+                if self.overflow_min == u64::MAX {
+                    return None;
+                }
+                self.now = self.overflow_min;
+                self.migrate_overflow();
+                self.first_slot().expect("migration filled the wheel")
+            }
+        };
+        let at = self.slot_time(idx);
+        let event = self.slot_pop(idx);
+        if at > self.now {
+            self.now = at;
+            if self.overflow_min < at + self.horizon() {
+                self.migrate_overflow();
+            }
+        }
+        Some((at, event))
+    }
+
+    fn peek_time(&self) -> Option<Nanos> {
+        match self.first_slot() {
+            Some(idx) => Some(self.slot_time(idx)),
+            None if self.overflow_min == u64::MAX => None,
+            None => Some(self.overflow_min),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_then_fifo_order() {
+        let mut q: BucketedEventQueue<&str> = BucketedEventQueue::with_slots(64);
+        q.schedule(10, "b");
+        q.schedule(5, "a");
+        q.schedule(10, "c");
+        assert_eq!(q.pop(), Some((5, "a")));
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        q.schedule(7, 1);
+        q.pop();
+        q.schedule(7, 2); // same instant as `now`: fine (fires next)
+        assert_eq!(q.pop(), Some((7, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        q.schedule(10, ());
+        q.pop();
+        q.schedule(9, ());
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_level() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        q.schedule(1_000_000, "rto"); // far beyond the 64 ns horizon
+        q.schedule(3, "soon");
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop(), Some((3, "soon")));
+        assert_eq!(q.peek_time(), Some(1_000_000));
+        assert_eq!(q.pop(), Some((1_000_000, "rto")));
+        assert_eq!(q.now(), 1_000_000);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_ties_keep_insertion_order_through_migration() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        // Both far future, same instant: must pop in insertion order.
+        q.schedule(500, 1);
+        q.schedule(500, 2);
+        // This one is near and fires first, advancing the horizon past 500.
+        q.schedule(1, 0);
+        assert_eq!(q.pop(), Some((1, 0)));
+        // After the horizon advance, a direct insertion at 500 must still
+        // land *behind* the migrated pair.
+        q.schedule(500, 3);
+        assert_eq!(q.pop(), Some((500, 1)));
+        assert_eq!(q.pop(), Some((500, 2)));
+        assert_eq!(q.pop(), Some((500, 3)));
+    }
+
+    #[test]
+    fn wheel_wraps_many_revolutions() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        let mut expect = Vec::new();
+        for i in 0..1_000u64 {
+            q.schedule(i * 7, i);
+            expect.push((i * 7, i));
+            if i % 3 == 0 {
+                let got = q.pop().unwrap();
+                assert_eq!(got, expect.remove(0));
+            }
+        }
+        while let Some(got) = q.pop() {
+            assert_eq!(got, expect.remove(0));
+        }
+        assert!(expect.is_empty());
+    }
+
+    #[test]
+    fn len_counts_both_levels() {
+        let mut q = BucketedEventQueue::with_slots(64);
+        q.schedule(1, ());
+        q.schedule(2, ());
+        q.schedule(1_000_000, ());
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property suite: the FFS-bucketed wheel scheduler must be
+//! observationally identical to the binary-heap event queue.
+//!
+//! Both backends promise exact `(time, insertion order)` pop order — the
+//! property every simulation result depends on. The scripts here include
+//! the hard cases: same-instant ties, events exactly at `now`, deltas that
+//! straddle the wheel horizon, deep overflow timers (RTO-scale), and long
+//! pop droughts that force multi-revolution wheel wraps.
+
+use proptest::prelude::*;
+
+use eiffel_sim::{BucketedEventQueue, EventQueue, EventScheduler, Nanos};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule an event `delta` ns after the current virtual time.
+    Schedule(Nanos),
+    /// Pop the next event.
+    Pop,
+    /// Compare `peek_time` (and lengths) without popping.
+    Peek,
+}
+
+/// Delta distribution spanning all scheduler regimes relative to a
+/// 1024-slot test wheel: ties at `now`, in-wheel, horizon-straddling, and
+/// far-future overflow (the RTO case).
+fn delta() -> impl Strategy<Value = Nanos> {
+    prop_oneof![
+        2 => Just(0u64),
+        4 => 1u64..1_000,
+        3 => 1_000u64..70_000,
+        1 => 1_000_000u64..10_000_000,
+    ]
+}
+
+fn ops(n: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => delta().prop_map(Op::Schedule),
+            3 => Just(Op::Pop),
+            1 => Just(Op::Peek),
+        ],
+        1..n,
+    )
+}
+
+/// Runs one script against both backends, asserting identical observable
+/// behaviour after every operation, then drains both to the end.
+fn check_equivalence(script: &[Op], wheel_slots: usize) {
+    let mut heap: EventQueue<u64> = EventQueue::new();
+    let mut wheel: BucketedEventQueue<u64> = BucketedEventQueue::with_slots(wheel_slots);
+    let mut id = 0u64;
+    for op in script {
+        match op {
+            Op::Schedule(d) => {
+                let at = EventScheduler::<u64>::now(&heap) + d;
+                heap.schedule(at, id);
+                EventScheduler::schedule(&mut wheel, at, id);
+                id += 1;
+            }
+            Op::Pop => {
+                let (h, w) = (EventScheduler::pop(&mut heap), wheel.pop());
+                assert_eq!(h, w, "pop diverged");
+                assert_eq!(
+                    EventScheduler::<u64>::now(&heap),
+                    wheel.now(),
+                    "virtual clocks diverged"
+                );
+            }
+            Op::Peek => {
+                assert_eq!(
+                    EventScheduler::<u64>::peek_time(&heap),
+                    wheel.peek_time(),
+                    "peek diverged"
+                );
+                assert_eq!(EventScheduler::<u64>::len(&heap), wheel.len());
+            }
+        }
+    }
+    loop {
+        let (h, w) = (EventScheduler::pop(&mut heap), wheel.pop());
+        assert_eq!(h, w, "drain diverged");
+        if h.is_none() {
+            break;
+        }
+    }
+    assert!(EventScheduler::<u64>::is_empty(&heap));
+    assert!(wheel.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wheel_matches_heap(script in ops(600)) {
+        check_equivalence(&script, 1024);
+    }
+
+    /// A tiny wheel maximizes wraparound and overflow-migration traffic.
+    #[test]
+    fn tiny_wheel_matches_heap(script in ops(400)) {
+        check_equivalence(&script, 64);
+    }
+
+    /// Burst-of-ties stress: many events at identical instants must pop in
+    /// exact insertion order through both backends.
+    #[test]
+    fn tie_bursts_keep_insertion_order(bursts in prop::collection::vec((0u64..5_000, 1usize..12), 1..60)) {
+        let mut heap: EventQueue<u64> = EventQueue::new();
+        let mut wheel: BucketedEventQueue<u64> = BucketedEventQueue::with_slots(1024);
+        let mut id = 0u64;
+        for (delta, count) in bursts {
+            let at = EventScheduler::<u64>::now(&heap) + delta;
+            for _ in 0..count {
+                heap.schedule(at, id);
+                EventScheduler::schedule(&mut wheel, at, id);
+                id += 1;
+            }
+            // Pop roughly half after each burst to keep clocks moving.
+            for _ in 0..count / 2 {
+                prop_assert_eq!(EventScheduler::pop(&mut heap), wheel.pop());
+            }
+        }
+        loop {
+            let (h, w) = (EventScheduler::pop(&mut heap), wheel.pop());
+            prop_assert_eq!(h, w);
+            if h.is_none() { break; }
+        }
+    }
+}

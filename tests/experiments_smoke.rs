@@ -8,7 +8,7 @@ use eiffel_bench::microbench::{
     approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket, QueueUnderTest,
 };
 use eiffel_bench::runners;
-use eiffel_repro::dcsim::{System, Topology};
+use eiffel_repro::dcsim::{SchedulerBackend, System, Topology};
 
 /// Figure 9/10 path: quick kernel-shaping run with the headline ordering.
 #[test]
@@ -81,10 +81,25 @@ fn fig18_quick() {
 fn fig19_quick() {
     let loads = [0.5];
     let flows = 150;
-    let d = runners::pfabric_fct_sweep(System::Dctcp, Topology::small(), &loads, flows, 9);
-    let p = runners::pfabric_fct_sweep(System::PfabricExact, Topology::small(), &loads, flows, 9);
-    let a = runners::pfabric_fct_sweep(System::PfabricApprox, Topology::small(), &loads, flows, 9);
-    let (ds, ps, as_) = (d[0].1, p[0].1, a[0].1);
+    let wheel = SchedulerBackend::FfsWheel;
+    let d = runners::pfabric_fct_sweep(System::Dctcp, Topology::small(), &loads, flows, 9, wheel);
+    let p = runners::pfabric_fct_sweep(
+        System::PfabricExact,
+        Topology::small(),
+        &loads,
+        flows,
+        9,
+        wheel,
+    );
+    let a = runners::pfabric_fct_sweep(
+        System::PfabricApprox,
+        Topology::small(),
+        &loads,
+        flows,
+        9,
+        wheel,
+    );
+    let (ds, ps, as_) = (d[0].avg_small, p[0].avg_small, a[0].avg_small);
     assert!(
         ps < ds,
         "pFabric small-flow NFCT {ps:.2} must beat DCTCP {ds:.2}"
@@ -92,6 +107,10 @@ fn fig19_quick() {
     assert!(
         (as_ - ps).abs() / ps < 0.5,
         "approx ({as_:.2}) tracks exact ({ps:.2})"
+    );
+    assert!(
+        d[0].events > 0 && d[0].wall_secs > 0.0,
+        "event-loop counters populated"
     );
 }
 
