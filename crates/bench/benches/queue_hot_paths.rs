@@ -1,0 +1,138 @@
+//! Hot-path microbenchmarks of the §5.2 queue contenders — the per-packet
+//! costs ISSUE/ROADMAP track across PRs: the cFFS `dequeue_min` word-descent
+//! and the approximate queue's estimator hit and miss paths.
+//!
+//! Scenarios are chosen so each benchmark isolates one path:
+//!
+//! * `cffs_churn` / `hffs_churn` — one random enqueue + one `dequeue_min`
+//!   per iteration at steady ~20k occupancy over 10k buckets: the two-level
+//!   FFS descent plus bitmap maintenance.
+//! * `approx_hit` — dense occupancy (every bucket ≥ 3 packets), so the
+//!   curvature estimate always lands on an occupied bucket: the paper's
+//!   O(1) hit path with no fallback search.
+//! * `approx_miss` — sparse random occupancy (~25%), so lookups routinely
+//!   miss and pay the occupancy-bitmap fallback search.
+//! * `cffs_drain_single` / `cffs_drain_batched` — refill 32 random ranks
+//!   then drain them one `dequeue_min` at a time vs one `dequeue_batch`
+//!   call: what batch amortization of the descent is worth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use eiffel_core::{ApproxGradientQueue, CffsQueue, HierFfsQueue, RankedQueue};
+use eiffel_sim::SplitMix64;
+
+const NB: usize = 10_000;
+const PRELOAD: usize = 20_000;
+
+fn tune(group: &mut criterion::BenchmarkGroup<'_>) {
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.sample_size(30);
+}
+
+/// FFS-descent churn: one random enqueue + one dequeue per iteration.
+fn ffs_descent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_hot_paths");
+    tune(&mut group);
+    group.bench_function(BenchmarkId::from_parameter("cffs_churn"), |b| {
+        let mut q: CffsQueue<u64> = CffsQueue::new(NB, 1, 0);
+        let mut rng = SplitMix64::new(0x51);
+        for _ in 0..PRELOAD {
+            q.enqueue(rng.next_below(NB as u64), 0).expect("in range");
+        }
+        b.iter(|| {
+            q.enqueue(black_box(rng.next_below(NB as u64)), 0)
+                .expect("in range");
+            black_box(q.dequeue_min());
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("hffs_churn"), |b| {
+        let mut q: HierFfsQueue<u64> = HierFfsQueue::new(NB, 1);
+        let mut rng = SplitMix64::new(0x52);
+        for _ in 0..PRELOAD {
+            q.enqueue(rng.next_below(NB as u64), 0).expect("in range");
+        }
+        b.iter(|| {
+            q.enqueue(black_box(rng.next_below(NB as u64)), 0)
+                .expect("in range");
+            black_box(q.dequeue_min());
+        });
+    });
+    group.finish();
+}
+
+/// Approximate-queue estimator paths: hit (dense) and miss (sparse).
+fn approx_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_hot_paths");
+    tune(&mut group);
+    group.bench_function(BenchmarkId::from_parameter("approx_hit"), |b| {
+        // Dense fill: every bucket holds 4 packets, so the estimate is exact
+        // and always lands occupied. The iter pair re-enqueues the dequeued
+        // rank, keeping occupancy dense forever.
+        let nb = 8_192;
+        let mut q: ApproxGradientQueue<u64> = ApproxGradientQueue::new(nb, 1);
+        for pass in 0..4u64 {
+            for r in 0..nb as u64 {
+                q.enqueue(r, pass).expect("in range");
+            }
+        }
+        b.iter(|| {
+            let (r, v) = q.dequeue_min().expect("never drained");
+            q.enqueue(black_box(r), v).expect("in range");
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("approx_miss"), |b| {
+        // Sparse random occupancy (~25% of 8k buckets, one packet each):
+        // the estimate routinely lands on an empty bucket and pays the
+        // fallback search.
+        let nb = 8_192u64;
+        let mut q: ApproxGradientQueue<u64> = ApproxGradientQueue::new(nb as usize, 1);
+        let mut rng = SplitMix64::new(0x53);
+        for _ in 0..nb / 4 {
+            q.enqueue(rng.next_below(nb), 0).expect("in range");
+        }
+        b.iter(|| {
+            q.enqueue(black_box(rng.next_below(nb)), 0)
+                .expect("in range");
+            black_box(q.dequeue_min());
+        });
+    });
+    group.finish();
+}
+
+/// Batched vs single-step drain of the same 32-packet refill.
+fn batched_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_hot_paths");
+    tune(&mut group);
+    group.bench_function(BenchmarkId::from_parameter("cffs_drain_single"), |b| {
+        let mut q: CffsQueue<u64> = CffsQueue::new(NB, 1, 0);
+        let mut rng = SplitMix64::new(0x54);
+        b.iter(|| {
+            for _ in 0..32 {
+                q.enqueue(rng.next_below(NB as u64), 0).expect("in range");
+            }
+            for _ in 0..32 {
+                black_box(q.dequeue_min());
+            }
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("cffs_drain_batched"), |b| {
+        let mut q: CffsQueue<u64> = CffsQueue::new(NB, 1, 0);
+        let mut rng = SplitMix64::new(0x54);
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(32);
+        b.iter(|| {
+            for _ in 0..32 {
+                q.enqueue(rng.next_below(NB as u64), 0).expect("in range");
+            }
+            out.clear();
+            q.dequeue_batch(32, &mut out);
+            black_box(out.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ffs_descent, approx_paths, batched_drain);
+criterion_main!(benches);

@@ -10,8 +10,8 @@ fn main() {
             QueueUnderTest::Cffs,
             QueueUnderTest::BucketHeap,
         ] {
-            let r = drain_rate_packets_per_bucket(kind, nb, 1, Duration::from_millis(300));
-            println!("nb={nb} {:>7}: {r:.2} Mpps", kind.name());
+            let r = drain_rate_packets_per_bucket(kind, nb, 1, 1, Duration::from_millis(300));
+            println!("nb={nb} {:>7}: {:.2} Mpps", kind.name(), r.mpps);
         }
     }
 }

@@ -2,46 +2,16 @@
 //! for 5k (left) and 10k (right) buckets": drain rate in Mpps vs average
 //! packets per bucket for Approx, cFFS, BH.
 //!
+//! The report is built by [`eiffel_bench::runners::fig16_report`] so tests
+//! and CI validate the exact path this binary records.
+//!
 //! `--quick` shortens measurement budgets; `--json <path>` records the run.
 
-use std::time::Duration;
-
-use eiffel_bench::microbench::{drain_rate_packets_per_bucket, QueueUnderTest};
-use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::runners::{fig16_report, Fig16Scale};
 use eiffel_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
-    let budget = Duration::from_millis(if args.quick { 50 } else { 400 });
-    let mut r = BenchReport::new(
-        "fig16_packets_per_bucket",
-        "Figure 16",
-        "drain Mpps vs packets/bucket (pre-filled queue fully drained; drain phase timed)",
-        &args,
-    );
-    r.paper_claim(
-        "at few packets per bucket the approximate queue leads (up to 9% over cFFS at 10k \
-         buckets); more packets per bucket amortize the min-find and the queues converge; BH \
-         trails throughout (§5.2, Figure 16).",
-    );
-    r.config_num("budget_ms_per_cell", budget.as_millis() as f64);
-    for nb in [5_000usize, 10_000] {
-        let mut sw = Sweep::new(format!("{nb} buckets"), "pkts/bucket");
-        sw.add_series("Approx", "Mpps", 2);
-        sw.add_series("cFFS", "Mpps", 2);
-        sw.add_series("BH", "Mpps", 2);
-        for ppb in [1usize, 2, 4, 6, 8] {
-            let row: Vec<f64> = [
-                QueueUnderTest::Approx,
-                QueueUnderTest::Cffs,
-                QueueUnderTest::BucketHeap,
-            ]
-            .into_iter()
-            .map(|kind| drain_rate_packets_per_bucket(kind, nb, ppb, budget))
-            .collect();
-            sw.push_row(ppb, &row);
-        }
-        r.push_sweep(sw);
-    }
-    r.finish(&args);
+    let scale = Fig16Scale::from_args(&args);
+    fig16_report(&args, &scale).finish(&args);
 }

@@ -1,46 +1,18 @@
 //! Figure 17 — "Effect of queue occupancy on performance of Approximate
 //! Queue for 5k (left) and 10k (right) buckets": drain Mpps vs fraction of
-//! non-empty buckets for BH, Approx, cFFS.
+//! non-empty buckets for BH, Approx, cFFS, over three fill shapes (the
+//! paper's random subset plus dense-prefix and clustered bounds).
+//!
+//! The report is built by [`eiffel_bench::runners::fig17_report`] so tests
+//! and CI validate the exact path this binary records.
 //!
 //! `--quick` shortens measurement budgets; `--json <path>` records the run.
 
-use std::time::Duration;
-
-use eiffel_bench::microbench::{drain_rate_occupancy, QueueUnderTest};
-use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::runners::{fig17_report, Fig17Scale};
 use eiffel_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
-    let budget = Duration::from_millis(if args.quick { 50 } else { 400 });
-    let mut r = BenchReport::new(
-        "fig17_occupancy",
-        "Figure 17",
-        "drain Mpps vs occupancy (each occupied bucket holds one packet; drain phase timed)",
-        &args,
-    );
-    r.paper_claim(
-        "empty buckets trigger the approximate queue's linear search, so its throughput climbs \
-         with occupancy; cFFS is insensitive (§5.2, Figure 17).",
-    );
-    r.config_num("budget_ms_per_cell", budget.as_millis() as f64);
-    for nb in [5_000usize, 10_000] {
-        let mut sw = Sweep::new(format!("{nb} buckets"), "occupancy");
-        sw.add_series("BH", "Mpps", 2);
-        sw.add_series("Approx", "Mpps", 2);
-        sw.add_series("cFFS", "Mpps", 2);
-        for occ in [0.7, 0.8, 0.9, 0.99] {
-            let row: Vec<f64> = [
-                QueueUnderTest::BucketHeap,
-                QueueUnderTest::Approx,
-                QueueUnderTest::Cffs,
-            ]
-            .into_iter()
-            .map(|kind| drain_rate_occupancy(kind, nb, occ, budget))
-            .collect();
-            sw.push_row(occ, &row);
-        }
-        r.push_sweep(sw);
-    }
-    r.finish(&args);
+    let scale = Fig17Scale::from_args(&args);
+    fig17_report(&args, &scale).finish(&args);
 }

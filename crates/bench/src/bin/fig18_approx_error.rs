@@ -10,7 +10,7 @@ use eiffel_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
-    let rounds = if args.quick { 4 } else { 16 };
+    let rounds = if args.quick { 8 } else { 48 };
     let mut r = BenchReport::new(
         "fig18_approx_error",
         "Figure 18",

@@ -18,6 +18,9 @@ use eiffel_dcsim::{run_with, SchedulerBackend, SimConfig, System, Topology};
 use eiffel_qdisc::{CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport};
 use eiffel_sim::{Nanos, Packet, Rate, SECOND};
 
+use crate::microbench::{
+    drain_rate_occupancy, drain_rate_packets_per_bucket, FillOrder, FillPattern, QueueUnderTest,
+};
 use crate::report::{BenchArgs, BenchReport, Sweep, TextTable};
 
 /// Figure 9/10 configuration.
@@ -454,6 +457,223 @@ pub fn fig19_report(args: &BenchArgs, scale: &Fig19Scale) -> BenchReport {
     r
 }
 
+/// Scale knobs of the Figure 16 harness (drain Mpps vs packets/bucket).
+#[derive(Debug, Clone)]
+pub struct Fig16Scale {
+    /// Bucket counts, one sweep panel each (paper: 5k and 10k).
+    pub nbs: Vec<usize>,
+    /// Packets-per-bucket sweep points.
+    pub ppbs: Vec<usize>,
+    /// Measurement budget per cell.
+    pub budget: Duration,
+    /// Additional per-`nb` panel draining through `dequeue_batch(n)`
+    /// (`None` disables it).
+    pub batch_panel: Option<usize>,
+}
+
+impl Fig16Scale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Fig16Scale {
+            nbs: vec![5_000, 10_000],
+            ppbs: vec![1, 2, 4, 6, 8],
+            budget: Duration::from_millis(if args.quick { 50 } else { 400 }),
+            batch_panel: Some(16),
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig16Scale {
+            nbs: vec![512],
+            ppbs: vec![1, 2],
+            budget: Duration::from_millis(8),
+            batch_panel: Some(8),
+        }
+    }
+}
+
+/// The Figure 16 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG16_PAPER_CLAIM: &str = "at few packets per bucket the approximate queue leads (up \
+     to 9% over cFFS at 10k buckets); more packets per bucket amortize the min-find and the \
+     queues converge; BH trails throughout (§5.2, Figure 16).";
+
+/// The three §5.2 contenders in the order the figure legends list them.
+const FIG16_CONTENDERS: [QueueUnderTest; 3] = [
+    QueueUnderTest::Approx,
+    QueueUnderTest::Cffs,
+    QueueUnderTest::BucketHeap,
+];
+
+/// Builds the complete Figure 16 report: per bucket count, drain Mpps vs
+/// packets/bucket for the three contenders plus the approximate queue's
+/// estimator hit rate, and (optionally) a batched-dequeue panel showing
+/// what `dequeue_batch` amortization is worth on the same fill.
+pub fn fig16_report(args: &BenchArgs, scale: &Fig16Scale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig16_packets_per_bucket",
+        "Figure 16",
+        "drain Mpps vs packets/bucket (pre-filled queue fully drained; drain phase timed)",
+        args,
+    );
+    r.paper_claim(FIG16_PAPER_CLAIM);
+    r.config_num("budget_ms_per_cell", scale.budget.as_millis() as f64);
+    r.config_str("ppb_sweep", format!("{:?}", scale.ppbs));
+    for &nb in &scale.nbs {
+        let mut sw = Sweep::new(format!("{nb} buckets"), "pkts/bucket");
+        for kind in FIG16_CONTENDERS {
+            sw.add_series(kind.name(), "Mpps", 2);
+        }
+        sw.add_series("Approx est. hit rate", "fraction", 3);
+        for &ppb in &scale.ppbs {
+            let mut row = Vec::new();
+            let mut hit_rate = 0.0;
+            for kind in FIG16_CONTENDERS {
+                let res = drain_rate_packets_per_bucket(kind, nb, ppb, 1, scale.budget);
+                if kind == QueueUnderTest::Approx {
+                    hit_rate = res.hit_rate;
+                }
+                row.push(res.mpps);
+            }
+            row.push(hit_rate);
+            sw.push_row(ppb, &row);
+        }
+        r.push_sweep(sw);
+    }
+    if let Some(batch) = scale.batch_panel {
+        for &nb in &scale.nbs {
+            let mut sw = Sweep::new(
+                format!("{nb} buckets, dequeue_batch({batch})"),
+                "pkts/bucket",
+            );
+            for kind in FIG16_CONTENDERS {
+                sw.add_series(kind.name(), "Mpps", 2);
+            }
+            for &ppb in &scale.ppbs {
+                let row: Vec<f64> = FIG16_CONTENDERS
+                    .into_iter()
+                    .map(|kind| {
+                        drain_rate_packets_per_bucket(kind, nb, ppb, batch, scale.budget).mpps
+                    })
+                    .collect();
+                sw.push_row(ppb, &row);
+            }
+            r.push_sweep(sw);
+        }
+        r.note(format!(
+            "The dequeue_batch({batch}) panels drain the identical fill through the batched \
+             trait path (order proven identical to repeated dequeue_min by property test); BH \
+             uses the default repeated-dequeue_min implementation."
+        ));
+    }
+    r
+}
+
+/// Scale knobs of the Figure 17 harness (drain Mpps vs occupancy).
+#[derive(Debug, Clone)]
+pub struct Fig17Scale {
+    /// Bucket counts, one group of panels each (paper: 5k and 10k).
+    pub nbs: Vec<usize>,
+    /// Occupancy sweep points (fraction of non-empty buckets).
+    pub occupancies: Vec<f64>,
+    /// Fill shapes; `Sparse` is the paper-comparable one.
+    pub patterns: Vec<FillPattern>,
+    /// Measurement budget per cell.
+    pub budget: Duration,
+}
+
+impl Fig17Scale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Fig17Scale {
+            nbs: vec![5_000, 10_000],
+            occupancies: vec![0.5, 0.7, 0.8, 0.9, 0.99],
+            patterns: vec![
+                FillPattern::Sparse,
+                FillPattern::Dense,
+                FillPattern::Clustered,
+            ],
+            budget: Duration::from_millis(if args.quick { 50 } else { 400 }),
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig17Scale {
+            nbs: vec![512],
+            occupancies: vec![0.7, 0.99],
+            patterns: vec![FillPattern::Sparse, FillPattern::Dense],
+            budget: Duration::from_millis(8),
+        }
+    }
+}
+
+/// The Figure 17 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG17_PAPER_CLAIM: &str = "empty buckets trigger the approximate queue's linear \
+     search, so its throughput climbs with occupancy; cFFS is insensitive (§5.2, Figure 17).";
+
+/// Builds the complete Figure 17 report: one panel per `(bucket count,
+/// fill pattern)` sweeping occupancy for BH/Approx/cFFS plus the
+/// approximate queue's estimator hit rate.
+pub fn fig17_report(args: &BenchArgs, scale: &Fig17Scale) -> BenchReport {
+    let contenders = [
+        QueueUnderTest::BucketHeap,
+        QueueUnderTest::Approx,
+        QueueUnderTest::Cffs,
+    ];
+    let mut r = BenchReport::new(
+        "fig17_occupancy",
+        "Figure 17",
+        "drain Mpps vs occupancy (each occupied bucket holds one packet; drain phase timed)",
+        args,
+    );
+    r.paper_claim(FIG17_PAPER_CLAIM);
+    r.config_num("budget_ms_per_cell", scale.budget.as_millis() as f64);
+    r.config_str(
+        "patterns",
+        scale
+            .patterns
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let mut fill_order = FillOrder::new();
+    for &nb in &scale.nbs {
+        for &pattern in &scale.patterns {
+            let mut sw = Sweep::new(
+                format!("{nb} buckets, {} fill", pattern.name()),
+                "occupancy",
+            );
+            for kind in contenders {
+                sw.add_series(kind.name(), "Mpps", 2);
+            }
+            sw.add_series("Approx est. hit rate", "fraction", 3);
+            for &occ in &scale.occupancies {
+                let mut row = Vec::new();
+                let mut hit_rate = 0.0;
+                for kind in contenders {
+                    let res =
+                        drain_rate_occupancy(kind, nb, occ, pattern, &mut fill_order, scale.budget);
+                    if kind == QueueUnderTest::Approx {
+                        hit_rate = res.hit_rate;
+                    }
+                    row.push(res.mpps);
+                }
+                row.push(hit_rate);
+                sw.push_row(occ, &row);
+            }
+            r.push_sweep(sw);
+        }
+    }
+    r.note(
+        "The sparse panels are the paper-comparable fill (random occupied subset); dense and \
+         clustered bound the approximate queue's best and structured cases. The hit-rate series \
+         is the fraction of min-lookups answered without the fallback search.",
+    );
+    r
+}
+
 /// Table 1 rows, tied to the implementations in this workspace.
 pub fn table1_rows() -> Vec<Vec<String>> {
     let row = |sys: &str,
@@ -583,6 +803,61 @@ mod tests {
         let rows = table1_rows();
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().any(|r| r[0] == "Eiffel"));
+    }
+
+    /// The exact Figure 16 report path at miniature scale: panel/series
+    /// shape, positive rates, hit-rate bounds, and a JSON round trip.
+    #[test]
+    fn fig16_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig16_report(&args, &Fig16Scale::tiny());
+        assert_eq!(r.sweeps.len(), 2, "one plain + one batched panel");
+        let plain = &r.sweeps[0];
+        assert_eq!(plain.param_values.len(), 2, "tiny ppb sweep");
+        let names: Vec<&str> = plain.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["Approx", "cFFS", "BH", "Approx est. hit rate"]);
+        for s in &plain.series[..3] {
+            assert!(s.values.iter().all(|&v| v > 0.0), "positive Mpps");
+        }
+        let hits = &plain.series[3];
+        assert!(hits.values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let batched = &r.sweeps[1];
+        assert!(batched.name.contains("dequeue_batch"));
+        assert_eq!(batched.series.len(), 3);
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig16_packets_per_bucket")
+        );
+    }
+
+    /// The exact Figure 17 report path at miniature scale.
+    #[test]
+    fn fig17_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig17_report(&args, &Fig17Scale::tiny());
+        assert_eq!(r.sweeps.len(), 2, "1 nb × 2 patterns");
+        assert!(r.sweeps[0].name.contains("sparse"));
+        assert!(r.sweeps[1].name.contains("dense"));
+        for sw in &r.sweeps {
+            let names: Vec<&str> = sw.series.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(names, ["BH", "Approx", "cFFS", "Approx est. hit rate"]);
+            assert_eq!(sw.param_values.len(), 2, "tiny occupancy sweep");
+            for s in &sw.series[..3] {
+                assert!(s.values.iter().all(|&v| v > 0.0), "positive Mpps");
+            }
+        }
+        // Dense prefix occupancy is the estimator's exact case: its hit
+        // rate must dominate the sparse fill's at every occupancy.
+        let sparse_hits = &r.sweeps[0].series[3].values;
+        let dense_hits = &r.sweeps[1].series[3].values;
+        for (d, s) in dense_hits.iter().zip(sparse_hits) {
+            assert!(d >= s, "dense hit rate {d} < sparse {s}");
+        }
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(doc.get("figure").unwrap().as_str(), Some("fig17_occupancy"));
     }
 
     /// The exact Figure 19 report path at miniature scale: panel/series

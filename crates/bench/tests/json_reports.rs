@@ -118,3 +118,53 @@ fn table1_json_report_carries_the_matrix() {
         assert!(strings.contains(&sys), "missing system {sys}");
     }
 }
+
+#[test]
+fn fig16_quick_json_report_has_expected_series() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig16_packets_per_bucket"), &["--quick"]);
+    assert_schema(&doc, "fig16_packets_per_bucket");
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 4, "5k/10k plain + 5k/10k batched panels");
+    for sweep in &sweeps[..2] {
+        let series: Vec<&str> = sweep
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(series, ["Approx", "cFFS", "BH", "Approx est. hit rate"]);
+    }
+    for sweep in &sweeps[2..] {
+        let name = sweep.get("name").unwrap().as_str().unwrap();
+        assert!(name.contains("dequeue_batch"), "{name}");
+    }
+}
+
+#[test]
+fn fig17_quick_json_report_has_expected_series() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig17_occupancy"), &["--quick"]);
+    assert_schema(&doc, "fig17_occupancy");
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 6, "2 bucket counts x 3 fill patterns");
+    let mut patterns_seen = Vec::new();
+    for sweep in sweeps {
+        let name = sweep.get("name").unwrap().as_str().unwrap();
+        for p in ["sparse", "dense", "clustered"] {
+            if name.contains(p) && !patterns_seen.contains(&p) {
+                patterns_seen.push(p);
+            }
+        }
+        let series: Vec<&str> = sweep
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(series, ["BH", "Approx", "cFFS", "Approx est. hit rate"]);
+    }
+    assert_eq!(patterns_seen.len(), 3, "all three fill patterns recorded");
+}

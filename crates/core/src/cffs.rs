@@ -21,6 +21,7 @@
 use std::marker::PhantomData;
 
 use crate::hffs::HierFfsQueue;
+use crate::recip::Reciprocal;
 use crate::traits::{EnqueueError, QueueStats, RankedQueue};
 
 /// A fixed-range bucketed queue addressed purely by bucket index, usable as
@@ -30,6 +31,22 @@ pub trait BucketCore<T> {
     fn push_bucket(&mut self, bucket: usize, rank: u64, item: T);
     /// Pops from the minimum non-empty bucket, reporting which bucket it was.
     fn pop_min_bucket(&mut self) -> Option<(usize, u64, T)>;
+    /// Pops up to `max` elements in repeated-[`BucketCore::pop_min_bucket`]
+    /// order, appending `(rank, item)` pairs to `out` and returning the
+    /// count. Cores override this to amortize the min-find across a batch.
+    fn pop_min_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop_min_bucket() {
+                Some((_, rank, item)) => {
+                    out.push((rank, item));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
     /// Index of the minimum non-empty bucket.
     fn min_bucket(&self) -> Option<usize>;
     /// Stored element count.
@@ -51,7 +68,10 @@ pub struct Circular<C, T> {
     /// Lowest rank covered by the primary window, aligned to the granularity
     /// grid ("h_index" in the paper).
     h_index: u64,
-    granularity: u64,
+    /// The bucket granularity, stored once as its precomputed reciprocal:
+    /// `recip.divisor()` reads it back, `recip.div`/`recip.rem` perform the
+    /// enqueue-path rank→bucket division as a multiply-shift.
+    recip: Reciprocal,
     num_buckets: usize,
     stats: QueueStats,
     _item: PhantomData<fn() -> T>,
@@ -70,11 +90,12 @@ impl<C: BucketCore<T>, T> Circular<C, T> {
             "halves must have identical geometry"
         );
         let num_buckets = a.core_num_buckets();
+        let recip = Reciprocal::new(granularity);
         Circular {
             halves: [a, b],
             primary: 0,
-            h_index: start_rank - start_rank % granularity,
-            granularity,
+            h_index: start_rank - recip.rem(start_rank),
+            recip,
             num_buckets,
             stats: QueueStats::default(),
             _item: PhantomData,
@@ -83,7 +104,7 @@ impl<C: BucketCore<T>, T> Circular<C, T> {
 
     /// Rank units covered by one window half.
     pub fn span(&self) -> u64 {
-        self.num_buckets as u64 * self.granularity
+        self.num_buckets as u64 * self.recip.divisor()
     }
 
     /// Lowest rank covered by the primary window.
@@ -98,7 +119,7 @@ impl<C: BucketCore<T>, T> Circular<C, T> {
 
     /// Rank units per bucket.
     pub fn granularity(&self) -> u64 {
-        self.granularity
+        self.recip.divisor()
     }
 
     fn primary_ref(&self) -> &C {
@@ -130,14 +151,14 @@ impl<C: BucketCore<T>, T> RankedQueue<T> for Circular<C, T> {
             && self.primary_ref().core_len() == 0
             && self.secondary_ref().core_len() == 0
         {
-            self.h_index = rank - rank % self.granularity;
+            self.h_index = rank - self.recip.rem(rank);
         }
         let (half, bucket) = if rank < self.h_index {
             // Overdue rank: due immediately (Carousel clamps identically).
             self.stats.clamped_low += 1;
             (self.primary, 0)
         } else {
-            let off = (rank - self.h_index) / self.granularity;
+            let off = self.recip.div(rank - self.h_index);
             if off < self.num_buckets as u64 {
                 (self.primary, off as usize)
             } else if off < 2 * self.num_buckets as u64 {
@@ -166,13 +187,34 @@ impl<C: BucketCore<T>, T> RankedQueue<T> for Circular<C, T> {
         Some((rank, item))
     }
 
+    /// Batched fast path: drains the primary half through its core's
+    /// [`BucketCore::pop_min_batch`], rotating into the secondary exactly
+    /// when repeated [`RankedQueue::dequeue_min`] would.
+    fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        let mut n = 0;
+        while n < max {
+            if self.primary_ref().core_len() == 0 {
+                if self.secondary_ref().core_len() == 0 {
+                    break;
+                }
+                self.rotate();
+            }
+            let got = self.halves[self.primary].pop_min_batch(max - n, out);
+            // Fail as loudly as dequeue_min would: a half that claims
+            // elements but pops none must not spin this loop forever.
+            assert!(got > 0, "primary non-empty after rotation");
+            n += got;
+        }
+        n
+    }
+
     fn peek_min_rank(&self) -> Option<u64> {
         if let Some(b) = self.primary_ref().min_bucket() {
-            return Some(self.h_index + b as u64 * self.granularity);
+            return Some(self.h_index + b as u64 * self.recip.divisor());
         }
         self.secondary_ref()
             .min_bucket()
-            .map(|b| self.h_index + self.span() + b as u64 * self.granularity)
+            .map(|b| self.h_index + self.span() + b as u64 * self.recip.divisor())
     }
 
     fn len(&self) -> usize {
@@ -185,6 +227,8 @@ impl<C: BucketCore<T>, T> RankedQueue<T> for Circular<C, T> {
             let cs = h.core_stats();
             s.lookups += cs.lookups;
             s.error_sum += cs.error_sum;
+            s.est_hits += cs.est_hits;
+            s.est_misses += cs.est_misses;
         }
         s
     }
@@ -231,7 +275,7 @@ impl<T> CffsQueue<T> {
             return None;
         };
         let b = self.halves[half].min_bucket().expect("half is non-empty");
-        if base + b as u64 * self.granularity > bound {
+        if base + b as u64 * self.recip.divisor() > bound {
             return None;
         }
         if half != self.primary {

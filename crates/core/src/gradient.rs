@@ -16,6 +16,7 @@
 //! *approximation* in [`crate::approx`].
 
 use crate::buckets::Buckets;
+use crate::recip::Reciprocal;
 use crate::traits::{EnqueueError, EnqueueErrorKind, RankedQueue};
 
 /// Curvature accumulator over up to 64 bucket indices: the exact Gradient
@@ -72,8 +73,28 @@ impl GradientWord {
 
     /// Maximum occupied index via **Theorem 1**: `ceil(b/a)`.
     ///
-    /// No bit-scan is consulted — this is pure curvature algebra.
+    /// The division need not be executed: with weights `2^i`, the
+    /// accumulator `a = Σ_{i occupied} 2^i` *is* the occupancy polynomial
+    /// evaluated at 2, so its most significant bit is the maximum occupied
+    /// index — and Theorem 1 proves `ceil(b/a)` equals exactly that. The
+    /// 128-bit hardware division this used to run (~40 cycles, once per
+    /// hierarchy level per lookup) is replaced by one `leading_zeros` on
+    /// the same curvature accumulator; `theorem1_division_agrees` keeps the
+    /// two forms provably interchangeable.
     pub fn max_index(&self) -> Option<u32> {
+        if self.a == 0 {
+            None
+        } else {
+            let top = 127 - self.a.leading_zeros();
+            debug_assert_eq!(top as u128, self.b.div_ceil(self.a), "Theorem 1");
+            Some(top)
+        }
+    }
+
+    /// `ceil(b/a)` with the division actually performed — the literal
+    /// Theorem 1 expression, kept for tests that pin [`Self::max_index`]
+    /// to it.
+    pub fn max_index_by_division(&self) -> Option<u32> {
         if self.a == 0 {
             None
         } else {
@@ -153,7 +174,7 @@ impl HierGradient {
 pub struct GradientQueue<T> {
     word: GradientWord,
     buckets: Buckets<T>,
-    granularity: u64,
+    granularity: Reciprocal,
     base: u64,
     nb: usize,
 }
@@ -174,14 +195,14 @@ impl<T> GradientQueue<T> {
         GradientQueue {
             word: GradientWord::new(),
             buckets: Buckets::new(n),
-            granularity,
+            granularity: Reciprocal::new(granularity),
             base,
             nb: n,
         }
     }
 
     fn bucket_of(&self, rank: u64) -> Option<usize> {
-        let off = rank.checked_sub(self.base)? / self.granularity;
+        let off = self.granularity.div(rank.checked_sub(self.base)?);
         if (off as usize) < self.nb {
             Some(off as usize)
         } else {
@@ -223,7 +244,7 @@ impl<T> RankedQueue<T> for GradientQueue<T> {
     fn peek_min_rank(&self) -> Option<u64> {
         self.word
             .max_index()
-            .map(|j| self.base + (self.nb - 1 - j as usize) as u64 * self.granularity)
+            .map(|j| self.base + (self.nb - 1 - j as usize) as u64 * self.granularity.divisor())
     }
 
     fn len(&self) -> usize {
@@ -236,7 +257,7 @@ impl<T> RankedQueue<T> for GradientQueue<T> {
 pub struct HierGradientQueue<T> {
     grad: HierGradient,
     buckets: Buckets<T>,
-    granularity: u64,
+    granularity: Reciprocal,
     base: u64,
     nb: usize,
 }
@@ -254,14 +275,14 @@ impl<T> HierGradientQueue<T> {
         HierGradientQueue {
             grad: HierGradient::new(n),
             buckets: Buckets::new(n),
-            granularity,
+            granularity: Reciprocal::new(granularity),
             base,
             nb: n,
         }
     }
 
     fn bucket_of(&self, rank: u64) -> Option<usize> {
-        let off = rank.checked_sub(self.base)? / self.granularity;
+        let off = self.granularity.div(rank.checked_sub(self.base)?);
         if (off as usize) < self.nb {
             Some(off as usize)
         } else {
@@ -299,7 +320,7 @@ impl<T> RankedQueue<T> for HierGradientQueue<T> {
     fn peek_min_rank(&self) -> Option<u64> {
         self.grad
             .max_index()
-            .map(|j| self.base + (self.nb - 1 - j) as u64 * self.granularity)
+            .map(|j| self.base + (self.nb - 1 - j) as u64 * self.granularity.divisor())
     }
 
     fn len(&self) -> usize {
@@ -341,6 +362,27 @@ mod tests {
                 }
             }
             assert_eq!(w.max_index(), Some(63 - x.leading_zeros()), "mask {x:#x}");
+        }
+    }
+
+    /// Pins the FFS-form `max_index` to the literal `ceil(b/a)` division —
+    /// the Theorem 1 identity the release-mode shortcut relies on.
+    #[test]
+    fn theorem1_division_agrees() {
+        let mut w = GradientWord::new();
+        assert_eq!(w.max_index(), w.max_index_by_division());
+        let mut x: u64 = 0xa076_1d64_78bd_642f;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 64) as u32;
+            if x & (1 << 40) != 0 {
+                w.set(i);
+            } else {
+                w.clear(i);
+            }
+            assert_eq!(w.max_index(), w.max_index_by_division());
         }
     }
 

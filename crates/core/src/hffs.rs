@@ -14,6 +14,7 @@
 use crate::buckets::Buckets;
 use crate::cffs::BucketCore;
 use crate::hierbitmap::HierBitmap;
+use crate::recip::Reciprocal;
 use crate::traits::{EnqueueError, EnqueueErrorKind, RankedQueue};
 
 /// Fixed-range hierarchical FFS queue over `n` buckets.
@@ -21,7 +22,7 @@ use crate::traits::{EnqueueError, EnqueueErrorKind, RankedQueue};
 pub struct HierFfsQueue<T> {
     bitmap: HierBitmap,
     buckets: Buckets<T>,
-    granularity: u64,
+    granularity: Reciprocal,
     base: u64,
 }
 
@@ -37,7 +38,7 @@ impl<T> HierFfsQueue<T> {
         HierFfsQueue {
             bitmap: HierBitmap::new(n),
             buckets: Buckets::new(n),
-            granularity,
+            granularity: Reciprocal::new(granularity),
             base,
         }
     }
@@ -53,7 +54,7 @@ impl<T> HierFfsQueue<T> {
     }
 
     fn bucket_of(&self, rank: u64) -> Option<usize> {
-        let off = rank.checked_sub(self.base)? / self.granularity;
+        let off = self.granularity.div(rank.checked_sub(self.base)?);
         if (off as usize) < self.num_buckets() {
             Some(off as usize)
         } else {
@@ -76,7 +77,7 @@ impl<T> HierFfsQueue<T> {
     pub fn peek_max_rank(&self) -> Option<u64> {
         self.bitmap
             .last_set()
-            .map(|b| self.base + b as u64 * self.granularity)
+            .map(|b| self.base + b as u64 * self.granularity.divisor())
     }
 
     /// Pops the oldest element of bucket `bucket` directly, maintaining the
@@ -95,12 +96,12 @@ impl<T> HierFfsQueue<T> {
     /// Rank lower edge of the first non-empty bucket whose rank is ≥ `rank`.
     pub fn peek_min_rank_from(&self, rank: u64) -> Option<u64> {
         let from = match rank.checked_sub(self.base) {
-            Some(off) => (off / self.granularity) as usize,
+            Some(off) => self.granularity.div(off) as usize,
             None => 0,
         };
         self.bitmap
             .first_set_from(from)
-            .map(|b| self.base + b as u64 * self.granularity)
+            .map(|b| self.base + b as u64 * self.granularity.divisor())
     }
 }
 
@@ -129,10 +130,18 @@ impl<T> RankedQueue<T> for HierFfsQueue<T> {
         out
     }
 
+    /// Batched fast path: one root descent locates the minimum bucket, the
+    /// bucket FIFO is drained directly, and the *next* bucket is found with
+    /// `first_set_from` (at most `2·depth` word ops, usually one leaf word)
+    /// instead of a fresh root descent per element.
+    fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        BucketCore::pop_min_batch(self, max, out)
+    }
+
     fn peek_min_rank(&self) -> Option<u64> {
         self.bitmap
             .first_set()
-            .map(|b| self.base + b as u64 * self.granularity)
+            .map(|b| self.base + b as u64 * self.granularity.divisor())
     }
 
     fn len(&self) -> usize {
@@ -154,6 +163,37 @@ impl<T> BucketCore<T> for HierFfsQueue<T> {
             self.bitmap.clear(b);
         }
         Some((b, rank, item))
+    }
+
+    fn pop_min_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        let mut n = 0;
+        let Some(mut b) = self.bitmap.first_set() else {
+            return 0;
+        };
+        'batch: while n < max {
+            loop {
+                let pair = self.buckets.pop(b).expect("bitmap said non-empty");
+                out.push(pair);
+                n += 1;
+                if self.buckets.bucket_is_empty(b) {
+                    self.bitmap.clear(b);
+                    break;
+                }
+                if n >= max {
+                    break 'batch;
+                }
+            }
+            if n >= max {
+                break;
+            }
+            // The emptied bucket was the minimum, so the next minimum is
+            // strictly above it — no full root descent needed.
+            match self.bitmap.first_set_from(b + 1) {
+                Some(next) => b = next,
+                None => break,
+            }
+        }
+        n
     }
 
     fn min_bucket(&self) -> Option<usize> {

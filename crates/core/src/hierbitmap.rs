@@ -9,16 +9,37 @@
 //! The structure also supports `first_set_from`, the "first non-empty
 //! bucket at or after X" query used by shapers and by the circular queue's
 //! window logic; it costs at most two traversals.
+//!
+//! # Layout
+//!
+//! All levels live in **one** contiguous word array, leaves first, with the
+//! start of each level in a small fixed table. The descent loop therefore
+//! costs one data-dependent load per level — the previous `Vec<Vec<u64>>`
+//! layout paid two (the level's buffer pointer, then the word), doubling
+//! the load chain of the hottest loop in the repo (`CffsQueue::dequeue_min`
+//! is a descent, and every queue's enqueue/dequeue maintains one of these).
+//! The descent itself uses raw `trailing_zeros`/`leading_zeros` on words an
+//! ancestor bit already proved non-zero, so the per-level body is
+//! branch-free.
 
 use crate::word;
 
+/// Deepest supported hierarchy: 6 levels cover `64^6 = 6.9×10^10` buckets.
+const MAX_DEPTH: usize = 6;
+
 /// Hierarchical bitmap over `len` buckets.
 ///
-/// `levels[0]` is the leaf level (one bit per bucket); `levels.last()` is a
-/// single root word. For `len <= 64` there is exactly one level.
+/// Words are stored leaves-first in one slab; `offs[l]` is the start of
+/// level `l`. For `len <= 64` there is exactly one level (the root is the
+/// leaf word).
 #[derive(Debug, Clone)]
 pub struct HierBitmap {
-    levels: Vec<Vec<u64>>,
+    words: Vec<u64>,
+    /// Start of each level inside `words`; only `..depth` are meaningful.
+    offs: [u32; MAX_DEPTH],
+    /// Index of the root word (`offs[depth-1]`).
+    root: u32,
+    depth: u32,
     len: usize,
     ones: usize,
 }
@@ -30,18 +51,26 @@ impl HierBitmap {
     /// Panics if `len == 0`.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "bitmap must cover at least one bucket");
-        let mut levels = Vec::new();
+        let mut offs = [0u32; MAX_DEPTH];
+        let mut total = 0usize;
+        let mut depth = 0usize;
         let mut n = len;
         loop {
             let words = n.div_ceil(word::WORD_BITS);
-            levels.push(vec![0u64; words]);
+            assert!(depth < MAX_DEPTH, "bitmap deeper than {MAX_DEPTH} levels");
+            offs[depth] = total as u32;
+            total += words;
+            depth += 1;
             if words == 1 {
                 break;
             }
             n = words;
         }
         HierBitmap {
-            levels,
+            words: vec![0u64; total],
+            offs,
+            root: offs[depth - 1],
+            depth: depth as u32,
             len,
             ones: 0,
         }
@@ -53,8 +82,9 @@ impl HierBitmap {
     }
 
     /// Whether no bucket is occupied.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.levels.last().expect("at least one level")[0] == 0
+        self.words[self.root as usize] == 0
     }
 
     /// Number of occupied buckets (maintained incrementally).
@@ -64,16 +94,18 @@ impl HierBitmap {
 
     /// Number of levels in the hierarchy (`ceil(log64 len)`, at least 1).
     pub fn depth(&self) -> usize {
-        self.levels.len()
+        self.depth as usize
     }
 
     /// Whether bucket `i` is occupied.
+    #[inline]
     pub fn test(&self, i: usize) -> bool {
         assert!(i < self.len, "bucket {i} out of range {}", self.len);
-        word::test_bit(self.levels[0][i / 64], (i % 64) as u32)
+        word::test_bit(self.words[i / 64], (i % 64) as u32)
     }
 
     /// Marks bucket `i` occupied, propagating empty→non-empty transitions up.
+    #[inline]
     pub fn set(&mut self, i: usize) {
         assert!(i < self.len, "bucket {i} out of range {}", self.len);
         if self.test(i) {
@@ -81,8 +113,9 @@ impl HierBitmap {
         }
         self.ones += 1;
         let mut idx = i;
-        for level in &mut self.levels {
-            let transition = word::set_bit(&mut level[idx / 64], (idx % 64) as u32);
+        for l in 0..self.depth as usize {
+            let w = self.offs[l] as usize + idx / 64;
+            let transition = word::set_bit(&mut self.words[w], (idx % 64) as u32);
             if !transition {
                 break; // parent already knew this subtree was non-empty
             }
@@ -91,6 +124,7 @@ impl HierBitmap {
     }
 
     /// Marks bucket `i` empty, propagating non-empty→empty transitions up.
+    #[inline]
     pub fn clear(&mut self, i: usize) {
         assert!(i < self.len, "bucket {i} out of range {}", self.len);
         if !self.test(i) {
@@ -98,8 +132,9 @@ impl HierBitmap {
         }
         self.ones -= 1;
         let mut idx = i;
-        for level in &mut self.levels {
-            let now_empty = word::clear_bit(&mut level[idx / 64], (idx % 64) as u32);
+        for l in 0..self.depth as usize {
+            let w = self.offs[l] as usize + idx / 64;
+            let now_empty = word::clear_bit(&mut self.words[w], (idx % 64) as u32);
             if !now_empty {
                 break; // subtree still non-empty; parent bit stays set
             }
@@ -108,27 +143,33 @@ impl HierBitmap {
     }
 
     /// Lowest occupied bucket: one FFS per level, descending from the root.
+    #[inline]
     pub fn first_set(&self) -> Option<usize> {
-        if self.is_empty() {
+        let root = self.words[self.root as usize];
+        if root == 0 {
             return None;
         }
-        let mut idx = 0usize;
-        for level in self.levels.iter().rev() {
-            let b = word::lowest_set(level[idx]).expect("parent bit guaranteed a set child");
-            idx = idx * 64 + b as usize;
+        // The root bit proves every word on the descent path is non-zero,
+        // so each level is a plain load + trailing_zeros — no branches.
+        let mut idx = root.trailing_zeros() as usize;
+        for l in (0..self.depth as usize - 1).rev() {
+            let w = self.words[self.offs[l] as usize + idx];
+            idx = idx * 64 + w.trailing_zeros() as usize;
         }
         Some(idx)
     }
 
     /// Highest occupied bucket.
+    #[inline]
     pub fn last_set(&self) -> Option<usize> {
-        if self.is_empty() {
+        let root = self.words[self.root as usize];
+        if root == 0 {
             return None;
         }
-        let mut idx = 0usize;
-        for level in self.levels.iter().rev() {
-            let b = word::highest_set(level[idx]).expect("parent bit guaranteed a set child");
-            idx = idx * 64 + b as usize;
+        let mut idx = 63 - root.leading_zeros() as usize;
+        for l in (0..self.depth as usize - 1).rev() {
+            let w = self.words[self.offs[l] as usize + idx];
+            idx = idx * 64 + (63 - w.leading_zeros() as usize);
         }
         Some(idx)
     }
@@ -146,15 +187,17 @@ impl HierBitmap {
         // (excluding the subtrees already ruled out below) is non-empty, then
         // descend back to the leaf with plain FFS.
         let mut idx = from;
-        for (li, level) in self.levels.iter().enumerate() {
+        for (li, &off) in self.offs[..self.depth as usize].iter().enumerate() {
             let w = idx / 64;
-            if w < level.len() {
-                if let Some(b) = word::lowest_set_from(level[w], (idx % 64) as u32) {
+            let level_words = self.level_words(li);
+            if w < level_words {
+                if let Some(b) =
+                    word::lowest_set_from(self.words[off as usize + w], (idx % 64) as u32)
+                {
                     let mut node = w * 64 + b as usize;
-                    for lower in self.levels[..li].iter().rev() {
-                        let c = word::lowest_set(lower[node])
-                            .expect("set parent bit implies set child");
-                        node = node * 64 + c as usize;
+                    for l in (0..li).rev() {
+                        let child = self.words[self.offs[l] as usize + node];
+                        node = node * 64 + child.trailing_zeros() as usize;
                     }
                     return Some(node);
                 }
@@ -170,14 +213,13 @@ impl HierBitmap {
     pub fn last_set_to(&self, to: usize) -> Option<usize> {
         let to = to.min(self.len - 1);
         let mut idx = to;
-        for (li, level) in self.levels.iter().enumerate() {
+        for (li, &off) in self.offs[..self.depth as usize].iter().enumerate() {
             let w = idx / 64; // in bounds: idx only decreases level to level
-            if let Some(b) = word::highest_set_to(level[w], (idx % 64) as u32) {
+            if let Some(b) = word::highest_set_to(self.words[off as usize + w], (idx % 64) as u32) {
                 let mut node = w * 64 + b as usize;
-                for lower in self.levels[..li].iter().rev() {
-                    let c =
-                        word::highest_set(lower[node]).expect("set parent bit implies set child");
-                    node = node * 64 + c as usize;
+                for l in (0..li).rev() {
+                    let child = self.words[self.offs[l] as usize + node];
+                    node = node * 64 + (63 - child.leading_zeros() as usize);
                 }
                 return Some(node);
             }
@@ -187,6 +229,35 @@ impl HierBitmap {
             idx = w - 1;
         }
         None
+    }
+
+    /// Calls `f` for every occupied bucket, in ascending order.
+    ///
+    /// Cost is `O(leaf words + set bits)` — one pass over the leaf level
+    /// with a destructive bit loop per non-zero word. Used by consumers
+    /// that rebuild summaries from the exact occupancy (e.g. the
+    /// approximate queue's accumulator renormalization).
+    pub fn for_each_set<F: FnMut(usize)>(&self, mut f: F) {
+        let leaf_words = self.level_words(0);
+        for (wi, &word) in self.words[..leaf_words].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                f(wi * 64 + b);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Number of words in level `l`.
+    #[inline]
+    fn level_words(&self, l: usize) -> usize {
+        let end = if l + 1 < self.depth as usize {
+            self.offs[l + 1] as usize
+        } else {
+            self.words.len()
+        };
+        end - self.offs[l] as usize
     }
 }
 
@@ -257,6 +328,17 @@ mod tests {
         assert_eq!(bm.last_set_to(64), Some(64));
         assert_eq!(bm.last_set_to(63), Some(3));
         assert_eq!(bm.last_set_to(2), None);
+    }
+
+    #[test]
+    fn for_each_set_visits_ascending() {
+        let mut bm = HierBitmap::new(300);
+        for &i in &[0usize, 63, 64, 65, 190, 299] {
+            bm.set(i);
+        }
+        let mut seen = Vec::new();
+        bm.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, vec![0, 63, 64, 65, 190, 299]);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod gradient;
 pub mod guide;
 pub mod hffs;
 pub mod hierbitmap;
+pub mod recip;
 pub mod timing_wheel;
 pub mod traits;
 pub mod word;
@@ -69,5 +70,6 @@ pub use gradient::{GradientQueue, GradientWord, HierGradientQueue};
 pub use guide::{recommend, Recommendation, UseCase};
 pub use hffs::HierFfsQueue;
 pub use hierbitmap::HierBitmap;
+pub use recip::Reciprocal;
 pub use timing_wheel::TimingWheel;
 pub use traits::{EnqueueError, EnqueueErrorKind, QueueConfig, QueueKind, QueueStats, RankedQueue};

@@ -69,6 +69,13 @@ pub struct QueueStats {
     /// Sum over lookups of |estimated bucket − actual bucket| (approximate
     /// queues only; exact queues keep this at zero).
     pub error_sum: u64,
+    /// Lookups whose curvature estimate landed on an occupied bucket — the
+    /// approximate queue's O(1) fast path (`est_hits + est_misses =
+    /// lookups` for approximate queues; exact queues keep both at zero).
+    pub est_hits: u64,
+    /// Lookups that fell back to the alternating search because the
+    /// estimated bucket was empty.
+    pub est_misses: u64,
 }
 
 impl QueueStats {
@@ -78,6 +85,16 @@ impl QueueStats {
             0.0
         } else {
             self.error_sum as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of lookups answered by the estimator's O(1) hit path
+    /// (approximate queues; 0 when no lookups were recorded).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.est_hits as f64 / self.lookups as f64
         }
     }
 }
@@ -94,6 +111,30 @@ pub trait RankedQueue<T> {
 
     /// Removes and returns the minimum-bucket element (FIFO within bucket).
     fn dequeue_min(&mut self) -> Option<(u64, T)>;
+
+    /// Removes up to `max` elements in exactly the order repeated
+    /// [`RankedQueue::dequeue_min`] calls would produce, appending them to
+    /// `out`. Returns how many elements were moved.
+    ///
+    /// The default implementation is that loop verbatim. Bucketed queues
+    /// override it to amortize the min-find across the batch: one bitmap
+    /// descent (or curvature estimate) locates the minimum bucket, whose
+    /// FIFO is then popped repeatedly until the bucket empties or the batch
+    /// fills — the per-packet cost the paper attributes to batching in §5.1
+    /// (Figure 13) applied to the queue itself.
+    fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue_min() {
+                Some(pair) => {
+                    out.push(pair);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
 
     /// Rank lower edge of the minimum non-empty bucket.
     ///

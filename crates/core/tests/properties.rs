@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 use eiffel_core::{
     ApproxGradientQueue, BucketHeapQueue, CffsQueue, FfsQueue, GradientQueue, GradientWord, HeapPq,
-    HierBitmap, HierFfsQueue, HierGradientQueue, RankedQueue, TreePq,
+    HierBitmap, HierFfsQueue, HierGradientQueue, QueueConfig, QueueKind, RankedQueue, TreePq,
 };
 
 /// Reference model with the same FIFO-within-rank tie policy.
@@ -187,6 +187,56 @@ proptest! {
         }
         assert!(seen.iter().all(|s| *s));
         assert!(q.is_empty());
+    }
+
+    /// Batched dequeue must produce exactly the sequence repeated
+    /// `dequeue_min` calls would — for all three §5.2 contenders (BH on the
+    /// default trait impl, cFFS and Approx on their specialized fast
+    /// paths), arbitrary fills, arbitrary batch sizes, and enqueues
+    /// interleaved between batches.
+    #[test]
+    fn dequeue_batch_matches_repeated_dequeue_min(
+        ranks in prop::collection::vec(0u64..700, 1..300),
+        late in prop::collection::vec(0u64..700, 0..60),
+        batches in prop::collection::vec(1usize..17, 1..80),
+    ) {
+        let cfg = QueueConfig::new(700, 1, 0);
+        for kind in [
+            QueueKind::BucketHeap,
+            QueueKind::Cffs,
+            QueueKind::ApproxGradient { alpha: 16 },
+        ] {
+            let mut batched: Box<dyn RankedQueue<usize>> = kind.build(cfg);
+            let mut single: Box<dyn RankedQueue<usize>> = kind.build(cfg);
+            for (i, r) in ranks.iter().enumerate() {
+                batched.enqueue(*r, i).unwrap();
+                single.enqueue(*r, i).unwrap();
+            }
+            let mut out = Vec::new();
+            let mut round = 0usize;
+            loop {
+                let max = batches[round % batches.len()];
+                out.clear();
+                let got = batched.dequeue_batch(max, &mut out);
+                prop_assert!(got <= max, "{kind:?} overfilled the batch");
+                prop_assert_eq!(got, out.len());
+                for pair in &out {
+                    prop_assert_eq!(Some(*pair), single.dequeue_min(), "{:?}", kind);
+                }
+                if got == 0 {
+                    prop_assert!(single.dequeue_min().is_none());
+                    break;
+                }
+                // Interleave enqueues so batches also cross window
+                // rotations and estimator-cache invalidations.
+                if let Some(r) = late.get(round) {
+                    batched.enqueue(*r, 100_000 + round).unwrap();
+                    single.enqueue(*r, 100_000 + round).unwrap();
+                }
+                round += 1;
+            }
+            prop_assert!(batched.is_empty() && single.is_empty());
+        }
     }
 
     /// Theorem 1 (Appendix A) for arbitrary occupancy masks.

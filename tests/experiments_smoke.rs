@@ -5,7 +5,8 @@
 use std::time::Duration;
 
 use eiffel_bench::microbench::{
-    approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket, QueueUnderTest,
+    approx_error_at_occupancy, drain_rate_occupancy, drain_rate_packets_per_bucket, FillOrder,
+    FillPattern, QueueUnderTest,
 };
 use eiffel_bench::runners;
 use eiffel_repro::dcsim::{SchedulerBackend, System, Topology};
@@ -57,19 +58,28 @@ fn fig15_quick() {
 #[test]
 fn fig16_fig17_quick() {
     let budget = Duration::from_millis(40);
-    let bh = drain_rate_packets_per_bucket(QueueUnderTest::BucketHeap, 2_000, 1, budget);
-    let cf = drain_rate_packets_per_bucket(QueueUnderTest::Cffs, 2_000, 1, budget);
+    let bh = drain_rate_packets_per_bucket(QueueUnderTest::BucketHeap, 2_000, 1, 1, budget).mpps;
+    let cf = drain_rate_packets_per_bucket(QueueUnderTest::Cffs, 2_000, 1, 1, budget).mpps;
     assert!(bh > 0.0 && cf > 0.0);
     assert!(cf > bh, "cFFS ({cf:.1} Mpps) must beat BH ({bh:.1} Mpps)");
-    let occ = drain_rate_occupancy(QueueUnderTest::Approx, 2_000, 0.9, budget);
-    assert!(occ > 0.0);
+    let mut fill_order = FillOrder::new();
+    let occ = drain_rate_occupancy(
+        QueueUnderTest::Approx,
+        2_000,
+        0.9,
+        FillPattern::Sparse,
+        &mut fill_order,
+        budget,
+    );
+    assert!(occ.mpps > 0.0);
+    assert!((0.0..=1.0).contains(&occ.hit_rate));
 }
 
 /// Figure 18 path: error rises as occupancy falls.
 #[test]
 fn fig18_quick() {
-    let lo = approx_error_at_occupancy(2_000, 0.7, 6, 1);
-    let hi = approx_error_at_occupancy(2_000, 0.99, 6, 1);
+    let lo = approx_error_at_occupancy(2_000, 0.7, 24, 1);
+    let hi = approx_error_at_occupancy(2_000, 0.99, 24, 1);
     assert!(
         lo > hi,
         "error at 0.7 occupancy ({lo:.2}) must exceed error at 0.99 ({hi:.2})"
