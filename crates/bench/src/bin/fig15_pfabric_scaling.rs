@@ -1,44 +1,17 @@
 //! Figure 15 — "Performance of pFabric implementation using cFFS and a
 //! binary heap showing Eiffel sustaining line rate at 5x number of flows":
-//! achieved rate vs flow count, 1500B packets, one core.
+//! achieved rate vs flow count, 1500B packets, across host-pipeline shapes
+//! (shard {1, 2, 4} scheduler instances × dequeue batch {1, 16}).
 //!
 //! `--quick` shrinks the sweep and durations; `--json <path>` records the
-//! run.
+//! run. The report construction lives in
+//! [`eiffel_bench::runners::fig15_report`] so tests and CI validate the
+//! exact path this binary records.
 
-use std::time::Duration;
-
-use eiffel_bench::report::{BenchReport, Sweep};
 use eiffel_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let flows: &[usize] = if args.quick {
-        &[100, 1_000, 10_000]
-    } else {
-        &[100, 1_000, 10_000, 100_000, 1_000_000]
-    };
-    let dur = Duration::from_millis(if args.quick { 100 } else { 800 });
-    let mut r = BenchReport::new(
-        "fig15_pfabric_scaling",
-        "Figure 15",
-        "pFabric rate vs #flows (cFFS-family vs binary heap)",
-        &args,
-    );
-    r.paper_claim("Eiffel sustains line rate at 5x the number of flows (§5.1.3, Figure 15).");
-    r.config_num("duration_ms_per_cell", dur.as_millis() as f64);
-    r.config_num("pkt_bytes", 1_500.0);
-    r.config_str(
-        "method",
-        "per-flow ranking + on-dequeue ranking; heap baseline re-heapifies on rank change",
-    );
-    let mut sw = Sweep::new("", "flows");
-    sw.add_series("pFabric-Eiffel", "Mbps", 0);
-    sw.add_series("pFabric-BinaryHeap", "Mbps", 0);
-    for &n in flows {
-        let e = runners::pfabric_max_rate(true, n, dur);
-        let h = runners::pfabric_max_rate(false, n, dur);
-        sw.push_row(n, &[e, h]);
-    }
-    r.push_sweep(sw);
-    r.finish(&args);
+    let scale = runners::Fig15Scale::from_args(&args);
+    runners::fig15_report(&args, &scale).finish(&args);
 }

@@ -120,6 +120,59 @@ fn table1_json_report_carries_the_matrix() {
 }
 
 #[test]
+fn fig15_quick_json_report_has_expected_series() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig15_pfabric_scaling"), &["--quick"]);
+    assert_schema(&doc, "fig15_pfabric_scaling");
+    assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 6, "shard {{1,2,4}} x batch {{1,16}} panels");
+    let names: Vec<&str> = sweeps
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    for shards in [1, 2, 4] {
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| n.starts_with(&format!("{shards} shard")))
+                .count(),
+            2,
+            "{names:?}"
+        );
+    }
+    for batch in [1, 16] {
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| n.ends_with(&format!("batch {batch}")))
+                .count(),
+            3,
+            "{names:?}"
+        );
+    }
+    for sweep in sweeps {
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        let series_names: Vec<&str> = series
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(series_names, ["pFabric-Eiffel", "pFabric-BinaryHeap"]);
+        let n_params = sweep.get("param_values").unwrap().as_array().unwrap().len();
+        assert!(n_params >= 3, "quick sweep covers several flow counts");
+        for s in series {
+            let values = s.get("values").unwrap().as_array().unwrap();
+            assert_eq!(values.len(), n_params);
+            for v in values {
+                let rate = v.as_f64().expect("measured rates are numbers");
+                assert!(rate > 0.0, "rates are positive, got {rate}");
+            }
+        }
+    }
+    let claim = doc.get("paper_claim").unwrap().as_str().unwrap();
+    assert!(claim.contains("5x") && claim.contains("§5.1.3"), "{claim}");
+}
+
+#[test]
 fn fig16_quick_json_report_has_expected_series() {
     let doc = run_and_parse(env!("CARGO_BIN_EXE_fig16_packets_per_bucket"), &["--quick"]);
     assert_schema(&doc, "fig16_packets_per_bucket");

@@ -24,7 +24,10 @@ pub mod pfabric;
 pub mod pktgen;
 pub mod tc;
 
-pub use harness::{measure_rate, BessScheduler, RateReport, BATCH, WARMUP_FRACTION};
+pub use harness::{
+    measure_rate, measure_rate_batched, measure_rate_sharded, BessScheduler, RateReport,
+    ShardedRateReport, BATCH, WARMUP_FRACTION,
+};
 pub use hclock::{FlowSpec, HClockEiffel, HClockHeap};
 pub use pfabric::{PfabricEiffel, PfabricHeap};
 pub use pktgen::RoundRobinGen;

@@ -31,9 +31,12 @@ impl PfabricEiffel {
     /// Creates the scheduler.
     pub fn new() -> Self {
         PfabricEiffel {
-            inner: FlowScheduler::new(
-                Box::new(Pfabric),
-                QueueKind::HierFfs.build(QueueConfig::new(MAX_REMAINING as usize, 1, 0)),
+            // `with_kind` (not `new`) so the scheduler knows the HFFS
+            // backing is exact and keeps the batched-dequeue shortcut.
+            inner: FlowScheduler::with_kind(
+                Box::new(Pfabric) as Box<dyn ObjFlowPolicy>,
+                QueueKind::HierFfs,
+                QueueConfig::new(MAX_REMAINING as usize, 1, 0),
             ),
         }
     }
@@ -47,6 +50,15 @@ impl PfabricEiffel {
     /// Dequeues the packet of the flow with the least remaining size.
     pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
         self.inner.dequeue(now)
+    }
+
+    /// Dequeues up to `max` packets in repeated-[`PfabricEiffel::dequeue`]
+    /// order — the per-flow transaction's batched fast path: while the
+    /// served flow's recomputed remaining size stays the strict minimum
+    /// (the common case mid-flow, since serving only shrinks it), its next
+    /// packet is handed out without the HFFS round trip.
+    pub fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        self.inner.dequeue_batch(now, max, out)
     }
 
     /// Queued packets.

@@ -1,0 +1,139 @@
+//! Property: `BessScheduler::dequeue_batch` releases the exact same packet
+//! sequence as repeated `BessScheduler::dequeue`, for the Eiffel fast
+//! paths (hClock's once-per-batch gated release, pFabric's per-flow
+//! transaction short-circuit) and the heap baselines on the default loop.
+
+use eiffel_bess::{BessScheduler, FlowSpec, HClockEiffel, HClockHeap, PfabricEiffel, PfabricHeap};
+use eiffel_sim::{Nanos, Packet, Rate};
+use proptest::prelude::*;
+
+/// Feed both instances the same enqueues; at each probe instant drain one
+/// via `dequeue_batch` and mirror it against repeated `dequeue`.
+fn assert_batch_matches_single<S: BessScheduler>(
+    mut batched: S,
+    mut single: S,
+    arrivals: &[Packet],
+    batches: &[usize],
+    step: Nanos,
+) {
+    let mut now: Nanos = 0;
+    let mut round = 0usize;
+    let mut out: Vec<Packet> = Vec::new();
+    for chunk in arrivals.chunks(8) {
+        for pkt in chunk {
+            batched.enqueue(now, pkt.clone());
+            single.enqueue(now, pkt.clone());
+        }
+        let max = batches[round % batches.len()];
+        round += 1;
+        out.clear();
+        let got = batched.dequeue_batch(now, max, &mut out);
+        assert_eq!(got, out.len());
+        assert!(got <= max, "overfilled batch");
+        for p in &out {
+            assert_eq!(Some(p.clone()), single.dequeue(now), "at t={now}");
+        }
+        if got < max {
+            assert!(single.dequeue(now).is_none(), "batch stopped early");
+        }
+        assert_eq!(batched.len(), single.len());
+        now += step;
+    }
+    // Final drain: alternate batch sizes until both report empty.
+    while !batched.is_empty() || !single.is_empty() {
+        let max = batches[round % batches.len()];
+        round += 1;
+        out.clear();
+        let got = batched.dequeue_batch(now, max, &mut out);
+        for p in &out {
+            assert_eq!(Some(p.clone()), single.dequeue(now), "drain at t={now}");
+        }
+        if got == 0 {
+            assert!(single.dequeue(now).is_none());
+            now += step; // rate-gated: advance the clock and retry
+        }
+        assert!(now < 1_000_000_000_000, "drain must converge");
+    }
+}
+
+/// hClock specs with mixed reservations/limits/shares, deterministic from
+/// the case's flow count.
+fn mixed_specs(flows: usize) -> Vec<FlowSpec> {
+    (0..flows)
+        .map(|i| FlowSpec {
+            reservation: Rate::kbps(50 + 40 * (i as u64 % 3)),
+            limit: Rate::mbps(2 + 3 * (i as u64 % 4)),
+            share: 1 + (i as u64 % 5),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// pFabric: remaining-size ranks walk downward per flow (the SRPT
+    /// shape that exercises the strict-minimum short-circuit) with random
+    /// flow interleavings and batch sizes.
+    #[test]
+    fn pfabric_dequeue_batch_matches_repeated_dequeue(
+        emissions in prop::collection::vec((0u32..10, 1u64..80), 8..200),
+        batches in prop::collection::vec(1usize..33, 1..16),
+    ) {
+        let mut remaining = [0u64; 10];
+        let mut arrivals = Vec::with_capacity(emissions.len());
+        for (i, (flow, size)) in emissions.into_iter().enumerate() {
+            let r = &mut remaining[flow as usize];
+            if *r == 0 {
+                *r = size; // a fresh synthetic flow of `size` packets
+            }
+            let mut p = Packet::mtu(i as u64, flow, 0);
+            p.rank = *r;
+            *r -= 1;
+            arrivals.push(p);
+        }
+        assert_batch_matches_single(
+            PfabricEiffel::new(),
+            PfabricEiffel::new(),
+            &arrivals,
+            &batches,
+            1_000,
+        );
+        assert_batch_matches_single(
+            PfabricHeap::new(),
+            PfabricHeap::new(),
+            &arrivals,
+            &batches,
+            1_000,
+        );
+    }
+
+    /// hClock: mixed QoS specs, limits that gate and release as the clock
+    /// advances between batches.
+    #[test]
+    fn hclock_dequeue_batch_matches_repeated_dequeue(
+        emissions in prop::collection::vec(0u32..12, 8..200),
+        batches in prop::collection::vec(1usize..33, 1..16),
+        step in prop_oneof![Just(50_000u64), Just(400_000), Just(2_000_000)],
+    ) {
+        let specs = mixed_specs(12);
+        let arrivals: Vec<Packet> = emissions
+            .into_iter()
+            .enumerate()
+            .map(|(i, flow)| Packet::mtu(i as u64, flow, 0))
+            .collect();
+        assert_batch_matches_single(
+            HClockEiffel::new(&specs),
+            HClockEiffel::new(&specs),
+            &arrivals,
+            &batches,
+            step,
+        );
+        assert_batch_matches_single(
+            HClockHeap::new(&specs),
+            HClockHeap::new(&specs),
+            &arrivals,
+            &batches,
+            step,
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Regression pin for the `measure_rate` warmup-discard residual (PR 2).
+//!
+//! PR 2 made `measure_rate` discard the first `WARMUP_FRACTION` of the run
+//! untimed, because the pre-filled backlog is stamped at `now = 0` and
+//! drains as one burst before rate limits bind (see the warmup notes on
+//! `harness::measure_rate`). A residual over-limit reading of up to ~8%
+//! survives at 120k-packet occupancy: flows whose limit clocks lag the
+//! measured window keep a (shrinking) eligibility surplus past the warmup.
+//! This test pins that behaviour with an explicit tolerance so a future
+//! change to the warmup/discard logic that *worsens* the residual fails
+//! loudly — and one that fixes it can tighten the bound.
+
+use std::time::Duration;
+
+use eiffel_bess::{
+    measure_rate, measure_rate_batched, FlowSpec, HClockEiffel, RoundRobinGen, WARMUP_FRACTION,
+};
+use eiffel_sim::Rate;
+
+/// Equal per-flow specs splitting `agg_mbps` in kbps resolution.
+fn flat_specs(flows: usize, agg_mbps: u64) -> Vec<FlowSpec> {
+    let per_kbps = (agg_mbps * 1_000 / flows as u64).max(1);
+    (0..flows)
+        .map(|_| FlowSpec {
+            reservation: Rate::kbps(1),
+            limit: Rate::kbps(per_kbps),
+            share: 1,
+        })
+        .collect()
+}
+
+/// The PR 2 operating point: 120k packets queued, a 5 Gbps aggregate limit
+/// that one core can trivially saturate — the reading must hug the limit
+/// from above by at most the documented residual.
+#[test]
+fn overlimit_residual_at_120k_occupancy_stays_bounded() {
+    const AGG_MBPS: u64 = 5_000;
+    let specs = flat_specs(30_000, AGG_MBPS);
+    let mut gen = RoundRobinGen::new(30_000, 1_500);
+    let mut s = HClockEiffel::new(&specs);
+    let r = measure_rate(
+        &mut s,
+        &mut gen,
+        &mut |_| {},
+        120_000,
+        Duration::from_millis(400),
+    );
+    let limit = AGG_MBPS as f64;
+    // The limit must bind (CPU is not the constraint at 5 Gbps)…
+    assert!(
+        r.mbps > 0.80 * limit,
+        "limit should bind, got {:.0} of {:.0} Mbps",
+        r.mbps,
+        limit
+    );
+    // …and the over-limit residual must stay within the ≤8% PR 2 noted,
+    // plus 2% wall-clock headroom for the shared vCPU. If this fails low,
+    // the warmup discard (WARMUP_FRACTION = {WARMUP_FRACTION}) regressed.
+    assert!(
+        r.mbps < 1.10 * limit,
+        "over-limit residual grew: {:.0} vs {:.0} Mbps (+{:.1}%, warmup {:.0}%)",
+        r.mbps,
+        limit,
+        100.0 * (r.mbps - limit) / limit,
+        100.0 * WARMUP_FRACTION
+    );
+}
+
+/// The batched consumer path at the same operating point: batching changes
+/// per-packet cost, not shaping, so the same bound applies.
+#[test]
+fn batched_overlimit_residual_at_120k_occupancy_stays_bounded() {
+    const AGG_MBPS: u64 = 5_000;
+    let specs = flat_specs(30_000, AGG_MBPS);
+    let mut gen = RoundRobinGen::new(30_000, 1_500);
+    let mut s = HClockEiffel::new(&specs);
+    let r = measure_rate_batched(
+        &mut s,
+        &mut gen,
+        &mut |_| {},
+        120_000,
+        Duration::from_millis(400),
+        16,
+    );
+    let limit = AGG_MBPS as f64;
+    assert!(r.mbps > 0.80 * limit, "got {:.0} Mbps", r.mbps);
+    assert!(
+        r.mbps < 1.10 * limit,
+        "batched over-limit residual grew: {:.0} vs {:.0} Mbps",
+        r.mbps,
+        limit
+    );
+}

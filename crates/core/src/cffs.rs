@@ -286,6 +286,48 @@ impl<T> CffsQueue<T> {
             .expect("min_bucket said non-empty");
         Some((rank, item))
     }
+
+    /// Pops up to `max` elements whose bucket-edge rank is ≤ `bound`, in
+    /// exactly the order repeated [`CffsQueue::dequeue_min_le`] calls would
+    /// produce, appending them to `out` and returning the count.
+    ///
+    /// This is the shaper-side analogue of [`RankedQueue::dequeue_batch`]:
+    /// one bitmap descent locates the minimum due bucket, whose FIFO is then
+    /// popped directly ([`HierFfsQueue::pop_bucket`], O(1) per element)
+    /// until it empties, the batch fills, or the next bucket's edge passes
+    /// `bound`. Timer-driven hosts drain everything due at a softirq through
+    /// this path, paying the descent once per occupied bucket instead of
+    /// once per packet.
+    pub fn dequeue_le_batch(&mut self, bound: u64, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        let mut n = 0;
+        while n < max {
+            let (half, base) = if self.primary_ref().core_len() > 0 {
+                (self.primary, self.h_index)
+            } else if self.secondary_ref().core_len() > 0 {
+                (1 - self.primary, self.h_index + self.span())
+            } else {
+                break;
+            };
+            let b = self.halves[half].min_bucket().expect("half is non-empty");
+            if base + b as u64 * self.recip.divisor() > bound {
+                break; // earliest pending bucket is not yet due
+            }
+            if half != self.primary {
+                self.rotate();
+            }
+            // Drain the due bucket's FIFO without further descents.
+            while n < max {
+                match self.halves[self.primary].pop_bucket(b) {
+                    Some(pair) => {
+                        out.push(pair);
+                        n += 1;
+                    }
+                    None => break, // bucket emptied: re-probe the bitmap
+                }
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +439,58 @@ mod tests {
             }
         }
         assert!(fused.is_empty() && split.is_empty());
+    }
+
+    #[test]
+    fn dequeue_le_batch_matches_repeated_dequeue_min_le() {
+        // Reference semantics: the batch is exactly what a loop of
+        // dequeue_min_le(bound) yields, across rotations and partial
+        // buckets, with enqueues interleaved between batches.
+        let mut batched: CffsQueue<u64> = CffsQueue::new(8, 10, 0);
+        let mut single: CffsQueue<u64> = CffsQueue::new(8, 10, 0);
+        let ranks = [5u64, 5, 12, 12, 12, 79, 80, 95, 141, 200, 200, 310];
+        for &r in &ranks {
+            batched.enqueue(r, r).unwrap();
+            single.enqueue(r, r).unwrap();
+        }
+        let mut out = Vec::new();
+        for (i, bound) in [0u64, 4, 5, 13, 70, 90, 150, 199, 1_000]
+            .into_iter()
+            .enumerate()
+        {
+            for max in [1usize, 2, 3, 64] {
+                out.clear();
+                let got = batched.dequeue_le_batch(bound, max, &mut out);
+                assert_eq!(got, out.len());
+                assert!(got <= max);
+                for pair in &out {
+                    assert_eq!(Some(*pair), single.dequeue_min_le(bound));
+                }
+                if got < max {
+                    assert_eq!(single.dequeue_min_le(bound), None, "bound {bound}");
+                }
+            }
+            // Interleave an enqueue so batches also cross window rotations.
+            let r = 90 + 37 * i as u64;
+            batched.enqueue(r, r).unwrap();
+            single.enqueue(r, r).unwrap();
+        }
+        assert_eq!(batched.len(), single.len());
+    }
+
+    #[test]
+    fn dequeue_le_batch_rejected_probe_does_not_rotate() {
+        // Same invariant dequeue_min_le holds: probing an ineligible
+        // secondary-only queue must not advance the window.
+        let mut q: CffsQueue<u32> = CffsQueue::new(4, 1, 0);
+        q.enqueue(6, 6).unwrap(); // secondary window [4, 8)
+        let mut out = Vec::new();
+        assert_eq!(q.dequeue_le_batch(0, 16, &mut out), 0);
+        assert_eq!(q.h_index(), 0, "rejected probe left the window alone");
+        q.enqueue(2, 2).unwrap();
+        assert_eq!(q.stats().clamped_low, 0);
+        assert_eq!(q.dequeue_le_batch(6, 16, &mut out), 2);
+        assert_eq!(out, vec![(2, 2), (6, 6)]);
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub struct FlowScheduler<P: FlowPolicy> {
     packets: usize,
     /// Stale entries skipped so far (observability for tests/benches).
     stale_skipped: u64,
+    /// Whether [`FlowScheduler::dequeue_batch`] may use the strict-minimum
+    /// shortcut. Sound only for queues that place and find ranks *exactly*
+    /// (no low-clamping moving window, no approximate min-find) — see
+    /// [`FlowScheduler::with_kind`], which derives it from the kind.
+    /// [`FlowScheduler::new`] cannot inspect a boxed queue and stays
+    /// conservative (`false`: the batch path degenerates to the exact
+    /// dequeue loop).
+    batch_shortcut: bool,
 }
 
 impl<P: FlowPolicy> FlowScheduler<P> {
@@ -102,12 +110,29 @@ impl<P: FlowPolicy> FlowScheduler<P> {
             flows: Vec::new(),
             packets: 0,
             stale_skipped: 0,
+            batch_shortcut: false,
         }
     }
 
-    /// Creates a scheduler with a queue chosen via [`QueueKind`].
+    /// Creates a scheduler with a queue chosen via [`QueueKind`], enabling
+    /// the batched-dequeue shortcut exactly when the kind is safe for it.
     pub fn with_kind(policy: P, kind: QueueKind, cfg: QueueConfig) -> Self {
-        Self::new(policy, kind.build(cfg))
+        let mut s = Self::new(policy, kind.build(cfg));
+        // Safe kinds place every rank in its true bucket and answer
+        // min-queries exactly. Unsafe: circular windows clamp overdue
+        // ranks into the current minimum bucket (FIFO order against its
+        // occupants would be violated), approximate queues may answer the
+        // min-find from a neighbouring bucket.
+        s.batch_shortcut = matches!(
+            kind,
+            QueueKind::Ffs
+                | QueueKind::HierFfs
+                | QueueKind::Gradient
+                | QueueKind::BucketHeap
+                | QueueKind::BinaryHeap
+                | QueueKind::BTree
+        );
+        s
     }
 
     fn flow_mut(&mut self, id: FlowId) -> &mut FlowState<P::Data> {
@@ -216,6 +241,76 @@ impl<P: FlowPolicy> FlowScheduler<P> {
     pub fn peek_min_rank(&self) -> Option<u64> {
         self.queue.peek_min_rank()
     }
+
+    /// Dequeues up to `max` packets in exactly the order repeated
+    /// [`FlowScheduler::dequeue`] calls would produce, appending them to
+    /// `out`. Returns how many packets were moved.
+    ///
+    /// The amortization is the per-flow transaction itself: when the chosen
+    /// flow's recomputed rank stays *strictly below* every queued bucket
+    /// edge, the next single dequeue would pop this same flow again — its
+    /// fresh entry would sit alone in a new minimum bucket — so the batch
+    /// path keeps serving it without the enqueue/dequeue round trip. The
+    /// moment the recomputed rank reaches another bucket (where FIFO order
+    /// against already-queued entries matters) or the batch fills, the flow
+    /// re-enters the queue exactly as the single-dequeue path would have
+    /// left it. Stale entries make `peek_min_rank` read low, which only
+    /// falls back to the exact path — never past it.
+    ///
+    /// The shortcut assumes the backing queue places and finds ranks
+    /// exactly; [`FlowScheduler::with_kind`] enables it only for such
+    /// kinds, and schedulers built over clamping/approximate queues (or
+    /// via [`FlowScheduler::new`], which cannot tell) run this method as
+    /// the plain dequeue loop — batched in call shape, identical in order
+    /// by construction.
+    pub fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        let mut n = 0;
+        'select: while n < max {
+            let Some((_, (id, epoch))) = self.queue.dequeue_min() else {
+                break;
+            };
+            let f = &mut self.flows[id as usize];
+            if !f.active || f.epoch != epoch {
+                self.stale_skipped += 1;
+                continue; // lazily dropped re-rank leftover
+            }
+            f.active = false;
+            loop {
+                let f = &mut self.flows[id as usize];
+                let pkt = f.fifo.pop_front().expect("chosen flows hold packets");
+                f.bytes -= pkt.bytes as u64;
+                self.packets -= 1;
+                out.push(pkt);
+                n += 1;
+                if self.flows[id as usize].fifo.is_empty() {
+                    continue 'select; // flow drained: pick the next minimum
+                }
+                let fr = &self.flows[id as usize];
+                let new_rank = self.policy.rank_on_dequeue(now, fr).unwrap_or(fr.rank);
+                let still_strict_min = self.batch_shortcut
+                    && n < max
+                    && self
+                        .queue
+                        .peek_min_rank()
+                        .map_or(true, |edge| new_rank < edge);
+                let f = &mut self.flows[id as usize];
+                f.rank = new_rank;
+                if !still_strict_min {
+                    // Re-enter the flow queue exactly as `dequeue` would.
+                    f.epoch += 1;
+                    f.active = true;
+                    let entry = (id, f.epoch);
+                    self.queue
+                        .enqueue(new_rank, entry)
+                        .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
+                    continue 'select;
+                }
+                // Strictly minimal: serving again now is what the next
+                // dequeue_min would do anyway.
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +387,63 @@ mod tests {
         s.enqueue(0, pkt(1, 1));
         assert_eq!(s.dequeue(0).unwrap().flow, 0);
         assert_eq!(s.dequeue(0).unwrap().flow, 1);
+    }
+
+    /// A scheduler whose backing enables the strict-minimum batch
+    /// shortcut (fixed-range exact queue), unlike `sched()`'s moving
+    /// window.
+    fn sched_exact() -> FlowScheduler<SqfPolicy> {
+        FlowScheduler::with_kind(SqfPolicy, QueueKind::HierFfs, QueueConfig::new(1_024, 1, 0))
+    }
+
+    #[test]
+    fn dequeue_batch_matches_repeated_dequeue() {
+        // Both backings: HierFfs exercises the strict-minimum shortcut,
+        // Cffs (clamping window, shortcut disabled) the exact loop.
+        dequeue_batch_matches_repeated_dequeue_on(sched_exact(), sched_exact());
+        dequeue_batch_matches_repeated_dequeue_on(sched(), sched());
+    }
+
+    fn dequeue_batch_matches_repeated_dequeue_on(
+        mut batched: FlowScheduler<SqfPolicy>,
+        mut single: FlowScheduler<SqfPolicy>,
+    ) {
+        // Mirror two schedulers through an interleaved workload; the
+        // batched one must emit the exact same packet sequence.
+        let mut x: u64 = 0x5eed;
+        let mut feed = |b: &mut FlowScheduler<SqfPolicy>, s: &mut FlowScheduler<SqfPolicy>, k| {
+            for _ in 0..k {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let p = pkt(x, (x % 7) as FlowId);
+                b.enqueue(0, p.clone());
+                s.enqueue(0, p);
+            }
+        };
+        feed(&mut batched, &mut single, 40);
+        let mut out = Vec::new();
+        for round in 0..50usize {
+            let max = 1 + round % 9;
+            out.clear();
+            let got = batched.dequeue_batch(0, max, &mut out);
+            assert_eq!(got, out.len());
+            for p in &out {
+                assert_eq!(Some(p.clone()), single.dequeue(0));
+            }
+            if got < max {
+                assert!(single.dequeue(0).is_none());
+            }
+            feed(&mut batched, &mut single, round % 4);
+        }
+        while !batched.is_empty() {
+            out.clear();
+            batched.dequeue_batch(0, 5, &mut out);
+            for p in &out {
+                assert_eq!(Some(p.clone()), single.dequeue(0));
+            }
+        }
+        assert!(single.dequeue(0).is_none());
     }
 
     #[test]

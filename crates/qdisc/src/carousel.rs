@@ -82,6 +82,31 @@ impl ShaperQdisc for CarouselQdisc {
         }
     }
 
+    fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        // The wheel's `advance` already drains whole slots into the staging
+        // buffer; the batch path hands out runs of staged packets without
+        // re-probing the wheel between them.
+        let mut n = 0;
+        while n < max {
+            if self.staged_next >= self.staged.len() {
+                self.staged.clear();
+                self.staged_next = 0;
+                self.wheel.advance(now, &mut self.staged);
+                if self.staged.is_empty() {
+                    break;
+                }
+            }
+            while n < max && self.staged_next < self.staged.len() {
+                let i = self.staged_next;
+                self.staged_next += 1;
+                let (_, pkt) = std::mem::replace(&mut self.staged[i], (0, Packet::new(0, 0, 0, 0)));
+                out.push(pkt);
+                n += 1;
+            }
+        }
+        n
+    }
+
     fn next_deadline(&self, now: Nanos) -> Option<Nanos> {
         if self.staged_next < self.staged.len() || !self.wheel.is_empty() {
             // A wheel cannot report its earliest element: the timer simply

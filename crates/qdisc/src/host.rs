@@ -17,8 +17,7 @@
 //! * timers: `Exact` qdiscs arm at `next_deadline()`; `Periodic` qdiscs
 //!   (Carousel) fire every wheel slot while packets are pending.
 
-use eiffel_sim::cpu::{IRQ_ENTRY_NS, LOCK_NS, PER_PACKET_STACK_NS};
-use eiffel_sim::{CpuCategory, CpuMeter, EventQueue, Nanos, Packet, Rate, SECOND};
+use eiffel_sim::{Nanos, Rate, SECOND};
 
 use crate::qdisc::{ShaperQdisc, TimerStyle};
 
@@ -39,6 +38,11 @@ pub struct HostConfig {
     pub bin: Nanos,
     /// TSQ: max packets a flow may have inside the qdisc.
     pub tsq_budget: u32,
+    /// Softirq drain batch: packets released per
+    /// [`ShaperQdisc::dequeue_batch`] call (1 = the classic
+    /// packet-at-a-time softirq; larger values amortize the qdisc's
+    /// min-find across the batch, Figure 13's mechanism on the host side).
+    pub batch: usize,
 }
 
 impl Default for HostConfig {
@@ -49,6 +53,7 @@ impl Default for HostConfig {
             duration: 2 * SECOND,
             bin: SECOND / 10,
             tsq_budget: 2,
+            batch: 1,
         }
     }
 }
@@ -72,127 +77,47 @@ pub struct HostReport {
     pub timer_fires: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// A flow has (possibly) TSQ budget: emit its next bulk packet.
-    Source(u32),
-    /// The qdisc timer fires (epoch guards stale timers).
-    Timer(u64),
+/// When the qdisc wants its timer next, given the current instant.
+///
+/// `Exact` qdiscs report their own deadline. `Periodic` qdiscs fire at the
+/// next *absolute* slot boundary (`period`-aligned), matching a timing
+/// wheel's fixed slot clock — phase does not depend on when the first
+/// packet arrived, so N sharded wheels tick in lockstep with one big wheel
+/// (the shard-equivalence property relies on this).
+pub(crate) fn wanted_deadline(qdisc: &impl ShaperQdisc, now: Nanos) -> Option<Nanos> {
+    match qdisc.timer_style() {
+        TimerStyle::Exact => qdisc.next_deadline(now),
+        TimerStyle::Periodic { period } => qdisc
+            .next_deadline(now)
+            .map(|_| now - now % period + period),
+    }
 }
 
 /// Runs the workload against `qdisc` and reports metered CPU.
-pub fn run(mut qdisc: impl ShaperQdisc, cfg: &HostConfig) -> HostReport {
-    let mut meter = CpuMeter::new(cfg.bin, cfg.duration);
-    let mut events: EventQueue<Ev> = EventQueue::new();
-    let per_flow_bps = (cfg.aggregate.as_bps() / cfg.flows as u64).max(1);
-    let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
-
-    // TSQ budgets.
-    let mut budget = vec![cfg.tsq_budget; cfg.flows];
-
-    // Timer management: epoch invalidates superseded timers.
-    let mut timer_epoch: u64 = 0;
-    let mut timer_armed_at: Option<Nanos> = None;
-
-    // Stagger first emissions across one pacing gap so the shaper sees a
-    // smooth aggregate from the start rather than a synchronized burst.
-    for id in 0..cfg.flows as u32 {
-        let at = pacing_gap * id as u64 / cfg.flows as u64;
-        events.schedule(at, Ev::Source(id));
-    }
-
-    let mut next_pkt_id = 0u64;
-    let mut transmitted = 0u64;
-    let mut tx_bytes = 0u64;
-    let mut timer_fires = 0u64;
-
-    while let Some((now, ev)) = events.pop() {
-        if now >= cfg.duration {
-            break;
-        }
-        match ev {
-            Ev::Source(id) => {
-                if budget[id as usize] == 0 {
-                    continue; // TSQ: a completion will reschedule us.
-                }
-                budget[id as usize] -= 1;
-                let pkt = Packet::mtu(next_pkt_id, id, now);
-                next_pkt_id += 1;
-                // Syscall path: lock + stack constants, measured enqueue.
-                meter.charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
-                meter.measure(now, CpuCategory::System, || {
-                    qdisc.enqueue(now, pkt, per_flow_bps);
-                });
-                if budget[id as usize] > 0 {
-                    // Bulk sender: next packet goes straight away.
-                    events.schedule(now, Ev::Source(id));
-                }
-                // Arm (or tighten) the timer.
-                let want = match qdisc.timer_style() {
-                    TimerStyle::Exact => qdisc.next_deadline(now),
-                    TimerStyle::Periodic { period } => {
-                        qdisc.next_deadline(now).map(|_| now + period)
-                    }
-                };
-                if let Some(want) = want {
-                    let want = want.max(now);
-                    if timer_armed_at.map_or(true, |at| want < at) {
-                        timer_epoch += 1;
-                        timer_armed_at = Some(want);
-                        events.schedule(want, Ev::Timer(timer_epoch));
-                    }
-                }
-            }
-            Ev::Timer(epoch) => {
-                if epoch != timer_epoch {
-                    continue; // superseded timer, never fired in hardware
-                }
-                timer_armed_at = None;
-                timer_fires += 1;
-                meter.charge(now, CpuCategory::SoftIrq, IRQ_ENTRY_NS);
-                // Drain everything due, under measurement.
-                let mut released: Vec<(u32, u32)> = Vec::new();
-                meter.measure(now, CpuCategory::SoftIrq, || {
-                    while let Some(p) = qdisc.dequeue(now) {
-                        released.push((p.flow, p.bytes));
-                    }
-                });
-                for (flow, bytes) in released {
-                    transmitted += 1;
-                    tx_bytes += bytes as u64;
-                    let i = flow as usize;
-                    if budget[i] == 0 {
-                        // TSQ callback: the flow was throttled — resume it.
-                        events.schedule(now, Ev::Source(flow));
-                    }
-                    budget[i] += 1;
-                }
-                // Re-arm.
-                let want = match qdisc.timer_style() {
-                    TimerStyle::Exact => qdisc.next_deadline(now),
-                    TimerStyle::Periodic { period } => {
-                        qdisc.next_deadline(now).map(|_| now + period)
-                    }
-                };
-                if let Some(want) = want {
-                    let want = want.max(now + 1);
-                    timer_epoch += 1;
-                    timer_armed_at = Some(want);
-                    events.schedule(want, Ev::Timer(timer_epoch));
-                }
-            }
-        }
-    }
-
-    let breakdown = meter.cores_per_bin();
+///
+/// This is the single-core case of the one shared event loop behind
+/// [`crate::sharded`]: one simulated core, one qdisc, one softirq
+/// timer, one meter — so the plain and sharded host models can never
+/// drift apart. Event rules (documented in [`crate::sharded`]): timers
+/// sort before sources at equal virtual time; periodic timers fire on
+/// absolute slot boundaries.
+pub fn run(qdisc: impl ShaperQdisc, cfg: &HostConfig) -> HostReport {
+    let sharded_cfg = crate::sharded::ShardedConfig::new(1, cfg.clone());
+    let mut qdisc = Some(qdisc);
+    let outcome = crate::sharded::drive(
+        |_| qdisc.take().expect("exactly one shard"),
+        &sharded_cfg,
+        None,
+    );
+    let sh = &outcome.shards[0];
     HostReport {
-        name: qdisc.name(),
-        cores_sorted: meter.total_cores_sorted(),
-        median_cores: meter.median_cores(),
-        breakdown,
-        transmitted,
-        achieved_bps: tx_bytes as f64 * 8.0 / (cfg.duration as f64 / 1e9),
-        timer_fires,
+        name: sh.qdisc.name(),
+        cores_sorted: sh.meter.total_cores_sorted(),
+        median_cores: sh.meter.median_cores(),
+        breakdown: sh.meter.cores_per_bin(),
+        transmitted: sh.transmitted,
+        achieved_bps: sh.tx_bytes as f64 * 8.0 / (cfg.duration as f64 / 1e9),
+        timer_fires: sh.timer_fires,
     }
 }
 
@@ -210,6 +135,7 @@ mod tests {
             duration: SECOND / 2,
             bin: SECOND / 10,
             tsq_budget: 2,
+            batch: 1,
         }
     }
 

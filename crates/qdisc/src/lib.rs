@@ -12,7 +12,10 @@
 //!
 //! [`host::run`] drives any of them with the 20k-flow neper-like workload
 //! and meters real data-structure CPU into virtual-time bins — the
-//! regeneration path for Figures 9 and 10.
+//! regeneration path for Figures 9 and 10. [`sharded::run_sharded`] scales
+//! the same workload across N simulated cores (one qdisc instance each,
+//! stable flow→shard hashing, batched softirq drains) and merges the
+//! per-core meters into one [`sharded::ShardedReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,9 +25,13 @@ pub mod eiffel;
 pub mod fq;
 pub mod host;
 pub mod qdisc;
+pub mod sharded;
 
 pub use carousel::CarouselQdisc;
 pub use eiffel::EiffelQdisc;
 pub use fq::FqQdisc;
 pub use host::{run, HostConfig, HostReport};
 pub use qdisc::{ShaperQdisc, TimerStyle};
+pub use sharded::{
+    run_sharded, run_sharded_traced, ShardStats, ShardTrace, ShardedConfig, ShardedReport,
+};

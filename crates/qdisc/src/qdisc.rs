@@ -39,6 +39,44 @@ pub trait ShaperQdisc {
     /// calls this in a loop until `None`.
     fn dequeue(&mut self, now: Nanos) -> Option<Packet>;
 
+    /// Accepts a burst of packets from the stack in one call, draining
+    /// `pkts` in order. All packets share `pacing_rate_bps` (the host's
+    /// per-flow rates are uniform; mixed-rate bursts go through
+    /// [`ShaperQdisc::enqueue`] directly).
+    ///
+    /// The default is the enqueue loop verbatim; qdiscs whose enqueue path
+    /// has amortizable work may override it.
+    fn enqueue_batch(&mut self, now: Nanos, pkts: &mut Vec<Packet>, pacing_rate_bps: u64) {
+        for pkt in pkts.drain(..) {
+            self.enqueue(now, pkt, pacing_rate_bps);
+        }
+    }
+
+    /// Releases up to `max` due packets in exactly the order repeated
+    /// [`ShaperQdisc::dequeue`] calls would produce, appending them to
+    /// `out`. Returns how many packets were moved.
+    ///
+    /// The default implementation is that loop verbatim. Bucketed qdiscs
+    /// override it to amortize the eligible-min lookup across the batch
+    /// (one bitmap descent per due bucket instead of per packet — the
+    /// queue-layer `dequeue_batch` fast path lifted to the qdisc contract),
+    /// so the host's softirq drain pays per-bucket, not per-packet, costs.
+    /// Equivalence with the single-dequeue order is pinned by property test
+    /// (`crates/qdisc/tests/batch_equivalence.rs`).
+    fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.dequeue(now) {
+                Some(p) => {
+                    out.push(p);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// When the timer should next fire, given nothing else happens.
     /// `None` = idle (no packets pending).
     fn next_deadline(&self, now: Nanos) -> Option<Nanos>;

@@ -1,0 +1,511 @@
+//! The sharded multi-core host model: N simulated cores, one shaping qdisc
+//! each, under one virtual clock.
+//!
+//! Modern hosts do not funnel every socket through one qdisc instance: the
+//! stack hashes flows to per-core queues (RSS/XPS style) and each core runs
+//! its own scheduler — Carousel's deployment model ("a single queue per
+//! core") and the scale-out shape Eiffel's §5 end-host numbers assume. This
+//! module owns the one event loop behind both host models —
+//! [`crate::host::run`] is its 1-shard case — and generalizes it to N:
+//!
+//! * **Stable flow→shard hashing** ([`eiffel_sim::shard_of`]): a flow's
+//!   packets always meet the same qdisc instance, so per-flow FIFO order and
+//!   shaping behaviour are preserved no matter how many cores serve the
+//!   host. The shard-equivalence property test pins this: an N-shard host
+//!   is *per-flow identical* (release times, byte counts, drop decisions)
+//!   to the single-shard host.
+//! * **Per-shard timers and CPU meters**: each simulated core arms its own
+//!   softirq timer from its own qdisc's `next_deadline` and meters its own
+//!   enqueue/dequeue nanoseconds; the merged [`ShardedReport`] carries both
+//!   the per-shard and the aggregate view (rate, backlog, drops, fires).
+//! * **Batched dequeue**: the softirq drain goes through
+//!   [`ShaperQdisc::dequeue_batch`] with [`HostConfig::batch`], the
+//!   queue-layer amortization (one min-find per due bucket) lifted into the
+//!   host pipeline.
+//!
+//! Event ordering: at equal virtual time, timer (softirq) events run before
+//! source (syscall) events — softirq context preempts the sender path on a
+//! real core. Unlike the plain arrival-order tie-break of
+//! [`eiffel_sim::EventQueue`], this rule is shard-count-invariant, which is
+//! what makes the N-vs-1 equivalence exact rather than statistical.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use eiffel_sim::cpu::{IRQ_ENTRY_NS, LOCK_NS, PER_PACKET_STACK_NS};
+use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet};
+
+use crate::host::{wanted_deadline, HostConfig};
+use crate::qdisc::ShaperQdisc;
+
+/// Parameters of a sharded run. `host.flows` and `host.aggregate` are the
+/// totals across all shards; flows are split by [`eiffel_sim::shard_of`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Simulated cores (qdisc instances). 1 reproduces the single-core
+    /// host's behaviour under the sharded event rules.
+    pub shards: usize,
+    /// The per-host workload (flows, aggregate rate, duration, TSQ budget,
+    /// softirq drain batch).
+    pub host: HostConfig,
+    /// Per-flow in-qdisc packet cap (≥ 1): an arrival finding the flow at
+    /// its cap is dropped and the source retries one pacing gap later —
+    /// qdisc-full backpressure. `None` = never drop. Kept per-flow (not
+    /// per-shard) so drop decisions are shard-count-invariant, which the
+    /// equivalence property test asserts.
+    pub flow_cap: Option<u32>,
+}
+
+impl ShardedConfig {
+    /// `shards` cores over the given host workload, no drops.
+    pub fn new(shards: usize, host: HostConfig) -> Self {
+        ShardedConfig {
+            shards,
+            host,
+            flow_cap: None,
+        }
+    }
+}
+
+/// One simulated core's slice of the run.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Flows hashed to this shard.
+    pub flows: usize,
+    /// Packets this shard's qdisc released.
+    pub transmitted: u64,
+    /// This shard's achieved rate in bits/s.
+    pub achieved_bps: f64,
+    /// Arrivals dropped at this shard's cap.
+    pub dropped: u64,
+    /// Timer fires on this core.
+    pub timer_fires: u64,
+    /// Median cores of this core's meter (system + softirq).
+    pub median_cores: f64,
+    /// Peak packets inside this shard's qdisc.
+    pub peak_backlog: usize,
+}
+
+/// The merged result: per-shard slices plus host-level aggregates.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Qdisc name (all shards run the same discipline).
+    pub name: &'static str,
+    /// Per-core slices, indexed by shard.
+    pub per_shard: Vec<ShardStats>,
+    /// Total packets released.
+    pub transmitted: u64,
+    /// Aggregate achieved rate in bits/s.
+    pub achieved_bps: f64,
+    /// Total arrivals dropped.
+    pub dropped: u64,
+    /// Total timer fires across cores.
+    pub timer_fires: u64,
+    /// Sum of per-shard median cores — the host's CPU bill.
+    pub total_median_cores: f64,
+    /// Peak packets inside all qdiscs combined.
+    pub peak_backlog: usize,
+}
+
+/// Packet-level record of a run, for equivalence testing.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTrace {
+    /// `(release time, flow, bytes)` per transmitted packet, in release
+    /// order (cross-flow order at equal times is shard-dependent; per-flow
+    /// projections are not).
+    pub releases: Vec<(Nanos, FlowId, u32)>,
+    /// `(drop time, flow, per-flow arrival index)` per dropped arrival.
+    pub drops: Vec<(Nanos, FlowId, u64)>,
+}
+
+impl ShardTrace {
+    /// Release sequence of one flow: `(time, bytes)` in release order.
+    pub fn flow_releases(&self, flow: FlowId) -> Vec<(Nanos, u32)> {
+        self.releases
+            .iter()
+            .filter(|(_, f, _)| *f == flow)
+            .map(|&(t, _, b)| (t, b))
+            .collect()
+    }
+
+    /// Drop sequence of one flow: `(time, arrival index)` in drop order.
+    pub fn flow_drops(&self, flow: FlowId) -> Vec<(Nanos, u64)> {
+        self.drops
+            .iter()
+            .filter(|(_, f, _)| *f == flow)
+            .map(|&(t, _, seq)| (t, seq))
+            .collect()
+    }
+}
+
+/// Event kinds, ordered so timers sort before sources at equal time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Shard `shard`'s softirq timer (epoch guards stale timers).
+    Timer { shard: u32, epoch: u64 },
+    /// A flow has (possibly) TSQ budget: emit its next bulk packet.
+    Source(FlowId),
+}
+
+impl Ev {
+    fn kind(&self) -> u8 {
+        match self {
+            Ev::Timer { .. } => 0, // softirq preempts the syscall path
+            Ev::Source(_) => 1,
+        }
+    }
+}
+
+/// Min-heap over `(time, kind, seq)`: deterministic, shard-count-invariant
+/// ordering (see the module docs).
+#[derive(Debug, Default)]
+struct EvHeap {
+    heap: BinaryHeap<Reverse<(Nanos, u8, u64, Ev)>>,
+    seq: u64,
+}
+
+impl EvHeap {
+    fn schedule(&mut self, at: Nanos, ev: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, ev.kind(), seq, ev)));
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, Ev)> {
+        self.heap.pop().map(|Reverse((at, _, _, ev))| (at, ev))
+    }
+}
+
+/// One simulated core's live state while [`drive`] runs (crate-visible so
+/// [`crate::host::run`] can assemble a `HostReport` from the 1-shard case).
+pub(crate) struct Shard<Q> {
+    pub(crate) qdisc: Q,
+    pub(crate) meter: CpuMeter,
+    timer_epoch: u64,
+    timer_armed_at: Option<Nanos>,
+    pub(crate) timer_fires: u64,
+    pub(crate) transmitted: u64,
+    pub(crate) tx_bytes: u64,
+    dropped: u64,
+    peak_backlog: usize,
+    flows: usize,
+}
+
+/// What [`drive`] hands back before report assembly.
+pub(crate) struct DriveOutcome<Q> {
+    pub(crate) shards: Vec<Shard<Q>>,
+    peak_total_backlog: usize,
+}
+
+/// Runs the sharded host, returning the merged report.
+///
+/// `mk` builds shard `i`'s qdisc instance — every shard must get the same
+/// discipline and geometry (per-flow behaviour depends on it).
+pub fn run_sharded<Q: ShaperQdisc>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ShardedConfig,
+) -> ShardedReport {
+    run_inner(mk, cfg, None)
+}
+
+/// [`run_sharded`] plus the packet-level [`ShardTrace`] — the equivalence
+/// tests' entry point.
+pub fn run_sharded_traced<Q: ShaperQdisc>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ShardedConfig,
+) -> (ShardedReport, ShardTrace) {
+    let mut trace = ShardTrace::default();
+    let report = run_inner(mk, cfg, Some(&mut trace));
+    (report, trace)
+}
+
+fn run_inner<Q: ShaperQdisc>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ShardedConfig,
+    trace: Option<&mut ShardTrace>,
+) -> ShardedReport {
+    let outcome = drive(mk, cfg, trace);
+    let host = &cfg.host;
+    let name = outcome.shards[0].qdisc.name();
+    let secs = host.duration as f64 / 1e9;
+    let per_shard: Vec<ShardStats> = outcome
+        .shards
+        .iter()
+        .map(|sh| ShardStats {
+            flows: sh.flows,
+            transmitted: sh.transmitted,
+            achieved_bps: sh.tx_bytes as f64 * 8.0 / secs,
+            dropped: sh.dropped,
+            timer_fires: sh.timer_fires,
+            median_cores: sh.meter.median_cores(),
+            peak_backlog: sh.peak_backlog,
+        })
+        .collect();
+    ShardedReport {
+        name,
+        transmitted: per_shard.iter().map(|s| s.transmitted).sum(),
+        achieved_bps: per_shard.iter().map(|s| s.achieved_bps).sum(),
+        dropped: per_shard.iter().map(|s| s.dropped).sum(),
+        timer_fires: per_shard.iter().map(|s| s.timer_fires).sum(),
+        total_median_cores: per_shard.iter().map(|s| s.median_cores).sum(),
+        peak_backlog: outcome.peak_total_backlog,
+        per_shard,
+    }
+}
+
+/// The one event loop behind both host models: N simulated cores under one
+/// virtual clock ([`crate::host::run`] is the 1-shard case).
+pub(crate) fn drive<Q: ShaperQdisc>(
+    mut mk: impl FnMut(usize) -> Q,
+    cfg: &ShardedConfig,
+    mut trace: Option<&mut ShardTrace>,
+) -> DriveOutcome<Q> {
+    let n_shards = cfg.shards.max(1);
+    let host = &cfg.host;
+    let flow_cap = cfg.flow_cap.map(|c| c.max(1));
+    let per_flow_bps = (host.aggregate.as_bps() / host.flows as u64).max(1);
+    let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
+    let batch = host.batch.max(1);
+
+    let mut shards: Vec<Shard<Q>> = (0..n_shards)
+        .map(|i| Shard {
+            qdisc: mk(i),
+            meter: CpuMeter::new(host.bin, host.duration),
+            timer_epoch: 0,
+            timer_armed_at: None,
+            timer_fires: 0,
+            transmitted: 0,
+            tx_bytes: 0,
+            dropped: 0,
+            peak_backlog: 0,
+            flows: 0,
+        })
+        .collect();
+
+    // Stable flow→shard map, fixed before any packet moves.
+    let home: Vec<u32> = (0..host.flows as u32)
+        .map(|f| shard_of(f, n_shards) as u32)
+        .collect();
+    for &h in &home {
+        shards[h as usize].flows += 1;
+    }
+
+    // Per-flow state: TSQ budget, in-qdisc count (for the cap), arrival
+    // counter (drop indices in the trace).
+    let mut budget = vec![host.tsq_budget; host.flows];
+    let mut inflight = vec![0u32; host.flows];
+    let mut arrivals = vec![0u64; host.flows];
+
+    let mut events = EvHeap::default();
+    // Stagger first emissions across one pacing gap, as in `host::run`:
+    // the stagger depends only on the flow id and the *total* flow count,
+    // so it is identical at every shard count.
+    for id in 0..host.flows as u32 {
+        let at = pacing_gap * id as u64 / host.flows as u64;
+        events.schedule(at, Ev::Source(id));
+    }
+
+    let mut next_pkt_id = 0u64;
+    let mut total_backlog = 0usize;
+    let mut peak_total_backlog = 0usize;
+    let mut released: Vec<Packet> = Vec::new();
+
+    while let Some((now, ev)) = events.pop() {
+        if now >= host.duration {
+            break;
+        }
+        match ev {
+            Ev::Source(id) => {
+                let i = id as usize;
+                if budget[i] == 0 {
+                    continue; // TSQ: a completion will reschedule us.
+                }
+                let s = home[i] as usize;
+                arrivals[i] += 1;
+                if flow_cap.is_some_and(|cap| inflight[i] >= cap) {
+                    // Qdisc-full backpressure: drop and retry a gap later.
+                    shards[s].dropped += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.drops.push((now, id, arrivals[i] - 1));
+                    }
+                    events.schedule(now + pacing_gap.max(1), Ev::Source(id));
+                    continue;
+                }
+                budget[i] -= 1;
+                inflight[i] += 1;
+                let pkt = Packet::mtu(next_pkt_id, id, now);
+                next_pkt_id += 1;
+                let sh = &mut shards[s];
+                // Syscall path: lock + stack constants, measured enqueue.
+                sh.meter
+                    .charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
+                let Shard { meter, qdisc, .. } = sh;
+                meter.measure(now, CpuCategory::System, || {
+                    qdisc.enqueue(now, pkt, per_flow_bps);
+                });
+                sh.peak_backlog = sh.peak_backlog.max(sh.qdisc.len());
+                total_backlog += 1;
+                peak_total_backlog = peak_total_backlog.max(total_backlog);
+                if budget[i] > 0 {
+                    // Bulk sender: next packet goes straight away.
+                    events.schedule(now, Ev::Source(id));
+                }
+                // Arm (or tighten) this shard's timer.
+                if let Some(want) = wanted_deadline(&sh.qdisc, now) {
+                    let want = want.max(now);
+                    if sh.timer_armed_at.map_or(true, |at| want < at) {
+                        sh.timer_epoch += 1;
+                        sh.timer_armed_at = Some(want);
+                        events.schedule(
+                            want,
+                            Ev::Timer {
+                                shard: s as u32,
+                                epoch: sh.timer_epoch,
+                            },
+                        );
+                    }
+                }
+            }
+            Ev::Timer { shard, epoch } => {
+                let s = shard as usize;
+                {
+                    let sh = &mut shards[s];
+                    if epoch != sh.timer_epoch {
+                        continue; // superseded timer, never fired in hardware
+                    }
+                    sh.timer_armed_at = None;
+                    sh.timer_fires += 1;
+                    sh.meter.charge(now, CpuCategory::SoftIrq, IRQ_ENTRY_NS);
+                    // Drain everything due in batches, under measurement.
+                    released.clear();
+                    let Shard { meter, qdisc, .. } = sh;
+                    meter.measure(now, CpuCategory::SoftIrq, || loop {
+                        if qdisc.dequeue_batch(now, batch, &mut released) == 0 {
+                            break;
+                        }
+                    });
+                }
+                for p in released.drain(..) {
+                    let sh = &mut shards[s];
+                    sh.transmitted += 1;
+                    sh.tx_bytes += p.bytes as u64;
+                    total_backlog -= 1;
+                    let i = p.flow as usize;
+                    inflight[i] -= 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.releases.push((now, p.flow, p.bytes));
+                    }
+                    if budget[i] == 0 {
+                        // TSQ callback: the flow was throttled — resume it.
+                        events.schedule(now, Ev::Source(p.flow));
+                    }
+                    budget[i] += 1;
+                }
+                // Re-arm.
+                let sh = &mut shards[s];
+                if let Some(want) = wanted_deadline(&sh.qdisc, now) {
+                    let want = want.max(now + 1);
+                    sh.timer_epoch += 1;
+                    sh.timer_armed_at = Some(want);
+                    events.schedule(
+                        want,
+                        Ev::Timer {
+                            shard,
+                            epoch: sh.timer_epoch,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    DriveOutcome {
+        shards,
+        peak_total_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eiffel::EiffelQdisc;
+    use eiffel_sim::{Rate, SECOND};
+
+    fn small_host(batch: usize) -> HostConfig {
+        HostConfig {
+            flows: 200,
+            aggregate: Rate::mbps(240),
+            duration: SECOND / 2,
+            bin: SECOND / 10,
+            tsq_budget: 2,
+            batch,
+        }
+    }
+
+    #[test]
+    fn sharded_host_achieves_the_aggregate_rate() {
+        for shards in [1usize, 2, 4] {
+            let cfg = ShardedConfig::new(shards, small_host(1));
+            let r = run_sharded(|_| EiffelQdisc::new(20_000, 100_000), &cfg);
+            let want = cfg.host.aggregate.as_bps() as f64;
+            let rel = (r.achieved_bps - want).abs() / want;
+            assert!(
+                rel < 0.05,
+                "{shards} shards: {:.1} vs {:.1} Mbps",
+                r.achieved_bps / 1e6,
+                want / 1e6
+            );
+            assert_eq!(r.dropped, 0);
+            assert_eq!(r.per_shard.len(), shards);
+            let flows: usize = r.per_shard.iter().map(|s| s.flows).sum();
+            assert_eq!(flows, cfg.host.flows, "every flow has a home shard");
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_the_plain_host_model() {
+        // `host::run` IS the 1-shard case of `drive` — the counters must
+        // agree exactly (only real-time CPU metering may differ).
+        let host = small_host(1);
+        let plain = crate::host::run(EiffelQdisc::new(20_000, 100_000), &host);
+        let sharded = run_sharded(
+            |_| EiffelQdisc::new(20_000, 100_000),
+            &ShardedConfig::new(1, host),
+        );
+        assert_eq!(plain.transmitted, sharded.transmitted);
+        assert_eq!(plain.timer_fires, sharded.timer_fires);
+        assert_eq!(plain.achieved_bps, sharded.achieved_bps);
+    }
+
+    #[test]
+    fn flow_cap_produces_drops_and_backpressure_recovers() {
+        let mut cfg = ShardedConfig::new(2, small_host(1));
+        cfg.host.tsq_budget = 4; // budget above the cap ⇒ cap binds
+        cfg.flow_cap = Some(1);
+        let (r, trace) = run_sharded_traced(|_| EiffelQdisc::new(20_000, 100_000), &cfg);
+        assert!(r.dropped > 0, "cap 1 under budget 4 must drop");
+        assert_eq!(r.dropped as usize, trace.drops.len());
+        // Dropped flows keep making progress (backpressure retries).
+        let want = cfg.host.aggregate.as_bps() as f64;
+        assert!(
+            r.achieved_bps > 0.5 * want,
+            "throughput collapsed: {:.1} Mbps",
+            r.achieved_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn batched_drain_changes_no_aggregate_counters() {
+        let base = run_sharded(
+            |_| EiffelQdisc::new(20_000, 100_000),
+            &ShardedConfig::new(2, small_host(1)),
+        );
+        let batched = run_sharded(
+            |_| EiffelQdisc::new(20_000, 100_000),
+            &ShardedConfig::new(2, small_host(16)),
+        );
+        assert_eq!(base.transmitted, batched.transmitted);
+        assert_eq!(base.timer_fires, batched.timer_fires);
+        assert_eq!(base.dropped, batched.dropped);
+    }
+}

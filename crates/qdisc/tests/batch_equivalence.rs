@@ -1,0 +1,167 @@
+//! Property: `ShaperQdisc::dequeue_batch` releases the exact same packet
+//! sequence as repeated `ShaperQdisc::dequeue` — PR 4's queue-layer proof
+//! lifted one layer up, covering the qdisc overrides (Eiffel's cFFS
+//! due-drain, Carousel's staged-slot drain) and the default loop (FQ).
+
+use eiffel_qdisc::{CarouselQdisc, EiffelQdisc, FqQdisc, ShaperQdisc};
+use eiffel_sim::{FlowId, Nanos, Packet};
+use proptest::prelude::*;
+
+/// Drive mirrored instances through the same arrival schedule; at every
+/// probe instant, one side drains through `dequeue_batch` with varying
+/// batch sizes, the other through repeated `dequeue`.
+fn assert_batch_matches_single<Q: ShaperQdisc>(
+    mut batched: Q,
+    mut single: Q,
+    arrivals: &[(Nanos, FlowId, u64)],
+    batches: &[usize],
+    step: Nanos,
+) {
+    let mut ai = 0usize;
+    let mut now: Nanos = 0;
+    let mut round = 0usize;
+    let mut out: Vec<Packet> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        // Deliver everything that arrives up to `now`.
+        while ai < arrivals.len() && arrivals[ai].0 <= now {
+            let (at, flow, rate) = arrivals[ai];
+            let pkt = Packet::mtu(next_id, flow, at);
+            next_id += 1;
+            batched.enqueue(at, pkt.clone(), rate);
+            single.enqueue(at, pkt, rate);
+            ai += 1;
+        }
+        // Drain the due backlog both ways, cross-checking batch by batch.
+        loop {
+            let max = batches[round % batches.len()];
+            round += 1;
+            out.clear();
+            let got = batched.dequeue_batch(now, max, &mut out);
+            assert_eq!(got, out.len(), "reported count matches the append");
+            assert!(got <= max, "overfilled batch");
+            for p in &out {
+                assert_eq!(Some(p.clone()), single.dequeue(now), "at t={now}");
+            }
+            if got < max {
+                assert!(
+                    single.dequeue(now).is_none(),
+                    "batch stopped early at t={now}"
+                );
+                break;
+            }
+        }
+        assert_eq!(batched.len(), single.len());
+        if ai >= arrivals.len() && batched.is_empty() {
+            break;
+        }
+        now += step;
+        assert!(now < 1_000 * step + 10_000_000_000, "drain must converge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random arrival schedules, pacing rates, probe steps, batch sizes.
+    #[test]
+    fn qdisc_dequeue_batch_matches_repeated_dequeue(
+        arrivals in prop::collection::vec(
+            (0u64..2_000_000, 0u32..12, 1u64..5), 1..120),
+        batches in prop::collection::vec(1usize..33, 1..20),
+        step in prop_oneof![Just(100_000u64), Just(250_000), Just(1_000_000)],
+    ) {
+        // Sort arrivals by time; scale the rate selector to real rates
+        // (12..60 Mbps ⇒ 0.2..1 ms per MTU, commensurate with the step).
+        let mut arrivals: Vec<(Nanos, FlowId, u64)> = arrivals
+            .into_iter()
+            .map(|(t, f, r)| (t, f, r * 12_000_000))
+            .collect();
+        arrivals.sort();
+        assert_batch_matches_single(
+            EiffelQdisc::new(1 << 12, 100_000),
+            EiffelQdisc::new(1 << 12, 100_000),
+            &arrivals,
+            &batches,
+            step,
+        );
+        assert_batch_matches_single(
+            CarouselQdisc::new(1 << 14, 50_000),
+            CarouselQdisc::new(1 << 14, 50_000),
+            &arrivals,
+            &batches,
+            step,
+        );
+        assert_batch_matches_single(
+            FqQdisc::new(),
+            FqQdisc::new(),
+            &arrivals,
+            &batches,
+            step,
+        );
+    }
+
+    /// `enqueue_batch` must admit a burst exactly as the enqueue loop
+    /// would: same stamps, same release schedule (the default is that loop
+    /// verbatim — this pins the contract any future override must keep).
+    #[test]
+    fn qdisc_enqueue_batch_matches_enqueue_loop(
+        bursts in prop::collection::vec(
+            prop::collection::vec(0u32..8, 1..12), 1..12),
+        rate_sel in 1u64..5,
+        gap in prop_oneof![Just(50_000u64), Just(400_000)],
+    ) {
+        let rate = rate_sel * 12_000_000;
+        fn check<Q: ShaperQdisc>(
+            mut via_batch: Q,
+            mut via_loop: Q,
+            bursts: &[Vec<FlowId>],
+            rate: u64,
+            gap: Nanos,
+        ) {
+            let mut next_id = 0u64;
+            let mut now: Nanos = 0;
+            let mut staged: Vec<Packet> = Vec::new();
+            for flows in bursts {
+                staged.clear();
+                for &f in flows {
+                    let p = Packet::mtu(next_id, f, now);
+                    next_id += 1;
+                    via_loop.enqueue(now, p.clone(), rate);
+                    staged.push(p);
+                }
+                via_batch.enqueue_batch(now, &mut staged, rate);
+                assert!(staged.is_empty(), "enqueue_batch drains its input");
+                assert_eq!(via_batch.len(), via_loop.len());
+                now += gap;
+            }
+            // Identical stamps ⇒ identical release schedules.
+            loop {
+                let (a, b) = (via_batch.dequeue(now), via_loop.dequeue(now));
+                assert_eq!(a, b, "release at t={now}");
+                if a.is_none() {
+                    if via_batch.is_empty() {
+                        break;
+                    }
+                    now += gap;
+                }
+                assert!(now < 1_000_000_000_000, "drain must converge");
+            }
+        }
+        check(
+            EiffelQdisc::new(1 << 12, 100_000),
+            EiffelQdisc::new(1 << 12, 100_000),
+            &bursts,
+            rate,
+            gap,
+        );
+        check(
+            CarouselQdisc::new(1 << 14, 50_000),
+            CarouselQdisc::new(1 << 14, 50_000),
+            &bursts,
+            rate,
+            gap,
+        );
+        check(FqQdisc::new(), FqQdisc::new(), &bursts, rate, gap);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property: the sharded host is *per-flow identical* to the single-shard
+//! host — same release times and byte counts per flow, same drop
+//! decisions — under the stable flow→shard hash, for every shaping qdisc.
+//!
+//! Why this should hold (and what the test pins): a flow's release schedule
+//! depends only on its own pacing clock, the qdisc geometry (shared by all
+//! shards), and the timer discipline. Exact-style qdiscs arm timers at the
+//! per-flow deadlines themselves; periodic qdiscs fire on *absolute* slot
+//! boundaries (`host::wanted_deadline`), so N wheels tick in phase with one
+//! wheel. Cross-flow order at equal instants is allowed to differ (it
+//! depends on which shard's softirq runs first); per-flow projections are
+//! not.
+
+use eiffel_qdisc::{
+    run_sharded_traced, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, ShaperQdisc, ShardedConfig,
+};
+use eiffel_sim::{Rate, SECOND};
+use proptest::prelude::*;
+
+/// Compare an N-shard run against the 1-shard run, per flow.
+fn assert_per_flow_identical<Q: ShaperQdisc>(
+    mut mk: impl FnMut(usize) -> Q + Clone,
+    cfg_multi: &ShardedConfig,
+    label: &str,
+) {
+    let mut cfg_single = cfg_multi.clone();
+    cfg_single.shards = 1;
+    let (rep_multi, tr_multi) = run_sharded_traced(&mut mk, cfg_multi);
+    let (rep_single, tr_single) = run_sharded_traced(&mut mk, &cfg_single);
+
+    assert_eq!(
+        rep_multi.transmitted, rep_single.transmitted,
+        "{label}: total packets"
+    );
+    assert_eq!(
+        rep_multi.dropped, rep_single.dropped,
+        "{label}: total drops"
+    );
+    for flow in 0..cfg_multi.host.flows as u32 {
+        assert_eq!(
+            tr_multi.flow_releases(flow),
+            tr_single.flow_releases(flow),
+            "{label}: flow {flow} release schedule (times + bytes)"
+        );
+        assert_eq!(
+            tr_multi.flow_drops(flow),
+            tr_single.flow_drops(flow),
+            "{label}: flow {flow} drop decisions"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized flow mixes and shard counts, all three disciplines.
+    #[test]
+    fn n_shards_is_per_flow_identical_to_one_shard(
+        flows in 3usize..24,
+        shards in 2usize..6,
+        agg_mbps in 24u64..360,
+        tsq_budget in 1u32..4,
+        batch in prop_oneof![Just(1usize), Just(8), Just(16)],
+        cap_sel in 0u32..4,
+    ) {
+        let host = HostConfig {
+            flows,
+            aggregate: Rate::mbps(agg_mbps),
+            duration: SECOND / 8,
+            bin: SECOND / 20,
+            tsq_budget,
+            batch,
+        };
+        let cfg = ShardedConfig {
+            shards,
+            host,
+            // 0 = no cap; otherwise a cap at/below the TSQ budget so it
+            // can actually bind and produce drop decisions to compare.
+            flow_cap: (cap_sel > 0).then_some(cap_sel),
+        };
+        // Eiffel: exact timers off the cFFS bucket edges.
+        assert_per_flow_identical(
+            |_| EiffelQdisc::new(1 << 14, 100_000),
+            &cfg,
+            "eiffel",
+        );
+        // Carousel: periodic slot-aligned timers over per-shard wheels.
+        assert_per_flow_identical(
+            |_| CarouselQdisc::new(1 << 16, 20_000),
+            &cfg,
+            "carousel",
+        );
+        // FQ: balanced-tree flow table, exact timers.
+        assert_per_flow_identical(|_| FqQdisc::new(), &cfg, "fq");
+    }
+}

@@ -27,7 +27,7 @@ pub mod time;
 pub use cpu::{CpuCategory, CpuMeter};
 pub use events::EventQueue;
 pub use link::Link;
-pub use packet::{FlowId, Packet};
+pub use packet::{shard_of, FlowId, Packet};
 pub use rng::SplitMix64;
 pub use sched::{BucketedEventQueue, EventScheduler, DEFAULT_WHEEL_SLOTS};
 pub use time::{Nanos, Rate, MICROSECOND, MILLISECOND, SECOND};

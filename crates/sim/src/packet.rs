@@ -28,6 +28,23 @@ pub struct Packet {
     pub class: u32,
 }
 
+/// Stable flow→shard assignment shared by every multi-core harness.
+///
+/// A fixed bit-mixer (the splitmix64 finalizer) over the flow id, reduced
+/// modulo the shard count: the same flow always lands on the same simulated
+/// core, independent of arrival order or shard load — the property the
+/// shard-equivalence tests rely on. Plain `flow % shards` would do for the
+/// round-robin generators, but real flow ids arrive clustered (ports,
+/// connection hashes); the mixer keeps the assignment balanced either way.
+pub fn shard_of(flow: FlowId, shards: usize) -> usize {
+    debug_assert!(shards > 0, "at least one shard");
+    let mut z = (flow as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
 impl Packet {
     /// Convenience constructor for a packet awaiting ranking.
     pub fn new(id: u64, flow: FlowId, bytes: u32, created_at: Nanos) -> Self {
@@ -65,5 +82,30 @@ mod tests {
             (p.id, p.flow, p.bytes, p.created_at, p.rank, p.class),
             (7, 9, 100, 55, 0, 0)
         );
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for flow in 0..10_000u32 {
+            for shards in [1usize, 2, 3, 4, 7, 16] {
+                let s = shard_of(flow, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(flow, shards), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_balances_sequential_flow_ids() {
+        // Sequential ids (the round-robin generators) must spread evenly:
+        // no shard more than 25% off the ideal share over 8k flows.
+        let shards = 4;
+        let mut counts = [0usize; 4];
+        for flow in 0..8_000u32 {
+            counts[shard_of(flow, shards)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..=2_500).contains(&c), "imbalanced: {counts:?}");
+        }
     }
 }

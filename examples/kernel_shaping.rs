@@ -15,6 +15,7 @@ fn main() {
         duration: SECOND / 2,
         bin: SECOND / 20,
         tsq_budget: 2,
+        batch: 1,
     };
     println!(
         "Shaping {} flows at {} Mbps aggregate for {:.1} virtual seconds…\n",
