@@ -1,62 +1,15 @@
 //! Figure 9 — "A comparison between the CPU overhead of the networking
-//! stack using FQ/pacing, Carousel, and Eiffel": CDF of CPU cores used for
-//! networking, 20k flows rate-limited to an aggregate 24 Gbps.
+//! stack using FQ/pacing, Carousel, and Eiffel": the virtual-clock CPU
+//! CDF (20k flows rate-limited to an aggregate 24 Gbps) plus the threaded
+//! wall-clock cores-to-shape sweep over real OS threads.
 //!
-//! `--quick` runs a scaled-down workload; `--json <path>` records the run.
+//! `--quick` runs a scaled-down workload; `--json <path>` records the run
+//! (the committed record is `BENCH_fig9_cores_to_shape.json`).
 
-use eiffel_bench::report::{BenchReport, Sweep};
-use eiffel_bench::{report, runners, BenchArgs};
+use eiffel_bench::{runners, BenchArgs};
 
 fn main() {
     let args = BenchArgs::parse();
-    let scale = if args.quick {
-        runners::KernelShapingScale::quick()
-    } else {
-        runners::KernelShapingScale::default_scale()
-    };
-    let mut r = BenchReport::new(
-        "fig09_kernel_shaping",
-        "Figure 9",
-        "CPU cores for networking (CDF), kernel shaping",
-        &args,
-    );
-    r.paper_claim("Eiffel outperforms FQ by a median 14x and Carousel by 3x (§5.1.1, Figure 9).");
-    r.config_num("flows", scale.flows as f64);
-    r.config_num("aggregate_gbps", scale.aggregate.as_bps() as f64 / 1e9);
-    r.config_num("virtual_seconds", scale.duration as f64 / 1e9);
-    r.config_str(
-        "method",
-        "real data-structure CPU metered into bins (see eiffel-sim::cpu for modelled constants)",
-    );
-
-    let reports = runners::kernel_shaping(&scale);
-    // One CDF sweep: fraction axis, one cores-series per system.
-    let mut sw = Sweep::new("CPU cores used for networking", "CDF");
-    for sys in &reports {
-        sw.add_series(sys.name, "cores", 4);
-    }
-    let cdfs: Vec<Vec<(f64, f64)>> = reports
-        .iter()
-        .map(|sys| report::cdf(&sys.cores_sorted, 10))
-        .collect();
-    for i in 0..10 {
-        let frac = cdfs[0][i].1;
-        let row: Vec<f64> = cdfs.iter().map(|c| c[i].0).collect();
-        sw.push_row(frac, &row);
-    }
-    r.push_sweep(sw);
-
-    for sys in &reports {
-        r.note(format!(
-            "[{}] median = {:.3} cores, transmitted = {} pkts, timer fires = {}",
-            sys.name, sys.median_cores, sys.transmitted, sys.timer_fires
-        ));
-    }
-    let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
-    r.note(format!(
-        "Measured medians: FQ/Eiffel = {:.1}x, Carousel/Eiffel = {:.1}x",
-        fq.median_cores / eiffel.median_cores.max(1e-9),
-        carousel.median_cores / eiffel.median_cores.max(1e-9)
-    ));
-    r.finish(&args);
+    let scale = runners::Fig9Scale::from_args(&args);
+    runners::fig9_report(&args, &scale).finish(&args);
 }

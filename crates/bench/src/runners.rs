@@ -15,8 +15,10 @@ use eiffel_bess::{
     PfabricEiffel, PfabricHeap, RoundRobinGen, WARMUP_FRACTION,
 };
 use eiffel_dcsim::{run_with, SchedulerBackend, SimConfig, System, Topology};
-use eiffel_qdisc::{CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport};
-use eiffel_sim::{Nanos, Packet, Rate, SECOND};
+use eiffel_qdisc::{
+    run_threaded, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport, ThreadedConfig,
+};
+use eiffel_sim::{Nanos, Packet, Rate, WallNanos, SECOND};
 
 use crate::microbench::{
     drain_rate_occupancy, drain_rate_packets_per_bucket, FillOrder, FillPattern, QueueUnderTest,
@@ -77,6 +79,277 @@ pub fn kernel_shaping(scale: &KernelShapingScale) -> Vec<HostReport> {
         // Eiffel: the paper's 20k buckets / 2 s horizon.
         eiffel_qdisc::run(EiffelQdisc::paper_config(), &cfg),
     ]
+}
+
+/// The Figure 9 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG9_PAPER_CLAIM: &str =
+    "Eiffel outperforms FQ by a median 14x and Carousel by 3x (§5.1.1, Figure 9).";
+
+/// Per-flow pacing rate of the Figure 9 workload (paper: 24 Gbps over
+/// 20k flows = 1.2 Mbps per flow), held constant across the flow sweep so
+/// every threaded cell paces at the paper's per-flow granularity.
+const FIG9_PER_FLOW_KBPS: u64 = 1_200;
+
+/// A threaded cell "holds" its target rate when it achieves at least this
+/// fraction of it; below, cores-to-shape extrapolates linearly.
+const FIG9_HELD_FRACTION: f64 = 0.97;
+
+/// The three Figure 9 qdiscs in the figure's legend order.
+const FIG9_QDISCS: [&str; 3] = ["FQ/pacing", "Carousel", "Eiffel"];
+
+/// Scale knobs of the Figure 9 harness: the virtual-clock CDF panel (the
+/// original figure axis) plus the threaded wall-clock cores-to-shape
+/// sweep over real OS threads.
+#[derive(Debug, Clone)]
+pub struct Fig9Scale {
+    /// Flow counts of the threaded sweep; the last entry is the headline
+    /// point the cores-to-shape table is built from (paper: 20 000).
+    pub flows: Vec<usize>,
+    /// Shard (OS thread) counts swept at every flow count.
+    pub shards: Vec<usize>,
+    /// Aggregate-rate ladder (Gbps) run at the headline flow count on one
+    /// shard; empty skips the panel.
+    pub rates_gbps: Vec<u64>,
+    /// Wall-clock measurement per threaded cell.
+    pub wall: WallNanos,
+    /// Scale of the virtual-clock CDF panel.
+    pub cdf: KernelShapingScale,
+}
+
+impl Fig9Scale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        if args.quick {
+            Fig9Scale {
+                flows: vec![500, 2_000],
+                shards: vec![1, 2],
+                rates_gbps: Vec::new(),
+                wall: WallNanos::from_millis(250),
+                cdf: KernelShapingScale::quick(),
+            }
+        } else {
+            Fig9Scale {
+                flows: vec![2_000, 20_000],
+                shards: vec![1, 2],
+                rates_gbps: vec![6, 12, 24],
+                wall: WallNanos::from_millis(1_200),
+                cdf: KernelShapingScale::default_scale(),
+            }
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig9Scale {
+            flows: vec![12, 24],
+            shards: vec![1, 2],
+            rates_gbps: Vec::new(),
+            wall: WallNanos::from_millis(25),
+            cdf: KernelShapingScale {
+                flows: 200,
+                aggregate: Rate::mbps(240),
+                duration: SECOND / 10,
+                bin: SECOND / 50,
+            },
+        }
+    }
+}
+
+/// One threaded Figure 9 cell: `(achieved Gbps, median busy cores)` for
+/// qdisc `which` (index into [`FIG9_QDISCS`]) shaping `flows` flows to
+/// `aggregate` across `shards` real OS threads for `wall` wall-clock time.
+fn fig9_cell(
+    which: usize,
+    flows: usize,
+    shards: usize,
+    aggregate: Rate,
+    wall: WallNanos,
+) -> (f64, f64) {
+    let host = HostConfig {
+        flows,
+        aggregate,
+        duration: 2 * SECOND, // ignored by the threaded runtime
+        bin: (wall.as_nanos() / 10).max(1),
+        tsq_budget: 2,
+        batch: 1,
+    };
+    let cfg = ThreadedConfig::timed(shards, host, wall);
+    let rep = match which {
+        0 => run_threaded(|_| FqQdisc::new(), &cfg),
+        // Same qdisc constructions as the virtual-clock panel
+        // ([`kernel_shaping`]), so the two clocks compare like for like.
+        1 => run_threaded(|_| CarouselQdisc::new(1 << 20, 2_000), &cfg),
+        _ => run_threaded(|_| EiffelQdisc::paper_config(), &cfg),
+    };
+    (rep.achieved_bps / 1e9, rep.total_median_cores)
+}
+
+/// Builds the complete Figure 9 report: the virtual-clock CPU CDF (the
+/// original figure), then threaded wall-clock panels — achieved rate and
+/// busy cores per shard count at each flow count, an optional rate ladder
+/// at the headline flow count — and the cores-needed-to-shape table the
+/// committed `BENCH_fig9_cores_to_shape.json` is named for.
+pub fn fig9_report(args: &BenchArgs, scale: &Fig9Scale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig09_kernel_shaping",
+        "Figure 9",
+        "CPU cores for kernel shaping: virtual-clock CDF + threaded wall-clock cores-to-shape",
+        args,
+    );
+    r.paper_claim(FIG9_PAPER_CLAIM);
+    r.config_num("cdf_flows", scale.cdf.flows as f64);
+    r.config_num(
+        "cdf_aggregate_gbps",
+        scale.cdf.aggregate.as_bps() as f64 / 1e9,
+    );
+    r.config_num("cdf_virtual_seconds", scale.cdf.duration as f64 / 1e9);
+    r.config_num(
+        "threaded_wall_ms_per_cell",
+        scale.wall.as_nanos() as f64 / 1e6,
+    );
+    r.config_num("per_flow_kbps", FIG9_PER_FLOW_KBPS as f64);
+    r.config_num("held_fraction", FIG9_HELD_FRACTION);
+    r.config_str("flows_sweep", format!("{:?}", scale.flows));
+    r.config_str("shards_sweep", format!("{:?}", scale.shards));
+    r.config_str("rate_ladder_gbps", format!("{:?}", scale.rates_gbps));
+    r.config_str(
+        "method",
+        "CDF panel: real data-structure CPU metered into virtual-time bins. Threaded panels: \
+         one OS thread per shard fed over lock-free SPSC rings, wall-clock time, busy cores = \
+         median executed-nanoseconds per wall bin (see eiffel-qdisc::threaded)",
+    );
+
+    // Panel 1: the original virtual-clock CDF.
+    let reports = kernel_shaping(&scale.cdf);
+    let mut sw = Sweep::new("CPU cores used for networking (virtual-clock CDF)", "CDF");
+    for sys in &reports {
+        sw.add_series(sys.name, "cores", 4);
+    }
+    let cdfs: Vec<Vec<(f64, f64)>> = reports
+        .iter()
+        .map(|sys| crate::report::cdf(&sys.cores_sorted, 10))
+        .collect();
+    for i in 0..10 {
+        let frac = cdfs[0][i].1;
+        let row: Vec<f64> = cdfs.iter().map(|c| c[i].0).collect();
+        sw.push_row(frac, &row);
+    }
+    r.push_sweep(sw);
+    for sys in &reports {
+        r.note(format!(
+            "[virtual {}] median = {:.3} cores, transmitted = {} pkts, timer fires = {}",
+            sys.name, sys.median_cores, sys.transmitted, sys.timer_fires
+        ));
+    }
+    let (fq, carousel, eiffel) = (&reports[0], &reports[1], &reports[2]);
+    r.note(format!(
+        "Virtual-clock medians: FQ/Eiffel = {:.1}x, Carousel/Eiffel = {:.1}x",
+        fq.median_cores / eiffel.median_cores.max(1e-9),
+        carousel.median_cores / eiffel.median_cores.max(1e-9)
+    ));
+
+    // Panels 2..: threaded wall-clock, shards × flows. The headline flow
+    // count's cells also feed the cores-to-shape table below.
+    let headline_flows = *scale.flows.last().expect("at least one flow count");
+    let mut headline: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+    for &flows in &scale.flows {
+        let target = Rate::kbps(FIG9_PER_FLOW_KBPS * flows as u64);
+        let target_gbps = target.as_bps() as f64 / 1e9;
+        let mut sw = Sweep::new(
+            format!("threaded wall clock: {flows} flows @ {target_gbps:.2} Gbps target"),
+            "shards",
+        );
+        for name in FIG9_QDISCS {
+            sw.add_series(format!("{name} achieved"), "Gbps", 3);
+            sw.add_series(format!("{name} busy cores"), "cores", 3);
+        }
+        for &shards in &scale.shards {
+            let cells: Vec<(f64, f64)> = (0..FIG9_QDISCS.len())
+                .map(|q| fig9_cell(q, flows, shards, target, scale.wall))
+                .collect();
+            let row: Vec<f64> = cells.iter().flat_map(|&(g, c)| [g, c]).collect();
+            sw.push_row(shards, &row);
+            if flows == headline_flows {
+                headline.push((shards, cells));
+            }
+        }
+        r.push_sweep(sw);
+    }
+
+    // Optional rate ladder: how busy cores scale with the shaping target
+    // at the headline flow count, one shard.
+    if !scale.rates_gbps.is_empty() {
+        let mut sw = Sweep::new(
+            format!("threaded rate ladder: {headline_flows} flows, 1 shard"),
+            "target Gbps",
+        );
+        for name in FIG9_QDISCS {
+            sw.add_series(format!("{name} achieved"), "Gbps", 3);
+            sw.add_series(format!("{name} busy cores"), "cores", 3);
+        }
+        for &g in &scale.rates_gbps {
+            let cells: Vec<(f64, f64)> = (0..FIG9_QDISCS.len())
+                .map(|q| fig9_cell(q, headline_flows, 1, Rate::gbps(g), scale.wall))
+                .collect();
+            let row: Vec<f64> = cells.iter().flat_map(|&(g, c)| [g, c]).collect();
+            sw.push_row(g, &row);
+        }
+        r.push_sweep(sw);
+    }
+
+    // The headline table: cores needed to hold the paper's shaping rate.
+    let headline_gbps = (FIG9_PER_FLOW_KBPS * headline_flows as u64) as f64 * 1e3 / 1e9;
+    let mut t = TextTable::new(
+        format!(
+            "cores needed to shape {headline_flows} flows @ {headline_gbps:.2} Gbps \
+             (held = achieved >= {:.0}% of target)",
+            FIG9_HELD_FRACTION * 100.0
+        ),
+        &[
+            "Qdisc",
+            "Shards",
+            "Achieved Gbps",
+            "Busy cores",
+            "Held",
+            "Cores to shape",
+        ],
+    );
+    let mut best = [f64::INFINITY; 3];
+    for &(shards, ref cells) in &headline {
+        for (q, &(gbps, cores)) in cells.iter().enumerate() {
+            let held = gbps >= FIG9_HELD_FRACTION * headline_gbps;
+            let need = if held {
+                cores
+            } else {
+                cores * headline_gbps / gbps.max(1e-9)
+            };
+            best[q] = best[q].min(need);
+            t.rows.push(vec![
+                FIG9_QDISCS[q].to_string(),
+                shards.to_string(),
+                format!("{gbps:.3}"),
+                format!("{cores:.3}"),
+                if held { "yes" } else { "no" }.to_string(),
+                format!("{need:.3}"),
+            ]);
+        }
+    }
+    r.push_table(t);
+    r.note(format!(
+        "Cores-to-shape ratios (best over shard counts): FQ/Eiffel = {:.1}x, \
+         Carousel/Eiffel = {:.1}x (paper medians: 14x and 3x).",
+        best[0] / best[2].max(1e-9),
+        best[1] / best[2].max(1e-9)
+    ));
+    r.note(
+        "Threaded cells run real OS threads on the wall clock. On a host with fewer physical \
+         cores than shards the threads time-slice, but 'busy cores' counts executed scheduler \
+         nanoseconds (plus the same modelled IRQ/lock constants as the virtual-clock host) per \
+         wall bin, so it measures the CPU a multi-core host would spend and can exceed the \
+         machine's core count. Cells that cannot hold their target extrapolate cores-to-shape \
+         linearly (busy x target/achieved).",
+    );
+    r
 }
 
 /// Equal per-flow hClock specs splitting `agg_mbps` (tiny reservations,
@@ -933,6 +1206,51 @@ mod tests {
         let rows = table1_rows();
         assert_eq!(rows.len(), 6);
         assert!(rows.iter().any(|r| r[0] == "Eiffel"));
+    }
+
+    /// The exact Figure 9 report path at miniature scale: the CDF panel,
+    /// the threaded wall-clock panels (real OS threads), the
+    /// cores-to-shape table, and a JSON round trip.
+    #[test]
+    fn fig9_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig9_report(&args, &Fig9Scale::tiny());
+        // One CDF panel + one threaded panel per flow count (tiny skips
+        // the rate ladder).
+        assert_eq!(r.sweeps.len(), 3);
+        assert!(r.sweeps[0].name.contains("virtual-clock CDF"));
+        for sw in &r.sweeps[1..] {
+            assert!(sw.name.contains("threaded wall clock"), "{}", sw.name);
+            assert_eq!(sw.series.len(), 6, "achieved + cores per qdisc");
+            assert_eq!(sw.param_values.len(), 2, "tiny shard sweep");
+            for pair in sw.series.chunks(2) {
+                assert_eq!(pair[0].unit, "Gbps");
+                assert_eq!(pair[1].unit, "cores");
+                assert!(
+                    pair[0].values.iter().all(|&v| v > 0.0),
+                    "{}: achieved rates positive",
+                    pair[0].name
+                );
+                assert!(
+                    pair[1].values.iter().all(|&v| v >= 0.0 && v.is_finite()),
+                    "{}: busy cores sane",
+                    pair[1].name
+                );
+            }
+        }
+        assert_eq!(r.tables.len(), 1);
+        assert!(r.tables[0].name.contains("cores needed to shape"));
+        assert_eq!(r.tables[0].rows.len(), 6, "3 qdiscs x 2 shard counts");
+        assert!(
+            r.notes.iter().any(|n| n.contains("Cores-to-shape ratios")),
+            "headline ratio note present"
+        );
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig09_kernel_shaping")
+        );
     }
 
     /// The exact Figure 16 report path at miniature scale: panel/series

@@ -106,6 +106,53 @@ fn fig12_quick_json_report_has_expected_series() {
 }
 
 #[test]
+fn fig9_quick_json_report_has_cdf_and_threaded_panels() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig09_kernel_shaping"), &["--quick"]);
+    assert_schema(&doc, "fig09_kernel_shaping");
+    assert_eq!(doc.get("quick").unwrap().as_bool(), Some(true));
+
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 3, "CDF + two threaded flow panels (quick)");
+    let names: Vec<&str> = sweeps
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names[0].contains("virtual-clock CDF"), "{names:?}");
+    for name in &names[1..] {
+        assert!(name.contains("threaded wall clock"), "{names:?}");
+    }
+    // The threaded panels interleave achieved-Gbps and busy-cores series
+    // for the three qdiscs, with positive achieved rates.
+    for sweep in &sweeps[1..] {
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 6);
+        for (i, s) in series.iter().enumerate() {
+            let unit = s.get("unit").unwrap().as_str().unwrap();
+            assert_eq!(unit, if i % 2 == 0 { "Gbps" } else { "cores" });
+            for v in s.get("values").unwrap().as_array().unwrap() {
+                let x = v.as_f64().expect("threaded cells are numbers");
+                if i % 2 == 0 {
+                    assert!(x > 0.0, "achieved rates positive, got {x}");
+                } else {
+                    assert!(x >= 0.0, "busy cores non-negative, got {x}");
+                }
+            }
+        }
+    }
+    // The cores-to-shape table travels with the data.
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    assert_eq!(tables.len(), 1);
+    let name = tables[0].get("name").unwrap().as_str().unwrap();
+    assert!(name.contains("cores needed to shape"), "{name}");
+    let rows = tables[0].get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 6, "3 qdiscs x 2 shard counts");
+    let strings = all_strings(&doc);
+    for sys in ["FQ/pacing", "Carousel", "Eiffel"] {
+        assert!(strings.contains(&sys), "missing qdisc {sys}");
+    }
+}
+
+#[test]
 fn table1_json_report_carries_the_matrix() {
     let doc = run_and_parse(env!("CARGO_BIN_EXE_table1_landscape"), &[]);
     assert_schema(&doc, "table1_landscape");

@@ -1,0 +1,302 @@
+//! A lock-free single-producer / single-consumer ring buffer.
+//!
+//! The threaded host runtime (`eiffel-qdisc::threaded`) moves packets from
+//! the producer/demux thread to one qdisc thread per shard. The channel on
+//! that per-packet path must not take locks — the whole point of measuring
+//! Eiffel on real threads is that the scheduler, not the plumbing, is the
+//! bottleneck — so this is the classic bounded SPSC ring used by userspace
+//! data planes (DPDK `rte_ring` SP/SC mode, BESS queues):
+//!
+//! * **Fixed capacity**, allocated once; no allocation on push/pop.
+//! * **Monotonic head/tail counters** (`usize`, wrapping arithmetic); the
+//!   slot index is `counter % capacity`, so full vs empty is unambiguous
+//!   without wasting a slot.
+//! * **Cache-line-padded** head and tail ([`CachePadded`]) so the producer
+//!   and consumer cores never false-share.
+//! * **Acquire/Release orderings** only: the producer's `Release` store of
+//!   `tail` publishes the slot write; the consumer's `Acquire` load of
+//!   `tail` observes it (and symmetrically for `head` when recycling
+//!   slots). No sequentially-consistent fences on the hot path.
+//! * Each endpoint keeps a **cached snapshot** of the other's counter and
+//!   refreshes it only when the ring looks full/empty, so the common case
+//!   touches one shared cache line, not two.
+//!
+//! This module is the one place in the workspace allowed to use `unsafe`
+//! (uninitialized slot storage needs `UnsafeCell<MaybeUninit<T>>`); the
+//! invariants are spelled out at each `unsafe` block and exercised by the
+//! proptest suite in `crates/core/tests/ring.rs`.
+//!
+//! ```
+//! use eiffel_core::ring::SpscRing;
+//!
+//! let (mut tx, mut rx) = SpscRing::new(2);
+//! assert!(tx.push(1).is_ok());
+//! assert!(tx.push(2).is_ok());
+//! assert_eq!(tx.push(3), Err(3)); // full: value handed back
+//! assert_eq!(rx.pop(), Some(1));
+//! assert_eq!(rx.pop(), Some(2));
+//! assert_eq!(rx.pop(), None);
+//! ```
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::counters::CachePadded;
+
+/// The shared state of one SPSC ring. Created via [`SpscRing::new`], which
+/// hands back the two (and only two) endpoints; the ring itself is never
+/// touched directly.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    /// Slot storage. Slot `i % capacity` is *initialized* iff
+    /// `head <= i < tail` (monotonic counters).
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Monotonic count of pops; slot owner boundary for the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Monotonic count of pushes; slot owner boundary for the producer.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring is shared by exactly one producer and one consumer (the
+// only handles `new` creates, and they are not `Clone`). The producer
+// writes slot `tail % cap` only while `tail - head < cap` and publishes
+// with a `Release` store of `tail`; the consumer reads slot `head % cap`
+// only while `head < tail` after an `Acquire` load of `tail`. A slot is
+// therefore never accessed by both threads at once, and every cross-thread
+// hand-off is ordered by a Release/Acquire pair on `tail` (values) or
+// `head` (slot recycling). `T: Send` is required because values move
+// between the two threads.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding at most `capacity` elements (≥ 1) and returns
+    /// its two endpoints, `mpsc::channel`-style (the ring itself is never
+    /// handed out, which is what makes the two-handle safety argument hold).
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+        assert!(capacity > 0, "SPSC ring needs capacity >= 1");
+        let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        let ring = Arc::new(SpscRing {
+            buf,
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+        });
+        (
+            SpscProducer {
+                ring: Arc::clone(&ring),
+                tail: 0,
+                cached_head: 0,
+            },
+            SpscConsumer {
+                ring,
+                head: 0,
+                cached_tail: 0,
+            },
+        )
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Last endpoint dropping the Arc: no concurrency left (`&mut self`),
+        // plain loads are fine. Initialized slots are exactly head..tail.
+        let head = self.head.get().load(Ordering::Relaxed);
+        let tail = self.tail.get().load(Ordering::Relaxed);
+        let cap = self.buf.len();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: `head <= i < tail` ⇒ slot `i % cap` holds a live `T`
+            // (see the `buf` field invariant); we have exclusive access.
+            unsafe {
+                (*self.buf[i % cap].get()).assume_init_drop();
+            }
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The write endpoint of an [`SpscRing`]. Owned by exactly one thread.
+#[derive(Debug)]
+pub struct SpscProducer<T> {
+    ring: Arc<SpscRing<T>>,
+    /// Local mirror of the shared tail (this endpoint is its only writer).
+    tail: usize,
+    /// Last observed consumer head; refreshed only when the ring looks full.
+    cached_head: usize,
+}
+
+/// The read endpoint of an [`SpscRing`]. Owned by exactly one thread.
+#[derive(Debug)]
+pub struct SpscConsumer<T> {
+    ring: Arc<SpscRing<T>>,
+    /// Local mirror of the shared head (this endpoint is its only writer).
+    head: usize,
+    /// Last observed producer tail; refreshed only when the ring looks empty.
+    cached_tail: usize,
+}
+
+impl<T> SpscProducer<T> {
+    /// Pushes `v`, or hands it back if the ring is full.
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        let cap = self.ring.buf.len();
+        if self.tail.wrapping_sub(self.cached_head) == cap {
+            // Looks full against the snapshot — refresh from the consumer.
+            self.cached_head = self.ring.head.get().load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                return Err(v);
+            }
+        }
+        // SAFETY: `tail - head < cap`, so slot `tail % cap` is vacant
+        // (consumed or never written) and owned by the producer until the
+        // Release store below. The Acquire load of `head` above ordered us
+        // after the consumer's read of any previous value in this slot.
+        unsafe {
+            (*self.ring.buf[self.tail % cap].get()).write(v);
+        }
+        self.tail = self.tail.wrapping_add(1);
+        // Publish: everything written to the slot happens-before a consumer
+        // that Acquire-loads this tail value.
+        self.ring.tail.get().store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Elements currently in the ring (exact from this endpoint's view: the
+    /// consumer can only have drained more since the head snapshot).
+    pub fn len(&self) -> usize {
+        let head = self.ring.head.get().load(Ordering::Acquire);
+        self.tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring is empty from the producer's view.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+impl<T> SpscConsumer<T> {
+    /// Pops the oldest element, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let cap = self.ring.buf.len();
+        if self.head == self.cached_tail {
+            // Looks empty against the snapshot — refresh from the producer.
+            self.cached_tail = self.ring.tail.get().load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        // SAFETY: `head < tail` (Acquire-loaded above or earlier), so slot
+        // `head % cap` holds a value the producer fully wrote before its
+        // Release store of `tail`. The producer will not touch the slot
+        // again until it observes the Release store of `head` below.
+        let v = unsafe { (*self.ring.buf[self.head % cap].get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        // Recycle: the slot read happens-before a producer that
+        // Acquire-loads this head value and reuses the slot.
+        self.ring.head.get().store(self.head, Ordering::Release);
+        Some(v)
+    }
+
+    /// Pops up to `max` elements into `out`, returning how many were moved.
+    pub fn pop_batch(&mut self, max: usize, out: &mut Vec<T>) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// Elements currently in the ring (exact from this endpoint's view: the
+    /// producer can only have added more since the tail snapshot).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.get().load(Ordering::Acquire);
+        tail.wrapping_sub(self.head)
+    }
+
+    /// Whether the ring is empty from the consumer's view.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (mut tx, mut rx) = SpscRing::new(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_occupancy_from_both_ends() {
+        let (mut tx, mut rx) = SpscRing::new(3);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop().unwrap();
+        assert_eq!(tx.len(), 1);
+        assert_eq!(rx.len(), 1);
+        assert_eq!(tx.capacity(), 3);
+        assert_eq!(rx.capacity(), 3);
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let (mut tx, mut rx) = SpscRing::new(8);
+        for i in 0..6 {
+            tx.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(4, &mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_batch(4, &mut out), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_elements() {
+        // Non-Copy payloads left in the ring must be dropped exactly once.
+        let (mut tx, mut rx) = SpscRing::new(4);
+        tx.push(String::from("a")).unwrap();
+        tx.push(String::from("b")).unwrap();
+        assert_eq!(rx.pop().as_deref(), Some("a"));
+        drop(tx);
+        drop(rx); // "b" still inside: Drop for SpscRing reclaims it
+    }
+}

@@ -16,6 +16,10 @@
 //! the same workload across N simulated cores (one qdisc instance each,
 //! stable flow→shard hashing, batched softirq drains) and merges the
 //! per-core meters into one [`sharded::ShardedReport`].
+//! [`threaded::run_threaded`] runs those same shards as real OS threads —
+//! one qdisc + softirq timer per thread, fed over lock-free SPSC rings on
+//! the wall clock, sharing the virtual-clock host's stage code — the
+//! measurement path for Figure 9's cores-to-shape comparison.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod fq;
 pub mod host;
 pub mod qdisc;
 pub mod sharded;
+pub mod threaded;
 
 pub use carousel::CarouselQdisc;
 pub use eiffel::EiffelQdisc;
@@ -34,4 +39,7 @@ pub use host::{run, HostConfig, HostReport};
 pub use qdisc::{ShaperQdisc, TimerStyle};
 pub use sharded::{
     run_sharded, run_sharded_traced, ShardStats, ShardTrace, ShardedConfig, ShardedReport,
+};
+pub use threaded::{
+    run_threaded, run_threaded_traced, CtrlMsg, ThreadedConfig, ThreadedReport, ThreadedTrace,
 };

@@ -54,15 +54,25 @@ pub struct ShardedConfig {
     /// per-shard) so drop decisions are shard-count-invariant, which the
     /// equivalence property test asserts.
     pub flow_cap: Option<u32>,
+    /// Finite workload: each flow emits exactly this many packets, then
+    /// stops (dropped arrivals are retried, not counted). The run ends when
+    /// the qdiscs drain, even before `host.duration`. `None` = flows stay
+    /// backlogged for the whole duration (the paper's neper workload).
+    ///
+    /// A finite workload makes the per-flow packet/byte/drop totals
+    /// *time-free* invariants — the property the threaded-vs-simulated
+    /// equivalence suite compares across clocks.
+    pub pkts_per_flow: Option<u64>,
 }
 
 impl ShardedConfig {
-    /// `shards` cores over the given host workload, no drops.
+    /// `shards` cores over the given host workload, no drops, open-ended.
     pub fn new(shards: usize, host: HostConfig) -> Self {
         ShardedConfig {
             shards,
             host,
             flow_cap: None,
+            pkts_per_flow: None,
         }
     }
 }
@@ -176,8 +186,12 @@ impl EvHeap {
     }
 }
 
-/// One simulated core's live state while [`drive`] runs (crate-visible so
-/// [`crate::host::run`] can assemble a `HostReport` from the 1-shard case).
+/// One core's live state and its pipeline stages — crate-visible so
+/// [`crate::host::run`] can assemble a `HostReport` from the 1-shard case
+/// and [`crate::threaded`] can run the *same stage code* on a real OS
+/// thread. [`drive`] sequences the stages under the virtual event heap; the
+/// threaded shard loop sequences them under the wall clock. Neither has a
+/// private copy of the enqueue/softirq logic, so the models cannot drift.
 pub(crate) struct Shard<Q> {
     pub(crate) qdisc: Q,
     pub(crate) meter: CpuMeter,
@@ -186,9 +200,93 @@ pub(crate) struct Shard<Q> {
     pub(crate) timer_fires: u64,
     pub(crate) transmitted: u64,
     pub(crate) tx_bytes: u64,
-    dropped: u64,
-    peak_backlog: usize,
-    flows: usize,
+    pub(crate) dropped: u64,
+    pub(crate) peak_backlog: usize,
+    pub(crate) flows: usize,
+}
+
+impl<Q: ShaperQdisc> Shard<Q> {
+    /// A fresh core around one qdisc instance and its CPU meter.
+    pub(crate) fn new(qdisc: Q, meter: CpuMeter) -> Self {
+        Shard {
+            qdisc,
+            meter,
+            timer_epoch: 0,
+            timer_armed_at: None,
+            timer_fires: 0,
+            transmitted: 0,
+            tx_bytes: 0,
+            dropped: 0,
+            peak_backlog: 0,
+            flows: 0,
+        }
+    }
+
+    /// Syscall-path stage: modelled lock + stack constants, measured
+    /// enqueue, backlog peak bookkeeping.
+    pub(crate) fn ingress(&mut self, now: Nanos, pkt: Packet, pacing_bps: u64) {
+        self.meter
+            .charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
+        let Shard { meter, qdisc, .. } = self;
+        meter.measure(now, CpuCategory::System, || {
+            qdisc.enqueue(now, pkt, pacing_bps);
+        });
+        self.peak_backlog = self.peak_backlog.max(self.qdisc.len());
+    }
+
+    /// Arms — or tightens, if the new deadline is earlier — the softirq
+    /// timer after an arrival. Returns the deadline when (re)armed; the
+    /// epoch bump invalidates any timer already in flight for this shard.
+    pub(crate) fn tighten_timer(&mut self, now: Nanos) -> Option<Nanos> {
+        let want = wanted_deadline(&self.qdisc, now)?.max(now);
+        if self.timer_armed_at.map_or(true, |at| want < at) {
+            self.timer_epoch += 1;
+            self.timer_armed_at = Some(want);
+            return Some(want);
+        }
+        None
+    }
+
+    /// Whether the armed timer's deadline has arrived — the threaded
+    /// runtime's poll-side equivalent of the heap delivering a timer event.
+    pub(crate) fn timer_due(&self, now: Nanos) -> bool {
+        self.timer_armed_at.is_some_and(|at| now >= at)
+    }
+
+    /// Whether this event's epoch matches the live timer (stale timers
+    /// never fired in hardware).
+    pub(crate) fn timer_epoch_is(&self, epoch: u64) -> bool {
+        self.timer_epoch == epoch
+    }
+
+    /// Softirq stage: modelled IRQ entry, measured batched drain of
+    /// everything due, transmit accounting. Clears `released` and leaves
+    /// the drained packets in it for the caller's flow bookkeeping.
+    pub(crate) fn softirq(&mut self, now: Nanos, batch: usize, released: &mut Vec<Packet>) {
+        self.timer_armed_at = None;
+        self.timer_fires += 1;
+        self.meter.charge(now, CpuCategory::SoftIrq, IRQ_ENTRY_NS);
+        released.clear();
+        let Shard { meter, qdisc, .. } = self;
+        meter.measure(now, CpuCategory::SoftIrq, || loop {
+            if qdisc.dequeue_batch(now, batch, released) == 0 {
+                break;
+            }
+        });
+        for p in released.iter() {
+            self.transmitted += 1;
+            self.tx_bytes += p.bytes as u64;
+        }
+    }
+
+    /// Re-arms after a softirq at a strictly future deadline. Returns the
+    /// deadline when armed (i.e. when the qdisc still holds packets).
+    pub(crate) fn rearm(&mut self, now: Nanos) -> Option<Nanos> {
+        let want = wanted_deadline(&self.qdisc, now)?.max(now + 1);
+        self.timer_epoch += 1;
+        self.timer_armed_at = Some(want);
+        Some(want)
+    }
 }
 
 /// What [`drive`] hands back before report assembly.
@@ -267,19 +365,10 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
     let batch = host.batch.max(1);
 
+    let limit = cfg.pkts_per_flow.unwrap_or(u64::MAX);
+
     let mut shards: Vec<Shard<Q>> = (0..n_shards)
-        .map(|i| Shard {
-            qdisc: mk(i),
-            meter: CpuMeter::new(host.bin, host.duration),
-            timer_epoch: 0,
-            timer_armed_at: None,
-            timer_fires: 0,
-            transmitted: 0,
-            tx_bytes: 0,
-            dropped: 0,
-            peak_backlog: 0,
-            flows: 0,
-        })
+        .map(|i| Shard::new(mk(i), CpuMeter::new(host.bin, host.duration)))
         .collect();
 
     // Stable flow→shard map, fixed before any packet moves.
@@ -295,6 +384,7 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let mut budget = vec![host.tsq_budget; host.flows];
     let mut inflight = vec![0u32; host.flows];
     let mut arrivals = vec![0u64; host.flows];
+    let mut sent = vec![0u64; host.flows];
 
     let mut events = EvHeap::default();
     // Stagger first emissions across one pacing gap, as in `host::run`:
@@ -317,8 +407,9 @@ pub(crate) fn drive<Q: ShaperQdisc>(
         match ev {
             Ev::Source(id) => {
                 let i = id as usize;
-                if budget[i] == 0 {
-                    continue; // TSQ: a completion will reschedule us.
+                if budget[i] == 0 || sent[i] >= limit {
+                    continue; // TSQ throttled (a completion reschedules us)
+                              // or the finite workload is done.
                 }
                 let s = home[i] as usize;
                 arrivals[i] += 1;
@@ -333,69 +424,45 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                 }
                 budget[i] -= 1;
                 inflight[i] += 1;
+                sent[i] += 1;
                 let pkt = Packet::mtu(next_pkt_id, id, now);
                 next_pkt_id += 1;
                 let sh = &mut shards[s];
-                // Syscall path: lock + stack constants, measured enqueue.
-                sh.meter
-                    .charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
-                let Shard { meter, qdisc, .. } = sh;
-                meter.measure(now, CpuCategory::System, || {
-                    qdisc.enqueue(now, pkt, per_flow_bps);
-                });
-                sh.peak_backlog = sh.peak_backlog.max(sh.qdisc.len());
+                sh.ingress(now, pkt, per_flow_bps);
                 total_backlog += 1;
                 peak_total_backlog = peak_total_backlog.max(total_backlog);
-                if budget[i] > 0 {
+                if budget[i] > 0 && sent[i] < limit {
                     // Bulk sender: next packet goes straight away.
                     events.schedule(now, Ev::Source(id));
                 }
                 // Arm (or tighten) this shard's timer.
-                if let Some(want) = wanted_deadline(&sh.qdisc, now) {
-                    let want = want.max(now);
-                    if sh.timer_armed_at.map_or(true, |at| want < at) {
-                        sh.timer_epoch += 1;
-                        sh.timer_armed_at = Some(want);
-                        events.schedule(
-                            want,
-                            Ev::Timer {
-                                shard: s as u32,
-                                epoch: sh.timer_epoch,
-                            },
-                        );
-                    }
+                if let Some(want) = sh.tighten_timer(now) {
+                    events.schedule(
+                        want,
+                        Ev::Timer {
+                            shard: s as u32,
+                            epoch: sh.timer_epoch,
+                        },
+                    );
                 }
             }
             Ev::Timer { shard, epoch } => {
                 let s = shard as usize;
                 {
                     let sh = &mut shards[s];
-                    if epoch != sh.timer_epoch {
+                    if !sh.timer_epoch_is(epoch) {
                         continue; // superseded timer, never fired in hardware
                     }
-                    sh.timer_armed_at = None;
-                    sh.timer_fires += 1;
-                    sh.meter.charge(now, CpuCategory::SoftIrq, IRQ_ENTRY_NS);
-                    // Drain everything due in batches, under measurement.
-                    released.clear();
-                    let Shard { meter, qdisc, .. } = sh;
-                    meter.measure(now, CpuCategory::SoftIrq, || loop {
-                        if qdisc.dequeue_batch(now, batch, &mut released) == 0 {
-                            break;
-                        }
-                    });
+                    sh.softirq(now, batch, &mut released);
                 }
                 for p in released.drain(..) {
-                    let sh = &mut shards[s];
-                    sh.transmitted += 1;
-                    sh.tx_bytes += p.bytes as u64;
                     total_backlog -= 1;
                     let i = p.flow as usize;
                     inflight[i] -= 1;
                     if let Some(t) = trace.as_deref_mut() {
                         t.releases.push((now, p.flow, p.bytes));
                     }
-                    if budget[i] == 0 {
+                    if budget[i] == 0 && sent[i] < limit {
                         // TSQ callback: the flow was throttled — resume it.
                         events.schedule(now, Ev::Source(p.flow));
                     }
@@ -403,10 +470,7 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                 }
                 // Re-arm.
                 let sh = &mut shards[s];
-                if let Some(want) = wanted_deadline(&sh.qdisc, now) {
-                    let want = want.max(now + 1);
-                    sh.timer_epoch += 1;
-                    sh.timer_armed_at = Some(want);
+                if let Some(want) = sh.rearm(now) {
                     events.schedule(
                         want,
                         Ev::Timer {
@@ -492,6 +556,20 @@ mod tests {
             "throughput collapsed: {:.1} Mbps",
             r.achieved_bps / 1e6
         );
+    }
+
+    #[test]
+    fn finite_workload_sends_exactly_pkts_per_flow_and_drains() {
+        let mut cfg = ShardedConfig::new(3, small_host(1));
+        cfg.pkts_per_flow = Some(7);
+        let (r, trace) = run_sharded_traced(|_| EiffelQdisc::new(20_000, 100_000), &cfg);
+        assert_eq!(r.transmitted, 7 * cfg.host.flows as u64, "all drained");
+        assert_eq!(r.dropped, 0);
+        for flow in 0..cfg.host.flows as u32 {
+            let rel = trace.flow_releases(flow);
+            assert_eq!(rel.len(), 7, "flow {flow}");
+            assert!(rel.windows(2).all(|w| w[0].0 <= w[1].0), "monotone");
+        }
     }
 
     #[test]

@@ -1,0 +1,753 @@
+//! The threaded multi-core host: one real OS thread per shard, lock-free
+//! rings between them, wall-clock time.
+//!
+//! [`crate::sharded`] proved the N-shard host *semantically* equal to the
+//! single-shard host — but under one virtual clock on one OS thread, which
+//! cannot measure the paper's headline systems claim (§5.1, Fig 9: Eiffel
+//! shapes 20k flows with ~1/20 the cores FQ needs). This module runs the
+//! same shards as real threads:
+//!
+//! ```text
+//!             data ring (SPSC, Packet)          ┌───────────────┐
+//!        ┌──────────────────────────────────▶   │ shard thread 0 │──┐
+//!        │    ctrl ring (SPSC, CtrlMsg)         │  qdisc + timer │  │
+//! ┌──────┴─┐ ─────────────────────────────▶     │  + CpuMeter    │  │
+//! │producer│                                    └───────────────┘  │
+//! │ /demux │   ◀─────────────────────────────────────────────────  │
+//! └──────┬─┘    completion ring (SPSC, FlowId)                     ▼
+//!        │                                       CounterBlock (stats,
+//!        └──▶ … shard thread N-1                 read without locks)
+//! ```
+//!
+//! * The **producer/demux thread** plays the application + TCP stack: it
+//!   paces flow start-up, enforces the TSQ budget, hashes each packet to
+//!   its home shard with [`eiffel_sim::shard_of`], and pushes it into that
+//!   shard's data ring ([`eiffel_core::ring::SpscRing`]).
+//! * Each **shard thread** owns one qdisc instance and one softirq timer,
+//!   and runs *the same stage code* (`Shard::ingress`, `Shard::softirq`,
+//!   `Shard::tighten_timer`, `Shard::rearm`) that [`crate::sharded`]'s
+//!   event loop drives under the virtual clock — the two runtimes share one
+//!   body and cannot drift. The event axis here is the wall clock
+//!   (nanoseconds since run start), polled instead of popped from a heap.
+//! * **Completions** flow back over a second SPSC ring: one [`FlowId`] per
+//!   released packet, returning TSQ budget to the producer — the TSQ
+//!   callback, as a message.
+//! * The **control plane** is a third, cold ring: the producer sends
+//!   [`CtrlMsg::Shutdown`] (drain for finite workloads, immediate for timed
+//!   runs); config travels by value at spawn time.
+//! * **Per-shard statistics** are single-writer counter blocks
+//!   ([`eiffel_core::CounterBlock`]) the producer reads without locks while
+//!   the run is live; exact totals come from joining the shard.
+//!
+//! There are **no locks anywhere on the per-packet path** — rings and
+//! single-writer atomics only. Blocking is by spin-then-yield, and the
+//! producer always drains completion rings while waiting on a full data
+//! ring (and vice versa the shards only ever block pushing completions,
+//! which the producer drains), so the pair cannot deadlock.
+//!
+//! Determinism: wall-clock runs cannot reproduce release *times*, so the
+//! equivalence suite uses **finite workloads** ([`ThreadedConfig::finite`]):
+//! every flow emits exactly `pkts_per_flow` packets and the run ends when
+//! the qdiscs drain. The per-flow packet/byte/drop totals are then
+//! time-free invariants, identical to a [`crate::sharded`] run of the same
+//! workload — so the virtual-clock proptests keep guarding the threaded
+//! path.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
+
+use eiffel_core::ring::{SpscConsumer, SpscProducer, SpscRing};
+use eiffel_core::CounterBlock;
+use eiffel_sim::{shard_of, CpuMeter, FlowId, Nanos, Packet, WallNanos, SECOND};
+
+use crate::host::HostConfig;
+use crate::qdisc::ShaperQdisc;
+use crate::sharded::{Shard, ShardStats};
+
+/// Counter slots published by each shard thread (single writer each).
+const C_TRANSMITTED: usize = 0;
+const C_TX_BYTES: usize = 1;
+const C_TIMER_FIRES: usize = 2;
+const C_ENQUEUED: usize = 3;
+/// One shard's live statistics block.
+type ShardCounters = CounterBlock<4>;
+
+/// Control-plane messages (cold path; one per run today).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Stop the shard. With `drain`, finish everything already queued
+    /// (ring + qdisc) first; without, stop at the next loop iteration
+    /// (timed runs, where lingering packets are expected).
+    Shutdown {
+        /// Whether to empty the data ring and qdisc before exiting.
+        drain: bool,
+    },
+}
+
+/// Parameters of a threaded run.
+///
+/// Reuses [`HostConfig`] for the workload shape (`flows`, `aggregate`,
+/// `tsq_budget`, `batch`, `bin`), with one deliberate difference:
+/// **`host.duration` is ignored** — a threaded run is bounded by
+/// [`wall_limit`](Self::wall_limit) real nanoseconds (and, for finite
+/// workloads, usually ends earlier by draining).
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// OS threads / qdisc instances. Flows are split by
+    /// [`eiffel_sim::shard_of`], exactly as in the simulated host.
+    pub shards: usize,
+    /// Workload shape (see type-level docs: `duration` is ignored).
+    pub host: HostConfig,
+    /// Per-flow in-qdisc packet cap, as in
+    /// [`crate::sharded::ShardedConfig::flow_cap`]. Note drop *counts* under
+    /// a cap are scheduling-dependent on real threads (a completion may or
+    /// may not beat the retry), so the equivalence suite leaves this off.
+    pub flow_cap: Option<u32>,
+    /// Finite workload: each flow emits exactly this many packets and the
+    /// run ends when the qdiscs drain. `None` = continuously backlogged
+    /// until `wall_limit`.
+    pub pkts_per_flow: Option<u64>,
+    /// Hard wall-clock bound on the run. For timed runs this *is* the
+    /// duration; for finite workloads it is a safety net (the report's
+    /// [`ThreadedReport::timed_out`] flags it firing).
+    pub wall_limit: WallNanos,
+    /// Capacity of each data ring (completion rings match).
+    pub ring_capacity: usize,
+}
+
+impl ThreadedConfig {
+    /// A timed run: flows stay backlogged, the run stops at `wall_limit`.
+    pub fn timed(shards: usize, host: HostConfig, wall_limit: WallNanos) -> Self {
+        ThreadedConfig {
+            shards,
+            host,
+            flow_cap: None,
+            pkts_per_flow: None,
+            wall_limit,
+            ring_capacity: 4_096,
+        }
+    }
+
+    /// A finite run: every flow emits exactly `pkts_per_flow` packets, the
+    /// run ends by draining. The wall limit is a generous multiple of the
+    /// ideal pacing schedule so a healthy run never hits it.
+    pub fn finite(shards: usize, host: HostConfig, pkts_per_flow: u64) -> Self {
+        let per_flow_bps = (host.aggregate.as_bps() / host.flows.max(1) as u64).max(1);
+        let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps;
+        let ideal = pacing_gap * (pkts_per_flow + host.tsq_budget as u64 + 2);
+        ThreadedConfig {
+            shards,
+            host,
+            flow_cap: None,
+            pkts_per_flow: Some(pkts_per_flow),
+            wall_limit: WallNanos(ideal.saturating_mul(4) + 2 * SECOND),
+            ring_capacity: 4_096,
+        }
+    }
+}
+
+/// The merged result of a threaded run. Mirrors
+/// [`crate::sharded::ShardedReport`], except every rate and duration here
+/// is **wall-clock** ([`WallNanos`]), not virtual.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport {
+    /// Qdisc name (all shards run the same discipline).
+    pub name: &'static str,
+    /// Per-thread slices (the `achieved_bps` inside is over wall time).
+    pub per_shard: Vec<ShardStats>,
+    /// Total packets released.
+    pub transmitted: u64,
+    /// Total packets pushed into shard rings by the producer.
+    pub emitted: u64,
+    /// Aggregate achieved rate in bits per **wall** second.
+    pub achieved_bps: f64,
+    /// Arrivals dropped at the flow cap (producer-side decision).
+    pub dropped: u64,
+    /// Timer fires across all shard threads.
+    pub timer_fires: u64,
+    /// Sum of per-shard median busy cores: wall nanoseconds of executed
+    /// scheduler code (plus the same modelled IRQ/lock constants as the
+    /// simulated host) per wall-time bin. On a machine with fewer physical
+    /// cores than shards the *threads* time-slice, but this metric counts
+    /// busy time, so it still measures the CPU a real multi-core host
+    /// would spend.
+    pub total_median_cores: f64,
+    /// Sum of per-shard peak backlogs (an upper bound on the true
+    /// simultaneous peak — shards peak at different instants).
+    pub peak_backlog: usize,
+    /// Wall time from spawn to the last shard joining.
+    pub wall_elapsed: WallNanos,
+    /// Times the producer found a data ring full (a backpressure signal,
+    /// not an error — pushes retry until they land).
+    pub ring_full_retries: u64,
+    /// A finite workload hit [`ThreadedConfig::wall_limit`] before
+    /// draining — the counters below are then truncated, not complete.
+    pub timed_out: bool,
+}
+
+/// Packet-level record of a threaded run.
+///
+/// `releases` concatenates the per-shard release logs; a flow lives on
+/// exactly one shard, so **per-flow projections are in true release
+/// order** even though cross-shard interleaving is lost. Times are wall
+/// nanoseconds since run start.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedTrace {
+    /// `(wall release time, flow, packet id, bytes)` per released packet.
+    pub releases: Vec<(WallNanos, FlowId, u64, u32)>,
+    /// `(wall drop time, flow, per-flow arrival index)` per cap drop.
+    pub drops: Vec<(WallNanos, FlowId, u64)>,
+}
+
+impl ThreadedTrace {
+    /// One flow's released packet ids, in release order.
+    pub fn flow_release_ids(&self, flow: FlowId) -> Vec<u64> {
+        self.releases
+            .iter()
+            .filter(|(_, f, _, _)| *f == flow)
+            .map(|&(_, _, id, _)| id)
+            .collect()
+    }
+
+    /// One flow's released `(wall time, bytes)`, in release order.
+    pub fn flow_releases(&self, flow: FlowId) -> Vec<(WallNanos, u32)> {
+        self.releases
+            .iter()
+            .filter(|(_, f, _, _)| *f == flow)
+            .map(|&(t, _, _, b)| (t, b))
+            .collect()
+    }
+
+    /// One flow's released byte total.
+    pub fn flow_bytes(&self, flow: FlowId) -> u64 {
+        self.releases
+            .iter()
+            .filter(|(_, f, _, _)| *f == flow)
+            .map(|&(_, _, _, b)| b as u64)
+            .sum()
+    }
+
+    /// One flow's drop count.
+    pub fn flow_drop_count(&self, flow: FlowId) -> u64 {
+        self.drops.iter().filter(|(_, f, _)| *f == flow).count() as u64
+    }
+}
+
+/// Runs the threaded host, returning the merged report.
+///
+/// `mk` builds shard `i`'s qdisc on the *calling* thread; the instance is
+/// then moved to its shard thread (hence `Q: Send` — no sharing, just a
+/// move).
+pub fn run_threaded<Q: ShaperQdisc + Send>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ThreadedConfig,
+) -> ThreadedReport {
+    run_inner(mk, cfg, false).0
+}
+
+/// [`run_threaded`] plus the packet-level [`ThreadedTrace`] — the ordering
+/// and equivalence suites' entry point.
+pub fn run_threaded_traced<Q: ShaperQdisc + Send>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ThreadedConfig,
+) -> (ThreadedReport, ThreadedTrace) {
+    run_inner(mk, cfg, true)
+}
+
+/// What one shard thread hands back at join.
+struct ShardOutcome<Q> {
+    shard: Shard<Q>,
+    releases: Vec<(WallNanos, FlowId, u64, u32)>,
+    /// Wall time at this shard's exit (its rate denominator).
+    final_now: Nanos,
+}
+
+fn run_inner<Q: ShaperQdisc + Send>(
+    mut mk: impl FnMut(usize) -> Q,
+    cfg: &ThreadedConfig,
+    want_trace: bool,
+) -> (ThreadedReport, ThreadedTrace) {
+    let n = cfg.shards.max(1);
+    let host = &cfg.host;
+    assert!(host.flows > 0, "threaded host needs at least one flow");
+    let per_flow_bps = (host.aggregate.as_bps() / host.flows as u64).max(1);
+    let batch = host.batch.max(1);
+    let ring_cap = cfg.ring_capacity.max(1);
+
+    // Plumbing: three SPSC rings per shard.
+    let mut data_tx = Vec::with_capacity(n);
+    let mut data_rx = Vec::with_capacity(n);
+    let mut ctrl_tx = Vec::with_capacity(n);
+    let mut ctrl_rx = Vec::with_capacity(n);
+    let mut comp_tx = Vec::with_capacity(n);
+    let mut comp_rx = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = SpscRing::<Packet>::new(ring_cap);
+        data_tx.push(tx);
+        data_rx.push(rx);
+        let (tx, rx) = SpscRing::<CtrlMsg>::new(4);
+        ctrl_tx.push(tx);
+        ctrl_rx.push(rx);
+        let (tx, rx) = SpscRing::<FlowId>::new(ring_cap);
+        comp_tx.push(tx);
+        comp_rx.push(rx);
+    }
+    let counters: Vec<ShardCounters> = (0..n).map(|_| ShardCounters::new()).collect();
+
+    // Qdiscs are built on this thread (mk may capture state), then moved.
+    let mut shards_init: Vec<Shard<Q>> = (0..n)
+        .map(|i| {
+            Shard::new(
+                mk(i),
+                CpuMeter::new(host.bin, cfg.wall_limit.as_nanos().max(host.bin)),
+            )
+        })
+        .collect();
+    let home: Vec<u32> = (0..host.flows as u32)
+        .map(|f| shard_of(f, n) as u32)
+        .collect();
+    for &h in &home {
+        shards_init[h as usize].flows += 1;
+    }
+
+    let start = Instant::now();
+    let mut outcomes: Vec<ShardOutcome<Q>> = Vec::with_capacity(n);
+    let mut producer_out = ProducerOutcome::default();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        // `.rev()` + pop keeps ring endpoints aligned with shard ids.
+        for (i, shard) in shards_init.into_iter().enumerate().rev() {
+            let data = data_rx.pop().expect("one data ring per shard");
+            let ctrl = ctrl_rx.pop().expect("one ctrl ring per shard");
+            let comp = comp_tx.pop().expect("one completion ring per shard");
+            let stats = &counters[i];
+            handles.push(s.spawn(move || {
+                shard_worker(
+                    shard,
+                    data,
+                    ctrl,
+                    comp,
+                    stats,
+                    start,
+                    per_flow_bps,
+                    batch,
+                    want_trace,
+                )
+            }));
+        }
+        handles.reverse(); // spawned in reverse; report in shard order
+
+        producer_out = producer_loop(
+            cfg,
+            &home,
+            per_flow_bps,
+            start,
+            &mut data_tx,
+            &mut ctrl_tx,
+            &mut comp_rx,
+            want_trace,
+        );
+
+        // Shards may still be draining (or blocked pushing completions):
+        // keep the completion rings moving until every thread exits.
+        while handles.iter().any(|h| !h.is_finished()) {
+            for rx in comp_rx.iter_mut() {
+                while rx.pop().is_some() {}
+            }
+            std::thread::yield_now();
+        }
+        for h in handles {
+            outcomes.push(h.join().expect("shard thread panicked"));
+        }
+    });
+    let wall_elapsed = WallNanos::from_duration(start.elapsed());
+
+    // Exact totals from the joined shards; the counter blocks only served
+    // live readers during the run.
+    let name = outcomes[0].shard.qdisc.name();
+    let per_shard: Vec<ShardStats> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let secs = WallNanos(o.final_now).as_secs_f64().max(1e-9);
+            ShardStats {
+                flows: o.shard.flows,
+                transmitted: o.shard.transmitted,
+                achieved_bps: o.shard.tx_bytes as f64 * 8.0 / secs,
+                dropped: producer_out.dropped_per_shard[i],
+                timer_fires: o.shard.timer_fires,
+                median_cores: o.shard.meter.median_cores(),
+                peak_backlog: o.shard.peak_backlog,
+            }
+        })
+        .collect();
+    let report = ThreadedReport {
+        name,
+        transmitted: per_shard.iter().map(|s| s.transmitted).sum(),
+        emitted: producer_out.emitted,
+        achieved_bps: {
+            let bytes: u64 = outcomes.iter().map(|o| o.shard.tx_bytes).sum();
+            bytes as f64 * 8.0 / wall_elapsed.as_secs_f64().max(1e-9)
+        },
+        dropped: per_shard.iter().map(|s| s.dropped).sum(),
+        timer_fires: per_shard.iter().map(|s| s.timer_fires).sum(),
+        total_median_cores: per_shard.iter().map(|s| s.median_cores).sum(),
+        peak_backlog: per_shard.iter().map(|s| s.peak_backlog).sum(),
+        wall_elapsed,
+        ring_full_retries: producer_out.ring_full_retries,
+        timed_out: producer_out.timed_out,
+        per_shard,
+    };
+    let trace = ThreadedTrace {
+        releases: outcomes.into_iter().flat_map(|o| o.releases).collect(),
+        drops: producer_out.drops,
+    };
+    (report, trace)
+}
+
+/// One shard thread: poll the rings and the wall clock, run the shared
+/// pipeline stages. No locks; the only blocking is pushing completions
+/// into a full ring (spin-then-yield — the producer always drains it).
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<Q: ShaperQdisc>(
+    mut shard: Shard<Q>,
+    mut data: SpscConsumer<Packet>,
+    mut ctrl: SpscConsumer<CtrlMsg>,
+    mut comp: SpscProducer<FlowId>,
+    stats: &ShardCounters,
+    start: Instant,
+    per_flow_bps: u64,
+    batch: usize,
+    want_trace: bool,
+) -> ShardOutcome<Q> {
+    const INGRESS_BURST: usize = 64;
+    let mut releases = Vec::new();
+    let mut drained: Vec<Packet> = Vec::with_capacity(batch.max(1));
+    let mut enqueued = 0u64;
+    let mut draining = false;
+    let mut idle = 0u32;
+    let final_now;
+    loop {
+        let now = start.elapsed().as_nanos() as Nanos;
+        match ctrl.pop() {
+            Some(CtrlMsg::Shutdown { drain: false }) => {
+                final_now = now;
+                break;
+            }
+            Some(CtrlMsg::Shutdown { drain: true }) => draining = true,
+            None => {}
+        }
+        let mut worked = false;
+
+        // Ingress: a burst of arrivals from the data ring.
+        for _ in 0..INGRESS_BURST {
+            let Some(pkt) = data.pop() else { break };
+            shard.ingress(now, pkt, per_flow_bps);
+            shard.tighten_timer(now);
+            enqueued += 1;
+            worked = true;
+        }
+        if worked {
+            stats.set(C_ENQUEUED, enqueued);
+        }
+
+        // Softirq: fire when the armed deadline has passed on the wall
+        // clock — the poll-side version of the event heap delivering it.
+        if shard.timer_due(now) {
+            shard.softirq(now, batch, &mut drained);
+            for p in drained.drain(..) {
+                if want_trace {
+                    releases.push((WallNanos(now), p.flow, p.id, p.bytes));
+                }
+                let mut flow = p.flow;
+                loop {
+                    match comp.push(flow) {
+                        Ok(()) => break,
+                        Err(f) => {
+                            flow = f;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            shard.rearm(now);
+            stats.set(C_TRANSMITTED, shard.transmitted);
+            stats.set(C_TX_BYTES, shard.tx_bytes);
+            stats.set(C_TIMER_FIRES, shard.timer_fires);
+            worked = true;
+        }
+
+        if draining && data.is_empty() && shard.qdisc.is_empty() {
+            final_now = now;
+            break;
+        }
+        if worked {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle % 64 == 0 {
+                // Busy-poll, but share the core: on machines with fewer
+                // cores than shards the other threads need the timeslice.
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    stats.set(C_TRANSMITTED, shard.transmitted);
+    stats.set(C_TX_BYTES, shard.tx_bytes);
+    stats.set(C_TIMER_FIRES, shard.timer_fires);
+    stats.set(C_ENQUEUED, enqueued);
+    ShardOutcome {
+        shard,
+        releases,
+        final_now,
+    }
+}
+
+/// What the producer loop hands back.
+#[derive(Debug, Default)]
+struct ProducerOutcome {
+    emitted: u64,
+    ring_full_retries: u64,
+    timed_out: bool,
+    dropped_per_shard: Vec<u64>,
+    drops: Vec<(WallNanos, FlowId, u64)>,
+}
+
+/// Per-flow producer state (the application + TCP-stack model).
+struct FlowState {
+    budget: u32,
+    inflight: u32,
+    sent: u64,
+    arrivals: u64,
+    /// Already sitting in the ready queue (dedup so the deque stays
+    /// bounded by the flow count).
+    queued: bool,
+}
+
+/// The producer/demux thread body (runs on the caller's thread while the
+/// shard threads live in the scope).
+#[allow(clippy::too_many_arguments)]
+fn producer_loop(
+    cfg: &ThreadedConfig,
+    home: &[u32],
+    per_flow_bps: u64,
+    start: Instant,
+    data_tx: &mut [SpscProducer<Packet>],
+    ctrl_tx: &mut [SpscProducer<CtrlMsg>],
+    comp_rx: &mut [SpscConsumer<FlowId>],
+    want_trace: bool,
+) -> ProducerOutcome {
+    const EMIT_BURST: usize = 256;
+    let host = &cfg.host;
+    let flows = host.flows;
+    let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps;
+    let limit = cfg.pkts_per_flow.unwrap_or(u64::MAX);
+    let finite = cfg.pkts_per_flow.is_some();
+    let flow_cap = cfg.flow_cap.map(|c| c.max(1));
+    let wall_limit = cfg.wall_limit.as_nanos();
+
+    let mut out = ProducerOutcome {
+        dropped_per_shard: vec![0; data_tx.len()],
+        ..ProducerOutcome::default()
+    };
+    let mut fs: Vec<FlowState> = (0..flows)
+        .map(|_| FlowState {
+            budget: host.tsq_budget.max(1),
+            inflight: 0,
+            sent: 0,
+            arrivals: 0,
+            queued: false,
+        })
+        .collect();
+    let mut ready: VecDeque<FlowId> = VecDeque::with_capacity(flows);
+    // Cap-dropped flows retry one pacing gap later, as in the simulation.
+    let mut retries: BinaryHeap<Reverse<(Nanos, FlowId)>> = BinaryHeap::new();
+    let mut started = 0usize; // flows staggered in over one pacing gap
+    let mut flows_done = 0usize;
+    let mut next_pkt_id = 0u64;
+
+    loop {
+        let now = start.elapsed().as_nanos() as Nanos;
+        let mut worked = false;
+
+        // TSQ completions: return budget, wake throttled flows.
+        for rx in comp_rx.iter_mut() {
+            while let Some(flow) = rx.pop() {
+                let f = &mut fs[flow as usize];
+                f.inflight -= 1;
+                f.budget += 1;
+                if !f.queued && f.sent < limit {
+                    f.queued = true;
+                    ready.push_back(flow);
+                }
+                worked = true;
+            }
+        }
+
+        // Stagger flow start-up across one pacing gap (same schedule as
+        // the simulated host: depends only on id and total flow count).
+        while started < flows && now >= pacing_gap * started as u64 / flows as u64 {
+            let flow = started as FlowId;
+            if !fs[started].queued {
+                fs[started].queued = true;
+                ready.push_back(flow);
+            }
+            started += 1;
+            worked = true;
+        }
+
+        // Due retries from earlier cap drops.
+        while let Some(&Reverse((at, flow))) = retries.peek() {
+            if at > now {
+                break;
+            }
+            retries.pop();
+            let f = &mut fs[flow as usize];
+            if !f.queued {
+                f.queued = true;
+                ready.push_back(flow);
+            }
+            worked = true;
+        }
+
+        // Emit a burst of arrivals.
+        for _ in 0..EMIT_BURST {
+            let Some(flow) = ready.pop_front() else { break };
+            let i = flow as usize;
+            fs[i].queued = false;
+            if fs[i].budget == 0 || fs[i].sent >= limit {
+                continue; // throttled (a completion requeues) or done
+            }
+            fs[i].arrivals += 1;
+            let s = home[i] as usize;
+            if flow_cap.is_some_and(|cap| fs[i].inflight >= cap) {
+                out.dropped_per_shard[s] += 1;
+                if want_trace {
+                    out.drops.push((WallNanos(now), flow, fs[i].arrivals - 1));
+                }
+                retries.push(Reverse((now + pacing_gap.max(1), flow)));
+                continue;
+            }
+            fs[i].budget -= 1;
+            fs[i].inflight += 1;
+            fs[i].sent += 1;
+            if finite && fs[i].sent == limit {
+                flows_done += 1;
+            }
+            let mut pkt = Packet::mtu(next_pkt_id, flow, now);
+            next_pkt_id += 1;
+            // Push, never deadlock: while the target ring is full, keep
+            // the completion rings moving (the shard may be blocked on
+            // exactly that) and yield the core.
+            loop {
+                match data_tx[s].push(pkt) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        pkt = back;
+                        out.ring_full_retries += 1;
+                        for rx in comp_rx.iter_mut() {
+                            while let Some(done) = rx.pop() {
+                                let f = &mut fs[done as usize];
+                                f.inflight -= 1;
+                                f.budget += 1;
+                                if !f.queued && f.sent < limit {
+                                    f.queued = true;
+                                    ready.push_back(done);
+                                }
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            out.emitted += 1;
+            if fs[i].budget > 0 && fs[i].sent < limit {
+                // Bulk sender: back-to-back until TSQ throttles.
+                fs[i].queued = true;
+                ready.push_back(flow);
+            }
+            worked = true;
+        }
+
+        // Termination.
+        if finite && flows_done == flows {
+            for tx in ctrl_tx.iter_mut() {
+                let _ = tx.push(CtrlMsg::Shutdown { drain: true });
+            }
+            break;
+        }
+        if now >= wall_limit {
+            out.timed_out = finite; // normal end for timed runs
+            for tx in ctrl_tx.iter_mut() {
+                let _ = tx.push(CtrlMsg::Shutdown { drain: false });
+            }
+            break;
+        }
+        if !worked {
+            std::thread::yield_now();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eiffel::EiffelQdisc;
+    use eiffel_sim::Rate;
+
+    fn tiny_host(flows: usize) -> HostConfig {
+        HostConfig {
+            flows,
+            aggregate: Rate::mbps(60 * flows as u64), // 60 Mbps per flow
+            duration: SECOND,                         // ignored by threaded runs
+            bin: SECOND / 20,
+            tsq_budget: 2,
+            batch: 4,
+        }
+    }
+
+    #[test]
+    fn finite_run_delivers_every_packet_and_drains() {
+        let cfg = ThreadedConfig::finite(2, tiny_host(8), 5);
+        let (r, tr) = run_threaded_traced(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out, "drain run hit the wall limit");
+        assert_eq!(r.emitted, 8 * 5);
+        assert_eq!(r.transmitted, 8 * 5, "everything emitted must release");
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.per_shard.len(), 2);
+        let homed: usize = r.per_shard.iter().map(|s| s.flows).sum();
+        assert_eq!(homed, 8);
+        for flow in 0..8u32 {
+            assert_eq!(tr.flow_release_ids(flow).len(), 5, "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn timed_run_reports_wall_rate_and_live_counters_converge() {
+        let mut cfg = ThreadedConfig::timed(2, tiny_host(16), WallNanos::from_millis(40));
+        cfg.host.batch = 8;
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(r.transmitted > 0, "a 40ms run must release packets");
+        assert!(r.wall_elapsed >= WallNanos::from_millis(40));
+        assert!(r.achieved_bps > 0.0);
+        assert!(r.timer_fires > 0);
+        assert!(!r.timed_out, "timed runs end at the limit by design");
+    }
+
+    #[test]
+    fn flow_cap_drops_and_recovers_on_threads() {
+        let mut cfg = ThreadedConfig::finite(3, tiny_host(6), 12);
+        cfg.host.tsq_budget = 4;
+        cfg.flow_cap = Some(1); // cap below budget ⇒ must bind sometimes
+        let (r, tr) = run_threaded_traced(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out);
+        // Every flow still completes its finite workload despite drops.
+        assert_eq!(r.transmitted, 6 * 12);
+        assert_eq!(r.dropped as usize, tr.drops.len());
+    }
+}

@@ -77,6 +77,7 @@ proptest! {
             // 0 = no cap; otherwise a cap at/below the TSQ budget so it
             // can actually bind and produce drop decisions to compare.
             flow_cap: (cap_sel > 0).then_some(cap_sel),
+            pkts_per_flow: None,
         };
         // Eiffel: exact timers off the cFFS bucket edges.
         assert_per_flow_identical(

@@ -1,0 +1,107 @@
+//! Threaded-vs-simulated equivalence: the same finite workload pushed
+//! through the virtual-clock [`ShardedHost`](eiffel_qdisc::run_sharded_traced)
+//! and the wall-clock threaded runtime must agree on every **time-free**
+//! invariant — per-flow packet counts, per-flow byte totals, and drop
+//! totals. Release *times* differ by construction (one clock is simulated,
+//! one is the wall), which is exactly why the comparison sticks to counts:
+//! those are pinned by the shared stage code and the TSQ protocol, not by
+//! scheduling luck. This is the bridge that lets the virtual-clock
+//! proptests keep guarding the threaded path.
+//!
+//! Caps are left off: under a flow cap, *drop counts* depend on whether a
+//! completion beats the retry in wall time, so they are not a time-free
+//! invariant (the ordering suite covers cap bookkeeping instead).
+
+use eiffel_qdisc::{
+    run_sharded_traced, run_threaded_traced, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig,
+    ShaperQdisc, ShardedConfig, ThreadedConfig,
+};
+use eiffel_sim::{Rate, SECOND};
+use proptest::prelude::*;
+
+fn host(flows: usize, tsq_budget: u32, batch: usize) -> HostConfig {
+    HostConfig {
+        flows,
+        aggregate: Rate::mbps(60 * flows as u64), // 200 µs pacing gap
+        duration: 2 * SECOND,                     // sim bound; finite workloads end early
+        bin: SECOND / 20,
+        tsq_budget,
+        batch,
+    }
+}
+
+fn assert_time_free_equivalence<Q: ShaperQdisc + Send>(
+    mut mk: impl FnMut(usize) -> Q,
+    host: &HostConfig,
+    shards: usize,
+    pkts: u64,
+    label: &str,
+) {
+    let mut sim_cfg = ShardedConfig::new(shards, host.clone());
+    sim_cfg.pkts_per_flow = Some(pkts);
+    let threaded_cfg = ThreadedConfig::finite(shards, host.clone(), pkts);
+
+    let (sim_rep, sim_tr) = run_sharded_traced(&mut mk, &sim_cfg);
+    let (thr_rep, thr_tr) = run_threaded_traced(&mut mk, &threaded_cfg);
+
+    assert!(!thr_rep.timed_out, "{label}: threaded run hit wall limit");
+    assert_eq!(
+        sim_rep.transmitted, thr_rep.transmitted,
+        "{label}: total packets"
+    );
+    assert_eq!(sim_rep.dropped, 0, "{label}: no caps ⇒ no sim drops");
+    assert_eq!(thr_rep.dropped, 0, "{label}: no caps ⇒ no threaded drops");
+    for flow in 0..host.flows as u32 {
+        let sim_releases = sim_tr.flow_releases(flow);
+        assert_eq!(
+            sim_releases.len(),
+            thr_tr.flow_release_ids(flow).len(),
+            "{label}: flow {flow} packet count"
+        );
+        let sim_bytes: u64 = sim_releases.iter().map(|&(_, b)| b as u64).sum();
+        assert_eq!(
+            sim_bytes,
+            thr_tr.flow_bytes(flow),
+            "{label}: flow {flow} byte total"
+        );
+        assert_eq!(thr_tr.flow_drop_count(flow), 0, "{label}: flow {flow}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random workload shapes, Eiffel on both runtimes.
+    #[test]
+    fn threaded_equals_simulated_time_free(
+        flows in 4usize..20,
+        shards in 1usize..6,
+        pkts in 3u64..12,
+        tsq_budget in 1u32..4,
+        batch in prop_oneof![Just(1usize), Just(8)],
+    ) {
+        assert_time_free_equivalence(
+            |_| EiffelQdisc::new(1 << 14, 100_000),
+            &host(flows, tsq_budget, batch),
+            shards,
+            pkts,
+            "eiffel",
+        );
+    }
+}
+
+/// All three disciplines at a fixed, larger shape — the cross-discipline
+/// spot check (the property above sweeps shapes on the flagship).
+#[test]
+fn all_disciplines_agree_across_runtimes() {
+    let h = host(24, 2, 4);
+    assert_time_free_equivalence(|_| EiffelQdisc::new(1 << 14, 100_000), &h, 3, 8, "eiffel");
+    assert_time_free_equivalence(
+        |_| CarouselQdisc::new(1 << 16, 20_000),
+        &h,
+        3,
+        8,
+        "carousel",
+    );
+    assert_time_free_equivalence(|_| FqQdisc::new(), &h, 3, 8, "fq");
+}

@@ -22,14 +22,14 @@
 
 use std::time::Instant;
 
-use crate::time::Nanos;
+use crate::time::{Nanos, WallNanos};
 
 /// Modelled cost of taking a timer interrupt / softirq wakeup.
-pub const IRQ_ENTRY_NS: u64 = 1_200;
+pub const IRQ_ENTRY_NS: WallNanos = WallNanos(1_200);
 /// Modelled cost of one uncontended qdisc-lock acquire+release pair.
-pub const LOCK_NS: u64 = 40;
+pub const LOCK_NS: WallNanos = WallNanos(40);
 /// Modelled per-packet network-stack cost outside the scheduler.
-pub const PER_PACKET_STACK_NS: u64 = 100;
+pub const PER_PACKET_STACK_NS: WallNanos = WallNanos(100);
 
 /// Where CPU time was spent, mirroring the paper's Figure 10 breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,14 +42,22 @@ pub enum CpuCategory {
     SoftIrq,
 }
 
-/// Accumulates busy nanoseconds into fixed-width virtual-time bins.
+/// Accumulates busy **wall** nanoseconds into fixed-width bins along an
+/// event-time axis.
+///
+/// The two clocks are kept explicit: what gets *charged* is always real
+/// executed time, [`WallNanos`]; what selects the *bin* is the event clock
+/// the harness runs on — virtual [`Nanos`] in the simulated hosts, wall
+/// nanoseconds-since-start in the threaded runtime (where the event clock
+/// *is* the wall clock). "Cores" per bin is then busy wall time divided by
+/// the bin width, comparable across both harnesses.
 #[derive(Debug)]
 pub struct CpuMeter {
     bin_width: Nanos,
-    /// `bins[i] = (system_ns, softirq_ns)` for virtual window `i`.
-    bins: Vec<(u64, u64)>,
+    /// `bins[i] = (system, softirq)` busy wall ns for event-time window `i`.
+    bins: Vec<(WallNanos, WallNanos)>,
     /// Calibrated cost of an empty `measure` call, subtracted per sample.
-    probe_overhead_ns: u64,
+    probe_overhead: WallNanos,
 }
 
 impl CpuMeter {
@@ -58,20 +66,20 @@ impl CpuMeter {
     pub fn new(bin_width: Nanos, horizon: Nanos) -> Self {
         assert!(bin_width > 0);
         let nbins = horizon.div_ceil(bin_width) as usize;
-        let probe_overhead_ns = Self::calibrate();
+        let probe_overhead = Self::calibrate();
         CpuMeter {
             bin_width,
-            bins: vec![(0, 0); nbins],
-            probe_overhead_ns,
+            bins: vec![(WallNanos::ZERO, WallNanos::ZERO); nbins],
+            probe_overhead,
         }
     }
 
     /// Median cost of a no-op measurement, to subtract from every sample.
-    fn calibrate() -> u64 {
-        let mut samples: Vec<u64> = (0..4_096)
+    fn calibrate() -> WallNanos {
+        let mut samples: Vec<WallNanos> = (0..4_096)
             .map(|_| {
                 let t = Instant::now();
-                t.elapsed().as_nanos() as u64
+                WallNanos::from_duration(t.elapsed())
             })
             .collect();
         samples.sort_unstable();
@@ -79,26 +87,27 @@ impl CpuMeter {
     }
 
     /// The calibrated per-measurement overhead.
-    pub fn probe_overhead_ns(&self) -> u64 {
-        self.probe_overhead_ns
+    pub fn probe_overhead(&self) -> WallNanos {
+        self.probe_overhead
     }
 
-    /// Runs `f`, measures its real duration, and charges it to the bin for
-    /// virtual time `vnow` under `cat`. Returns `f`'s result.
-    pub fn measure<R>(&mut self, vnow: Nanos, cat: CpuCategory, f: impl FnOnce() -> R) -> R {
+    /// Runs `f`, measures its real wall duration, and charges it to the bin
+    /// for event time `now` under `cat`. Returns `f`'s result.
+    pub fn measure<R>(&mut self, now: Nanos, cat: CpuCategory, f: impl FnOnce() -> R) -> R {
         let t = Instant::now();
         let r = f();
-        let ns = (t.elapsed().as_nanos() as u64).saturating_sub(self.probe_overhead_ns);
-        self.charge(vnow, cat, ns);
+        let ns = WallNanos::from_duration(t.elapsed()).saturating_sub(self.probe_overhead);
+        self.charge(now, cat, ns);
         r
     }
 
-    /// Charges `ns` of *modelled* cost to the bin for virtual time `vnow`.
-    pub fn charge(&mut self, vnow: Nanos, cat: CpuCategory, ns: u64) {
-        let idx = ((vnow / self.bin_width) as usize).min(self.bins.len() - 1);
+    /// Charges `wall` nanoseconds of (measured or modelled) cost to the bin
+    /// for event time `now`.
+    pub fn charge(&mut self, now: Nanos, cat: CpuCategory, wall: WallNanos) {
+        let idx = ((now / self.bin_width) as usize).min(self.bins.len() - 1);
         match cat {
-            CpuCategory::System => self.bins[idx].0 += ns,
-            CpuCategory::SoftIrq => self.bins[idx].1 += ns,
+            CpuCategory::System => self.bins[idx].0 += wall,
+            CpuCategory::SoftIrq => self.bins[idx].1 += wall,
         }
     }
 
@@ -109,8 +118,8 @@ impl CpuMeter {
             .iter()
             .map(|&(s, i)| {
                 (
-                    s as f64 / self.bin_width as f64,
-                    i as f64 / self.bin_width as f64,
+                    s.as_nanos() as f64 / self.bin_width as f64,
+                    i.as_nanos() as f64 / self.bin_width as f64,
                 )
             })
             .collect()
@@ -142,9 +151,9 @@ mod tests {
     #[test]
     fn charges_land_in_the_right_bins() {
         let mut m = CpuMeter::new(SECOND, 3 * SECOND);
-        m.charge(0, CpuCategory::System, 100_000_000); // 0.1 cores in bin 0
-        m.charge(SECOND + 1, CpuCategory::SoftIrq, 500_000_000); // bin 1
-        m.charge(10 * SECOND, CpuCategory::System, 1); // clamped to last bin
+        m.charge(0, CpuCategory::System, WallNanos(100_000_000)); // 0.1 cores in bin 0
+        m.charge(SECOND + 1, CpuCategory::SoftIrq, WallNanos(500_000_000)); // bin 1
+        m.charge(10 * SECOND, CpuCategory::System, WallNanos(1)); // clamped to last bin
         let bins = m.cores_per_bin();
         assert_eq!(bins.len(), 3);
         assert!((bins[0].0 - 0.1).abs() < 1e-9);
@@ -172,7 +181,11 @@ mod tests {
     fn median_and_cdf_ordering() {
         let mut m = CpuMeter::new(SECOND, 4 * SECOND);
         for (bin, ns) in [(0u64, 4u64), (1, 1), (2, 3), (3, 2)] {
-            m.charge(bin * SECOND, CpuCategory::SoftIrq, ns * 100_000_000);
+            m.charge(
+                bin * SECOND,
+                CpuCategory::SoftIrq,
+                WallNanos(ns * 100_000_000),
+            );
         }
         let sorted = m.total_cores_sorted();
         assert!(sorted.windows(2).all(|w| w[0] <= w[1]));

@@ -30,4 +30,4 @@ pub use link::Link;
 pub use packet::{shard_of, FlowId, Packet};
 pub use rng::SplitMix64;
 pub use sched::{BucketedEventQueue, EventScheduler, DEFAULT_WHEEL_SLOTS};
-pub use time::{Nanos, Rate, MICROSECOND, MILLISECOND, SECOND};
+pub use time::{Nanos, Rate, WallNanos, MICROSECOND, MILLISECOND, SECOND};

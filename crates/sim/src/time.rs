@@ -14,6 +14,78 @@ pub const MILLISECOND: Nanos = 1_000_000;
 /// One second in [`Nanos`].
 pub const SECOND: Nanos = 1_000_000_000;
 
+/// Real, wall-clock nanoseconds — measured with the monotonic OS clock, as
+/// opposed to the virtual simulation clock ([`Nanos`]).
+///
+/// The two units flow through the same meters (a [`crate::CpuMeter`] bins
+/// *wall* nanoseconds of executed code by *virtual* event time) and, in the
+/// threaded host runtime, wall time even becomes the event axis itself —
+/// so confusing them is the easiest way to produce a wrong "cores" number.
+/// The newtype keeps them apart at the type level: anything measured by
+/// `Instant` is a `WallNanos`; anything advanced by a simulator is a
+/// [`Nanos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct WallNanos(pub u64);
+
+impl WallNanos {
+    /// Zero elapsed wall time.
+    pub const ZERO: WallNanos = WallNanos(0);
+
+    /// From a raw nanosecond count.
+    pub const fn from_nanos(ns: u64) -> Self {
+        WallNanos(ns)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        WallNanos(ms * MILLISECOND)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        WallNanos(s * SECOND)
+    }
+
+    /// From a [`std::time::Duration`] (saturating at `u64::MAX` ns).
+    pub fn from_duration(d: std::time::Duration) -> Self {
+        WallNanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// The raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for rates and report fields).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECOND as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: WallNanos) -> WallNanos {
+        WallNanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Add for WallNanos {
+    type Output = WallNanos;
+    fn add(self, rhs: WallNanos) -> WallNanos {
+        WallNanos(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for WallNanos {
+    fn add_assign(&mut self, rhs: WallNanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for WallNanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
 /// A transmission rate in bits per second.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Rate(u64);
@@ -90,6 +162,22 @@ mod tests {
         assert_eq!(Rate::kbps(1_000), Rate::mbps(1));
         assert_eq!(Rate::mbps(1_000), Rate::gbps(1));
         assert_eq!(Rate::gbps(24).as_bps(), 24_000_000_000);
+    }
+
+    #[test]
+    fn wall_nanos_constructors_and_arithmetic() {
+        assert_eq!(WallNanos::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(WallNanos::from_secs(2), WallNanos::from_nanos(2 * SECOND));
+        assert_eq!(
+            WallNanos::from_duration(std::time::Duration::from_micros(5)),
+            WallNanos(5_000)
+        );
+        assert_eq!(WallNanos(40) + WallNanos(100), WallNanos(140));
+        assert_eq!(
+            WallNanos(40).saturating_sub(WallNanos(100)),
+            WallNanos::ZERO
+        );
+        assert!((WallNanos::from_secs(1).as_secs_f64() - 1.0).abs() < 1e-12);
     }
 
     #[test]
