@@ -15,12 +15,18 @@
 //! * `cffs_drain_single` / `cffs_drain_batched` — refill 32 random ranks
 //!   then drain them one `dequeue_min` at a time vs one `dequeue_batch`
 //!   call: what batch amortization of the descent is worth.
+//! * `sp_pifo_churn` / `rifo_churn` — the same steady-churn workload as
+//!   `cffs_churn` on the related-work adaptive backends: SP-PIFO's
+//!   bounds scan + push-up/push-down, RIFO's range mapping + hierarchical
+//!   bitmap descent.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use eiffel_core::{ApproxGradientQueue, CffsQueue, HierFfsQueue, RankedQueue};
+use eiffel_core::{
+    ApproxGradientQueue, CffsQueue, HierFfsQueue, RankedQueue, RifoQueue, SpPifoQueue,
+};
 use eiffel_sim::SplitMix64;
 
 const NB: usize = 10_000;
@@ -134,5 +140,42 @@ fn batched_drain(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ffs_descent, approx_paths, batched_drain);
+/// Steady churn on the related-work adaptive backends.
+fn adaptive_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_hot_paths");
+    tune(&mut group);
+    group.bench_function(BenchmarkId::from_parameter("sp_pifo_churn"), |b| {
+        let mut q: SpPifoQueue<u64> = SpPifoQueue::new(32);
+        let mut rng = SplitMix64::new(0x55);
+        for _ in 0..PRELOAD {
+            q.enqueue(rng.next_below(NB as u64), 0).expect("unbounded");
+        }
+        b.iter(|| {
+            q.enqueue(black_box(rng.next_below(NB as u64)), 0)
+                .expect("unbounded");
+            black_box(q.dequeue_min());
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("rifo_churn"), |b| {
+        let mut q: RifoQueue<u64> = RifoQueue::new(NB);
+        let mut rng = SplitMix64::new(0x56);
+        for _ in 0..PRELOAD {
+            q.enqueue(rng.next_below(NB as u64), 0).expect("unbounded");
+        }
+        b.iter(|| {
+            q.enqueue(black_box(rng.next_below(NB as u64)), 0)
+                .expect("unbounded");
+            black_box(q.dequeue_min());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ffs_descent,
+    approx_paths,
+    batched_drain,
+    adaptive_churn
+);
 criterion_main!(benches);

@@ -1,55 +1,18 @@
 //! Figure 10 — "detailed CPU utilization of Carousel and Eiffel in terms of
-//! system processes (left) and soft interrupt servicing (right)".
+//! system processes (left) and soft interrupt servicing (right)": per-system
+//! system/softIRQ CPU CDFs on the virtual-clock host and on the threaded
+//! runtime's wall-clock meters.
+//!
+//! The report is built by [`eiffel_bench::runners::fig10_report`] so tests
+//! and CI validate the exact path this binary records.
 //!
 //! `--quick` runs a scaled-down workload; `--json <path>` records the run.
 
-use eiffel_bench::report::{BenchReport, Sweep};
-use eiffel_bench::{report, runners, BenchArgs};
+use eiffel_bench::runners::{fig10_report, Fig10Scale};
+use eiffel_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
-    let scale = if args.quick {
-        runners::KernelShapingScale::quick()
-    } else {
-        runners::KernelShapingScale::default_scale()
-    };
-    let mut r = BenchReport::new(
-        "fig10_cpu_breakdown",
-        "Figure 10",
-        "CPU breakdown: system vs softIRQ (CDF), Carousel vs Eiffel",
-        &args,
-    );
-    r.paper_claim(
-        "\"the main difference is in the overhead introduced by Carousel in firing timers at \
-         constant intervals while Eiffel can trigger timers exactly when needed\" — the softirq \
-         share should dominate Carousel's total (§5.1.1, Figure 10).",
-    );
-    r.config_num("flows", scale.flows as f64);
-    r.config_num("aggregate_gbps", scale.aggregate.as_bps() as f64 / 1e9);
-    r.config_str(
-        "method",
-        "same workload as Figure 9; enqueue path = system, timer/dequeue path = softIRQ",
-    );
-
-    let reports = runners::kernel_shaping(&scale);
-    for sys in reports.iter().filter(|sys| sys.name != "fq") {
-        let mut syscores: Vec<f64> = sys.breakdown.iter().map(|&(s, _)| s).collect();
-        let mut irq: Vec<f64> = sys.breakdown.iter().map(|&(_, i)| i).collect();
-        syscores.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        irq.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        let mut sw = Sweep::new(
-            format!("{} (timer fires = {})", sys.name, sys.timer_fires),
-            "CDF",
-        );
-        sw.add_series("system", "cores", 4);
-        sw.add_series("softirq", "cores", 4);
-        for ((s, frac), (i, _)) in report::cdf(&syscores, 10)
-            .into_iter()
-            .zip(report::cdf(&irq, 10))
-        {
-            sw.push_row(frac, &[s, i]);
-        }
-        r.push_sweep(sw);
-    }
-    r.finish(&args);
+    let scale = Fig10Scale::from_args(&args);
+    fig10_report(&args, &scale).finish(&args);
 }

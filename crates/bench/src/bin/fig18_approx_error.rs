@@ -1,40 +1,18 @@
 //! Figure 18 — "Effect of having empty buckets on the error of fetching the
 //! minimum element for the approximate queue": average bucket-index error
-//! vs occupancy for 5k and 10k buckets.
+//! vs occupancy for 5k and 10k buckets, plus oracle-audited drain-quality
+//! panels scoring all five bake-off backends on the same sparse fill.
+//!
+//! The report is built by [`eiffel_bench::runners::fig18_report`] so tests
+//! and CI validate the exact path this binary records.
 //!
 //! `--quick` reduces rounds; `--json <path>` records the run.
 
-use eiffel_bench::microbench::approx_error_at_occupancy;
-use eiffel_bench::report::{BenchReport, Sweep};
+use eiffel_bench::runners::{fig18_report, Fig18Scale};
 use eiffel_bench::BenchArgs;
 
 fn main() {
     let args = BenchArgs::parse();
-    let rounds = if args.quick { 8 } else { 48 };
-    let mut r = BenchReport::new(
-        "fig18_approx_error",
-        "Figure 18",
-        "approximate queue error vs occupancy",
-        &args,
-    );
-    r.paper_claim(
-        "error grows as buckets empty (≈12 at 0.7 occupancy down to ≈2 near full for 10k \
-         buckets); \"cases where the queue is more than 30% empty should trigger changes in the \
-         queue's granularity\" (§5.2, Figure 18).",
-    );
-    r.config_num("rounds", rounds as f64);
-    r.config_str(
-        "method",
-        "error = |selected bucket − true best bucket| per lookup, exact shadow tracked",
-    );
-    let mut sw = Sweep::new("", "occupancy");
-    sw.add_series("5k buckets", "avg bucket-index error", 2);
-    sw.add_series("10k buckets", "avg bucket-index error", 2);
-    for occ in [0.7, 0.8, 0.9, 0.99] {
-        let e5 = approx_error_at_occupancy(5_000, occ, rounds, 0xF18);
-        let e10 = approx_error_at_occupancy(10_000, occ, rounds, 0xF18);
-        sw.push_row(occ, &[e5, e10]);
-    }
-    r.push_sweep(sw);
-    r.finish(&args);
+    let scale = Fig18Scale::from_args(&args);
+    fig18_report(&args, &scale).finish(&args);
 }

@@ -23,10 +23,18 @@
 
 use std::time::{Duration, Instant};
 
-use eiffel_core::{ApproxGradientQueue, BucketHeapQueue, CffsQueue, RankedQueue};
+use eiffel_core::{
+    ApproxGradientQueue, BucketHeapQueue, CffsQueue, OracleAudit, OracleReport, RankedQueue,
+    RifoQueue, SpPifoQueue,
+};
 use eiffel_sim::SplitMix64;
 
-/// The three §5.2 contenders.
+/// SP-PIFO's queue count in the bake-off: 32 strict-priority FIFOs, the
+/// mid-size configuration of the SP-PIFO paper's evaluation (8–64).
+pub const SP_PIFO_QUEUES: usize = 32;
+
+/// The bake-off contenders: the three §5.2 incumbents plus the two
+/// integer-only related-work backends (SP-PIFO, RIFO) added in PR 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueUnderTest {
     /// Bucketed queue + binary heap of bucket indices (baseline).
@@ -35,6 +43,10 @@ pub enum QueueUnderTest {
     Cffs,
     /// Approximate gradient queue.
     Approx,
+    /// SP-PIFO adaptive strict-priority mapping ([`SP_PIFO_QUEUES`] queues).
+    SpPifo,
+    /// RIFO adaptive rank-range bucket mapping over `nb` buckets.
+    Rifo,
 }
 
 impl QueueUnderTest {
@@ -44,6 +56,8 @@ impl QueueUnderTest {
             QueueUnderTest::BucketHeap => "BH",
             QueueUnderTest::Cffs => "cFFS",
             QueueUnderTest::Approx => "Approx",
+            QueueUnderTest::SpPifo => "SP-PIFO",
+            QueueUnderTest::Rifo => "RIFO",
         }
     }
 }
@@ -148,6 +162,8 @@ fn build(kind: QueueUnderTest, nb: usize) -> Box<dyn RankedQueue<u64>> {
         QueueUnderTest::BucketHeap => Box::new(BucketHeapQueue::new(nb, 1)),
         QueueUnderTest::Cffs => Box::new(CffsQueue::new(nb, 1, 0)),
         QueueUnderTest::Approx => Box::new(ApproxGradientQueue::new(nb, 1)),
+        QueueUnderTest::SpPifo => Box::new(SpPifoQueue::new(SP_PIFO_QUEUES)),
+        QueueUnderTest::Rifo => Box::new(RifoQueue::new(nb)),
     }
 }
 
@@ -305,6 +321,60 @@ pub fn approx_error_at_occupancy(nb: usize, occupancy: f64, rounds: usize, seed:
     err_sum as f64 / lookups.max(1) as f64
 }
 
+/// Scheduling-quality cell: fills a fresh queue (`ppb` packets in each of
+/// `fill` buckets placed per `pattern`), drains it to empty under the
+/// PIFO-oracle audit, and returns the inversion / rank-error report —
+/// **untimed**, so the oracle's `BTreeMap` bookkeeping never pollutes the
+/// throughput cells measured by the functions above. Averaged over
+/// `rounds` fresh deterministic subsets for the same reason the
+/// throughput cells re-draw theirs: which holes land near the head
+/// dominates a single draw.
+pub fn drain_quality(
+    kind: QueueUnderTest,
+    nb: usize,
+    pattern: FillPattern,
+    fill: usize,
+    ppb: usize,
+    rounds: usize,
+    seed: u64,
+) -> OracleReport {
+    let mut fill_order = FillOrder::new();
+    // A fresh audit per round: the inversion counter is a suffix-min pass
+    // over one drain sequence, and stitching rounds together would count
+    // every round boundary (high tail → next round's low head) as a pile
+    // of fake inversions.
+    let mut total = OracleReport {
+        pops: 0,
+        inversions: 0,
+        max_inversion: 0,
+        rank_error_sum: 0,
+        max_rank_error: 0,
+    };
+    for round in 0..rounds {
+        let round_seed = seed ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let order = fill_order.prepare(nb, pattern, fill, round_seed);
+        let mut q = build(kind, nb);
+        let mut audit = OracleAudit::new();
+        for pass in 0..ppb.max(1) {
+            for &b in order {
+                q.enqueue(b, pass as u64).expect("in range");
+                audit.on_enqueue(b);
+            }
+        }
+        while let Some((r, _)) = q.dequeue_min() {
+            audit.on_dequeue(r);
+        }
+        assert!(audit.is_empty(), "{kind:?} lost elements");
+        let rep = audit.finish();
+        total.pops += rep.pops;
+        total.inversions += rep.inversions;
+        total.max_inversion = total.max_inversion.max(rep.max_inversion);
+        total.rank_error_sum += rep.rank_error_sum;
+        total.max_rank_error = total.max_rank_error.max(rep.max_rank_error);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +386,8 @@ mod tests {
             QueueUnderTest::BucketHeap,
             QueueUnderTest::Cffs,
             QueueUnderTest::Approx,
+            QueueUnderTest::SpPifo,
+            QueueUnderTest::Rifo,
         ] {
             let r = drain_rate_packets_per_bucket(kind, 512, 2, 1, Duration::from_millis(30));
             assert!(r.mpps > 0.1, "{kind:?} rate {} Mpps", r.mpps);
@@ -342,9 +414,46 @@ mod tests {
 
     #[test]
     fn batched_drain_reports_positive_rates() {
-        for kind in [QueueUnderTest::Cffs, QueueUnderTest::Approx] {
+        for kind in [
+            QueueUnderTest::Cffs,
+            QueueUnderTest::Approx,
+            QueueUnderTest::SpPifo,
+            QueueUnderTest::Rifo,
+        ] {
             let r = drain_rate_packets_per_bucket(kind, 512, 4, 16, Duration::from_millis(30));
             assert!(r.mpps > 0.1, "{kind:?} batched rate {} Mpps", r.mpps);
+        }
+    }
+
+    /// The quality pass separates the tiers: exact backends score zero on
+    /// both metrics, the integer-only adaptive backends show bounded but
+    /// non-zero inversions on a sparse fill.
+    #[test]
+    fn drain_quality_separates_exact_from_adaptive() {
+        let nb = 512;
+        for kind in [QueueUnderTest::BucketHeap, QueueUnderTest::Cffs] {
+            let rep = drain_quality(kind, nb, FillPattern::Sparse, 256, 2, 4, 7);
+            assert_eq!(rep.inversions, 0, "{kind:?} must be exact");
+            assert_eq!(rep.rank_error_sum, 0, "{kind:?} must be exact");
+            assert_eq!(rep.pops, 4 * 2 * 256);
+        }
+        for kind in [QueueUnderTest::SpPifo, QueueUnderTest::Rifo] {
+            let rep = drain_quality(kind, nb, FillPattern::Sparse, 256, 2, 4, 7);
+            assert_eq!(rep.pops, 4 * 2 * 256, "{kind:?} conserves");
+            assert!(
+                rep.inversions > 0,
+                "{kind:?} on a one-shot random fill must show inversions \
+                 (that is the trade these mappers make)"
+            );
+            // One-shot random fills are these mappers' worst case (SP-PIFO
+            // adapts to *continuous* arrivals; RIFO's `lo` pins at the
+            // first random rank, clamping everything below). Sanity band
+            // only: the mean error stays under half the rank span.
+            assert!(
+                rep.avg_rank_error() < nb as f64 / 2.0,
+                "{kind:?} avg rank error {} out of band",
+                rep.avg_rank_error()
+            );
         }
     }
 

@@ -20,8 +20,11 @@ use eiffel_qdisc::{
 };
 use eiffel_sim::{Nanos, Packet, Rate, WallNanos, SECOND};
 
+use eiffel_core::OracleReport;
+
 use crate::microbench::{
-    drain_rate_occupancy, drain_rate_packets_per_bucket, FillOrder, FillPattern, QueueUnderTest,
+    approx_error_at_occupancy, drain_quality, drain_rate_occupancy, drain_rate_packets_per_bucket,
+    FillOrder, FillPattern, QueueUnderTest,
 };
 use crate::report::{BenchArgs, BenchReport, Sweep, TextTable};
 
@@ -860,6 +863,130 @@ pub fn fig19_report(args: &BenchArgs, scale: &Fig19Scale) -> BenchReport {
     r
 }
 
+/// Scale knobs of the Figure 10 harness (CPU breakdown CDFs).
+#[derive(Debug, Clone)]
+pub struct Fig10Scale {
+    /// Scale of the virtual-clock panels (same workload as Figure 9).
+    pub cdf: KernelShapingScale,
+    /// Shard (OS thread) count of the threaded panels.
+    pub shards: usize,
+    /// Wall-clock measurement of the threaded panels.
+    pub wall: WallNanos,
+}
+
+impl Fig10Scale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Fig10Scale {
+            cdf: if args.quick {
+                KernelShapingScale::quick()
+            } else {
+                KernelShapingScale::default_scale()
+            },
+            shards: 2,
+            wall: WallNanos::from_millis(if args.quick { 250 } else { 1_200 }),
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig10Scale {
+            cdf: KernelShapingScale {
+                flows: 200,
+                aggregate: Rate::mbps(240),
+                duration: SECOND / 10,
+                bin: SECOND / 50,
+            },
+            shards: 2,
+            wall: WallNanos::from_millis(25),
+        }
+    }
+}
+
+/// The Figure 10 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG10_PAPER_CLAIM: &str = "\"the main difference is in the overhead introduced by \
+     Carousel in firing timers at constant intervals while Eiffel can trigger timers exactly \
+     when needed\" — the softirq share should dominate Carousel's total (§5.1.1, Figure 10).";
+
+/// One Figure 10 panel: the system/softirq CDFs of a per-bin breakdown.
+fn fig10_panel(name: String, breakdown: &[(f64, f64)]) -> Sweep {
+    let mut syscores: Vec<f64> = breakdown.iter().map(|&(s, _)| s).collect();
+    let mut irq: Vec<f64> = breakdown.iter().map(|&(_, i)| i).collect();
+    syscores.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    irq.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mut sw = Sweep::new(name, "CDF");
+    sw.add_series("system", "cores", 4);
+    sw.add_series("softirq", "cores", 4);
+    for ((s, frac), (i, _)) in crate::report::cdf(&syscores, 10)
+        .into_iter()
+        .zip(crate::report::cdf(&irq, 10))
+    {
+        sw.push_row(frac, &[s, i]);
+    }
+    sw
+}
+
+/// Builds the complete Figure 10 report: per-system system-vs-softIRQ
+/// CPU CDFs for Carousel and Eiffel, first on the virtual-clock host
+/// (same workload as Figure 9), then on the threaded runtime where the
+/// per-shard [`eiffel_sim::CpuMeter`]s bin real executed nanoseconds
+/// along the wall clock.
+pub fn fig10_report(args: &BenchArgs, scale: &Fig10Scale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig10_cpu_breakdown",
+        "Figure 10",
+        "CPU breakdown: system vs softIRQ (CDF), Carousel vs Eiffel, virtual + threaded",
+        args,
+    );
+    r.paper_claim(FIG10_PAPER_CLAIM);
+    r.config_num("flows", scale.cdf.flows as f64);
+    r.config_num("aggregate_gbps", scale.cdf.aggregate.as_bps() as f64 / 1e9);
+    r.config_num("threaded_shards", scale.shards as f64);
+    r.config_num("threaded_wall_ms", scale.wall.as_nanos() as f64 / 1e6);
+    r.config_str(
+        "method",
+        "same workload as Figure 9; enqueue path = system, timer/dequeue path = softIRQ; \
+         threaded panels bin real executed nanoseconds by wall time across shard threads",
+    );
+    let reports = kernel_shaping(&scale.cdf);
+    for sys in reports.iter().filter(|sys| sys.name != "fq") {
+        r.push_sweep(fig10_panel(
+            format!("virtual {} (timer fires = {})", sys.name, sys.timer_fires),
+            &sys.breakdown,
+        ));
+    }
+    let host = HostConfig {
+        flows: scale.cdf.flows,
+        aggregate: scale.cdf.aggregate,
+        duration: 2 * SECOND, // ignored by the threaded runtime
+        bin: (scale.wall.as_nanos() / 20).max(1),
+        tsq_budget: 2,
+        batch: 1,
+    };
+    let cfg = ThreadedConfig::timed(scale.shards, host, scale.wall);
+    let threaded = [
+        run_threaded(|_| CarouselQdisc::new(1 << 20, 2_000), &cfg),
+        run_threaded(|_| EiffelQdisc::paper_config(), &cfg),
+    ];
+    for rep in &threaded {
+        r.push_sweep(fig10_panel(
+            format!(
+                "threaded wall clock {} ({} shards, timer fires = {})",
+                rep.name, scale.shards, rep.timer_fires
+            ),
+            &rep.breakdown,
+        ));
+    }
+    r.note(
+        "Virtual panels meter data-structure work into virtual-time bins on the simulated \
+         host; threaded panels sum the per-shard wall-clock meters of the real OS-thread \
+         runtime. Both attribute the enqueue path to \"system\" and the timer/dequeue path \
+         to \"softirq\", with the same modelled IRQ/lock constants, so the Carousel-vs-Eiffel \
+         softirq gap is comparable across clocks.",
+    );
+    r
+}
+
 /// Scale knobs of the Figure 16 harness (drain Mpps vs packets/bucket).
 #[derive(Debug, Clone)]
 pub struct Fig16Scale {
@@ -872,6 +999,8 @@ pub struct Fig16Scale {
     /// Additional per-`nb` panel draining through `dequeue_batch(n)`
     /// (`None` disables it).
     pub batch_panel: Option<usize>,
+    /// Oracle-audited drain rounds behind the quality panels.
+    pub quality_rounds: usize,
 }
 
 impl Fig16Scale {
@@ -882,6 +1011,7 @@ impl Fig16Scale {
             ppbs: vec![1, 2, 4, 6, 8],
             budget: Duration::from_millis(if args.quick { 50 } else { 400 }),
             batch_panel: Some(16),
+            quality_rounds: if args.quick { 2 } else { 6 },
         }
     }
 
@@ -892,6 +1022,7 @@ impl Fig16Scale {
             ppbs: vec![1, 2],
             budget: Duration::from_millis(8),
             batch_panel: Some(8),
+            quality_rounds: 2,
         }
     }
 }
@@ -901,17 +1032,63 @@ pub const FIG16_PAPER_CLAIM: &str = "at few packets per bucket the approximate q
      to 9% over cFFS at 10k buckets); more packets per bucket amortize the min-find and the \
      queues converge; BH trails throughout (§5.2, Figure 16).";
 
-/// The three §5.2 contenders in the order the figure legends list them.
-const FIG16_CONTENDERS: [QueueUnderTest; 3] = [
+/// The bake-off field the §5.2 figures sweep: the paper's three contenders
+/// in figure-legend order, then the SP-PIFO and RIFO related-work backends
+/// (integer-only adaptive mappings; see PAPERS.md).
+const BAKEOFF_CONTENDERS: [QueueUnderTest; 5] = [
     QueueUnderTest::Approx,
     QueueUnderTest::Cffs,
     QueueUnderTest::BucketHeap,
+    QueueUnderTest::SpPifo,
+    QueueUnderTest::Rifo,
 ];
 
+/// A drain-quality sweep skeleton: per contender, average rank error in
+/// buckets, then inverted-pop fraction, in [`BAKEOFF_CONTENDERS`] order.
+fn quality_sweep(name: String, param: &str) -> Sweep {
+    let mut sw = Sweep::new(name, param);
+    for kind in BAKEOFF_CONTENDERS {
+        sw.add_series(format!("{} rank err", kind.name()), "buckets", 2);
+    }
+    for kind in BAKEOFF_CONTENDERS {
+        sw.add_series(format!("{} inv/pop", kind.name()), "fraction", 3);
+    }
+    sw
+}
+
+/// One row of a [`quality_sweep`]: oracle-audited drain of the given fill
+/// for every contender, error columns first, inversion columns after.
+fn quality_row(
+    nb: usize,
+    pattern: FillPattern,
+    fill: usize,
+    ppb: usize,
+    rounds: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let reps: Vec<OracleReport> = BAKEOFF_CONTENDERS
+        .into_iter()
+        .map(|kind| drain_quality(kind, nb, pattern, fill, ppb, rounds, seed))
+        .collect();
+    reps.iter()
+        .map(OracleReport::avg_rank_error)
+        .chain(reps.iter().map(OracleReport::inversion_frac))
+        .collect()
+}
+
+/// The note every quality panel travels with.
+const QUALITY_NOTE: &str = "Quality panels are untimed: each cell refills the queue and drains \
+     it fully under an ideal-PIFO oracle audit. \"rank err\" is the mean gap between the \
+     dequeued rank and the true minimum at that pop; \"inv/pop\" is the fraction of pops that \
+     jumped ahead of a smaller rank dequeued later. Exact backends score zero on both; SP-PIFO \
+     and RIFO trade these bounded errors for integer-only adaptive mappings.";
+
 /// Builds the complete Figure 16 report: per bucket count, drain Mpps vs
-/// packets/bucket for the three contenders plus the approximate queue's
-/// estimator hit rate, and (optionally) a batched-dequeue panel showing
-/// what `dequeue_batch` amortization is worth on the same fill.
+/// packets/bucket for the five bake-off contenders plus the approximate
+/// queue's estimator hit rate, (optionally) a batched-dequeue panel
+/// showing what `dequeue_batch` amortization is worth on the same fill,
+/// and an oracle-audited drain-quality panel scoring each backend's rank
+/// errors and inversions on that fill.
 pub fn fig16_report(args: &BenchArgs, scale: &Fig16Scale) -> BenchReport {
     let mut r = BenchReport::new(
         "fig16_packets_per_bucket",
@@ -921,17 +1098,18 @@ pub fn fig16_report(args: &BenchArgs, scale: &Fig16Scale) -> BenchReport {
     );
     r.paper_claim(FIG16_PAPER_CLAIM);
     r.config_num("budget_ms_per_cell", scale.budget.as_millis() as f64);
+    r.config_num("quality_rounds", scale.quality_rounds as f64);
     r.config_str("ppb_sweep", format!("{:?}", scale.ppbs));
     for &nb in &scale.nbs {
         let mut sw = Sweep::new(format!("{nb} buckets"), "pkts/bucket");
-        for kind in FIG16_CONTENDERS {
+        for kind in BAKEOFF_CONTENDERS {
             sw.add_series(kind.name(), "Mpps", 2);
         }
         sw.add_series("Approx est. hit rate", "fraction", 3);
         for &ppb in &scale.ppbs {
             let mut row = Vec::new();
             let mut hit_rate = 0.0;
-            for kind in FIG16_CONTENDERS {
+            for kind in BAKEOFF_CONTENDERS {
                 let res = drain_rate_packets_per_bucket(kind, nb, ppb, 1, scale.budget);
                 if kind == QueueUnderTest::Approx {
                     hit_rate = res.hit_rate;
@@ -949,11 +1127,11 @@ pub fn fig16_report(args: &BenchArgs, scale: &Fig16Scale) -> BenchReport {
                 format!("{nb} buckets, dequeue_batch({batch})"),
                 "pkts/bucket",
             );
-            for kind in FIG16_CONTENDERS {
+            for kind in BAKEOFF_CONTENDERS {
                 sw.add_series(kind.name(), "Mpps", 2);
             }
             for &ppb in &scale.ppbs {
-                let row: Vec<f64> = FIG16_CONTENDERS
+                let row: Vec<f64> = BAKEOFF_CONTENDERS
                     .into_iter()
                     .map(|kind| {
                         drain_rate_packets_per_bucket(kind, nb, ppb, batch, scale.budget).mpps
@@ -965,10 +1143,20 @@ pub fn fig16_report(args: &BenchArgs, scale: &Fig16Scale) -> BenchReport {
         }
         r.note(format!(
             "The dequeue_batch({batch}) panels drain the identical fill through the batched \
-             trait path (order proven identical to repeated dequeue_min by property test); BH \
-             uses the default repeated-dequeue_min implementation."
+             trait path (order proven identical to repeated dequeue_min by property test); \
+             SP-PIFO and RIFO bring their own bucket-local batch loops, BH falls back to \
+             repeated dequeue_min."
         ));
     }
+    for &nb in &scale.nbs {
+        let mut sw = quality_sweep(format!("{nb} buckets, drain quality"), "pkts/bucket");
+        for &ppb in &scale.ppbs {
+            let row = quality_row(nb, FillPattern::Dense, nb, ppb, scale.quality_rounds, 0xF16);
+            sw.push_row(ppb, &row);
+        }
+        r.push_sweep(sw);
+    }
+    r.note(QUALITY_NOTE);
     r
 }
 
@@ -1016,14 +1204,10 @@ pub const FIG17_PAPER_CLAIM: &str = "empty buckets trigger the approximate queue
      search, so its throughput climbs with occupancy; cFFS is insensitive (§5.2, Figure 17).";
 
 /// Builds the complete Figure 17 report: one panel per `(bucket count,
-/// fill pattern)` sweeping occupancy for BH/Approx/cFFS plus the
-/// approximate queue's estimator hit rate.
+/// fill pattern)` sweeping occupancy for the five bake-off contenders
+/// plus the approximate queue's estimator hit rate.
 pub fn fig17_report(args: &BenchArgs, scale: &Fig17Scale) -> BenchReport {
-    let contenders = [
-        QueueUnderTest::BucketHeap,
-        QueueUnderTest::Approx,
-        QueueUnderTest::Cffs,
-    ];
+    let contenders = BAKEOFF_CONTENDERS;
     let mut r = BenchReport::new(
         "fig17_occupancy",
         "Figure 17",
@@ -1072,8 +1256,114 @@ pub fn fig17_report(args: &BenchArgs, scale: &Fig17Scale) -> BenchReport {
     r.note(
         "The sparse panels are the paper-comparable fill (random occupied subset); dense and \
          clustered bound the approximate queue's best and structured cases. The hit-rate series \
-         is the fraction of min-lookups answered without the fallback search.",
+         is the fraction of min-lookups answered without the fallback search. SP-PIFO and RIFO \
+         are approximate too — their ordering error is scored in the Figure 16/18 quality \
+         panels, not here.",
     );
+    r
+}
+
+/// Scale knobs of the Figure 18 harness (estimator error and drain
+/// quality vs occupancy).
+#[derive(Debug, Clone)]
+pub struct Fig18Scale {
+    /// Bucket counts (paper: 5k and 10k).
+    pub nbs: Vec<usize>,
+    /// Occupancy sweep points.
+    pub occupancies: Vec<f64>,
+    /// Estimator-error probe rounds per cell.
+    pub rounds: usize,
+    /// Oracle-audited drain rounds behind the quality panels.
+    pub quality_rounds: usize,
+}
+
+impl Fig18Scale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Fig18Scale {
+            nbs: vec![5_000, 10_000],
+            occupancies: vec![0.7, 0.8, 0.9, 0.99],
+            rounds: if args.quick { 8 } else { 48 },
+            quality_rounds: if args.quick { 2 } else { 6 },
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        Fig18Scale {
+            nbs: vec![512],
+            occupancies: vec![0.7, 0.99],
+            rounds: 2,
+            quality_rounds: 2,
+        }
+    }
+}
+
+/// The Figure 18 claim quoted by the binary banner and EXPERIMENTS.md.
+pub const FIG18_PAPER_CLAIM: &str = "error grows as buckets empty (≈12 at 0.7 occupancy down \
+     to ≈2 near full for 10k buckets); \"cases where the queue is more than 30% empty should \
+     trigger changes in the queue's granularity\" (§5.2, Figure 18).";
+
+/// Human-friendly bucket-count label: `5000` → "5k buckets".
+fn nb_label(nb: usize) -> String {
+    if nb >= 1_000 && nb % 1_000 == 0 {
+        format!("{}k buckets", nb / 1_000)
+    } else {
+        format!("{nb} buckets")
+    }
+}
+
+/// Builds the complete Figure 18 report: the paper's estimator-error
+/// panel (average bucket-index error of the approximate queue's min
+/// lookup vs occupancy) plus per-bucket-count oracle-audited quality
+/// panels scoring all five bake-off backends on the same sparse fill.
+pub fn fig18_report(args: &BenchArgs, scale: &Fig18Scale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig18_approx_error",
+        "Figure 18",
+        "approximate-queue estimator error and five-way drain quality vs occupancy",
+        args,
+    );
+    r.paper_claim(FIG18_PAPER_CLAIM);
+    r.config_num("rounds", scale.rounds as f64);
+    r.config_num("quality_rounds", scale.quality_rounds as f64);
+    r.config_str(
+        "method",
+        "error = |selected bucket − true best bucket| per lookup, exact shadow tracked",
+    );
+    let mut sw = Sweep::new("estimator bucket-index error", "occupancy");
+    for &nb in &scale.nbs {
+        sw.add_series(nb_label(nb), "avg bucket-index error", 2);
+    }
+    for &occ in &scale.occupancies {
+        let row: Vec<f64> = scale
+            .nbs
+            .iter()
+            .map(|&nb| approx_error_at_occupancy(nb, occ, scale.rounds, 0xF18))
+            .collect();
+        sw.push_row(occ, &row);
+    }
+    r.push_sweep(sw);
+    for &nb in &scale.nbs {
+        let mut sw = quality_sweep(
+            format!("{}, sparse drain quality", nb_label(nb)),
+            "occupancy",
+        );
+        for &occ in &scale.occupancies {
+            let fill = ((nb as f64 * occ) as usize).clamp(1, nb);
+            let row = quality_row(
+                nb,
+                FillPattern::Sparse,
+                fill,
+                1,
+                scale.quality_rounds,
+                0xF18,
+            );
+            sw.push_row(occ, &row);
+        }
+        r.push_sweep(sw);
+    }
+    r.note(QUALITY_NOTE);
     r
 }
 
@@ -1253,25 +1543,94 @@ mod tests {
         );
     }
 
+    /// The exact Figure 10 report path at miniature scale: a virtual and
+    /// a threaded system/softirq CDF panel per system, and a JSON round
+    /// trip.
+    #[test]
+    fn fig10_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig10_report(&args, &Fig10Scale::tiny());
+        assert_eq!(r.sweeps.len(), 4, "2 systems x {{virtual, threaded}}");
+        for sw in &r.sweeps[..2] {
+            assert!(sw.name.starts_with("virtual"), "{}", sw.name);
+        }
+        for sw in &r.sweeps[2..] {
+            assert!(sw.name.starts_with("threaded wall clock"), "{}", sw.name);
+        }
+        for sw in &r.sweeps {
+            let names: Vec<&str> = sw.series.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(names, ["system", "softirq"]);
+            for s in &sw.series {
+                assert_eq!(s.unit, "cores");
+                assert!(
+                    s.values.iter().all(|&v| v >= 0.0 && v.is_finite()),
+                    "{}: cores sane",
+                    s.name
+                );
+                // A CDF is non-decreasing.
+                assert!(s.values.windows(2).all(|w| w[0] <= w[1]), "{}", sw.name);
+            }
+        }
+        // Both systems execute real scheduler code on both harnesses:
+        // some bin in every panel must have measured busy time.
+        for sw in &r.sweeps {
+            let total: f64 = sw.series.iter().flat_map(|s| &s.values).sum();
+            assert!(total > 0.0, "{}: all-zero breakdown", sw.name);
+        }
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig10_cpu_breakdown")
+        );
+    }
+
     /// The exact Figure 16 report path at miniature scale: panel/series
     /// shape, positive rates, hit-rate bounds, and a JSON round trip.
     #[test]
     fn fig16_tiny_report_shape() {
         let args = BenchArgs::from_iter(["--quick".to_string()], None);
         let r = fig16_report(&args, &Fig16Scale::tiny());
-        assert_eq!(r.sweeps.len(), 2, "one plain + one batched panel");
+        assert_eq!(r.sweeps.len(), 3, "plain + batched + quality panels");
         let plain = &r.sweeps[0];
         assert_eq!(plain.param_values.len(), 2, "tiny ppb sweep");
         let names: Vec<&str> = plain.series.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["Approx", "cFFS", "BH", "Approx est. hit rate"]);
-        for s in &plain.series[..3] {
+        assert_eq!(
+            names,
+            [
+                "Approx",
+                "cFFS",
+                "BH",
+                "SP-PIFO",
+                "RIFO",
+                "Approx est. hit rate"
+            ]
+        );
+        for s in &plain.series[..5] {
             assert!(s.values.iter().all(|&v| v > 0.0), "positive Mpps");
         }
-        let hits = &plain.series[3];
+        let hits = &plain.series[5];
         assert!(hits.values.iter().all(|&v| (0.0..=1.0).contains(&v)));
         let batched = &r.sweeps[1];
         assert!(batched.name.contains("dequeue_batch"));
-        assert_eq!(batched.series.len(), 3);
+        assert_eq!(batched.series.len(), 5);
+        // The quality panel: exact backends score zero on both metrics,
+        // the adaptive ones pay a real, finite error.
+        let quality = &r.sweeps[2];
+        assert!(quality.name.contains("drain quality"), "{}", quality.name);
+        assert_eq!(quality.series.len(), 10, "5 rank-err + 5 inv/pop");
+        for s in &quality.series {
+            let exact = s.name.starts_with("cFFS") || s.name.starts_with("BH");
+            for &v in &s.values {
+                assert!(v.is_finite() && v >= 0.0, "{}: {v}", s.name);
+                if exact {
+                    assert_eq!(v, 0.0, "exact backend {} must score zero", s.name);
+                }
+                if s.name.ends_with("inv/pop") {
+                    assert!(v <= 1.0, "{}: {v} is a fraction", s.name);
+                }
+            }
+        }
         let text = r.to_json().to_pretty_string();
         let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
         assert_eq!(
@@ -1290,22 +1649,74 @@ mod tests {
         assert!(r.sweeps[1].name.contains("dense"));
         for sw in &r.sweeps {
             let names: Vec<&str> = sw.series.iter().map(|s| s.name.as_str()).collect();
-            assert_eq!(names, ["BH", "Approx", "cFFS", "Approx est. hit rate"]);
+            assert_eq!(
+                names,
+                [
+                    "Approx",
+                    "cFFS",
+                    "BH",
+                    "SP-PIFO",
+                    "RIFO",
+                    "Approx est. hit rate"
+                ]
+            );
             assert_eq!(sw.param_values.len(), 2, "tiny occupancy sweep");
-            for s in &sw.series[..3] {
+            for s in &sw.series[..5] {
                 assert!(s.values.iter().all(|&v| v > 0.0), "positive Mpps");
             }
         }
         // Dense prefix occupancy is the estimator's exact case: its hit
         // rate must dominate the sparse fill's at every occupancy.
-        let sparse_hits = &r.sweeps[0].series[3].values;
-        let dense_hits = &r.sweeps[1].series[3].values;
+        let sparse_hits = &r.sweeps[0].series[5].values;
+        let dense_hits = &r.sweeps[1].series[5].values;
         for (d, s) in dense_hits.iter().zip(sparse_hits) {
             assert!(d >= s, "dense hit rate {d} < sparse {s}");
         }
         let text = r.to_json().to_pretty_string();
         let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
         assert_eq!(doc.get("figure").unwrap().as_str(), Some("fig17_occupancy"));
+    }
+
+    /// The exact Figure 18 report path at miniature scale: the estimator
+    /// error panel plus one five-way quality panel per bucket count.
+    #[test]
+    fn fig18_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig18_report(&args, &Fig18Scale::tiny());
+        assert_eq!(r.sweeps.len(), 2, "estimator panel + one quality panel");
+        let est = &r.sweeps[0];
+        assert_eq!(est.series.len(), 1, "one bucket count in tiny");
+        assert_eq!(est.series[0].name, "512 buckets");
+        assert_eq!(est.param_values.len(), 2, "tiny occupancy sweep");
+        for &v in &est.series[0].values {
+            assert!(v.is_finite() && v >= 0.0, "estimator error {v}");
+        }
+        let quality = &r.sweeps[1];
+        assert!(quality.name.contains("sparse drain quality"));
+        assert_eq!(quality.series.len(), 10, "5 rank-err + 5 inv/pop");
+        for s in &quality.series {
+            if s.name.starts_with("cFFS") || s.name.starts_with("BH") {
+                assert!(s.values.iter().all(|&v| v == 0.0), "{} exact", s.name);
+            }
+        }
+        // SP-PIFO with a handful of queues must err on a sparse 512-bucket
+        // fill — if this reads 0.0 the audit is not hooked up.
+        let sp_err = quality
+            .series
+            .iter()
+            .find(|s| s.name == "SP-PIFO rank err")
+            .unwrap();
+        assert!(
+            sp_err.values.iter().any(|&v| v > 0.0),
+            "{:?}",
+            sp_err.values
+        );
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig18_approx_error")
+        );
     }
 
     /// The exact Figure 15 report path at miniature scale: panel/series

@@ -153,6 +153,54 @@ fn fig9_quick_json_report_has_cdf_and_threaded_panels() {
 }
 
 #[test]
+fn fig10_quick_json_report_has_virtual_and_threaded_panels() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig10_cpu_breakdown"), &["--quick"]);
+    assert_schema(&doc, "fig10_cpu_breakdown");
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 4, "2 systems x {{virtual, threaded}}");
+    let names: Vec<&str> = sweeps
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names.iter().filter(|n| n.starts_with("virtual")).count(), 2);
+    assert_eq!(
+        names
+            .iter()
+            .filter(|n| n.starts_with("threaded wall clock"))
+            .count(),
+        2,
+        "{names:?}"
+    );
+    for sys in ["carousel", "eiffel"] {
+        assert_eq!(
+            names.iter().filter(|n| n.contains(sys)).count(),
+            2,
+            "{names:?}"
+        );
+    }
+    for sweep in sweeps {
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        let series_names: Vec<&str> = series
+            .iter()
+            .map(|s| s.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(series_names, ["system", "softirq"]);
+        let mut total = 0.0;
+        for s in series {
+            let mut prev = f64::NEG_INFINITY;
+            for v in s.get("values").unwrap().as_array().unwrap() {
+                let x = v.as_f64().expect("CDF cells are numbers");
+                assert!(x >= 0.0 && x >= prev, "CDF non-decreasing, got {x}");
+                prev = x;
+                total += x;
+            }
+        }
+        let name = sweep.get("name").unwrap().as_str().unwrap();
+        assert!(total > 0.0, "{name}: all-zero breakdown");
+    }
+}
+
+#[test]
 fn table1_json_report_carries_the_matrix() {
     let doc = run_and_parse(env!("CARGO_BIN_EXE_table1_landscape"), &[]);
     assert_schema(&doc, "table1_landscape");
@@ -224,7 +272,11 @@ fn fig16_quick_json_report_has_expected_series() {
     let doc = run_and_parse(env!("CARGO_BIN_EXE_fig16_packets_per_bucket"), &["--quick"]);
     assert_schema(&doc, "fig16_packets_per_bucket");
     let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
-    assert_eq!(sweeps.len(), 4, "5k/10k plain + 5k/10k batched panels");
+    assert_eq!(
+        sweeps.len(),
+        6,
+        "5k/10k plain + 5k/10k batched + 5k/10k quality panels"
+    );
     for sweep in &sweeps[..2] {
         let series: Vec<&str> = sweep
             .get("series")
@@ -234,11 +286,40 @@ fn fig16_quick_json_report_has_expected_series() {
             .iter()
             .map(|s| s.get("name").unwrap().as_str().unwrap())
             .collect();
-        assert_eq!(series, ["Approx", "cFFS", "BH", "Approx est. hit rate"]);
+        assert_eq!(
+            series,
+            [
+                "Approx",
+                "cFFS",
+                "BH",
+                "SP-PIFO",
+                "RIFO",
+                "Approx est. hit rate"
+            ]
+        );
     }
-    for sweep in &sweeps[2..] {
+    for sweep in &sweeps[2..4] {
         let name = sweep.get("name").unwrap().as_str().unwrap();
         assert!(name.contains("dequeue_batch"), "{name}");
+    }
+    // The drain-quality panels carry the oracle metrics: exact backends
+    // score zero, everything is a finite non-negative number.
+    for sweep in &sweeps[4..] {
+        let name = sweep.get("name").unwrap().as_str().unwrap();
+        assert!(name.contains("drain quality"), "{name}");
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 10, "5 rank-err + 5 inv/pop series");
+        for s in series {
+            let sname = s.get("name").unwrap().as_str().unwrap();
+            let exact = sname.starts_with("cFFS") || sname.starts_with("BH");
+            for v in s.get("values").unwrap().as_array().unwrap() {
+                let x = v.as_f64().expect("quality cells are numbers");
+                assert!(x >= 0.0, "{sname}: {x}");
+                if exact {
+                    assert_eq!(x, 0.0, "exact backend {sname} must score zero");
+                }
+            }
+        }
     }
 }
 
@@ -264,7 +345,57 @@ fn fig17_quick_json_report_has_expected_series() {
             .iter()
             .map(|s| s.get("name").unwrap().as_str().unwrap())
             .collect();
-        assert_eq!(series, ["BH", "Approx", "cFFS", "Approx est. hit rate"]);
+        assert_eq!(
+            series,
+            [
+                "Approx",
+                "cFFS",
+                "BH",
+                "SP-PIFO",
+                "RIFO",
+                "Approx est. hit rate"
+            ]
+        );
     }
     assert_eq!(patterns_seen.len(), 3, "all three fill patterns recorded");
+}
+
+#[test]
+fn fig18_quick_json_report_has_expected_series() {
+    let doc = run_and_parse(env!("CARGO_BIN_EXE_fig18_approx_error"), &["--quick"]);
+    assert_schema(&doc, "fig18_approx_error");
+    let sweeps = doc.get("sweeps").unwrap().as_array().unwrap();
+    assert_eq!(sweeps.len(), 3, "estimator panel + 5k/10k quality panels");
+    let est = &sweeps[0];
+    let series: Vec<&str> = est
+        .get("series")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(series, ["5k buckets", "10k buckets"]);
+    for sweep in &sweeps[1..] {
+        let name = sweep.get("name").unwrap().as_str().unwrap();
+        assert!(name.contains("sparse drain quality"), "{name}");
+        let series = sweep.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 10, "5 rank-err + 5 inv/pop series");
+        for s in series {
+            let sname = s.get("name").unwrap().as_str().unwrap();
+            let exact = sname.starts_with("cFFS") || sname.starts_with("BH");
+            for v in s.get("values").unwrap().as_array().unwrap() {
+                let x = v.as_f64().expect("quality cells are numbers");
+                assert!(x >= 0.0, "{sname}: {x}");
+                if exact {
+                    assert_eq!(x, 0.0, "exact backend {sname} must score zero");
+                }
+            }
+        }
+    }
+    let claim = doc.get("paper_claim").unwrap().as_str().unwrap();
+    assert!(
+        claim.contains("granularity") && claim.contains("Figure 18"),
+        "{claim}"
+    );
 }

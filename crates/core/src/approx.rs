@@ -34,15 +34,24 @@
 //!   16 bytes) instead of parallel `counts`/`weights` arrays — the hit
 //!   check, the per-element count update and the 0↔1-edge weight lookup all
 //!   land on the same cache line.
-//! * **A cached estimate** invalidated only when `a`/`b` change (a 0↔1
-//!   occupancy edge or a rebuild). Consecutive lookups between edges — every
-//!   pop after the first from a multi-packet bucket, or a `peek` followed by
-//!   its `dequeue` — reuse the integer estimate and perform **no floating
-//!   point work at all**.
-//! * The estimate itself is one multiply-free `b/a + (shift − I0)` division
-//!   and a truncating float→int conversion; the previous code paid a
-//!   `round()` libm call (round-half-away-from-zero has no x86 encoding) on
-//!   every lookup, which cost more than the division.
+//! * **A cached estimate** invalidated only when the accumulators change (a
+//!   0↔1 occupancy edge or a rebuild). Consecutive lookups between edges —
+//!   every pop after the first from a multi-packet bucket, or a `peek`
+//!   followed by its `dequeue` — reuse the cached selection and perform no
+//!   arithmetic at all.
+//! * **The estimator is integer fixed-point end to end.** Weights are
+//!   stored as `u64` fixed-point values scaled relative to an *anchor*
+//!   offset (re-chosen at each rebuild), and the curvature ratio `b/a` is
+//!   carried incrementally as a quotient/remainder pair `(q, rem)` with the
+//!   invariant `b = q·a + rem, 0 ≤ rem < a`. A 0↔1 edge updates the pair
+//!   with one multiply and a couple of compare/subtract steps; a lookup is
+//!   `q + ci + (rem ≥ thresh)` with `thresh` one 64×32-bit multiply —
+//!   **no division and no floating point on either hot path**. This kills
+//!   the loop-carried `divsd` chain PR 4 measured against cFFS's `tzcnt`
+//!   (EXPERIMENTS.md, Fig 16): the only divisions left are the rare
+//!   renormalization fallbacks. Floats survive only at the edges of the
+//!   structure: deriving per-bucket weights at construction and converting
+//!   a weight to fixed-point once per rebuild anchor.
 //! * Rank→bucket mapping divides by the construction-time granularity
 //!   through a precomputed [`Reciprocal`], not a hardware `div`.
 //!
@@ -143,11 +152,32 @@ pub struct ApproxGradientQueue<T> {
     /// Packed per-offset estimator state (absolute index `i0 + k`).
     meta: Vec<Meta>,
     nonempty: usize,
-    a: f64,
-    b: f64,
-    /// `shift − i0`, so the internal-offset estimate is `b/a + shift_i0`
-    /// with no per-lookup subtraction.
-    shift_i0: f64,
+    /// Fixed-point fraction bits `F` of the weight scale: the anchor offset's
+    /// weight is stored as `2^F`. Sized in `with_base` so the implied
+    /// numerator `b = Σ (i0+k)·w_fix(k)` provably fits 61 bits.
+    frac_bits: u32,
+    /// `Σ w_fix(k)` over occupied offsets — the fixed-point `a` accumulator.
+    a_fix: u64,
+    /// Quotient/remainder representation of `b/a`: the invariant is
+    /// `Σ (i0+k)·w_fix(k) = q·a_fix + rem` with `0 ≤ rem < a_fix`, so the
+    /// lookup needs no division — `b/a = q + rem/a_fix` and only the
+    /// comparison `rem ≥ thresh` of the fractional part matters.
+    q: i64,
+    rem: u64,
+    /// Offset whose weight defines the fixed-point scale (`w_fix = 2^F`).
+    /// Re-chosen at every rebuild (the occupied maximum, so no live weight
+    /// exceeds `2^F` until the top rises — bounded by the rebuild-on-raise
+    /// trigger in `occupy`).
+    anchor: u32,
+    /// `2^F · r^−(i0+anchor)` — the one float that survives: converts a
+    /// bucket's f64 weight to fixed point in a single multiply per 0↔1 edge.
+    anchor_inv: f64,
+    /// Integer/fractional split of `shift − i0 + 0.5`: `ci = ⌊s⌋` and
+    /// `theta1_fp = ⌈(1 − (s − ci))·2^32⌉`, so the rounded estimate is
+    /// `q + ci + (rem ≥ (a_fix·theta1_fp) >> 32)` — the float rounding
+    /// `trunc(b/a + shift − i0 + 0.5)` done entirely in integers.
+    ci: i64,
+    theta1_fp: u64,
     /// Cached `(found, estimate)` lookup result, valid until the next
     /// `a`/`b` change ([`EST_STALE`] when stale). The accumulators move
     /// exactly when the occupancy bitmap does, so between 0↔1 edges both
@@ -173,32 +203,47 @@ pub struct ApproxGradientQueue<T> {
     occ: HierBitmap,
     /// Whether lookups record the Figure 18 error statistic.
     track: bool,
-    /// Accumulator updates since the last rebuild (f64 drift bound; only
-    /// 0↔1 edges touch `a`/`b`, so only edges count).
+    /// Accumulator updates since the last rebuild (only 0↔1 edges touch
+    /// the accumulators, so only edges count). Integer arithmetic cancels
+    /// exactly, so this no longer bounds *drift* — it throttles the
+    /// proactive re-anchor trigger and backstops the unforeseen.
     edges_since_rebuild: u64,
     /// Highest occupied offset when the accumulators were last rebuilt
-    /// (or raised above it since). Weights grow as `r^k`, so once the live
-    /// top drops [`DRIFT_WINDOW_ALPHAS`]`·α` offsets below this anchor the
-    /// incremental `a`/`b` are dominated by the cancellation residue of
-    /// the huge weights subtracted since — the estimate drifts off by
-    /// whole buckets. [`Self::locate_for_dequeue`] renormalizes before
-    /// that happens.
+    /// (or raised above it since). Weights shrink as `r^−Δ` below the
+    /// anchor, so once the live top drops `Δ` offsets the fixed-point
+    /// weights have only `F − Δ/α` significant bits left — quantization
+    /// error approaches bucket resolution. [`Self::locate_for_dequeue`]
+    /// re-anchors at [`TOP_DROP_ALPHAS`]`·α` of drop, long before that.
     top_at_rebuild: u32,
 }
 
-/// Rebuild the accumulators after this many incremental updates to bound
-/// floating-point cancellation drift.
+/// Rebuild the accumulators after this many incremental updates. The
+/// integer accumulators cancel exactly (the same `w_fix` is added and
+/// subtracted), so unlike the f64 predecessor this is not a correctness
+/// bound — it is a cheap backstop.
 const REBUILD_PERIOD: u64 = 1 << 22;
 
-/// Proactive renormalization window, in units of `α` offsets of top-drop.
+/// Proactive re-anchor window, in units of `α` offsets of top-drop.
 ///
-/// Dropping the live maximum by `Δ` offsets shrinks the true accumulator
-/// magnitude by `r^Δ = 2^(Δ/α)`, while the absolute cancellation noise
-/// stays at `2^-52` of the magnitude at the last rebuild. `Δ = 40·α`
-/// leaves `2^(40-52) = 2^-12` relative noise — far below the half-bucket
-/// that would move a rounded estimate — and amortizes each
-/// `O(occupied)` rebuild over `40·α` pops.
-const DRIFT_WINDOW_ALPHAS: u32 = 40;
+/// A weight `Δ` offsets below the anchor is stored with `F − Δ/α`
+/// significant bits (`w_fix = 2^(F − Δ/α)`), so as the live maximum drops
+/// away from the anchor the whole estimate is computed from ever-coarser
+/// weights; at `Δ = F·α` they truncate to zero outright. Re-anchoring at
+/// `Δ = 20α` keeps ≥ `F − 20` bits in the dominant terms — 8+ bits at the
+/// common `F = 28..32` (≈0.4% relative error — a log-domain estimate
+/// shift well under a tenth of a bucket; the `F = 16` floor needs > 32k
+/// buckets and re-anchors from the starvation/reactive triggers before
+/// precision decays). The window is deliberately wide: each rebuild sweeps all
+/// occupied buckets, so on a monotone drain (every pop lowers the top)
+/// the trigger interval *is* the amortized per-pop rebuild cost — at
+/// `4α` the dense-drain Figure 16 cell spent ~80% of its time
+/// re-anchoring for precision it never needed.
+const TOP_DROP_ALPHAS: u32 = 20;
+
+/// Minimum 0↔1 edges between proactive re-anchors, in α units: workloads
+/// that keep spiking the top would otherwise degenerate into a rebuild per
+/// spike, which costs more than the misses it prevents.
+const TOP_DROP_MIN_EDGES_ALPHAS: u32 = 12;
 
 impl<T> ApproxGradientQueue<T> {
     /// Creates a queue over ranks `[0, nb × granularity)` with an α chosen
@@ -239,13 +284,34 @@ impl<T> ApproxGradientQueue<T> {
             bsum += (params.i0 + k as u32) as f64 * m.weight;
         }
         params.shift = (params.i0 + nb as u32 - 1) as f64 - bsum / a;
+        // Fixed-point budget: the implied numerator is bounded by
+        // `b ≤ (i0+nb) · Σ w_fix` and the weight sum by the geometric tail
+        // `2^(F+8) · (2α+2)` (the `+8` headroom covers tops up to 8α above
+        // the anchor before the rebuild trigger fires). Keep b under 2^61.
+        let imax_bits = 64 - u64::from(params.i0 + nb as u32).leading_zeros();
+        let asum_bits = 64 - u64::from(2 * alpha + 2).leading_zeros();
+        let frac_bits = (61i32 - imax_bits as i32 - asum_bits as i32 - 8).clamp(16, 32) as u32;
+        // Integer/fractional split of `s = shift − i0 + 0.5` for the
+        // division-free rounding (see the `ci` field docs). `ceil` on the
+        // fractional complement biases exact boundary cases (`rem/a` equal
+        // to `1−θ` to the last bit) toward rounding down — a half-ULP
+        // boundary the f64 path could land on either side of anyway.
+        let s = params.shift - params.i0 as f64 + 0.5;
+        let ci = s.floor() as i64;
+        let theta = s - s.floor();
+        let theta1_fp = (((1.0 - theta) * (1u64 << 32) as f64).ceil() as u64).min(1 << 32);
         ApproxGradientQueue {
             params,
             meta,
             nonempty: 0,
-            a: 0.0,
-            b: 0.0,
-            shift_i0: params.shift - params.i0 as f64,
+            frac_bits,
+            a_fix: 0,
+            q: 0,
+            rem: 0,
+            anchor: 0,
+            anchor_inv: 0.0,
+            ci,
+            theta1_fp,
             est_cache: Cell::new(EST_STALE),
             buckets: Buckets::new(nb),
             granularity: Reciprocal::new(granularity),
@@ -290,40 +356,141 @@ impl<T> ApproxGradientQueue<T> {
         self.nb - 1 - bucket
     }
 
+    /// Re-points the fixed-point scale at offset `k`: `w_fix(k) = 2^F`.
+    #[inline]
+    fn set_anchor(&mut self, k: u32) {
+        self.anchor = k;
+        self.anchor_inv = (1u64 << self.frac_bits) as f64 / self.meta[k as usize].weight;
+    }
+
+    /// Fixed-point weight of offset `k` under the current anchor. Weights
+    /// more than `F·α` below the anchor truncate to zero — they could not
+    /// move the estimate anyway, and `add_term`/`sub_term` skip them
+    /// symmetrically (the conversion is deterministic per anchor, so an
+    /// add and its matching sub always agree).
+    #[inline]
+    fn wf(&self, k: usize) -> u64 {
+        (self.meta[k].weight * self.anchor_inv) as u64
+    }
+
+    /// Adds `w` at absolute index `idx` to the accumulators, restoring the
+    /// `b = q·a + rem` invariant. The quotient shifts by at most
+    /// `(idx − q)·w / a'`, ≈ 1 for the common enqueue-near-the-mean case;
+    /// a bounded compare/subtract loop absorbs that, and the rare large
+    /// jump falls back to one exact 128-bit division.
+    fn add_term(&mut self, idx: i64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let a_new = self.a_fix + w;
+        let a = a_new as i128;
+        let mut rc = self.rem as i128 + (idx - self.q) as i128 * w as i128;
+        let mut iters = 0u32;
+        while rc < 0 || rc >= a {
+            if rc < 0 {
+                self.q -= 1;
+                rc += a;
+            } else {
+                self.q += 1;
+                rc -= a;
+            }
+            iters += 1;
+            if iters >= 64 {
+                let b_total = self.q as i128 * a + rc;
+                self.q = b_total.div_euclid(a) as i64;
+                rc = b_total.rem_euclid(a);
+                break;
+            }
+        }
+        self.a_fix = a_new;
+        self.rem = rc as u64;
+    }
+
+    /// Removes `w` at absolute index `idx` — `add_term`'s exact inverse
+    /// (same normalization, derived for `a' = a − w`).
+    fn sub_term(&mut self, idx: i64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let a_new = self.a_fix - w;
+        if a_new == 0 {
+            // Every tracked weight removed (all remaining occupied offsets
+            // truncate to zero, or the queue is empty): the lookup's
+            // `a_fix == 0` path takes over until the next rebuild.
+            self.a_fix = 0;
+            self.q = 0;
+            self.rem = 0;
+            return;
+        }
+        let a = a_new as i128;
+        let mut rc = self.rem as i128 + (self.q - idx) as i128 * w as i128;
+        let mut iters = 0u32;
+        while rc < 0 || rc >= a {
+            if rc < 0 {
+                self.q -= 1;
+                rc += a;
+            } else {
+                self.q += 1;
+                rc -= a;
+            }
+            iters += 1;
+            if iters >= 64 {
+                let b_total = self.q as i128 * a + rc;
+                self.q = b_total.div_euclid(a) as i64;
+                rc = b_total.rem_euclid(a);
+                break;
+            }
+        }
+        self.a_fix = a_new;
+        self.rem = rc as u64;
+    }
+
     #[inline]
     fn occupy(&mut self, k: usize) {
-        let m = &mut self.meta[k];
-        m.count += 1;
-        if m.count == 1 {
-            let w = m.weight;
+        self.meta[k].count += 1;
+        if self.meta[k].count == 1 {
             self.nonempty += 1;
-            self.a += w;
-            self.b += (self.params.i0 + k as u32) as f64 * w;
             self.occ.set(k);
             self.est_cache.set(EST_STALE);
-            // Raising the top re-anchors the drift window: the noise floor
-            // only matters relative to the *largest* magnitude mixed in.
-            self.top_at_rebuild = self.top_at_rebuild.max(k as u32);
-            self.bump_edges();
+            if self.nonempty == 1 {
+                // First element: re-anchor directly, O(1) — the single-term
+                // accumulators are exact by construction.
+                self.set_anchor(k as u32);
+                self.a_fix = self.wf(k);
+                self.q = (self.params.i0 + k as u32) as i64;
+                self.rem = 0;
+                self.edges_since_rebuild = 0;
+                self.top_at_rebuild = k as u32;
+            } else if (k as u32) > self.anchor + 8 * self.params.alpha {
+                // A weight this far above the anchor would overflow the
+                // fixed-point headroom (`wf` saturates past `2^(F+8)`):
+                // re-anchor first. The bit for `k` is already set, so the
+                // rebuild's sweep includes it.
+                self.rebuild();
+            } else {
+                self.add_term((self.params.i0 + k as u32) as i64, self.wf(k));
+                // Raising the top re-anchors the drop window.
+                self.top_at_rebuild = self.top_at_rebuild.max(k as u32);
+                self.bump_edges();
+            }
         }
     }
 
     #[inline]
     fn vacate(&mut self, k: usize) {
-        let m = &mut self.meta[k];
-        debug_assert!(m.count > 0);
-        m.count -= 1;
-        if m.count == 0 {
-            let w = m.weight;
+        debug_assert!(self.meta[k].count > 0);
+        self.meta[k].count -= 1;
+        if self.meta[k].count == 0 {
             self.nonempty -= 1;
-            self.a -= w;
-            self.b -= (self.params.i0 + k as u32) as f64 * w;
             self.occ.clear(k);
             self.est_cache.set(EST_STALE);
             if self.nonempty == 0 {
-                // Hard reset: kills all accumulated cancellation error.
-                self.a = 0.0;
-                self.b = 0.0;
+                // Hard reset, exact and O(1).
+                self.a_fix = 0;
+                self.q = 0;
+                self.rem = 0;
+            } else {
+                self.sub_term((self.params.i0 + k as u32) as i64, self.wf(k));
             }
             self.bump_edges();
         }
@@ -337,28 +504,40 @@ impl<T> ApproxGradientQueue<T> {
         }
     }
 
-    /// Recomputes `a`, `b` from the occupancy counts, killing accumulated
-    /// floating-point cancellation (triggered periodically, when the
-    /// accumulators turn non-positive while elements exist, or when a
-    /// lookup's search distance reveals a corrupted curvature).
+    /// Re-anchors the fixed-point scale at the occupied maximum and
+    /// recomputes the accumulators from the occupancy bitmap (triggered by
+    /// the top rising past the anchor's headroom, the top dropping far
+    /// enough to starve the weights of bits, all live weights truncating
+    /// to zero, or a lookup's search distance revealing a stale estimate).
     fn rebuild(&mut self) {
         self.edges_since_rebuild = 0;
         self.est_cache.set(EST_STALE);
-        let (mut a, mut b) = (0.0f64, 0.0f64);
-        let (meta, i0) = (&self.meta, self.params.i0);
-        let mut top = 0u32;
-        // Occupied buckets only (ascending, so small weights accumulate
-        // first — the numerically kind order): O(occupied + leaf words),
-        // not O(nb).
+        let Some(top) = self.occ.last_set() else {
+            self.a_fix = 0;
+            self.q = 0;
+            self.rem = 0;
+            self.top_at_rebuild = 0;
+            return;
+        };
+        self.set_anchor(top as u32);
+        let (meta, inv, i0) = (&self.meta, self.anchor_inv, self.params.i0);
+        let mut a = 0u64;
+        let mut b = 0u128;
+        // Occupied buckets only: O(occupied + leaf words), not O(nb).
         self.occ.for_each_set(|k| {
-            let w = meta[k].weight;
+            let w = (meta[k].weight * inv) as u64;
             a += w;
-            b += (i0 + k as u32) as f64 * w;
-            top = k as u32;
+            b += (i0 + k as u32) as u128 * w as u128;
         });
-        self.a = a;
-        self.b = b;
-        self.top_at_rebuild = top;
+        self.a_fix = a;
+        if a == 0 {
+            self.q = 0;
+            self.rem = 0;
+        } else {
+            self.q = (b / a as u128) as i64;
+            self.rem = (b % a as u128) as u64;
+        }
+        self.top_at_rebuild = top as u32;
     }
 
     /// One-step estimate of the maximum occupied internal offset, then the
@@ -378,17 +557,22 @@ impl<T> ApproxGradientQueue<T> {
         if self.nonempty == 0 {
             return None;
         }
-        if self.a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-            // Cancellation drove the accumulator non-positive: the caller
-            // rebuilds; meanwhile fall back to the exact maximum.
+        if self.a_fix == 0 {
+            // Every live weight truncated to zero under the current anchor
+            // (the top dropped `F·α` offsets without a rebuild): the caller
+            // re-anchors; meanwhile fall back to the exact maximum.
             let k = self.occ.last_set()?;
             return Some((k, 0));
         }
-        // `x + 0.5` then truncate ≡ round-half-away for non-negative x;
-        // negatives truncate/saturate to 0, exactly where the old
-        // `round().clamp(0.0, …)` put them — without the libm call.
-        let est = self.b / self.a + self.shift_i0;
-        let est_k = ((est + 0.5) as usize).min(self.nb - 1);
+        // Division-free rounding of `b/a + shift − i0`: with `b = q·a + rem`
+        // and `s = shift − i0 + 0.5 = ci + θ`,
+        // `trunc(b/a + s) = q + ci + (rem/a ≥ 1−θ)` — the fractional
+        // comparison is `rem ≥ (a·⌈(1−θ)·2^32⌉) >> 32`, one widening
+        // multiply. Negative values clamp to 0, exactly where the old
+        // float path's truncate/saturate put them.
+        let thresh = ((self.a_fix as u128 * self.theta1_fp as u128) >> 32) as u64;
+        let est_i = self.q + self.ci + i64::from(self.rem >= thresh);
+        let est_k = est_i.clamp(0, self.nb as i64 - 1) as usize;
         if self.meta[est_k].count > 0 {
             self.est_cache.set((est_k as i32, est_k as i32));
             return Some((est_k, est_k));
@@ -422,32 +606,86 @@ impl<T> ApproxGradientQueue<T> {
         Some((k, est_k))
     }
 
-    /// [`Self::locate_max_offset`] plus the two rebuild triggers: the
-    /// reactive one (a search distance beyond `8α` means the accumulators
-    /// no longer reflect the occupancy at all) and the proactive
-    /// magnitude-window one (the live top has dropped [`DRIFT_WINDOW_ALPHAS`]`·α`
-    /// below the last renormalization, so cancellation noise is about to
-    /// reach bucket resolution — rebuild *before* the estimate degrades).
-    /// Shared by every dequeue path so single-step and batched dequeues
-    /// make identical selections.
+    /// [`Self::locate_max_offset`] plus the rebuild triggers: the
+    /// starvation one (`a_fix == 0` with elements live — every weight
+    /// truncated under a long-stale anchor), the reactive one (a search
+    /// distance beyond `8α` means the accumulators no longer reflect the
+    /// occupancy at all) and the proactive top-drop one (the live top has
+    /// fallen [`TOP_DROP_ALPHAS`]`·α` below the anchor, so the dominant
+    /// fixed-point weights are losing significant bits — re-anchor
+    /// *before* quantization reaches bucket resolution). Shared by every
+    /// dequeue path so single-step and batched dequeues make identical
+    /// selections.
     #[inline]
     fn locate_for_dequeue(&mut self) -> Option<(usize, usize)> {
+        if self.a_fix == 0 && self.nonempty > 0 {
+            self.rebuild();
+        }
         let pair = self.locate_max_offset()?;
-        let drift = (DRIFT_WINDOW_ALPHAS * self.params.alpha) as usize;
+        let alpha = self.params.alpha as usize;
         // The proactive trigger is rate-limited by edges since the last
         // rebuild: in workloads that keep spiking the top (transient
         // highest-priority elements re-anchor the window on every spike) an
         // un-throttled trigger degenerates into a rebuild per spike, which
         // costs more than the misses it prevents. The reactive `8α` trigger
-        // stays un-throttled — there the accumulators are outright corrupt.
-        if pair.0.abs_diff(pair.1) > 8 * self.params.alpha as usize
-            || (self.top_at_rebuild as usize > pair.0 + drift
-                && self.edges_since_rebuild as usize >= drift / 2)
+        // stays un-throttled — there the accumulators are outright stale.
+        if pair.0.abs_diff(pair.1) > 8 * alpha
+            || (self.top_at_rebuild as usize > pair.0 + TOP_DROP_ALPHAS as usize * alpha
+                && self.edges_since_rebuild as usize >= TOP_DROP_MIN_EDGES_ALPHAS as usize * alpha)
         {
             self.rebuild();
             return self.locate_max_offset();
         }
         Some(pair)
+    }
+
+    /// The pre-integer f64 estimator, recomputed from scratch over the
+    /// exact occupancy: accumulate `a = Σ w`, `b = Σ (i0+k)·w` in floating
+    /// point, estimate `b/a + shift − i0`, round, and run the same miss
+    /// search. Returns `(selected offset, estimated offset)`.
+    ///
+    /// This is the *reference* the conformance suite holds the fixed-point
+    /// path against (`int_estimator_matches_float_reference`): for any
+    /// occupancy the integer selection must match the freshly-computed
+    /// float selection or sit strictly closer to the true maximum. Not a
+    /// hot path — O(occupied) per call.
+    pub fn float_reference_selection(&self) -> Option<(usize, usize)> {
+        if self.nonempty == 0 {
+            return None;
+        }
+        let (meta, i0) = (&self.meta, self.params.i0);
+        let (mut a, mut b) = (0.0f64, 0.0f64);
+        self.occ.for_each_set(|k| {
+            let w = meta[k].weight;
+            a += w;
+            b += (i0 + k as u32) as f64 * w;
+        });
+        if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            let k = self.occ.last_set()?;
+            return Some((k, 0));
+        }
+        let est = b / a + (self.params.shift - i0 as f64);
+        let est_k = ((est + 0.5) as usize).min(self.nb - 1);
+        if self.meta[est_k].count > 0 {
+            return Some((est_k, est_k));
+        }
+        let up = self.occ.first_set_from(est_k + 1);
+        let down = self.occ.last_set_to(est_k);
+        let k = match (up, down) {
+            (Some(u), Some(d)) => {
+                if u - est_k <= est_k - d {
+                    u
+                } else {
+                    d
+                }
+            }
+            (Some(u), None) => u,
+            (None, Some(d)) => d,
+            (None, None) => {
+                unreachable!("occupancy counter says non-empty but bitmap is empty")
+            }
+        };
+        Some((k, est_k))
     }
 
     /// Rank lower edge of the **maximum**-rank occupied bucket, exact:
@@ -520,7 +758,7 @@ impl<T> RankedQueue<T> for ApproxGradientQueue<T> {
         let bkt = self.nb - 1 - k;
         let out = self.buckets.pop(bkt);
         debug_assert!(out.is_some(), "curvature said bucket {bkt} occupied");
-        self.vacate(k); // per-element count; a/b update only on the 1→0 edge
+        self.vacate(k); // per-element count; accumulators move only on the 1→0 edge
         out
     }
 
@@ -575,7 +813,7 @@ impl<T> BucketCore<T> for ApproxGradientQueue<T> {
         self.record_lookup(k, est_k);
         let bkt = self.nb - 1 - k;
         let (rank, item) = self.buckets.pop(bkt)?;
-        self.vacate(k); // per-element count; a/b update only on the 1→0 edge
+        self.vacate(k); // per-element count; accumulators move only on the 1→0 edge
         Some((bkt, rank, item))
     }
 

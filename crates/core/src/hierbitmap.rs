@@ -1,10 +1,15 @@
 //! Hierarchical occupancy bitmap — the meta-data of Figure 3.
 //!
-//! Each node word summarizes the occupancy of 64 child words; the leaves
-//! carry one bit per bucket. Finding the minimum (or maximum) occupied
-//! bucket descends from the root using one FFS per level, giving the
-//! paper's `O(log_w N)` bound with `w = 64` — e.g. a million buckets in
-//! four word operations, a billion in six (§5.2).
+//! The leaves carry one bit per bucket. The first summary level is
+//! **multi-word**: each level-1 bit covers a *group* of [`GROUP_WORDS`]
+//! leaf words (256 buckets), and levels above summarize 64 child words per
+//! bit as before. The wider leaf fanout cuts a level off every mid-sized
+//! hierarchy — 10k buckets descend in 2 levels instead of 3, 512k in 3
+//! instead of 4 — trading the saved data-dependent load for a short
+//! *independent* scan of up to four adjacent leaf words, which the CPU
+//! overlaps (they sit in two cache lines and have no chain between them).
+//! Deep hierarchies keep the paper's `O(log_w N)` shape (a billion buckets:
+//! 5 levels).
 //!
 //! The structure also supports `first_set_from`, the "first non-empty
 //! bucket at or after X" query used by shapers and by the circular queue's
@@ -20,18 +25,23 @@
 //! is a descent, and every queue's enqueue/dequeue maintains one of these).
 //! The descent itself uses raw `trailing_zeros`/`leading_zeros` on words an
 //! ancestor bit already proved non-zero, so the per-level body is
-//! branch-free.
+//! branch-free until the final group scan.
 
 use crate::word;
 
-/// Deepest supported hierarchy: 6 levels cover `64^6 = 6.9×10^10` buckets.
+/// Deepest supported hierarchy: 6 levels cover `4 × 64^6 ≈ 2.7×10^11`
+/// buckets.
 const MAX_DEPTH: usize = 6;
+
+/// Leaf words summarized by one level-1 bit (256 buckets per bit).
+pub const GROUP_WORDS: usize = 4;
 
 /// Hierarchical bitmap over `len` buckets.
 ///
 /// Words are stored leaves-first in one slab; `offs[l]` is the start of
 /// level `l`. For `len <= 64` there is exactly one level (the root is the
-/// leaf word).
+/// leaf word). Level 1 (when present) holds one bit per [`GROUP_WORDS`]
+/// leaf words; higher levels hold one bit per child word.
 #[derive(Debug, Clone)]
 pub struct HierBitmap {
     words: Vec<u64>,
@@ -51,20 +61,25 @@ impl HierBitmap {
     /// Panics if `len == 0`.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "bitmap must cover at least one bucket");
+        let words0 = len.div_ceil(word::WORD_BITS);
         let mut offs = [0u32; MAX_DEPTH];
-        let mut total = 0usize;
-        let mut depth = 0usize;
-        let mut n = len;
-        loop {
-            let words = n.div_ceil(word::WORD_BITS);
-            assert!(depth < MAX_DEPTH, "bitmap deeper than {MAX_DEPTH} levels");
-            offs[depth] = total as u32;
-            total += words;
-            depth += 1;
-            if words == 1 {
-                break;
+        let mut total = words0;
+        let mut depth = 1usize;
+        if words0 > 1 {
+            // Level 1 summarizes GROUP_WORDS leaf words per bit; levels
+            // above summarize one child word per bit.
+            let mut bits = words0.div_ceil(GROUP_WORDS);
+            loop {
+                let words = bits.div_ceil(word::WORD_BITS);
+                assert!(depth < MAX_DEPTH, "bitmap deeper than {MAX_DEPTH} levels");
+                offs[depth] = total as u32;
+                total += words;
+                depth += 1;
+                if words == 1 {
+                    break;
+                }
+                bits = words;
             }
-            n = words;
         }
         HierBitmap {
             words: vec![0u64; total],
@@ -92,7 +107,8 @@ impl HierBitmap {
         self.ones
     }
 
-    /// Number of levels in the hierarchy (`ceil(log64 len)`, at least 1).
+    /// Number of levels in the hierarchy (1 for `len ≤ 64`; the wide leaf
+    /// fanout makes this `1 + ceil(log64(ceil(len/256)))` above that).
     pub fn depth(&self) -> usize {
         self.depth as usize
     }
@@ -112,8 +128,14 @@ impl HierBitmap {
             return;
         }
         self.ones += 1;
-        let mut idx = i;
-        for l in 0..self.depth as usize {
+        let wi = i / 64;
+        let transition = word::set_bit(&mut self.words[wi], (i % 64) as u32);
+        if !transition {
+            return; // leaf word already non-empty: ancestors knew
+        }
+        // The level-1 bit may already be set by a sibling group word.
+        let mut idx = wi / GROUP_WORDS;
+        for l in 1..self.depth as usize {
             let w = self.offs[l] as usize + idx / 64;
             let transition = word::set_bit(&mut self.words[w], (idx % 64) as u32);
             if !transition {
@@ -131,8 +153,20 @@ impl HierBitmap {
             return;
         }
         self.ones -= 1;
-        let mut idx = i;
-        for l in 0..self.depth as usize {
+        let wi = i / 64;
+        let now_empty = word::clear_bit(&mut self.words[wi], (i % 64) as u32);
+        if !now_empty || self.depth == 1 {
+            return;
+        }
+        // The level-1 bit clears only when the whole group is empty.
+        let g = wi / GROUP_WORDS;
+        let start = g * GROUP_WORDS;
+        let end = (start + GROUP_WORDS).min(self.level_words(0));
+        if self.words[start..end].iter().any(|&w| w != 0) {
+            return;
+        }
+        let mut idx = g;
+        for l in 1..self.depth as usize {
             let w = self.offs[l] as usize + idx / 64;
             let now_empty = word::clear_bit(&mut self.words[w], (idx % 64) as u32);
             if !now_empty {
@@ -142,21 +176,54 @@ impl HierBitmap {
         }
     }
 
-    /// Lowest occupied bucket: one FFS per level, descending from the root.
+    /// Scans leaf group `g` left-to-right for its lowest set bit. Only
+    /// called under a set level-1 bit, so some word is non-zero.
+    #[inline]
+    fn first_in_group(&self, g: usize) -> usize {
+        let start = g * GROUP_WORDS;
+        let end = (start + GROUP_WORDS).min(self.level_words(0));
+        for wi in start..end {
+            let w = self.words[wi];
+            if w != 0 {
+                return wi * 64 + w.trailing_zeros() as usize;
+            }
+        }
+        unreachable!("level-1 bit set over an empty leaf group")
+    }
+
+    /// Scans leaf group `g` right-to-left for its highest set bit.
+    #[inline]
+    fn last_in_group(&self, g: usize) -> usize {
+        let start = g * GROUP_WORDS;
+        let end = (start + GROUP_WORDS).min(self.level_words(0));
+        for wi in (start..end).rev() {
+            let w = self.words[wi];
+            if w != 0 {
+                return wi * 64 + (63 - w.leading_zeros() as usize);
+            }
+        }
+        unreachable!("level-1 bit set over an empty leaf group")
+    }
+
+    /// Lowest occupied bucket: one FFS per level, descending from the root,
+    /// then a ≤ [`GROUP_WORDS`]-word scan of the minimum leaf group.
     #[inline]
     pub fn first_set(&self) -> Option<usize> {
         let root = self.words[self.root as usize];
         if root == 0 {
             return None;
         }
+        if self.depth == 1 {
+            return Some(root.trailing_zeros() as usize);
+        }
         // The root bit proves every word on the descent path is non-zero,
         // so each level is a plain load + trailing_zeros — no branches.
         let mut idx = root.trailing_zeros() as usize;
-        for l in (0..self.depth as usize - 1).rev() {
+        for l in (1..self.depth as usize - 1).rev() {
             let w = self.words[self.offs[l] as usize + idx];
             idx = idx * 64 + w.trailing_zeros() as usize;
         }
-        Some(idx)
+        Some(self.first_in_group(idx))
     }
 
     /// Highest occupied bucket.
@@ -166,45 +233,60 @@ impl HierBitmap {
         if root == 0 {
             return None;
         }
+        if self.depth == 1 {
+            return Some(63 - root.leading_zeros() as usize);
+        }
         let mut idx = 63 - root.leading_zeros() as usize;
-        for l in (0..self.depth as usize - 1).rev() {
+        for l in (1..self.depth as usize - 1).rev() {
             let w = self.words[self.offs[l] as usize + idx];
             idx = idx * 64 + (63 - w.leading_zeros() as usize);
         }
-        Some(idx)
+        Some(self.last_in_group(idx))
     }
 
     /// Lowest occupied bucket at or after `from`.
     ///
-    /// Walks up from the leaf word containing `from` until an ancestor word
-    /// has a set bit to the right, then descends with plain FFS — at most
-    /// `2·depth` word operations.
+    /// Three stages: the rest of `from`'s own leaf word, the rest of its
+    /// leaf group, then the classic ascend-and-descend over the summary
+    /// levels — at most `2·depth` word operations plus one group scan.
     pub fn first_set_from(&self, from: usize) -> Option<usize> {
         if from >= self.len {
             return None;
         }
-        // Ascend: find the lowest level where some subtree at-or-after `from`
-        // (excluding the subtrees already ruled out below) is non-empty, then
-        // descend back to the leaf with plain FFS.
-        let mut idx = from;
-        for (li, &off) in self.offs[..self.depth as usize].iter().enumerate() {
-            let w = idx / 64;
-            let level_words = self.level_words(li);
-            if w < level_words {
+        let wi = from / 64;
+        if let Some(b) = word::lowest_set_from(self.words[wi], (from % 64) as u32) {
+            return Some(wi * 64 + b as usize);
+        }
+        if self.depth == 1 {
+            return None;
+        }
+        let g = wi / GROUP_WORDS;
+        let end = ((g + 1) * GROUP_WORDS).min(self.level_words(0));
+        for w2 in wi + 1..end {
+            let w = self.words[w2];
+            if w != 0 {
+                return Some(w2 * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        // Ascend: find the lowest summary level with a set bit after our
+        // group, then descend back with plain FFS.
+        let mut idx = g + 1;
+        for (li, &off) in self.offs[1..self.depth as usize].iter().enumerate() {
+            let li = li + 1;
+            let lw = idx / 64;
+            if lw < self.level_words(li) {
                 if let Some(b) =
-                    word::lowest_set_from(self.words[off as usize + w], (idx % 64) as u32)
+                    word::lowest_set_from(self.words[off as usize + lw], (idx % 64) as u32)
                 {
-                    let mut node = w * 64 + b as usize;
-                    for l in (0..li).rev() {
+                    let mut node = lw * 64 + b as usize;
+                    for l in (1..li).rev() {
                         let child = self.words[self.offs[l] as usize + node];
                         node = node * 64 + child.trailing_zeros() as usize;
                     }
-                    return Some(node);
+                    return Some(self.first_in_group(node));
                 }
             }
-            // Nothing at-or-after within this word: the next candidate at the
-            // parent level is the node right after our parent.
-            idx = w + 1;
+            idx = lw + 1;
         }
         None
     }
@@ -212,21 +294,40 @@ impl HierBitmap {
     /// Highest occupied bucket at or before `to`.
     pub fn last_set_to(&self, to: usize) -> Option<usize> {
         let to = to.min(self.len - 1);
-        let mut idx = to;
-        for (li, &off) in self.offs[..self.depth as usize].iter().enumerate() {
-            let w = idx / 64; // in bounds: idx only decreases level to level
-            if let Some(b) = word::highest_set_to(self.words[off as usize + w], (idx % 64) as u32) {
-                let mut node = w * 64 + b as usize;
-                for l in (0..li).rev() {
+        let wi = to / 64;
+        if let Some(b) = word::highest_set_to(self.words[wi], (to % 64) as u32) {
+            return Some(wi * 64 + b as usize);
+        }
+        if self.depth == 1 {
+            return None;
+        }
+        let g = wi / GROUP_WORDS;
+        for w2 in (g * GROUP_WORDS..wi).rev() {
+            let w = self.words[w2];
+            if w != 0 {
+                return Some(w2 * 64 + (63 - w.leading_zeros() as usize));
+            }
+        }
+        if g == 0 {
+            return None; // leftmost group: nothing before it anywhere
+        }
+        let mut idx = g - 1;
+        for (li, &off) in self.offs[1..self.depth as usize].iter().enumerate() {
+            let li = li + 1;
+            let lw = idx / 64; // in bounds: idx only decreases level to level
+            if let Some(b) = word::highest_set_to(self.words[off as usize + lw], (idx % 64) as u32)
+            {
+                let mut node = lw * 64 + b as usize;
+                for l in (1..li).rev() {
                     let child = self.words[self.offs[l] as usize + node];
                     node = node * 64 + (63 - child.leading_zeros() as usize);
                 }
-                return Some(node);
+                return Some(self.last_in_group(node));
             }
-            if w == 0 {
+            if lw == 0 {
                 break; // no word to the left at this level either
             }
-            idx = w - 1;
+            idx = lw - 1;
         }
         None
     }
@@ -266,20 +367,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn single_level_for_small_maps() {
-        let bm = HierBitmap::new(64);
-        assert_eq!(bm.depth(), 1);
-        let bm = HierBitmap::new(65);
-        assert_eq!(bm.depth(), 2);
-        let bm = HierBitmap::new(64 * 64);
-        assert_eq!(bm.depth(), 2);
-        let bm = HierBitmap::new(64 * 64 + 1);
-        assert_eq!(bm.depth(), 3);
-        // A billion buckets: 64^5 ≈ 1.07e9, so five levels of words suffice —
-        // the paper's §5.2 quotes "six bit operations" for a billion buckets,
-        // a one-off count of the same descent.
-        let bm = HierBitmap::new(1_000_000_000);
-        assert_eq!(bm.depth(), 5);
+    fn depth_reflects_wide_leaf_fanout() {
+        assert_eq!(HierBitmap::new(64).depth(), 1);
+        // 65..=16384 buckets: ≤ 256 leaf-word groups fit one level-1 word.
+        assert_eq!(HierBitmap::new(65).depth(), 2);
+        assert_eq!(HierBitmap::new(64 * 64).depth(), 2);
+        assert_eq!(HierBitmap::new(64 * 64 + 1).depth(), 2);
+        assert_eq!(HierBitmap::new(10_000).depth(), 2);
+        assert_eq!(HierBitmap::new(64 * 64 * 4).depth(), 2);
+        assert_eq!(HierBitmap::new(64 * 64 * 4 + 1).depth(), 3);
+        // 512k buckets: 8192 leaf words, 2048 group bits, 32 level-1 words.
+        assert_eq!(HierBitmap::new(512 * 1024).depth(), 3);
+        // A billion buckets descend in five levels (the paper's §5.2 quotes
+        // "six bit operations" for its 64-ary tree; the wide leaf saves one).
+        assert_eq!(HierBitmap::new(1_000_000_000).depth(), 5);
     }
 
     #[test]
@@ -330,6 +431,31 @@ mod tests {
         assert_eq!(bm.last_set_to(2), None);
     }
 
+    /// Range scans that cross group boundaries (each level-1 bit covers
+    /// 256 buckets) on a map deep enough to exercise the summary ascent.
+    #[test]
+    fn range_scans_cross_group_boundaries() {
+        let n = 64 * 64 * 4 * 3; // depth 3
+        let mut bm = HierBitmap::new(n);
+        assert_eq!(bm.depth(), 3);
+        for &i in &[255usize, 256, 1_024, 40_000, n - 1] {
+            bm.set(i);
+        }
+        assert_eq!(bm.first_set_from(0), Some(255));
+        assert_eq!(bm.first_set_from(256), Some(256)); // next group
+        assert_eq!(bm.first_set_from(257), Some(1_024));
+        assert_eq!(bm.first_set_from(1_025), Some(40_000));
+        assert_eq!(bm.first_set_from(40_001), Some(n - 1));
+        assert_eq!(bm.last_set_to(n - 2), Some(40_000));
+        assert_eq!(bm.last_set_to(39_999), Some(1_024));
+        assert_eq!(bm.last_set_to(1_023), Some(256));
+        assert_eq!(bm.last_set_to(255), Some(255));
+        assert_eq!(bm.last_set_to(254), None);
+        bm.clear(256);
+        assert_eq!(bm.first_set_from(256), Some(1_024));
+        assert_eq!(bm.last_set_to(1_023), Some(255));
+    }
+
     #[test]
     fn for_each_set_visits_ascending() {
         let mut bm = HierBitmap::new(300);
@@ -355,14 +481,12 @@ mod tests {
 
     /// Cross-check the hierarchical bitmap against the flat one over a
     /// deterministic pseudo-random workload.
-    #[test]
-    fn agrees_with_flat_bitmap() {
+    fn check_against_flat(n: usize, steps: u32) {
         use crate::bitmap::FlatBitmap;
-        let n = 70 * 64 + 13; // three levels, ragged edge
         let mut hier = HierBitmap::new(n);
         let mut flat = FlatBitmap::new(n);
-        let mut x: u64 = 0x9e3779b97f4a7c15;
-        for step in 0..20_000 {
+        let mut x: u64 = 0x9e3779b97f4a7c15 ^ n as u64;
+        for step in 0..steps {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
@@ -381,14 +505,22 @@ mod tests {
                 assert_eq!(
                     hier.first_set_from(probe),
                     flat.first_set_from(probe),
-                    "from {probe}"
+                    "n {n} from {probe}"
                 );
                 assert_eq!(
                     hier.last_set_to(probe.min(n - 1)),
-                    flat.last_set_to(probe.min(n - 1))
+                    flat.last_set_to(probe.min(n - 1)),
+                    "n {n} to {probe}"
                 );
             }
         }
         assert_eq!(hier.count_ones(), flat.count_ones());
+    }
+
+    #[test]
+    fn agrees_with_flat_bitmap() {
+        check_against_flat(70 * 64 + 13, 20_000); // 2 levels, ragged edge
+        check_against_flat(5 * 64 + 1, 6_000); // partial final group
+        check_against_flat(64 * 64 * 4 * 70 + 13, 20_000); // 3 levels, deep
     }
 }

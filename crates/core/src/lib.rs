@@ -16,9 +16,11 @@
 //! | [`HierFfsQueue`] | Fig 3 (PIQ-style) | fixed, any N | `log₆₄ N` word ops |
 //! | [`CffsQueue`] | Fig 4, the flagship **cFFS** | moving window | `log₆₄ N` word ops |
 //! | [`GradientQueue`] | §3.1.2 exact | fixed, ≤ 64/level | one division |
-//! | [`ApproxGradientQueue`] | §3.1.2 approximate | fixed, ~52·α buckets | one division (+ search on miss) |
-//! | [`CircularApproxQueue`] | §3.1.2 "as with cFFS" | moving window | one division |
+//! | [`ApproxGradientQueue`] | §3.1.2 approximate | fixed, ~52·α buckets | integer add/compare, no division (+ search on miss) |
+//! | [`CircularApproxQueue`] | §3.1.2 "as with cFFS" | moving window | integer add/compare, no division |
 //! | [`BucketHeapQueue`] | §5.2 baseline "BH" | fixed | O(log N) heap op |
+//! | [`SpPifoQueue`] | SP-PIFO (related work, PAPERS.md) | unbounded, adaptive | one `trailing_zeros` |
+//! | [`RifoQueue`] | RIFO (related work, PAPERS.md) | unbounded, adaptive | `log₆₄ N` word ops |
 //! | [`HeapPq`], [`TreePq`] | §2 baselines | unbounded | O(log n) comparisons |
 //! | [`TimingWheel`] | Carousel's structure | moving window | none (time-driven only) |
 //!
@@ -61,8 +63,11 @@ pub mod gradient;
 pub mod guide;
 pub mod hffs;
 pub mod hierbitmap;
+pub mod oracle;
 pub mod recip;
+pub mod rifo;
 pub mod ring;
+pub mod sp_pifo;
 pub mod timing_wheel;
 pub mod traits;
 pub mod word;
@@ -77,7 +82,10 @@ pub use gradient::{GradientQueue, GradientWord, HierGradientQueue};
 pub use guide::{recommend, Recommendation, UseCase};
 pub use hffs::HierFfsQueue;
 pub use hierbitmap::HierBitmap;
+pub use oracle::{count_inversions, OracleAudit, OracleReport};
 pub use recip::Reciprocal;
+pub use rifo::RifoQueue;
 pub use ring::{SpscConsumer, SpscProducer, SpscRing};
+pub use sp_pifo::SpPifoQueue;
 pub use timing_wheel::TimingWheel;
 pub use traits::{EnqueueError, EnqueueErrorKind, QueueConfig, QueueKind, QueueStats, RankedQueue};

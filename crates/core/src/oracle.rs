@@ -1,0 +1,229 @@
+//! Ideal-PIFO reference oracle and inversion accounting.
+//!
+//! The bake-off between backends (§5.2 figures; SP-PIFO and RIFO from the
+//! related papers) needs a shared ground truth: a Push-In-First-Out queue
+//! that always dequeues the true minimum rank. This module provides that
+//! oracle plus the two quality metrics every conformance suite and the
+//! bench `drain_quality` pass report:
+//!
+//! - **inversions** — dequeues whose rank exceeds a rank dequeued later
+//!   (each such pop "jumped the queue" past at least one smaller rank);
+//! - **rank error** — per pop, how far the dequeued rank sits above the
+//!   true minimum the ideal PIFO would have served at that instant.
+//!
+//! An exact queue (cFFS at granularity 1, the binary heap) scores zero on
+//! both; SP-PIFO and RIFO trade bounded inversions for integer-only
+//! mapping, and the numbers here are what "bounded" means in practice.
+
+use std::collections::BTreeMap;
+
+/// Counts inversions in a dequeue sequence: pairs `(i, j)` with `i < j`
+/// and `seq[i] > seq[j]`, attributed to the earlier pop. Returns
+/// `(inverted_pops, max_magnitude)` where `inverted_pops` is the number of
+/// positions that exceed *some* later value (not the O(n²) pair count) and
+/// `max_magnitude` is the largest `seq[i] - min(later values)` gap.
+///
+/// Single backward pass over a suffix-minimum, O(n).
+pub fn count_inversions(seq: &[u64]) -> (u64, u64) {
+    let mut inverted = 0u64;
+    let mut max_gap = 0u64;
+    let mut suffix_min = u64::MAX;
+    for &r in seq.iter().rev() {
+        if r > suffix_min {
+            inverted += 1;
+            max_gap = max_gap.max(r - suffix_min);
+        }
+        suffix_min = suffix_min.min(r);
+    }
+    (inverted, max_gap)
+}
+
+/// Quality report produced by [`OracleAudit::finish`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleReport {
+    /// Total dequeues audited.
+    pub pops: u64,
+    /// Pops whose rank exceeded some later-dequeued rank.
+    pub inversions: u64,
+    /// Largest rank gap of any inversion.
+    pub max_inversion: u64,
+    /// Sum over pops of `rank - true_min_at_pop`.
+    pub rank_error_sum: u64,
+    /// Largest single-pop rank error.
+    pub max_rank_error: u64,
+}
+
+impl OracleReport {
+    /// Inverted pops as a fraction of all pops.
+    pub fn inversion_frac(&self) -> f64 {
+        if self.pops == 0 {
+            0.0
+        } else {
+            self.inversions as f64 / self.pops as f64
+        }
+    }
+
+    /// Mean per-pop rank error.
+    pub fn avg_rank_error(&self) -> f64 {
+        if self.pops == 0 {
+            0.0
+        } else {
+            self.rank_error_sum as f64 / self.pops as f64
+        }
+    }
+}
+
+/// Shadows a [`RankedQueue`](crate::RankedQueue) under test with an ideal
+/// PIFO (a rank multiset) and scores every dequeue against the true
+/// minimum.
+///
+/// Drive it in lockstep with the queue: [`on_enqueue`](Self::on_enqueue)
+/// for every accepted enqueue, [`on_dequeue`](Self::on_dequeue) for every
+/// pop. Panics if the queue emits a rank the oracle does not hold —
+/// conservation violations fail loudly rather than skewing the metrics.
+#[derive(Debug, Default)]
+pub struct OracleAudit {
+    /// Ideal-PIFO content: rank → multiplicity.
+    content: BTreeMap<u64, usize>,
+    len: usize,
+    pops: u64,
+    rank_error_sum: u64,
+    max_rank_error: u64,
+    popped: Vec<u64>,
+}
+
+impl OracleAudit {
+    /// An empty audit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Elements currently held by the ideal PIFO.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ideal PIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The true minimum rank currently held, if any.
+    pub fn true_min(&self) -> Option<u64> {
+        self.content.keys().next().copied()
+    }
+
+    /// Records an accepted enqueue of `rank`.
+    pub fn on_enqueue(&mut self, rank: u64) {
+        *self.content.entry(rank).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Records a dequeue of `rank`, scoring it against the true minimum.
+    /// Panics if the oracle does not hold `rank` (the queue under test
+    /// fabricated or duplicated an element).
+    pub fn on_dequeue(&mut self, rank: u64) {
+        let true_min = *self
+            .content
+            .keys()
+            .next()
+            .expect("queue dequeued from an oracle-empty state");
+        let n = self
+            .content
+            .get_mut(&rank)
+            .unwrap_or_else(|| panic!("queue dequeued rank {rank} the oracle does not hold"));
+        *n -= 1;
+        if *n == 0 {
+            self.content.remove(&rank);
+        }
+        self.len -= 1;
+        self.pops += 1;
+        // `rank` is in the multiset, so `rank >= true_min` always.
+        let err = rank - true_min;
+        self.rank_error_sum += err;
+        self.max_rank_error = self.max_rank_error.max(err);
+        self.popped.push(rank);
+    }
+
+    /// The dequeue sequence audited so far.
+    pub fn popped(&self) -> &[u64] {
+        &self.popped
+    }
+
+    /// Finalizes the audit into an [`OracleReport`].
+    pub fn finish(&self) -> OracleReport {
+        let (inversions, max_inversion) = count_inversions(&self.popped);
+        OracleReport {
+            pops: self.pops,
+            inversions,
+            max_inversion,
+            rank_error_sum: self.rank_error_sum,
+            max_rank_error: self.max_rank_error,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_sequence_has_no_inversions() {
+        assert_eq!(count_inversions(&[1, 2, 2, 3, 9]), (0, 0));
+        assert_eq!(count_inversions(&[]), (0, 0));
+        assert_eq!(count_inversions(&[7]), (0, 0));
+    }
+
+    #[test]
+    fn inversions_attribute_to_early_pops() {
+        // 5 jumps ahead of 1 and 3; 3 jumps ahead of nothing later.
+        assert_eq!(count_inversions(&[5, 1, 3]), (1, 4));
+        // Both 9s jump ahead of the final 2.
+        assert_eq!(count_inversions(&[9, 9, 2]), (2, 7));
+    }
+
+    #[test]
+    fn exact_queue_scores_zero() {
+        let mut a = OracleAudit::new();
+        for r in [4u64, 1, 9, 1] {
+            a.on_enqueue(r);
+        }
+        for r in [1u64, 1, 4, 9] {
+            a.on_dequeue(r);
+        }
+        let rep = a.finish();
+        assert_eq!(rep.pops, 4);
+        assert_eq!(rep.inversions, 0);
+        assert_eq!(rep.rank_error_sum, 0);
+        assert_eq!(rep.avg_rank_error(), 0.0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn approximate_queue_scores_its_error() {
+        let mut a = OracleAudit::new();
+        for r in [10u64, 2, 7] {
+            a.on_enqueue(r);
+        }
+        // Pops 7 while 2 is the true min: error 5, and it is an inversion
+        // because 2 comes out later.
+        a.on_dequeue(7);
+        a.on_dequeue(2);
+        a.on_dequeue(10);
+        let rep = a.finish();
+        assert_eq!(rep.pops, 3);
+        assert_eq!(rep.inversions, 1);
+        assert_eq!(rep.max_inversion, 5);
+        assert_eq!(rep.rank_error_sum, 5);
+        assert_eq!(rep.max_rank_error, 5);
+        assert!((rep.inversion_frac() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn fabricated_rank_panics() {
+        let mut a = OracleAudit::new();
+        a.on_enqueue(3);
+        a.on_dequeue(4);
+    }
+}

@@ -208,6 +208,15 @@ pub enum QueueKind {
     /// Bucketed queue indexed by a binary heap of bucket indices (the
     /// paper's "BH" baseline).
     BucketHeap,
+    /// SP-PIFO adaptive strict-priority mapping (integer-only, unbounded
+    /// range; ignores the bucket geometry).
+    SpPifo {
+        /// Number of strict-priority queues (1..=64).
+        queues: u32,
+    },
+    /// RIFO adaptive rank-range bucket mapping (integer-only, unbounded
+    /// range; uses `num_buckets`, adapts its own granularity).
+    Rifo,
     /// Comparison-based binary heap over elements (C++ `std::priority_queue`
     /// stand-in).
     BinaryHeap,
@@ -256,6 +265,8 @@ impl QueueKind {
                 cfg.granularity,
                 cfg.start_rank,
             )),
+            QueueKind::SpPifo { queues } => Box::new(crate::SpPifoQueue::new(queues as usize)),
+            QueueKind::Rifo => Box::new(crate::RifoQueue::new(cfg.num_buckets)),
             QueueKind::BinaryHeap => Box::new(crate::HeapPq::new()),
             QueueKind::BTree => Box::new(crate::TreePq::new()),
         }
@@ -294,6 +305,7 @@ mod tests {
             QueueKind::ApproxGradient { alpha: 16 },
             QueueKind::CircularApprox { alpha: 16 },
             QueueKind::BucketHeap,
+            QueueKind::Rifo,
             QueueKind::BinaryHeap,
             QueueKind::BTree,
         ];
@@ -311,5 +323,27 @@ mod tests {
             assert_eq!(q.dequeue_min().unwrap().1, 2, "{kind:?}");
             assert!(q.dequeue_min().is_none(), "{kind:?}");
         }
+    }
+
+    /// SP-PIFO is excluded from the strict round-trip above by design: its
+    /// per-queue FIFOs reorder equal ranks across queues. It still builds
+    /// through [`QueueKind`] and conserves every element.
+    #[test]
+    fn sp_pifo_builds_and_conserves() {
+        let cfg = QueueConfig::new(128, 10, 0);
+        let mut q: Box<dyn RankedQueue<u32>> = QueueKind::SpPifo { queues: 8 }.build(cfg);
+        let ranks = [40u64, 620, 40, 7, 999, 40];
+        for (i, &r) in ranks.iter().enumerate() {
+            q.enqueue(r, i as u32).unwrap();
+        }
+        assert_eq!(q.len(), ranks.len());
+        let mut got: Vec<u64> = Vec::new();
+        while let Some((r, _)) = q.dequeue_min() {
+            got.push(r);
+        }
+        let mut want = ranks.to_vec();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want, "every enqueued rank comes back out");
     }
 }

@@ -173,6 +173,12 @@ pub struct ThreadedReport {
     /// busy time, so it still measures the CPU a real multi-core host
     /// would spend.
     pub total_median_cores: f64,
+    /// Whole-machine per-bin `(system, softirq)` cores: the per-shard
+    /// [`CpuMeter`] bins summed element-wise (shards share the bin width
+    /// and the wall-time axis), trimmed to the bins the run actually
+    /// reached. The wall-clock counterpart of
+    /// [`HostReport::breakdown`](crate::HostReport) (Figure 10 panels).
+    pub breakdown: Vec<(f64, f64)>,
     /// Sum of per-shard peak backlogs (an upper bound on the true
     /// simultaneous peak — shards peak at different instants).
     pub peak_backlog: usize,
@@ -383,6 +389,21 @@ fn run_inner<Q: ShaperQdisc + Send>(
             }
         })
         .collect();
+    // Whole-machine breakdown: shard meters share the bin geometry, so
+    // summing bin `i` across shards gives total cores busy in wall
+    // window `i`. Trim to the windows the run reached — the meters are
+    // sized for `wall_limit`, and a run that drained early would
+    // otherwise pad the CDF with empty bins.
+    let used_bins = (wall_elapsed.as_nanos().div_ceil(host.bin) as usize).max(1);
+    let mut breakdown: Vec<(f64, f64)> = Vec::new();
+    for o in &outcomes {
+        let bins = o.shard.meter.cores_per_bin();
+        breakdown.resize(bins.len().min(used_bins).max(breakdown.len()), (0.0, 0.0));
+        for (acc, (s, irq)) in breakdown.iter_mut().zip(bins) {
+            acc.0 += s;
+            acc.1 += irq;
+        }
+    }
     let report = ThreadedReport {
         name,
         transmitted: per_shard.iter().map(|s| s.transmitted).sum(),
@@ -394,6 +415,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
         dropped: per_shard.iter().map(|s| s.dropped).sum(),
         timer_fires: per_shard.iter().map(|s| s.timer_fires).sum(),
         total_median_cores: per_shard.iter().map(|s| s.median_cores).sum(),
+        breakdown,
         peak_backlog: per_shard.iter().map(|s| s.peak_backlog).sum(),
         wall_elapsed,
         ring_full_retries: producer_out.ring_full_retries,
