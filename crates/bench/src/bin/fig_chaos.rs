@@ -1,0 +1,17 @@
+//! Chaos degradation — fault-injected threaded runtime across five ranked
+//! backends: graceful degradation (throughput / sojourn / load shedding)
+//! vs fault-storm intensity for every fault family, plus rank-adversarial
+//! drain quality, with packet conservation asserted on every cell.
+//!
+//! `--quick` shrinks the workload and intensity grid; `--json <path>`
+//! records the run. The report construction lives in
+//! [`eiffel_bench::runners::fig_chaos_report`] so tests and CI validate
+//! the exact path this binary records.
+
+use eiffel_bench::{runners, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = runners::ChaosScale::from_args(&args);
+    runners::fig_chaos_report(&args, &scale).finish(&args);
+}

@@ -1,0 +1,155 @@
+//! Overload admission policies for qdisc enqueue.
+//!
+//! The shaping qdiscs historically grew without bound under overload —
+//! every emitted packet was admitted and backlog was only limited by the
+//! producer's TSQ budget. Under fault injection that assumption breaks
+//! (a stalled shard's qdisc keeps receiving redirected or pre-rung
+//! packets), so admission becomes an explicit, counted decision:
+//!
+//! * **tail drop** — classic `pfifo`-style: arriving packet is dropped
+//!   once the backlog hits the cap;
+//! * **priority drop** — pFabric-style: the *worst-ranked* resident
+//!   packet is evicted (via the backend's `dequeue_max` path) to make
+//!   room for the arrival, so overload sheds low-value traffic first;
+//! * **ECN marking** — RED-lite: arrivals above `mark_at` are admitted
+//!   but counted as marked (we model the mark signal, not the sender's
+//!   response — no closed congestion loop in this rig), and dropped only
+//!   at the hard cap.
+//!
+//! The decision is a pure function of the backlog length so both
+//! runtimes apply identical policy, and the caller does the actual
+//! dropping/evicting/marking plus counter accounting.
+
+/// Admission policy applied on every qdisc enqueue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Admit everything (the historical behavior).
+    #[default]
+    Unlimited,
+    /// Drop the arriving packet once `cap` packets are resident.
+    TailDrop {
+        /// Maximum resident packets.
+        cap: usize,
+    },
+    /// At `cap`, evict the worst-ranked resident packet to admit the
+    /// arrival; callers fall back to tail drop when the backend has no
+    /// max-eviction path.
+    PriorityDrop {
+        /// Maximum resident packets.
+        cap: usize,
+    },
+    /// Admit-and-mark above `mark_at`, drop at `cap`.
+    EcnMark {
+        /// Hard cap: arrivals are dropped at this backlog.
+        cap: usize,
+        /// Marking threshold: arrivals at or above this backlog are
+        /// admitted but ECN-marked.
+        mark_at: usize,
+    },
+}
+
+/// What to do with one arriving packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue normally.
+    Enqueue,
+    /// Enqueue, counting an ECN mark.
+    EnqueueMarked,
+    /// Drop the arriving packet.
+    DropArriving,
+    /// Evict the worst-ranked resident packet, then enqueue the arrival.
+    EvictWorst,
+}
+
+impl AdmitPolicy {
+    /// Decides admission for one arrival given the current backlog (in
+    /// packets) of the target qdisc.
+    pub fn decide(&self, backlog: usize) -> Admission {
+        match *self {
+            AdmitPolicy::Unlimited => Admission::Enqueue,
+            AdmitPolicy::TailDrop { cap } => {
+                if backlog >= cap.max(1) {
+                    Admission::DropArriving
+                } else {
+                    Admission::Enqueue
+                }
+            }
+            AdmitPolicy::PriorityDrop { cap } => {
+                if backlog >= cap.max(1) {
+                    Admission::EvictWorst
+                } else {
+                    Admission::Enqueue
+                }
+            }
+            AdmitPolicy::EcnMark { cap, mark_at } => {
+                if backlog >= cap.max(1) {
+                    Admission::DropArriving
+                } else if backlog >= mark_at {
+                    Admission::EnqueueMarked
+                } else {
+                    Admission::Enqueue
+                }
+            }
+        }
+    }
+
+    /// The hard backlog cap, if the policy has one.
+    pub fn cap(&self) -> Option<usize> {
+        match *self {
+            AdmitPolicy::Unlimited => None,
+            AdmitPolicy::TailDrop { cap }
+            | AdmitPolicy::PriorityDrop { cap }
+            | AdmitPolicy::EcnMark { cap, .. } => Some(cap.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_admits() {
+        assert_eq!(
+            AdmitPolicy::Unlimited.decide(usize::MAX),
+            Admission::Enqueue
+        );
+        assert_eq!(AdmitPolicy::Unlimited.cap(), None);
+    }
+
+    #[test]
+    fn tail_drop_at_cap() {
+        let p = AdmitPolicy::TailDrop { cap: 4 };
+        assert_eq!(p.decide(3), Admission::Enqueue);
+        assert_eq!(p.decide(4), Admission::DropArriving);
+        assert_eq!(p.decide(400), Admission::DropArriving);
+        assert_eq!(p.cap(), Some(4));
+    }
+
+    #[test]
+    fn priority_drop_evicts_at_cap() {
+        let p = AdmitPolicy::PriorityDrop { cap: 4 };
+        assert_eq!(p.decide(3), Admission::Enqueue);
+        assert_eq!(p.decide(4), Admission::EvictWorst);
+    }
+
+    #[test]
+    fn ecn_marks_then_drops() {
+        let p = AdmitPolicy::EcnMark { cap: 8, mark_at: 4 };
+        assert_eq!(p.decide(3), Admission::Enqueue);
+        assert_eq!(p.decide(4), Admission::EnqueueMarked);
+        assert_eq!(p.decide(7), Admission::EnqueueMarked);
+        assert_eq!(p.decide(8), Admission::DropArriving);
+    }
+
+    #[test]
+    fn zero_caps_are_clamped_to_one() {
+        // A zero cap would otherwise admit nothing and wedge finite
+        // workloads silently; clamp to "at least one resident packet".
+        assert_eq!(
+            AdmitPolicy::TailDrop { cap: 0 }.decide(0),
+            Admission::Enqueue
+        );
+        assert_eq!(AdmitPolicy::TailDrop { cap: 0 }.cap(), Some(1));
+    }
+}

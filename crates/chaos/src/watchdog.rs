@@ -1,0 +1,51 @@
+//! Heartbeat watchdog configuration.
+//!
+//! Every shard thread bumps a heartbeat counter each scheduling loop
+//! iteration while it is making progress; the producer samples those
+//! counters every `check_every` of wall time. A shard whose heartbeat
+//! has not moved for `stall_after` is declared *suspect*: new packets
+//! for flows homed there are redistributed to live shards via the same
+//! stable `shard_of` hash the normal path uses (restricted to the live
+//! set), and lost completion credits are reconciled against the shard's
+//! published transmit counters. When the heartbeat moves again the shard
+//! is restored and its flows return home. Packets already inside a
+//! suspect shard are not stolen — injected stalls are pauses, not kills,
+//! so draining in place preserves per-shard FIFO for what was already
+//! rung; conservation (not cross-shard ordering) is the invariant the
+//! recovery path maintains.
+
+use eiffel_sim::time::WallNanos;
+
+/// Watchdog tuning for the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How often the producer samples shard heartbeats.
+    pub check_every: WallNanos,
+    /// How long a heartbeat must be flat before the shard is suspect.
+    /// Must be ≥ `check_every` (detection happens at sample points).
+    pub stall_after: WallNanos,
+}
+
+impl Default for WatchdogConfig {
+    /// 1 ms sampling, 5 ms stall threshold — an order of magnitude above
+    /// the scheduler-jitter pauses a healthy busy-polling shard shows,
+    /// two orders below the injected stalls the chaos tests use.
+    fn default() -> Self {
+        WatchdogConfig {
+            check_every: WallNanos::from_nanos(1_000_000),
+            stall_after: WallNanos::from_nanos(5_000_000),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_are_ordered() {
+        let w = WatchdogConfig::default();
+        assert!(w.check_every.as_nanos() > 0);
+        assert!(w.stall_after >= w.check_every);
+    }
+}

@@ -762,6 +762,10 @@ impl<T> RankedQueue<T> for ApproxGradientQueue<T> {
         out
     }
 
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        ApproxGradientQueue::dequeue_max(self)
+    }
+
     /// Batched fast path: one curvature lookup per *bucket visit*, with the
     /// bucket's FIFO then popped directly — identical order to repeated
     /// [`RankedQueue::dequeue_min`] (between 1→0 edges the accumulators do
@@ -819,6 +823,14 @@ impl<T> BucketCore<T> for ApproxGradientQueue<T> {
 
     fn pop_min_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
         RankedQueue::dequeue_batch(self, max, out)
+    }
+
+    fn pop_max_bucket(&mut self) -> Option<(usize, u64, T)> {
+        let k = self.occ.first_set()?;
+        let bkt = self.nb - 1 - k;
+        let (rank, item) = self.buckets.pop(bkt)?;
+        self.vacate(k);
+        Some((bkt, rank, item))
     }
 
     fn min_bucket(&self) -> Option<usize> {

@@ -167,6 +167,31 @@ impl<T> Buckets<T> {
         DrainBucket { buckets: self, i }
     }
 
+    /// Nodes ever allocated in the slab (live + free-listed). Bounded by
+    /// *peak* occupancy — steady-state churn recycles instead of growing —
+    /// which the churn property tests pin. Diagnostics only.
+    pub fn slab_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Length of the free list (walks it; diagnostics only). Every slab
+    /// node is either live in some bucket or on the free list, so this
+    /// must always equal `slab_len() − len()` — the churn property tests
+    /// assert that identity to catch leaked or double-freed nodes.
+    pub fn free_list_len(&self) -> usize {
+        let mut n = 0;
+        let mut idx = self.free;
+        while idx != NIL {
+            n += 1;
+            assert!(
+                n <= self.nodes.len(),
+                "free list longer than the slab: a node was freed twice"
+            );
+            idx = self.nodes[idx as usize].next;
+        }
+        n
+    }
+
     /// Removes every element for which `pred` returns false from bucket `i`,
     /// preserving FIFO order of the survivors. Returns the removed elements.
     ///

@@ -47,6 +47,13 @@ pub trait BucketCore<T> {
         }
         n
     }
+    /// Pops from the maximum non-empty bucket, reporting which bucket it
+    /// was. Default `None` = the core has no exact max path; cores with an
+    /// occupancy bitmap override it so the circular wrapper can serve
+    /// priority-drop eviction ([`RankedQueue::dequeue_max`]).
+    fn pop_max_bucket(&mut self) -> Option<(usize, u64, T)> {
+        None
+    }
     /// Index of the minimum non-empty bucket.
     fn min_bucket(&self) -> Option<usize>;
     /// Stored element count.
@@ -206,6 +213,19 @@ impl<C: BucketCore<T>, T> RankedQueue<T> for Circular<C, T> {
             n += got;
         }
         n
+    }
+
+    /// Exact max extraction: the secondary half's window covers strictly
+    /// larger ranks than the primary's (and holds the clamped-high
+    /// overflow), so the maximum lives wherever the secondary is non-empty.
+    /// No rotation — that stays the exclusive business of the min path.
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        let half = if self.secondary_ref().core_len() > 0 {
+            1 - self.primary
+        } else {
+            self.primary
+        };
+        self.halves[half].pop_max_bucket().map(|(_, r, t)| (r, t))
     }
 
     fn peek_min_rank(&self) -> Option<u64> {

@@ -132,6 +132,18 @@ impl<T> RankedQueue<T> for TreePq<T> {
         Some((rank, item))
     }
 
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        let (&rank, fifo) = self.tree.iter_mut().next_back()?;
+        // LIFO within the max rank: the youngest worst-ranked element is
+        // the one overload sheds first (it has waited least).
+        let item = fifo.pop_back().expect("empty FIFOs are removed eagerly");
+        if fifo.is_empty() {
+            self.tree.remove(&rank);
+        }
+        self.len -= 1;
+        Some((rank, item))
+    }
+
     fn peek_min_rank(&self) -> Option<u64> {
         self.tree.keys().next().copied()
     }

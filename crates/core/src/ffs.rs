@@ -96,6 +96,10 @@ impl<T> RankedQueue<T> for FfsQueue<T> {
         out
     }
 
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        FfsQueue::dequeue_max(self)
+    }
+
     fn peek_min_rank(&self) -> Option<u64> {
         word::lowest_set(self.bitmap).map(|b| self.base + b as u64 * self.granularity)
     }

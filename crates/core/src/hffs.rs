@@ -130,6 +130,10 @@ impl<T> RankedQueue<T> for HierFfsQueue<T> {
         out
     }
 
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        HierFfsQueue::dequeue_max(self)
+    }
+
     /// Batched fast path: one root descent locates the minimum bucket, the
     /// bucket FIFO is drained directly, and the *next* bucket is found with
     /// `first_set_from` (at most `2·depth` word ops, usually one leaf word)
@@ -158,6 +162,15 @@ impl<T> BucketCore<T> for HierFfsQueue<T> {
 
     fn pop_min_bucket(&mut self) -> Option<(usize, u64, T)> {
         let b = self.bitmap.first_set()?;
+        let (rank, item) = self.buckets.pop(b).expect("bitmap said non-empty");
+        if self.buckets.bucket_is_empty(b) {
+            self.bitmap.clear(b);
+        }
+        Some((b, rank, item))
+    }
+
+    fn pop_max_bucket(&mut self) -> Option<(usize, u64, T)> {
+        let b = self.bitmap.last_set()?;
         let (rank, item) = self.buckets.pop(b).expect("bitmap said non-empty");
         if self.buckets.bucket_is_empty(b) {
             self.bitmap.clear(b);

@@ -136,6 +136,20 @@ pub trait RankedQueue<T> {
         n
     }
 
+    /// Removes and returns a maximum-bucket element (`ExtractMax`), for
+    /// rank-aware priority-drop eviction: overload sheds the worst-ranked
+    /// resident element first (pFabric's drop policy, reused by the chaos
+    /// harness's admission layer).
+    ///
+    /// Returns `None` when the queue is empty **or** when the
+    /// implementation has no exact max path (the default). Callers that
+    /// need to distinguish the two check `len() > 0` first and fall back
+    /// to tail drop on unsupported backends — an honest fallback beats a
+    /// silent O(n) scan on a hot path.
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        None
+    }
+
     /// Rank lower edge of the minimum non-empty bucket.
     ///
     /// This is the queue's `SoonestDeadline()` (paper §4): a timer armed for
@@ -153,6 +167,45 @@ pub trait RankedQueue<T> {
     /// Clamping/approximation counters. Exact queues return zeros.
     fn stats(&self) -> QueueStats {
         QueueStats::default()
+    }
+}
+
+/// Boxed queues forward every method (including the overridden batch and
+/// max paths) to the inner implementation, so generic code can be written
+/// over `Q: RankedQueue<T>` and instantiated with a boxed
+/// `dyn RankedQueue<T> + Send` — the shape the threaded chaos harness
+/// moves across threads.
+impl<T, Q: RankedQueue<T> + ?Sized> RankedQueue<T> for Box<Q> {
+    fn enqueue(&mut self, rank: u64, item: T) -> Result<(), EnqueueError<T>> {
+        (**self).enqueue(rank, item)
+    }
+
+    fn dequeue_min(&mut self) -> Option<(u64, T)> {
+        (**self).dequeue_min()
+    }
+
+    fn dequeue_batch(&mut self, max: usize, out: &mut Vec<(u64, T)>) -> usize {
+        (**self).dequeue_batch(max, out)
+    }
+
+    fn dequeue_max(&mut self) -> Option<(u64, T)> {
+        (**self).dequeue_max()
+    }
+
+    fn peek_min_rank(&self) -> Option<u64> {
+        (**self).peek_min_rank()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn stats(&self) -> QueueStats {
+        (**self).stats()
     }
 }
 
@@ -231,6 +284,53 @@ impl QueueKind {
     /// fixed-range kinds cover `[start_rank, start_rank + span)`; circular
     /// kinds start their window at `start_rank`.
     pub fn build<T: 'static>(self, cfg: QueueConfig) -> Box<dyn RankedQueue<T>> {
+        match self {
+            QueueKind::Ffs => Box::new(crate::FfsQueue::with_base(cfg.granularity, cfg.start_rank)),
+            QueueKind::HierFfs => Box::new(crate::HierFfsQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::Cffs => Box::new(crate::CffsQueue::new(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::Gradient => Box::new(crate::HierGradientQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::ApproxGradient { alpha } => Box::new(crate::ApproxGradientQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+                alpha,
+            )),
+            QueueKind::CircularApprox { alpha } => Box::new(crate::CircularApproxQueue::new(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+                alpha,
+            )),
+            QueueKind::BucketHeap => Box::new(crate::BucketHeapQueue::with_base(
+                cfg.num_buckets,
+                cfg.granularity,
+                cfg.start_rank,
+            )),
+            QueueKind::SpPifo { queues } => Box::new(crate::SpPifoQueue::new(queues as usize)),
+            QueueKind::Rifo => Box::new(crate::RifoQueue::new(cfg.num_buckets)),
+            QueueKind::BinaryHeap => Box::new(crate::HeapPq::new()),
+            QueueKind::BTree => Box::new(crate::TreePq::new()),
+        }
+    }
+
+    /// [`QueueKind::build`] with a `Send` bound on the trait object, for
+    /// harnesses that move the queue onto another thread (the chaos
+    /// runtime's per-shard ranked qdiscs). Kept as a separate constructor
+    /// — rather than tightening `build` — because `eiffel-pifo` builds
+    /// queues over element types it never sends across threads.
+    pub fn build_send<T: Send + 'static>(self, cfg: QueueConfig) -> Box<dyn RankedQueue<T> + Send> {
         match self {
             QueueKind::Ffs => Box::new(crate::FfsQueue::with_base(cfg.granularity, cfg.start_rank)),
             QueueKind::HierFfs => Box::new(crate::HierFfsQueue::with_base(

@@ -17,11 +17,14 @@
 //!   the same bucket as the f64 reference estimator it replaced — or one
 //!   strictly closer to the true minimum.
 
+use std::collections::{BTreeSet, VecDeque};
+
 use proptest::prelude::*;
 
+use eiffel_core::buckets::Buckets;
 use eiffel_core::{
-    count_inversions, ApproxGradientQueue, OracleAudit, QueueConfig, QueueKind, RankedQueue,
-    RifoQueue, SpPifoQueue,
+    count_inversions, ApproxGradientQueue, HierBitmap, OracleAudit, QueueConfig, QueueKind,
+    RankedQueue, RifoQueue, SpPifoQueue,
 };
 
 #[derive(Debug, Clone)]
@@ -257,6 +260,124 @@ proptest! {
                 round += 1;
             }
             prop_assert!(batched.is_empty() && single.is_empty());
+        }
+    }
+
+    /// Flow-churn through the shared node slab: arbitrary interleaved
+    /// push/pop scripts across buckets, audited against a per-bucket FIFO
+    /// oracle, with the storage invariants checked after *every* op —
+    /// `free_list_len() = slab_len() − len()` (no leaked or double-freed
+    /// nodes; the walk itself panics on a free-list cycle) and
+    /// `slab_len() ≤ peak occupancy` (churn recycles, never grows).
+    #[test]
+    fn slab_churn_recycles_nodes_and_keeps_fifo(
+        script in prop::collection::vec(
+            (0usize..24, 0u64..1_000, any::<bool>()),
+            1..600,
+        ),
+    ) {
+        let mut b: Buckets<u64> = Buckets::new(24);
+        let mut oracle: Vec<VecDeque<(u64, u64)>> = vec![VecDeque::new(); 24];
+        let mut peak = 0usize;
+        let mut serial = 0u64;
+        for &(bucket, rank, is_push) in &script {
+            if is_push {
+                b.push(bucket, rank, serial);
+                oracle[bucket].push_back((rank, serial));
+                serial += 1;
+            } else {
+                prop_assert_eq!(b.pop(bucket), oracle[bucket].pop_front(), "bucket {}", bucket);
+            }
+            peak = peak.max(b.len());
+            prop_assert_eq!(b.len(), oracle.iter().map(|q| q.len()).sum::<usize>());
+            prop_assert_eq!(
+                b.free_list_len(),
+                b.slab_len() - b.len(),
+                "every slab node must be live or free-listed, never both/neither"
+            );
+            prop_assert!(
+                b.slab_len() <= peak.max(1),
+                "slab grew to {} nodes for peak occupancy {}",
+                b.slab_len(),
+                peak
+            );
+        }
+        // Drain everything: the oracle must agree to the end, and the full
+        // slab must land on the free list.
+        for (bucket, expect) in oracle.iter_mut().enumerate() {
+            while let Some(got) = b.pop(bucket) {
+                prop_assert_eq!(Some(got), expect.pop_front());
+            }
+            prop_assert!(expect.is_empty(), "bucket {} lost elements", bucket);
+        }
+        prop_assert_eq!(b.free_list_len(), b.slab_len());
+    }
+
+    /// Occupancy-bitmap churn against a set oracle: arbitrary set/clear
+    /// scripts (heavy on 0↔1 edges — the transitions the hierarchy's
+    /// summary words must track exactly), with `first_set`/`last_set` and
+    /// the directional scans checked after every operation.
+    #[test]
+    fn hierbitmap_churn_matches_set_oracle(
+        len in 1usize..700,
+        script in prop::collection::vec((0usize..700, any::<bool>()), 1..400),
+        probe in 0usize..700,
+    ) {
+        let mut bm = HierBitmap::new(len);
+        let mut oracle: BTreeSet<usize> = BTreeSet::new();
+        for &(i, set) in &script {
+            let i = i % len;
+            if set {
+                bm.set(i);
+                oracle.insert(i);
+            } else {
+                bm.clear(i);
+                oracle.remove(&i);
+            }
+            prop_assert_eq!(bm.count_ones(), oracle.len());
+            prop_assert_eq!(bm.first_set(), oracle.iter().next().copied());
+            prop_assert_eq!(bm.last_set(), oracle.iter().next_back().copied());
+            let p = probe % len;
+            prop_assert_eq!(bm.first_set_from(p), oracle.range(p..).next().copied());
+            prop_assert_eq!(bm.last_set_to(p), oracle.range(..=p).next_back().copied());
+        }
+    }
+
+    /// Flow churn at the queue level: repeated fill/drain cycles (each
+    /// cycle emptying the queue — many 0↔1 occupancy edges over recycled
+    /// slab nodes), audited by the PIFO oracle. Exact backends must stay
+    /// exact in *every* cycle: a stale summary bit or recycled-node bug
+    /// from cycle k would surface as rank error in cycle k+1.
+    #[test]
+    fn queue_churn_stays_exact_across_empty_cycles(
+        cycles in prop::collection::vec(
+            prop::collection::vec(0u64..64, 1..40),
+            2..8,
+        ),
+    ) {
+        let cfg = QueueConfig::new(700, 1, 0);
+        for kind in [
+            QueueKind::Ffs,
+            QueueKind::HierFfs,
+            QueueKind::Cffs,
+            QueueKind::Gradient,
+            QueueKind::BucketHeap,
+        ] {
+            let mut q: Box<dyn RankedQueue<u64>> = kind.build(cfg);
+            for ranks in &cycles {
+                let mut audit = OracleAudit::new();
+                for r in ranks {
+                    q.enqueue(*r, *r).unwrap();
+                    audit.on_enqueue(*r);
+                }
+                while let Some((r, _)) = q.dequeue_min() {
+                    audit.on_dequeue(r);
+                }
+                prop_assert!(q.is_empty(), "{:?} must drain to empty", kind);
+                let rep = audit.finish();
+                prop_assert_eq!(rep.pops, ranks.len() as u64, "{:?} conservation", kind);
+                prop_assert_eq!(rep.rank_error_sum, 0, "{:?} exactness after churn", kind);
+            }
         }
     }
 

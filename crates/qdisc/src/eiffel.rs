@@ -85,6 +85,13 @@ impl ShaperQdisc for EiffelQdisc {
         n
     }
 
+    fn evict_worst(&mut self) -> Option<Packet> {
+        // Latest-deadline packet, exactly (cFFS `ExtractMax`). The evicted
+        // flow's socket clock is *not* refunded: the wire time was already
+        // reserved at stamp time, matching a kernel drop after stamping.
+        self.queue.dequeue_max().map(|(_, p)| p)
+    }
+
     fn next_deadline(&self, _now: Nanos) -> Option<Nanos> {
         // SoonestDeadline(): O(1) on the cFFS bitmap hierarchy (§4).
         self.queue.peek_min_rank()

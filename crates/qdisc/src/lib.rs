@@ -29,6 +29,7 @@ pub mod eiffel;
 pub mod fq;
 pub mod host;
 pub mod qdisc;
+pub mod ranked;
 pub mod sharded;
 pub mod threaded;
 
@@ -37,9 +38,11 @@ pub use eiffel::EiffelQdisc;
 pub use fq::FqQdisc;
 pub use host::{run, HostConfig, HostReport};
 pub use qdisc::{ShaperQdisc, TimerStyle};
+pub use ranked::{backend_label, RankedShaperQdisc};
 pub use sharded::{
     run_sharded, run_sharded_traced, ShardStats, ShardTrace, ShardedConfig, ShardedReport,
 };
 pub use threaded::{
-    run_threaded, run_threaded_traced, CtrlMsg, ThreadedConfig, ThreadedReport, ThreadedTrace,
+    run_threaded, run_threaded_traced, ChaosReport, CtrlMsg, ThreadedConfig, ThreadedReport,
+    ThreadedTrace,
 };

@@ -77,6 +77,19 @@ pub trait ShaperQdisc {
         n
     }
 
+    /// Removes and returns the packet the discipline considers *worst* —
+    /// latest deadline / highest rank — for rank-aware priority-drop
+    /// admission (pFabric's overflow policy, reused by the chaos
+    /// harness's [`eiffel_chaos::AdmitPolicy::PriorityDrop`]).
+    ///
+    /// `None` means the qdisc is empty **or** has no exact max path (the
+    /// default — Carousel's wheel and FQ's per-flow FIFOs would need an
+    /// O(n) scan). Callers that saw `len() > 0` fall back to tail-dropping
+    /// the arrival and count the fallback honestly.
+    fn evict_worst(&mut self) -> Option<Packet> {
+        None
+    }
+
     /// When the timer should next fire, given nothing else happens.
     /// `None` = idle (no packets pending).
     fn next_deadline(&self, now: Nanos) -> Option<Nanos>;

@@ -30,8 +30,9 @@
 //! what makes the N-vs-1 equivalence exact rather than statistical.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+use eiffel_chaos::{Admission, AdmitPolicy, ChaosConfig, ShardFaults};
 use eiffel_sim::cpu::{IRQ_ENTRY_NS, LOCK_NS, PER_PACKET_STACK_NS};
 use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet};
 
@@ -63,6 +64,19 @@ pub struct ShardedConfig {
     /// *time-free* invariants — the property the threaded-vs-simulated
     /// equivalence suite compares across clocks.
     pub pkts_per_flow: Option<u64>,
+    /// Per-flow packet-count overrides (heavy-tailed workloads): flow `i`
+    /// emits `pkts_override[i]` packets. Takes precedence over
+    /// `pkts_per_flow` where present; must have `host.flows` entries.
+    pub pkts_override: Option<Vec<u64>>,
+    /// Per-flow first-emission times (incast waves): flow `i` starts at
+    /// `starts[i]`. `None` = the classic smooth stagger over one pacing
+    /// gap. Must have `host.flows` entries.
+    pub starts: Option<Vec<Nanos>>,
+    /// Fault plan + admission policy. The default is a no-op: no fault
+    /// windows, unlimited admission — behavior is bit-identical to the
+    /// pre-chaos host (the watchdog field is threaded-runtime-only and
+    /// ignored here; the virtual clock *knows* when stalls end).
+    pub chaos: ChaosConfig,
 }
 
 impl ShardedConfig {
@@ -73,6 +87,9 @@ impl ShardedConfig {
             host,
             flow_cap: None,
             pkts_per_flow: None,
+            pkts_override: None,
+            starts: None,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -94,6 +111,17 @@ pub struct ShardStats {
     pub median_cores: f64,
     /// Peak packets inside this shard's qdisc.
     pub peak_backlog: usize,
+    /// Arrivals dropped by the admission policy at this shard's qdisc
+    /// (tail drops, plus priority-drop fallbacks on maxless backends).
+    pub admission_dropped: u64,
+    /// Arrivals admitted but ECN-marked.
+    pub ecn_marked: u64,
+    /// Resident packets evicted by priority-drop admission.
+    pub evicted: u64,
+    /// Mean in-qdisc sojourn of released packets, ns (0 when none).
+    pub mean_latency_ns: f64,
+    /// Worst in-qdisc sojourn of a released packet, ns.
+    pub max_latency_ns: u64,
 }
 
 /// The merged result: per-shard slices plus host-level aggregates.
@@ -115,6 +143,19 @@ pub struct ShardedReport {
     pub total_median_cores: f64,
     /// Peak packets inside all qdiscs combined.
     pub peak_backlog: usize,
+    /// Total arrivals dropped by admission policy.
+    pub admission_dropped: u64,
+    /// Total arrivals ECN-marked.
+    pub ecn_marked: u64,
+    /// Total priority-drop evictions.
+    pub evicted: u64,
+    /// Emissions deferred because a stalled/squeezed shard's pending ring
+    /// was full (the virtual-clock analogue of producer ring-full retries).
+    pub ring_full_retries: u64,
+    /// Conservation audits performed (one per fault boundary crossed, plus
+    /// one at end of run). Every audit asserted
+    /// `emitted = delivered + dropped + in-flight` exactly.
+    pub audits: u64,
 }
 
 /// Packet-level record of a run, for equivalence testing.
@@ -151,6 +192,8 @@ impl ShardTrace {
 /// Event kinds, ordered so timers sort before sources at equal time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
+    /// Shard `shard`'s stall window ended: drain its pending ingress ring.
+    Resume { shard: u32 },
     /// Shard `shard`'s softirq timer (epoch guards stale timers).
     Timer { shard: u32, epoch: u64 },
     /// A flow has (possibly) TSQ budget: emit its next bulk packet.
@@ -160,8 +203,11 @@ enum Ev {
 impl Ev {
     fn kind(&self) -> u8 {
         match self {
-            Ev::Timer { .. } => 0, // softirq preempts the syscall path
-            Ev::Source(_) => 1,
+            // A resuming core first drains the ring its producers filled
+            // while it was paused, then its pended timer interrupt fires.
+            Ev::Resume { .. } => 0,
+            Ev::Timer { .. } => 1, // softirq preempts the syscall path
+            Ev::Source(_) => 2,
         }
     }
 }
@@ -203,6 +249,29 @@ pub(crate) struct Shard<Q> {
     pub(crate) dropped: u64,
     pub(crate) peak_backlog: usize,
     pub(crate) flows: usize,
+    pub(crate) admission_dropped: u64,
+    pub(crate) ecn_marked: u64,
+    pub(crate) evicted: u64,
+    pub(crate) lat_sum_ns: u128,
+    pub(crate) lat_max_ns: u64,
+}
+
+/// Outcome of admitting one arrival at a shard's qdisc — what the caller
+/// needs for TSQ/backlog bookkeeping. The shard's own admission counters
+/// are updated inside [`Shard::ingress`].
+pub(crate) enum IngressVerdict {
+    /// Admitted.
+    Queued,
+    /// Admitted and ECN-marked (counter-only: the model carries the
+    /// congestion *signal*, not a sender response loop).
+    Marked,
+    /// Refused at the door — tail drop, or priority-drop falling back on a
+    /// backend without a max path. The packet was freed; the caller must
+    /// refund its flow's TSQ budget (a kernel drop frees the skb).
+    DroppedArrival,
+    /// Admitted by evicting the worst-ranked resident; the caller must
+    /// refund the *victim's* flow.
+    Evicted(Packet),
 }
 
 impl<Q: ShaperQdisc> Shard<Q> {
@@ -219,19 +288,60 @@ impl<Q: ShaperQdisc> Shard<Q> {
             dropped: 0,
             peak_backlog: 0,
             flows: 0,
+            admission_dropped: 0,
+            ecn_marked: 0,
+            evicted: 0,
+            lat_sum_ns: 0,
+            lat_max_ns: 0,
         }
     }
 
-    /// Syscall-path stage: modelled lock + stack constants, measured
-    /// enqueue, backlog peak bookkeeping.
-    pub(crate) fn ingress(&mut self, now: Nanos, pkt: Packet, pacing_bps: u64) {
+    /// Syscall-path stage: modelled lock + stack constants, admission
+    /// decision, measured enqueue (and eviction), backlog peak bookkeeping.
+    /// With [`AdmitPolicy::Unlimited`] this is exactly the pre-chaos
+    /// unconditional-enqueue path.
+    pub(crate) fn ingress(
+        &mut self,
+        now: Nanos,
+        pkt: Packet,
+        pacing_bps: u64,
+        admit: &AdmitPolicy,
+    ) -> IngressVerdict {
         self.meter
             .charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
+        let verdict = match admit.decide(self.qdisc.len()) {
+            Admission::Enqueue => IngressVerdict::Queued,
+            Admission::EnqueueMarked => {
+                self.ecn_marked += 1;
+                IngressVerdict::Marked
+            }
+            Admission::DropArriving => {
+                self.admission_dropped += 1;
+                return IngressVerdict::DroppedArrival;
+            }
+            Admission::EvictWorst => {
+                let Shard { meter, qdisc, .. } = self;
+                let victim = meter.measure(now, CpuCategory::System, || qdisc.evict_worst());
+                match victim {
+                    Some(v) => {
+                        self.evicted += 1;
+                        IngressVerdict::Evicted(v)
+                    }
+                    None => {
+                        // Backend without a max path (`evict_worst`'s
+                        // default): degrade to tail-dropping the arrival.
+                        self.admission_dropped += 1;
+                        return IngressVerdict::DroppedArrival;
+                    }
+                }
+            }
+        };
         let Shard { meter, qdisc, .. } = self;
         meter.measure(now, CpuCategory::System, || {
             qdisc.enqueue(now, pkt, pacing_bps);
         });
         self.peak_backlog = self.peak_backlog.max(self.qdisc.len());
+        verdict
     }
 
     /// Arms — or tightens, if the new deadline is earlier — the softirq
@@ -259,6 +369,12 @@ impl<Q: ShaperQdisc> Shard<Q> {
         self.timer_epoch == epoch
     }
 
+    /// The live timer epoch — the jitter fault keys its per-fire seeded
+    /// draw on it so both runtimes delay the same fire by the same amount.
+    pub(crate) fn timer_epoch(&self) -> u64 {
+        self.timer_epoch
+    }
+
     /// Softirq stage: modelled IRQ entry, measured batched drain of
     /// everything due, transmit accounting. Clears `released` and leaves
     /// the drained packets in it for the caller's flow bookkeeping.
@@ -276,6 +392,9 @@ impl<Q: ShaperQdisc> Shard<Q> {
         for p in released.iter() {
             self.transmitted += 1;
             self.tx_bytes += p.bytes as u64;
+            let sojourn = now.saturating_sub(p.created_at);
+            self.lat_sum_ns += sojourn as u128;
+            self.lat_max_ns = self.lat_max_ns.max(sojourn);
         }
     }
 
@@ -293,6 +412,8 @@ impl<Q: ShaperQdisc> Shard<Q> {
 pub(crate) struct DriveOutcome<Q> {
     pub(crate) shards: Vec<Shard<Q>>,
     peak_total_backlog: usize,
+    ring_full_retries: u64,
+    audits: u64,
 }
 
 /// Runs the sharded host, returning the merged report.
@@ -337,6 +458,15 @@ fn run_inner<Q: ShaperQdisc>(
             timer_fires: sh.timer_fires,
             median_cores: sh.meter.median_cores(),
             peak_backlog: sh.peak_backlog,
+            admission_dropped: sh.admission_dropped,
+            ecn_marked: sh.ecn_marked,
+            evicted: sh.evicted,
+            mean_latency_ns: if sh.transmitted > 0 {
+                sh.lat_sum_ns as f64 / sh.transmitted as f64
+            } else {
+                0.0
+            },
+            max_latency_ns: sh.lat_max_ns,
         })
         .collect();
     ShardedReport {
@@ -347,12 +477,118 @@ fn run_inner<Q: ShaperQdisc>(
         timer_fires: per_shard.iter().map(|s| s.timer_fires).sum(),
         total_median_cores: per_shard.iter().map(|s| s.median_cores).sum(),
         peak_backlog: outcome.peak_total_backlog,
+        admission_dropped: per_shard.iter().map(|s| s.admission_dropped).sum(),
+        ecn_marked: per_shard.iter().map(|s| s.ecn_marked).sum(),
+        evicted: per_shard.iter().map(|s| s.evicted).sum(),
+        ring_full_retries: outcome.ring_full_retries,
+        audits: outcome.audits,
         per_shard,
+    }
+}
+
+/// Conservation audit: every minted packet is transmitted, dropped by
+/// admission, evicted, in a qdisc, or parked in a pending ring.
+fn audit<Q: ShaperQdisc>(
+    now: Nanos,
+    shards: &[Shard<Q>],
+    pending: &[VecDeque<Packet>],
+    next_pkt_id: u64,
+    total_backlog: usize,
+) {
+    let delivered_or_dropped: u64 = shards
+        .iter()
+        .map(|sh| sh.transmitted + sh.admission_dropped + sh.evicted)
+        .sum();
+    let in_ring: usize = pending.iter().map(|p| p.len()).sum();
+    assert_eq!(
+        next_pkt_id,
+        delivered_or_dropped + (total_backlog + in_ring) as u64,
+        "packet conservation violated at t={now}"
+    );
+}
+
+/// TSQ refund for a packet the qdisc freed without transmitting (admission
+/// drop or eviction): the kernel frees the skb, so the flow's budget comes
+/// back immediately — and a throttled flow gets its resume callback.
+fn refund(
+    now: Nanos,
+    flow: FlowId,
+    budget: &mut [u32],
+    inflight: &mut [u32],
+    sent: &[u64],
+    limits: &[u64],
+    events: &mut EvHeap,
+) {
+    let i = flow as usize;
+    inflight[i] -= 1;
+    if budget[i] == 0 && sent[i] < limits[i] {
+        events.schedule(now, Ev::Source(flow));
+    }
+    budget[i] += 1;
+}
+
+/// Admission + enqueue of one minted packet at its home shard, shared by
+/// the direct ingress path and the post-stall ring drain. Updates the
+/// host-level backlog and performs TSQ refunds for refused/evicted packets;
+/// the shard's own counters are updated inside [`Shard::ingress`].
+#[allow(clippy::too_many_arguments)]
+fn admit_one<Q: ShaperQdisc>(
+    now: Nanos,
+    pkt: Packet,
+    sh: &mut Shard<Q>,
+    per_flow_bps: u64,
+    admit: &AdmitPolicy,
+    budget: &mut [u32],
+    inflight: &mut [u32],
+    sent: &[u64],
+    limits: &[u64],
+    total_backlog: &mut usize,
+    events: &mut EvHeap,
+) {
+    let flow = pkt.flow;
+    match sh.ingress(now, pkt, per_flow_bps, admit) {
+        IngressVerdict::Queued | IngressVerdict::Marked => {
+            *total_backlog += 1;
+        }
+        IngressVerdict::DroppedArrival => {
+            refund(now, flow, budget, inflight, sent, limits, events);
+        }
+        IngressVerdict::Evicted(victim) => {
+            // The arrival went in and the worst resident came out: the
+            // backlog is net unchanged; only the victim's flow is refunded.
+            refund(now, victim.flow, budget, inflight, sent, limits, events);
+        }
     }
 }
 
 /// The one event loop behind both host models: N simulated cores under one
 /// virtual clock ([`crate::host::run`] is the 1-shard case).
+///
+/// Fault semantics on the virtual clock (all from `cfg.chaos.plan`,
+/// compiled to per-shard [`ShardFaults`]):
+///
+/// * **Stall**: the core is paused — arrivals park in a per-shard pending
+///   ring (bounded by the squeezed ring capacity; emissions that find it
+///   full back off a pacing gap without consuming budget, counted in
+///   [`ShardedReport::ring_full_retries`]) and pended timer interrupts
+///   deliver at stall end. An [`Ev::Resume`] drains the ring in arrival
+///   order through admission when the stall lifts.
+/// * **RingSqueeze**: bounds the pending ring. Outside a stall the virtual
+///   consumer is infinitely fast, so a squeeze alone cannot fill the ring —
+///   its bite shows when combined with stalls (and on the threaded runtime,
+///   where the ring is a real SPSC queue).
+/// * **TimerJitter**: a seeded extra delay added when a timer is armed —
+///   same draw for the same (seed, shard, epoch) in both runtimes.
+/// * **SlowConsumer**: per-released-packet CPU penalty charged to the
+///   softirq meter; the next re-arm is pushed past the time the slow drain
+///   would have finished.
+/// * **CompletionLoss** is a threaded-runtime fault (it corrupts the real
+///   completion rings); the virtual clock has no completion transport to
+///   corrupt, so it is a no-op here.
+///
+/// Packet conservation — `minted = transmitted + admission_dropped +
+/// evicted + in-qdisc + in-ring` — is asserted every time virtual time
+/// crosses a fault-window boundary, and once at end of run.
 pub(crate) fn drive<Q: ShaperQdisc>(
     mut mk: impl FnMut(usize) -> Q,
     cfg: &ShardedConfig,
@@ -364,12 +600,29 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let per_flow_bps = (host.aggregate.as_bps() / host.flows as u64).max(1);
     let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
     let batch = host.batch.max(1);
+    let admit = &cfg.chaos.admit;
 
-    let limit = cfg.pkts_per_flow.unwrap_or(u64::MAX);
+    // Per-flow emission limits: explicit override > uniform cap > open.
+    let limits: Vec<u64> = match &cfg.pkts_override {
+        Some(v) => {
+            assert_eq!(v.len(), host.flows, "pkts_override length");
+            v.clone()
+        }
+        None => vec![cfg.pkts_per_flow.unwrap_or(u64::MAX); host.flows],
+    };
 
     let mut shards: Vec<Shard<Q>> = (0..n_shards)
         .map(|i| Shard::new(mk(i), CpuMeter::new(host.bin, host.duration)))
         .collect();
+
+    // Compiled per-shard fault schedules and the pending ingress rings the
+    // stall model parks arrivals in. All empty for a no-op plan.
+    let faults: Vec<ShardFaults> = (0..n_shards).map(|s| cfg.chaos.plan.compile(s)).collect();
+    let mut pending: Vec<VecDeque<Packet>> = (0..n_shards).map(|_| VecDeque::new()).collect();
+    let boundaries = cfg.chaos.plan.boundaries();
+    let mut next_boundary = 0usize;
+    let mut ring_full_retries = 0u64;
+    let mut audits = 0u64;
 
     // Stable flow→shard map, fixed before any packet moves.
     let home: Vec<u32> = (0..host.flows as u32)
@@ -387,12 +640,20 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let mut sent = vec![0u64; host.flows];
 
     let mut events = EvHeap::default();
-    // Stagger first emissions across one pacing gap, as in `host::run`:
-    // the stagger depends only on the flow id and the *total* flow count,
-    // so it is identical at every shard count.
-    for id in 0..host.flows as u32 {
-        let at = pacing_gap * id as u64 / host.flows as u64;
-        events.schedule(at, Ev::Source(id));
+    // First emissions: explicit start times (incast waves), or staggered
+    // across one pacing gap as in `host::run` — the stagger depends only on
+    // the flow id and the *total* flow count, so it is identical at every
+    // shard count.
+    if let Some(starts) = &cfg.starts {
+        assert_eq!(starts.len(), host.flows, "starts length");
+        for id in 0..host.flows as u32 {
+            events.schedule(starts[id as usize], Ev::Source(id));
+        }
+    } else {
+        for id in 0..host.flows as u32 {
+            let at = pacing_gap * id as u64 / host.flows as u64;
+            events.schedule(at, Ev::Source(id));
+        }
     }
 
     let mut next_pkt_id = 0u64;
@@ -404,14 +665,31 @@ pub(crate) fn drive<Q: ShaperQdisc>(
         if now >= host.duration {
             break;
         }
+        // Audit at every fault-boundary crossing: the books must balance
+        // exactly when a fault engages or clears.
+        while boundaries.get(next_boundary).is_some_and(|&b| b <= now) {
+            audit(now, &shards, &pending, next_pkt_id, total_backlog);
+            audits += 1;
+            next_boundary += 1;
+        }
         match ev {
             Ev::Source(id) => {
                 let i = id as usize;
-                if budget[i] == 0 || sent[i] >= limit {
+                if budget[i] == 0 || sent[i] >= limits[i] {
                     continue; // TSQ throttled (a completion reschedules us)
                               // or the finite workload is done.
                 }
                 let s = home[i] as usize;
+                if faults[s].stalled(now)
+                    && pending[s].len() >= faults[s].ring_capacity(now, usize::MAX)
+                {
+                    // The stalled shard's ingress ring is full: the emission
+                    // itself is deferred — no budget consumed, no packet
+                    // minted yet. Bounded backoff, one pacing gap.
+                    ring_full_retries += 1;
+                    events.schedule(now + pacing_gap.max(1), Ev::Source(id));
+                    continue;
+                }
                 arrivals[i] += 1;
                 if flow_cap.is_some_and(|cap| inflight[i] >= cap) {
                     // Qdisc-full backpressure: drop and retry a gap later.
@@ -427,18 +705,43 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                 sent[i] += 1;
                 let pkt = Packet::mtu(next_pkt_id, id, now);
                 next_pkt_id += 1;
-                let sh = &mut shards[s];
-                sh.ingress(now, pkt, per_flow_bps);
-                total_backlog += 1;
+                if faults[s].stalled(now) {
+                    // Core paused: park in the ingress ring; the first
+                    // parked packet schedules the resume drain.
+                    pending[s].push_back(pkt);
+                    if pending[s].len() == 1 {
+                        let until = faults[s].stall_until(now).expect("stalled => end");
+                        events.schedule(until, Ev::Resume { shard: s as u32 });
+                    }
+                    if budget[i] > 0 && sent[i] < limits[i] {
+                        events.schedule(now, Ev::Source(id));
+                    }
+                    continue;
+                }
+                admit_one(
+                    now,
+                    pkt,
+                    &mut shards[s],
+                    per_flow_bps,
+                    admit,
+                    &mut budget,
+                    &mut inflight,
+                    &sent,
+                    &limits,
+                    &mut total_backlog,
+                    &mut events,
+                );
                 peak_total_backlog = peak_total_backlog.max(total_backlog);
-                if budget[i] > 0 && sent[i] < limit {
+                if budget[i] > 0 && sent[i] < limits[i] {
                     // Bulk sender: next packet goes straight away.
                     events.schedule(now, Ev::Source(id));
                 }
                 // Arm (or tighten) this shard's timer.
+                let sh = &mut shards[s];
                 if let Some(want) = sh.tighten_timer(now) {
+                    let at = want + faults[s].timer_extra_delay(want, sh.timer_epoch);
                     events.schedule(
-                        want,
+                        at,
                         Ev::Timer {
                             shard: s as u32,
                             epoch: sh.timer_epoch,
@@ -446,14 +749,71 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                     );
                 }
             }
+            Ev::Resume { shard } => {
+                let s = shard as usize;
+                if faults[s].stalled(now) {
+                    // An overlapping window extended the stall: stay parked.
+                    let until = faults[s].stall_until(now).expect("stalled => end");
+                    events.schedule(until, Ev::Resume { shard });
+                    continue;
+                }
+                // Drain the ingress ring in arrival order through admission.
+                while let Some(pkt) = pending[s].pop_front() {
+                    admit_one(
+                        now,
+                        pkt,
+                        &mut shards[s],
+                        per_flow_bps,
+                        admit,
+                        &mut budget,
+                        &mut inflight,
+                        &sent,
+                        &limits,
+                        &mut total_backlog,
+                        &mut events,
+                    );
+                }
+                peak_total_backlog = peak_total_backlog.max(total_backlog);
+                let sh = &mut shards[s];
+                if let Some(want) = sh.tighten_timer(now) {
+                    let at = want + faults[s].timer_extra_delay(want, sh.timer_epoch);
+                    events.schedule(
+                        at,
+                        Ev::Timer {
+                            shard,
+                            epoch: sh.timer_epoch,
+                        },
+                    );
+                }
+            }
             Ev::Timer { shard, epoch } => {
                 let s = shard as usize;
+                if faults[s].stalled(now) {
+                    // The core is paused: the hrtimer interrupt pends in
+                    // hardware and delivers when the core resumes.
+                    if shards[s].timer_epoch_is(epoch) {
+                        let until = faults[s].stall_until(now).expect("stalled => end");
+                        events.schedule(until, Ev::Timer { shard, epoch });
+                    }
+                    continue;
+                }
+                let released_count;
                 {
                     let sh = &mut shards[s];
                     if !sh.timer_epoch_is(epoch) {
                         continue; // superseded timer, never fired in hardware
                     }
                     sh.softirq(now, batch, &mut released);
+                    released_count = released.len() as u64;
+                }
+                let penalty = faults[s].consumer_penalty_ns(now);
+                if penalty > 0 && released_count > 0 {
+                    // Slow consumer: extra per-packet CPU in softirq context.
+                    shards[s].meter.charge(
+                        now,
+                        CpuCategory::SoftIrq,
+                        eiffel_sim::WallNanos::from_nanos(penalty.saturating_mul(released_count)),
+                    );
                 }
                 for p in released.drain(..) {
                     total_backlog -= 1;
@@ -462,17 +822,20 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                     if let Some(t) = trace.as_deref_mut() {
                         t.releases.push((now, p.flow, p.bytes));
                     }
-                    if budget[i] == 0 && sent[i] < limit {
+                    if budget[i] == 0 && sent[i] < limits[i] {
                         // TSQ callback: the flow was throttled — resume it.
                         events.schedule(now, Ev::Source(p.flow));
                     }
                     budget[i] += 1;
                 }
-                // Re-arm.
+                // Re-arm; a slow consumer cannot fire again before its
+                // delayed drain would have finished.
                 let sh = &mut shards[s];
                 if let Some(want) = sh.rearm(now) {
+                    let want = want.max(now + penalty.saturating_mul(released_count));
+                    let at = want + faults[s].timer_extra_delay(want, sh.timer_epoch);
                     events.schedule(
-                        want,
+                        at,
                         Ev::Timer {
                             shard,
                             epoch: sh.timer_epoch,
@@ -483,9 +846,15 @@ pub(crate) fn drive<Q: ShaperQdisc>(
         }
     }
 
+    // End-of-run audit: the books balance after the heap drains too.
+    audit(host.duration, &shards, &pending, next_pkt_id, total_backlog);
+    audits += 1;
+
     DriveOutcome {
         shards,
         peak_total_backlog,
+        ring_full_retries,
+        audits,
     }
 }
 

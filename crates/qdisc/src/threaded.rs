@@ -55,23 +55,33 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::time::Instant;
+use std::sync::atomic::{fence, Ordering};
+use std::time::{Duration, Instant};
 
+use eiffel_chaos::{AdmitPolicy, ChaosConfig, ShardFaults};
 use eiffel_core::ring::{SpscConsumer, SpscProducer, SpscRing};
 use eiffel_core::CounterBlock;
-use eiffel_sim::{shard_of, CpuMeter, FlowId, Nanos, Packet, WallNanos, SECOND};
+use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet, WallNanos, SECOND};
 
 use crate::host::HostConfig;
 use crate::qdisc::ShaperQdisc;
-use crate::sharded::{Shard, ShardStats};
+use crate::sharded::{IngressVerdict, Shard, ShardStats};
 
 /// Counter slots published by each shard thread (single writer each).
 const C_TRANSMITTED: usize = 0;
 const C_TX_BYTES: usize = 1;
 const C_TIMER_FIRES: usize = 2;
 const C_ENQUEUED: usize = 3;
+/// Wall nanoseconds (since run start) of the shard's last live loop
+/// iteration — frozen while the shard is stalled; the watchdog reads it.
+const C_HEARTBEAT: usize = 4;
+/// Packets this shard has disposed of (transmitted + admission-dropped +
+/// evicted) — each one owes the producer exactly one completion. Written
+/// *after* the completion push (release-fenced) so the producer's
+/// reconciliation can only under-estimate losses, never over-estimate.
+const C_DISPOSED: usize = 5;
 /// One shard's live statistics block.
-type ShardCounters = CounterBlock<4>;
+type ShardCounters = CounterBlock<6>;
 
 /// Control-plane messages (cold path; one per run today).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +124,16 @@ pub struct ThreadedConfig {
     pub wall_limit: WallNanos,
     /// Capacity of each data ring (completion rings match).
     pub ring_capacity: usize,
+    /// Per-flow packet-count overrides (heavy-tailed workloads), as in
+    /// [`crate::sharded::ShardedConfig::pkts_override`]. Any override makes
+    /// the run finite.
+    pub pkts_override: Option<Vec<u64>>,
+    /// Per-flow first-emission wall times (incast waves). Must be
+    /// nondecreasing in flow id — the producer starts flows by walking the
+    /// schedule in order. `None` = smooth stagger over one pacing gap.
+    pub starts: Option<Vec<Nanos>>,
+    /// Fault plan, admission policy, and watchdog. The default is a no-op.
+    pub chaos: ChaosConfig,
 }
 
 impl ThreadedConfig {
@@ -126,6 +146,9 @@ impl ThreadedConfig {
             pkts_per_flow: None,
             wall_limit,
             ring_capacity: 4_096,
+            pkts_override: None,
+            starts: None,
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -143,8 +166,44 @@ impl ThreadedConfig {
             pkts_per_flow: Some(pkts_per_flow),
             wall_limit: WallNanos(ideal.saturating_mul(4) + 2 * SECOND),
             ring_capacity: 4_096,
+            pkts_override: None,
+            starts: None,
+            chaos: ChaosConfig::default(),
         }
     }
+}
+
+/// Fault-handling outcome of a threaded run — all zeros for a no-op
+/// [`ChaosConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Arrivals refused by the admission policy at the qdiscs.
+    pub admission_dropped: u64,
+    /// Arrivals admitted but ECN-marked.
+    pub ecn_marked: u64,
+    /// Resident packets evicted by priority-drop admission.
+    pub evicted: u64,
+    /// Completions the fault plan dropped on the completion rings.
+    pub completions_lost: u64,
+    /// Leaked TSQ budgets the watchdog's reconciliation refunded. Catches
+    /// up to `completions_lost` one watchdog tick later (losses in the
+    /// final tick of a run can stay unrecovered — honestly reported here).
+    pub completions_recovered: u64,
+    /// Packets steered away from a watchdog-suspect shard to a live one.
+    /// Failover trades per-flow ordering for liveness while it lasts.
+    pub redirected: u64,
+    /// Shard-stall detections (heartbeat older than `stall_after`).
+    pub stalls_detected: u64,
+    /// Suspect shards whose heartbeat came back.
+    pub recoveries: u64,
+    /// Packets left in data rings at shutdown (timed runs end mid-flight;
+    /// a drained finite run reports 0).
+    pub ring_residue: u64,
+    /// Conservation check: `emitted − (transmitted + admission_dropped +
+    /// evicted + qdisc residue + ring residue)` at join. **Always 0** —
+    /// every emitted packet is accounted for at every fault intensity;
+    /// debug builds assert it.
+    pub final_unaccounted: i64,
 }
 
 /// The merged result of a threaded run. Mirrors
@@ -184,12 +243,15 @@ pub struct ThreadedReport {
     pub peak_backlog: usize,
     /// Wall time from spawn to the last shard joining.
     pub wall_elapsed: WallNanos,
-    /// Times the producer found a data ring full (a backpressure signal,
-    /// not an error — pushes retry until they land).
+    /// Times the producer found a data ring full (or squeezed below its
+    /// occupancy by a fault) and deferred the emission with bounded
+    /// backoff — a backpressure signal, not an error.
     pub ring_full_retries: u64,
     /// A finite workload hit [`ThreadedConfig::wall_limit`] before
     /// draining — the counters below are then truncated, not complete.
     pub timed_out: bool,
+    /// Fault-handling outcome (all zeros without a chaos plan).
+    pub chaos: ChaosReport,
 }
 
 /// Packet-level record of a threaded run.
@@ -267,6 +329,10 @@ struct ShardOutcome<Q> {
     releases: Vec<(WallNanos, FlowId, u64, u32)>,
     /// Wall time at this shard's exit (its rate denominator).
     final_now: Nanos,
+    /// Packets still in the data ring at exit (timed runs only).
+    ring_residue: u64,
+    /// Completions the fault plan dropped at this shard.
+    completions_lost: u64,
 }
 
 fn run_inner<Q: ShaperQdisc + Send>(
@@ -317,6 +383,11 @@ fn run_inner<Q: ShaperQdisc + Send>(
         shards_init[h as usize].flows += 1;
     }
 
+    // Per-shard fault schedules, compiled once; workers get a clone, the
+    // producer keeps the set (for ring squeezes and the watchdog).
+    let faults: Vec<ShardFaults> = (0..n).map(|i| cfg.chaos.plan.compile(i)).collect();
+    let admit = cfg.chaos.admit;
+
     let start = Instant::now();
     let mut outcomes: Vec<ShardOutcome<Q>> = Vec::with_capacity(n);
     let mut producer_out = ProducerOutcome::default();
@@ -329,6 +400,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
             let ctrl = ctrl_rx.pop().expect("one ctrl ring per shard");
             let comp = comp_tx.pop().expect("one completion ring per shard");
             let stats = &counters[i];
+            let shard_faults = faults[i].clone();
             handles.push(s.spawn(move || {
                 shard_worker(
                     shard,
@@ -339,6 +411,8 @@ fn run_inner<Q: ShaperQdisc + Send>(
                     start,
                     per_flow_bps,
                     batch,
+                    shard_faults,
+                    admit,
                     want_trace,
                 )
             }));
@@ -353,6 +427,8 @@ fn run_inner<Q: ShaperQdisc + Send>(
             &mut data_tx,
             &mut ctrl_tx,
             &mut comp_rx,
+            &counters,
+            &faults,
             want_trace,
         );
 
@@ -386,6 +462,15 @@ fn run_inner<Q: ShaperQdisc + Send>(
                 timer_fires: o.shard.timer_fires,
                 median_cores: o.shard.meter.median_cores(),
                 peak_backlog: o.shard.peak_backlog,
+                admission_dropped: o.shard.admission_dropped,
+                ecn_marked: o.shard.ecn_marked,
+                evicted: o.shard.evicted,
+                mean_latency_ns: if o.shard.transmitted > 0 {
+                    o.shard.lat_sum_ns as f64 / o.shard.transmitted as f64
+                } else {
+                    0.0
+                },
+                max_latency_ns: o.shard.lat_max_ns,
             }
         })
         .collect();
@@ -404,6 +489,32 @@ fn run_inner<Q: ShaperQdisc + Send>(
             acc.1 += irq;
         }
     }
+    // Exact conservation at join: the producer stopped before the shards
+    // exited (the control push synchronizes the rings), so every emitted
+    // packet is in exactly one bucket below.
+    let disposed: u64 = outcomes
+        .iter()
+        .map(|o| o.shard.transmitted + o.shard.admission_dropped + o.shard.evicted)
+        .sum();
+    let qdisc_residue: u64 = outcomes.iter().map(|o| o.shard.qdisc.len() as u64).sum();
+    let ring_residue: u64 = outcomes.iter().map(|o| o.ring_residue).sum();
+    let chaos = ChaosReport {
+        admission_dropped: outcomes.iter().map(|o| o.shard.admission_dropped).sum(),
+        ecn_marked: outcomes.iter().map(|o| o.shard.ecn_marked).sum(),
+        evicted: outcomes.iter().map(|o| o.shard.evicted).sum(),
+        completions_lost: outcomes.iter().map(|o| o.completions_lost).sum(),
+        completions_recovered: producer_out.completions_recovered,
+        redirected: producer_out.redirected,
+        stalls_detected: producer_out.stalls_detected,
+        recoveries: producer_out.recoveries,
+        ring_residue,
+        final_unaccounted: producer_out.emitted as i64
+            - (disposed + qdisc_residue + ring_residue) as i64,
+    };
+    debug_assert_eq!(
+        chaos.final_unaccounted, 0,
+        "threaded packet conservation violated"
+    );
     let report = ThreadedReport {
         name,
         transmitted: per_shard.iter().map(|s| s.transmitted).sum(),
@@ -420,6 +531,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
         wall_elapsed,
         ring_full_retries: producer_out.ring_full_retries,
         timed_out: producer_out.timed_out,
+        chaos,
         per_shard,
     };
     let trace = ThreadedTrace {
@@ -427,6 +539,35 @@ fn run_inner<Q: ShaperQdisc + Send>(
         drops: producer_out.drops,
     };
     (report, trace)
+}
+
+/// One completion per disposed packet (transmitted, admission-dropped, or
+/// evicted) — unless the fault plan loses it on the wire. The push blocks
+/// spin-then-yield; the producer always drains completion rings.
+fn send_completion(
+    comp: &mut SpscProducer<FlowId>,
+    faults: &ShardFaults,
+    now: Nanos,
+    comp_seq: &mut u64,
+    lost: &mut u64,
+    flow: FlowId,
+) {
+    let seq = *comp_seq;
+    *comp_seq += 1;
+    if faults.lose_completion(now, seq) {
+        *lost += 1;
+        return;
+    }
+    let mut f = flow;
+    loop {
+        match comp.push(f) {
+            Ok(()) => break,
+            Err(back) => {
+                f = back;
+                std::thread::yield_now();
+            }
+        }
+    }
 }
 
 /// One shard thread: poll the rings and the wall clock, run the shared
@@ -442,6 +583,8 @@ fn shard_worker<Q: ShaperQdisc>(
     start: Instant,
     per_flow_bps: u64,
     batch: usize,
+    faults: ShardFaults,
+    admit: AdmitPolicy,
     want_trace: bool,
 ) -> ShardOutcome<Q> {
     const INGRESS_BURST: usize = 64;
@@ -450,6 +593,11 @@ fn shard_worker<Q: ShaperQdisc>(
     let mut enqueued = 0u64;
     let mut draining = false;
     let mut idle = 0u32;
+    // Jitter of the currently armed timer fire (keyed on the epoch so the
+    // virtual-clock runtime draws the identical delay).
+    let mut jitter: Nanos = 0;
+    let mut comp_seq = 0u64;
+    let mut completions_lost = 0u64;
     let final_now;
     loop {
         let now = start.elapsed().as_nanos() as Nanos;
@@ -461,40 +609,89 @@ fn shard_worker<Q: ShaperQdisc>(
             Some(CtrlMsg::Shutdown { drain: true }) => draining = true,
             None => {}
         }
+        if faults.stalled(now) {
+            // Paused core: no heartbeat, no ingress, no softirq — the
+            // watchdog sees the heartbeat freeze while producers fill this
+            // shard's ring. Sleep in short slices so the control plane
+            // stays responsive.
+            let until = faults.stall_until(now).expect("stalled => end");
+            let remaining = until.saturating_sub(now);
+            std::thread::sleep(Duration::from_nanos(remaining.min(100_000)));
+            continue;
+        }
+        stats.set(C_HEARTBEAT, now);
         let mut worked = false;
 
-        // Ingress: a burst of arrivals from the data ring.
+        // Ingress: a burst of arrivals from the data ring, each through
+        // admission. Refused arrivals and evicted victims owe the producer
+        // a completion too — the kernel frees the skb either way.
         for _ in 0..INGRESS_BURST {
             let Some(pkt) = data.pop() else { break };
-            shard.ingress(now, pkt, per_flow_bps);
-            shard.tighten_timer(now);
+            let flow = pkt.flow;
+            match shard.ingress(now, pkt, per_flow_bps, &admit) {
+                IngressVerdict::Queued | IngressVerdict::Marked => {}
+                IngressVerdict::DroppedArrival => send_completion(
+                    &mut comp,
+                    &faults,
+                    now,
+                    &mut comp_seq,
+                    &mut completions_lost,
+                    flow,
+                ),
+                IngressVerdict::Evicted(victim) => send_completion(
+                    &mut comp,
+                    &faults,
+                    now,
+                    &mut comp_seq,
+                    &mut completions_lost,
+                    victim.flow,
+                ),
+            }
+            if let Some(want) = shard.tighten_timer(now) {
+                jitter = faults.timer_extra_delay(want, shard.timer_epoch());
+            }
             enqueued += 1;
             worked = true;
         }
         if worked {
             stats.set(C_ENQUEUED, enqueued);
+            publish_disposed(stats, &shard);
         }
 
-        // Softirq: fire when the armed deadline has passed on the wall
-        // clock — the poll-side version of the event heap delivering it.
-        if shard.timer_due(now) {
+        // Softirq: fire when the armed deadline (plus any injected timer
+        // jitter) has passed on the wall clock — the poll-side version of
+        // the event heap delivering it.
+        if shard.timer_due(now.saturating_sub(jitter)) {
             shard.softirq(now, batch, &mut drained);
+            let penalty = faults.consumer_penalty_ns(now);
+            if penalty > 0 && !drained.is_empty() {
+                // Slow consumer: burn the extra per-packet wall time in
+                // softirq context (metered like any real drain work).
+                let extra = penalty.saturating_mul(drained.len() as u64);
+                let t0 = Instant::now();
+                shard.meter.measure(now, CpuCategory::SoftIrq, || {
+                    while (t0.elapsed().as_nanos() as u64) < extra {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
             for p in drained.drain(..) {
                 if want_trace {
                     releases.push((WallNanos(now), p.flow, p.id, p.bytes));
                 }
-                let mut flow = p.flow;
-                loop {
-                    match comp.push(flow) {
-                        Ok(()) => break,
-                        Err(f) => {
-                            flow = f;
-                            std::thread::yield_now();
-                        }
-                    }
-                }
+                send_completion(
+                    &mut comp,
+                    &faults,
+                    now,
+                    &mut comp_seq,
+                    &mut completions_lost,
+                    p.flow,
+                );
             }
-            shard.rearm(now);
+            if let Some(want) = shard.rearm(now) {
+                jitter = faults.timer_extra_delay(want, shard.timer_epoch());
+            }
+            publish_disposed(stats, &shard);
             stats.set(C_TRANSMITTED, shard.transmitted);
             stats.set(C_TX_BYTES, shard.tx_bytes);
             stats.set(C_TIMER_FIRES, shard.timer_fires);
@@ -518,6 +715,14 @@ fn shard_worker<Q: ShaperQdisc>(
             }
         }
     }
+    // Timed runs exit with packets still in flight: count the ring residue
+    // so the join-time conservation check balances exactly. (The producer
+    // exited before sending Shutdown, and its control push synchronizes
+    // the data ring, so everything it emitted is visible here.)
+    let mut ring_residue = 0u64;
+    while data.pop().is_some() {
+        ring_residue += 1;
+    }
     stats.set(C_TRANSMITTED, shard.transmitted);
     stats.set(C_TX_BYTES, shard.tx_bytes);
     stats.set(C_TIMER_FIRES, shard.timer_fires);
@@ -526,7 +731,22 @@ fn shard_worker<Q: ShaperQdisc>(
         shard,
         releases,
         final_now,
+        ring_residue,
+        completions_lost,
     }
+}
+
+/// Publishes the disposed-packet counter *after* the completion pushes it
+/// covers. The release fence (paired with the producer's acquire fence)
+/// guarantees a reader that observes the new count can also pop every
+/// completion it counts — so reconciliation under-estimates losses rather
+/// than inventing them.
+fn publish_disposed<Q: ShaperQdisc>(stats: &ShardCounters, shard: &Shard<Q>) {
+    fence(Ordering::Release);
+    stats.set(
+        C_DISPOSED,
+        shard.transmitted + shard.admission_dropped + shard.evicted,
+    );
 }
 
 /// What the producer loop hands back.
@@ -537,6 +757,10 @@ struct ProducerOutcome {
     timed_out: bool,
     dropped_per_shard: Vec<u64>,
     drops: Vec<(WallNanos, FlowId, u64)>,
+    redirected: u64,
+    stalls_detected: u64,
+    recoveries: u64,
+    completions_recovered: u64,
 }
 
 /// Per-flow producer state (the application + TCP-stack model).
@@ -548,6 +772,33 @@ struct FlowState {
     /// Already sitting in the ready queue (dedup so the deque stays
     /// bounded by the flow count).
     queued: bool,
+    /// Consecutive ring-full deferrals (exponential-backoff exponent,
+    /// capped; reset on a successful emission).
+    backoff: u8,
+}
+
+/// Returns one TSQ budget to `flow` — from a completion, or from the
+/// watchdog's loss reconciliation. The `inflight == 0` guard makes refunds
+/// exact per flow even when reconciliation guessed and the real completion
+/// arrives later: a flow never receives more refunds than it had packets
+/// in flight.
+fn credit_flow(
+    fs: &mut [FlowState],
+    flow: FlowId,
+    limits: &[u64],
+    ready: &mut VecDeque<FlowId>,
+) -> bool {
+    let f = &mut fs[flow as usize];
+    if f.inflight == 0 {
+        return false; // already reconciled by the watchdog
+    }
+    f.inflight -= 1;
+    f.budget += 1;
+    if !f.queued && f.sent < limits[flow as usize] {
+        f.queued = true;
+        ready.push_back(flow);
+    }
+    true
 }
 
 /// The producer/demux thread body (runs on the caller's thread while the
@@ -561,19 +812,41 @@ fn producer_loop(
     data_tx: &mut [SpscProducer<Packet>],
     ctrl_tx: &mut [SpscProducer<CtrlMsg>],
     comp_rx: &mut [SpscConsumer<FlowId>],
+    counters: &[ShardCounters],
+    faults: &[ShardFaults],
     want_trace: bool,
 ) -> ProducerOutcome {
     const EMIT_BURST: usize = 256;
+    /// Base ring-full backoff; doubles per consecutive deferral, capped at
+    /// `BACKOFF_BASE_NS << BACKOFF_MAX_EXP` (≈ 640 µs).
+    const BACKOFF_BASE_NS: Nanos = 10_000;
+    const BACKOFF_MAX_EXP: u8 = 6;
     let host = &cfg.host;
     let flows = host.flows;
+    let n = data_tx.len();
     let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps;
-    let limit = cfg.pkts_per_flow.unwrap_or(u64::MAX);
-    let finite = cfg.pkts_per_flow.is_some();
+    let ring_cap = cfg.ring_capacity.max(1);
+    let limits: Vec<u64> = match &cfg.pkts_override {
+        Some(v) => {
+            assert_eq!(v.len(), flows, "pkts_override length");
+            v.clone()
+        }
+        None => vec![cfg.pkts_per_flow.unwrap_or(u64::MAX); flows],
+    };
+    let finite = cfg.pkts_per_flow.is_some() || cfg.pkts_override.is_some();
     let flow_cap = cfg.flow_cap.map(|c| c.max(1));
     let wall_limit = cfg.wall_limit.as_nanos();
+    if let Some(st) = &cfg.starts {
+        assert_eq!(st.len(), flows, "starts length");
+        assert!(
+            st.windows(2).all(|w| w[0] <= w[1]),
+            "starts must be nondecreasing in flow id"
+        );
+    }
+    let watchdog = cfg.chaos.watchdog;
 
     let mut out = ProducerOutcome {
-        dropped_per_shard: vec![0; data_tx.len()],
+        dropped_per_shard: vec![0; n],
         ..ProducerOutcome::default()
     };
     let mut fs: Vec<FlowState> = (0..flows)
@@ -583,36 +856,117 @@ fn producer_loop(
             sent: 0,
             arrivals: 0,
             queued: false,
+            backoff: 0,
         })
         .collect();
     let mut ready: VecDeque<FlowId> = VecDeque::with_capacity(flows);
-    // Cap-dropped flows retry one pacing gap later, as in the simulation.
+    // Cap-dropped and ring-deferred flows retry later, as in the simulation.
     let mut retries: BinaryHeap<Reverse<(Nanos, FlowId)>> = BinaryHeap::new();
     let mut started = 0usize; // flows staggered in over one pacing gap
-    let mut flows_done = 0usize;
+                              // Flows with a zero limit are born done.
+    let mut flows_done = if finite {
+        limits.iter().filter(|&&l| l == 0).count()
+    } else {
+        0
+    };
     let mut next_pkt_id = 0u64;
+
+    // Watchdog state: which shards are currently believed alive, the
+    // live-set failover list, and per-shard credited completions (popped +
+    // reconciled) for completion-loss recovery.
+    let mut live = vec![true; n];
+    let mut alive: Vec<usize> = (0..n).collect();
+    let mut credited = vec![0u64; n];
+    let mut next_check = watchdog.map_or(u64::MAX, |w| w.check_every.as_nanos());
 
     loop {
         let now = start.elapsed().as_nanos() as Nanos;
         let mut worked = false;
 
-        // TSQ completions: return budget, wake throttled flows.
-        for rx in comp_rx.iter_mut() {
+        // TSQ completions: return budget, wake throttled flows. A rejected
+        // credit (`inflight == 0`) is the real completion of a disposal the
+        // reconciliation below already pre-refunded — that disposal was
+        // counted then, so counting the pop too would double-credit it and
+        // hide a genuinely lost completion forever.
+        for (s, rx) in comp_rx.iter_mut().enumerate() {
             while let Some(flow) = rx.pop() {
-                let f = &mut fs[flow as usize];
-                f.inflight -= 1;
-                f.budget += 1;
-                if !f.queued && f.sent < limit {
-                    f.queued = true;
-                    ready.push_back(flow);
+                if credit_flow(&mut fs, flow, &limits, &mut ready) {
+                    credited[s] += 1;
                 }
                 worked = true;
             }
         }
 
-        // Stagger flow start-up across one pacing gap (same schedule as
-        // the simulated host: depends only on id and total flow count).
-        while started < flows && now >= pacing_gap * started as u64 / flows as u64 {
+        // Watchdog tick: stall detection via heartbeats, failover of the
+        // live set, and completion-loss reconciliation.
+        if now >= next_check {
+            let w = watchdog.expect("next_check is finite only with a watchdog");
+            for s in 0..n {
+                let hb = counters[s].read(C_HEARTBEAT);
+                let stalled = now.saturating_sub(hb) > w.stall_after.as_nanos();
+                if stalled && live[s] {
+                    live[s] = false;
+                    out.stalls_detected += 1;
+                } else if !stalled && !live[s] {
+                    live[s] = true;
+                    out.recoveries += 1;
+                }
+                // Reconciliation order matters: snapshot the disposed
+                // counter *first* (acquire-fenced against the shard's
+                // release), then drain the ring — so `disposed − credited`
+                // can only under-count losses, never invent them.
+                let disposed = counters[s].read(C_DISPOSED);
+                fence(Ordering::Acquire);
+                while let Some(flow) = comp_rx[s].pop() {
+                    if credit_flow(&mut fs, flow, &limits, &mut ready) {
+                        credited[s] += 1;
+                    }
+                }
+                let lost = disposed.saturating_sub(credited[s]);
+                if lost > 0 {
+                    // Leaked TSQ budgets: completions vanished on the wire.
+                    // Refund flows still holding inflight — starved flows
+                    // (budget 0) first, socket-scan style. Per-flow
+                    // attribution is best-effort; the aggregate is exact
+                    // and `credit_flow`'s guard keeps refunds ≤ inflight.
+                    let mut recovered = 0u64;
+                    for pass in 0..2 {
+                        for f in 0..flows as u32 {
+                            if recovered == lost {
+                                break;
+                            }
+                            let starving = fs[f as usize].budget == 0;
+                            if (pass == 0 && !starving) || fs[f as usize].inflight == 0 {
+                                continue;
+                            }
+                            if credit_flow(&mut fs, f, &limits, &mut ready) {
+                                recovered += 1;
+                            }
+                        }
+                    }
+                    credited[s] += recovered;
+                    out.completions_recovered += recovered;
+                }
+            }
+            alive = (0..n).filter(|&s| live[s]).collect();
+            next_check = now + w.check_every.as_nanos();
+            worked = true;
+        }
+
+        // Start flows: explicit schedule (incast waves), or staggered
+        // across one pacing gap (same schedule as the simulated host:
+        // depends only on id and total flow count).
+        loop {
+            if started >= flows {
+                break;
+            }
+            let due = match &cfg.starts {
+                Some(st) => now >= st[started],
+                None => now >= pacing_gap * started as u64 / flows as u64,
+            };
+            if !due {
+                break;
+            }
             let flow = started as FlowId;
             if !fs[started].queued {
                 fs[started].queued = true;
@@ -622,7 +976,7 @@ fn producer_loop(
             worked = true;
         }
 
-        // Due retries from earlier cap drops.
+        // Due retries from earlier cap drops and ring-full deferrals.
         while let Some(&Reverse((at, flow))) = retries.peek() {
             if at > now {
                 break;
@@ -641,13 +995,34 @@ fn producer_loop(
             let Some(flow) = ready.pop_front() else { break };
             let i = flow as usize;
             fs[i].queued = false;
-            if fs[i].budget == 0 || fs[i].sent >= limit {
+            if fs[i].budget == 0 || fs[i].sent >= limits[i] {
                 continue; // throttled (a completion requeues) or done
             }
+            let s_home = home[i] as usize;
+            // Failover: a watchdog-suspect shard stops receiving new work;
+            // its flows rehash over the live set (stable `shard_of` on the
+            // live list, so a flow keeps one failover home while the set
+            // is unchanged). Trades per-flow ordering for liveness.
+            let s = if live[s_home] || alive.is_empty() {
+                s_home
+            } else {
+                alive[shard_of(flow, alive.len())]
+            };
+            // Bounded backoff on a full — or fault-squeezed — ring. The
+            // producer-view `len()` can only over-count occupancy, so
+            // `len < cap` guarantees the push lands; no spin, no blocking.
+            let eff_cap = faults[s].ring_capacity(now, ring_cap);
+            if data_tx[s].len() >= eff_cap {
+                out.ring_full_retries += 1;
+                let exp = fs[i].backoff.min(BACKOFF_MAX_EXP);
+                fs[i].backoff = fs[i].backoff.saturating_add(1);
+                retries.push(Reverse((now + (BACKOFF_BASE_NS << exp), flow)));
+                continue;
+            }
+            fs[i].backoff = 0;
             fs[i].arrivals += 1;
-            let s = home[i] as usize;
             if flow_cap.is_some_and(|cap| fs[i].inflight >= cap) {
-                out.dropped_per_shard[s] += 1;
+                out.dropped_per_shard[s_home] += 1;
                 if want_trace {
                     out.drops.push((WallNanos(now), flow, fs[i].arrivals - 1));
                 }
@@ -657,37 +1032,19 @@ fn producer_loop(
             fs[i].budget -= 1;
             fs[i].inflight += 1;
             fs[i].sent += 1;
-            if finite && fs[i].sent == limit {
+            if finite && fs[i].sent == limits[i] {
                 flows_done += 1;
             }
-            let mut pkt = Packet::mtu(next_pkt_id, flow, now);
+            let pkt = Packet::mtu(next_pkt_id, flow, now);
             next_pkt_id += 1;
-            // Push, never deadlock: while the target ring is full, keep
-            // the completion rings moving (the shard may be blocked on
-            // exactly that) and yield the core.
-            loop {
-                match data_tx[s].push(pkt) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        pkt = back;
-                        out.ring_full_retries += 1;
-                        for rx in comp_rx.iter_mut() {
-                            while let Some(done) = rx.pop() {
-                                let f = &mut fs[done as usize];
-                                f.inflight -= 1;
-                                f.budget += 1;
-                                if !f.queued && f.sent < limit {
-                                    f.queued = true;
-                                    ready.push_back(done);
-                                }
-                            }
-                        }
-                        std::thread::yield_now();
-                    }
-                }
+            data_tx[s]
+                .push(pkt)
+                .unwrap_or_else(|_| unreachable!("len() < capacity guarantees SPSC space"));
+            if s != s_home {
+                out.redirected += 1;
             }
             out.emitted += 1;
-            if fs[i].budget > 0 && fs[i].sent < limit {
+            if fs[i].budget > 0 && fs[i].sent < limits[i] {
                 // Bulk sender: back-to-back until TSQ throttles.
                 fs[i].queued = true;
                 ready.push_back(flow);
@@ -771,5 +1128,133 @@ mod tests {
         // Every flow still completes its finite workload despite drops.
         assert_eq!(r.transmitted, 6 * 12);
         assert_eq!(r.dropped as usize, tr.drops.len());
+    }
+
+    use eiffel_chaos::{FaultPlan, WatchdogConfig};
+
+    /// Every packet minted must end the run accounted for: released,
+    /// refused by admission, or evicted — nothing lost, nothing invented.
+    fn assert_conserving(r: &ThreadedReport) {
+        assert_eq!(r.chaos.final_unaccounted, 0, "conservation: {:?}", r.chaos);
+        assert_eq!(
+            r.emitted,
+            r.transmitted + r.chaos.admission_dropped + r.chaos.evicted + r.chaos.ring_residue,
+            "emitted must split exactly into released + refused + evicted"
+        );
+    }
+
+    #[test]
+    fn watchdog_detects_stall_redirects_and_recovers() {
+        // Shard 0 freezes 1ms..4ms; the watchdog (0.5ms sampling, 1ms
+        // threshold) must notice by ~2.5ms, fail its flows over to shard 1,
+        // and restore it when the heartbeat returns. Every flow starts at
+        // 3ms — inside the stall, after detection — so the shard-0 flows'
+        // opening bursts *must* take the failover path (flows already
+        // throttled on a dead shard hold no budget and cannot be steered;
+        // they drain in place when it thaws).
+        let mut cfg = ThreadedConfig::finite(2, tiny_host(8), 40);
+        cfg.starts = Some(vec![3_000_000; 8]);
+        cfg.chaos.plan = FaultPlan::new(11).stall(0, 1_000_000, 4_000_000);
+        cfg.chaos.watchdog = Some(WatchdogConfig {
+            check_every: WallNanos::from_nanos(500_000),
+            stall_after: WallNanos::from_nanos(1_000_000),
+        });
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out, "stalled run must not wedge");
+        assert_eq!(r.transmitted, 8 * 40, "every packet still delivered");
+        assert!(r.chaos.stalls_detected >= 1, "{:?}", r.chaos);
+        assert!(r.chaos.recoveries >= 1, "shard 0 resumes at 4ms");
+        assert!(
+            r.chaos.redirected > 0,
+            "shard-0 flows emitted during the stall"
+        );
+        assert_conserving(&r);
+    }
+
+    #[test]
+    fn stall_without_watchdog_still_drains_and_conserves() {
+        // No watchdog: the producer backs off against the frozen shards'
+        // rings and simply waits the stall out. Slower, never wedged.
+        // Both shards freeze from t=0 with 2-slot rings, so the flows'
+        // opening TSQ burst (budget 4 each, back-to-back) must overrun
+        // the squeezed capacity and defer — TSQ alone cannot gate it.
+        let mut cfg = ThreadedConfig::finite(2, tiny_host(8), 20);
+        cfg.host.tsq_budget = 4;
+        cfg.chaos.plan = FaultPlan::new(12)
+            .stall(0, 0, 2_000_000)
+            .ring_squeeze(0, 0, 2_000_000, 2)
+            .stall(1, 0, 2_000_000)
+            .ring_squeeze(1, 0, 2_000_000, 2);
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out);
+        assert_eq!(r.transmitted, 8 * 20);
+        assert!(
+            r.ring_full_retries > 0,
+            "an opening burst into frozen 2-slot rings must defer"
+        );
+        assert_eq!(r.chaos.stalls_detected, 0, "no watchdog, no detections");
+        assert_conserving(&r);
+    }
+
+    #[test]
+    fn completion_loss_is_reconciled_not_wedged() {
+        // Half of shard 0's completions vanish for the whole run. Without
+        // reconciliation every flow homed there wedges once its TSQ budget
+        // leaks away; the watchdog's credit audit must refund them.
+        let mut cfg = ThreadedConfig::finite(2, tiny_host(6), 25);
+        cfg.chaos.plan = FaultPlan::new(13).completion_loss(0, 0, 40_000_000, 2);
+        cfg.chaos.watchdog = Some(WatchdogConfig {
+            check_every: WallNanos::from_nanos(300_000),
+            stall_after: WallNanos::from_nanos(30_000_000),
+        });
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(
+            !r.timed_out,
+            "leaked budgets must be refunded, not waited on"
+        );
+        assert_eq!(r.transmitted, 6 * 25);
+        assert!(r.chaos.completions_lost > 0, "{:?}", r.chaos);
+        assert!(
+            r.chaos.completions_recovered > 0,
+            "reconciliation must refund leaked budgets: {:?}",
+            r.chaos
+        );
+        assert_conserving(&r);
+    }
+
+    #[test]
+    fn jitter_squeeze_and_slow_consumer_conserve() {
+        // The "everything at once" run: timers slip, rings shrink, the
+        // consumer crawls. Throughput may degrade; accounting may not.
+        let mut cfg = ThreadedConfig::finite(3, tiny_host(9), 15);
+        cfg.chaos.plan = FaultPlan::new(14)
+            .timer_jitter(0, 0, 20_000_000, 150_000)
+            .ring_squeeze(1, 1_000_000, 6_000_000, 4)
+            .slow_consumer(2, 0, 20_000_000, 20_000)
+            .stall(1, 2_000_000, 3_000_000);
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out);
+        assert_eq!(r.transmitted, 9 * 15, "degraded, never lossy");
+        assert_conserving(&r);
+    }
+
+    #[test]
+    fn tail_drop_admission_sheds_load_and_refunds_budget() {
+        // A 1-packet qdisc budget under a 4-packet TSQ window: admission
+        // must shed arrivals, and every refusal must hand its TSQ budget
+        // back so the flow keeps emitting to its finite limit.
+        let mut cfg = ThreadedConfig::finite(2, tiny_host(6), 20);
+        cfg.host.tsq_budget = 4;
+        cfg.chaos.admit = AdmitPolicy::TailDrop { cap: 1 };
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out);
+        assert_eq!(
+            r.emitted,
+            6 * 20,
+            "refusals refund budget; emission completes"
+        );
+        assert!(r.chaos.admission_dropped > 0, "{:?}", r.chaos);
+        assert_eq!(r.transmitted + r.chaos.admission_dropped, r.emitted);
+        assert_conserving(&r);
     }
 }

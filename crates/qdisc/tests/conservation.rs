@@ -1,0 +1,144 @@
+//! Property: packet conservation under chaos. For any finite workload,
+//! any shaping qdisc, any shard count, any admission policy, and any
+//! seeded fault storm, every minted packet ends the run accounted for:
+//!
+//! ```text
+//! flows × pkts_per_flow = transmitted + admission_dropped + evicted
+//! ```
+//!
+//! with zero backlog (the run ends by draining). The identity is checked
+//! twice: here, from the report totals, and *inside* the event loop —
+//! `sharded::drive` re-audits `emitted = delivered + dropped + in-flight`
+//! at every fault-window boundary it crosses (`ShardedReport::audits`
+//! counts those), so a violation pins the exact fault edge that caused
+//! it rather than surfacing at the end of the run.
+//!
+//! Flow-cap drops sit outside the identity by design: a capped arrival is
+//! refused *before* the packet is minted and the source retries it, so it
+//! consumes no conservation budget — the cap changes timing, not totals.
+
+use eiffel_chaos::{AdmitPolicy, FaultFamily, FaultPlan};
+use eiffel_qdisc::{
+    run_sharded, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, ShaperQdisc, ShardedConfig,
+};
+use eiffel_sim::{Rate, SECOND};
+use proptest::prelude::*;
+
+/// All five fault families — the virtual clock treats `CompletionLoss`
+/// as a no-op (there is no wire to lose completions on) but must still
+/// cross its boundaries without miscounting.
+const ALL_FAMILIES: [FaultFamily; 5] = [
+    FaultFamily::Stall,
+    FaultFamily::TimerJitter,
+    FaultFamily::SlowConsumer,
+    FaultFamily::RingSqueeze,
+    FaultFamily::CompletionLoss,
+];
+
+fn run_and_audit<Q: ShaperQdisc>(
+    mk: impl FnMut(usize) -> Q,
+    cfg: &ShardedConfig,
+    pkts_per_flow: u64,
+    label: &str,
+) {
+    let rep = run_sharded(mk, cfg);
+    let minted = cfg.host.flows as u64 * pkts_per_flow;
+    assert_eq!(
+        rep.transmitted + rep.admission_dropped + rep.evicted,
+        minted,
+        "{label}: conservation over report totals \
+         (tx={} adm_drop={} evict={} of {minted})",
+        rep.transmitted,
+        rep.admission_dropped,
+        rep.evicted
+    );
+    assert!(rep.audits >= 1, "{label}: end-of-run audit must have run");
+    if matches!(cfg.chaos.admit, AdmitPolicy::Unlimited) {
+        assert_eq!(rep.admission_dropped, 0, "{label}: nothing to refuse");
+        assert_eq!(rep.evicted, 0, "{label}");
+        assert_eq!(rep.ecn_marked, 0, "{label}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The full cross-product: qdisc × shards × flow cap × admission
+    /// policy × fault intensity, all on one seeded storm.
+    #[test]
+    fn chaos_runs_conserve_packets(
+        flows in 3usize..16,
+        shards in 1usize..5,
+        pkts in 4u64..24,
+        cap_sel in 0u32..3,
+        policy_sel in 0usize..4,
+        tenths in 0u32..9, // storm intensity × 10; 0 = no faults
+        seed in 0u64..1_000,
+    ) {
+        let host = HostConfig {
+            flows,
+            aggregate: Rate::mbps(12 * flows as u64),
+            duration: SECOND / 8,
+            bin: SECOND / 20,
+            tsq_budget: 2,
+            batch: 4,
+        };
+        let mut cfg = ShardedConfig::new(shards, host);
+        cfg.pkts_per_flow = Some(pkts);
+        cfg.flow_cap = (cap_sel > 0).then_some(cap_sel);
+        cfg.chaos.admit = match policy_sel {
+            0 => AdmitPolicy::Unlimited,
+            1 => AdmitPolicy::TailDrop { cap: 3 },
+            2 => AdmitPolicy::PriorityDrop { cap: 3 },
+            _ => AdmitPolicy::EcnMark { cap: 4, mark_at: 2 },
+        };
+        cfg.chaos.plan = FaultPlan::storm(
+            seed,
+            shards,
+            SECOND / 16,
+            f64::from(tenths) / 10.0,
+            &ALL_FAMILIES,
+        );
+
+        run_and_audit(
+            |_| EiffelQdisc::new(1 << 14, 100_000),
+            &cfg,
+            pkts,
+            "eiffel",
+        );
+        run_and_audit(
+            |_| CarouselQdisc::new(1 << 16, 20_000),
+            &cfg,
+            pkts,
+            "carousel",
+        );
+        run_and_audit(|_| FqQdisc::new(), &cfg, pkts, "fq");
+    }
+
+    /// With no faults and no admission pressure, the chaos plumbing must
+    /// be invisible: zero drops, zero marks, zero deferred emissions.
+    #[test]
+    fn noop_chaos_changes_nothing(
+        flows in 3usize..12,
+        shards in 1usize..4,
+        pkts in 4u64..16,
+    ) {
+        let host = HostConfig {
+            flows,
+            aggregate: Rate::mbps(24 * flows as u64),
+            duration: SECOND / 8,
+            bin: SECOND / 20,
+            tsq_budget: 2,
+            batch: 4,
+        };
+        let mut cfg = ShardedConfig::new(shards, host);
+        cfg.pkts_per_flow = Some(pkts);
+        let rep = run_sharded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        prop_assert_eq!(rep.transmitted, flows as u64 * pkts);
+        prop_assert_eq!(rep.admission_dropped, 0);
+        prop_assert_eq!(rep.ecn_marked, 0);
+        prop_assert_eq!(rep.evicted, 0);
+        prop_assert_eq!(rep.ring_full_retries, 0);
+        prop_assert_eq!(rep.dropped, 0);
+    }
+}

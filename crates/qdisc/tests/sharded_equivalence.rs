@@ -71,14 +71,10 @@ proptest! {
             tsq_budget,
             batch,
         };
-        let cfg = ShardedConfig {
-            shards,
-            host,
-            // 0 = no cap; otherwise a cap at/below the TSQ budget so it
-            // can actually bind and produce drop decisions to compare.
-            flow_cap: (cap_sel > 0).then_some(cap_sel),
-            pkts_per_flow: None,
-        };
+        let mut cfg = ShardedConfig::new(shards, host);
+        // 0 = no cap; otherwise a cap at/below the TSQ budget so it
+        // can actually bind and produce drop decisions to compare.
+        cfg.flow_cap = (cap_sel > 0).then_some(cap_sel);
         // Eiffel: exact timers off the cFFS bucket edges.
         assert_per_flow_identical(
             |_| EiffelQdisc::new(1 << 14, 100_000),

@@ -223,6 +223,19 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(PhantomData)
 }
 
+/// Case-count multiplier from the `PROPTEST_CASES_MULT` environment
+/// variable (default 1). CI's chaos job sets it to run every property at
+/// elevated seed counts without editing per-test configs; unset or
+/// unparsable values mean "no scaling". A multiplier (not an absolute
+/// count) preserves each test's relative weighting.
+pub fn cases_multiplier() -> u32 {
+    std::env::var("PROPTEST_CASES_MULT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&m| m > 0)
+        .unwrap_or(1)
+}
+
 /// Per-run configuration (`#![proptest_config(...)]`).
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
@@ -346,7 +359,8 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                for case in 0..config.cases {
+                let cases = config.cases.saturating_mul($crate::cases_multiplier());
+                for case in 0..cases {
                     let mut rng = $crate::TestRng::for_case(
                         concat!(module_path!(), "::", stringify!($name)),
                         case,

@@ -1,0 +1,200 @@
+//! Adversarial workload shapes: the traffic production never grants.
+//!
+//! Every sweep before the chaos harness used steady-state uniform mixes.
+//! This module provides the shapes that break schedulers in practice:
+//!
+//! * **rank patterns** — per-packet rank generators including the
+//!   SP-PIFO paper's adversarial ramp (push every queue bound up, then
+//!   burst low ranks underneath them) and RIFO-style monotone rank drift
+//!   (stresses moving-window clamping);
+//! * **heavy-tailed flow sizes** — discrete Pareto per-flow packet
+//!   counts (web/Hadoop-style: most flows tiny, a few elephants);
+//! * **incast start waves** — many flows starting at the same instant
+//!   instead of the harnesses' smooth stagger.
+//!
+//! Everything is a pure function of `(seed, flow, seq)` so the
+//! virtual-clock and threaded runtimes generate identical traffic.
+
+use eiffel_sim::{FlowId, Nanos, SplitMix64};
+
+fn mix(seed: u64, flow: FlowId, seq: u64) -> u64 {
+    SplitMix64::new(seed ^ (u64::from(flow) << 32) ^ seq).next_u64()
+}
+
+/// Deterministic per-packet rank assignment for ranked (non-shaping)
+/// scheduling experiments: rank of packet = `pattern.rank(flow, seq)`
+/// where `seq` is the packet's per-flow sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankPattern {
+    /// Independent uniform ranks in `[0, max]` — the benign baseline.
+    Uniform {
+        /// Largest rank produced.
+        max: u64,
+        /// Draw seed.
+        seed: u64,
+    },
+    /// The SP-PIFO adversarial shape (*Everything Matters in Programmable
+    /// Packet Scheduling*): within each period the ranks ramp from 0 up
+    /// to `max`, dragging every SP-PIFO queue bound upward, then the
+    /// period restarts at rank 0 — which now lands behind the high ranks
+    /// occupying the low queues. Exact bucketed queues sort this
+    /// perfectly; SP-PIFO's mapping inverts.
+    SpPifoAdversarial {
+        /// Largest rank reached at the top of each ramp.
+        max: u64,
+        /// Packets per ramp (≥ 2).
+        period: u64,
+    },
+    /// Monotone rank drift, RIFO's motivating regime: ranks only grow
+    /// (`start + seq·step` per flow), sliding out of any fixed window and
+    /// stressing moving-window rotation and clamp accounting.
+    Drift {
+        /// Rank of each flow's first packet.
+        start: u64,
+        /// Rank increase per packet.
+        step: u64,
+    },
+}
+
+impl RankPattern {
+    /// Rank for the `seq`-th packet of `flow`.
+    pub fn rank(&self, flow: FlowId, seq: u64) -> u64 {
+        match *self {
+            RankPattern::Uniform { max, seed } => mix(seed, flow, seq) % (max + 1),
+            RankPattern::SpPifoAdversarial { max, period } => {
+                let period = period.max(2);
+                let pos = seq % period;
+                // Ramp 0 → max over the period; position 0 is the low-rank
+                // burst landing under the pushed-up queue bounds.
+                pos * max / (period - 1)
+            }
+            RankPattern::Drift { start, step } => start + seq * step,
+        }
+    }
+
+    /// Largest rank this pattern can produce within `pkts` packets per
+    /// flow (sizes fixed-range queue geometry).
+    pub fn max_rank(&self, pkts: u64) -> u64 {
+        match *self {
+            RankPattern::Uniform { max, .. } => max,
+            RankPattern::SpPifoAdversarial { max, .. } => max,
+            RankPattern::Drift { start, step } => start + pkts.saturating_sub(1) * step,
+        }
+    }
+
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RankPattern::Uniform { .. } => "uniform",
+            RankPattern::SpPifoAdversarial { .. } => "sp-adversarial",
+            RankPattern::Drift { .. } => "rank-drift",
+        }
+    }
+}
+
+/// Per-flow packet counts drawn from a discrete Pareto (heavy tail):
+/// most flows send a handful of packets, a few send `cap`. `alpha` is
+/// the tail exponent (smaller = heavier; the web-search-like regime is
+/// ~1.1–1.5); `mean_pkts` sets the distribution mean, and every count is
+/// clamped to `[1, cap]`.
+pub fn heavy_tailed_pkts(
+    flows: usize,
+    mean_pkts: f64,
+    alpha: f64,
+    cap: u64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(alpha > 1.0, "Pareto mean is infinite for alpha <= 1");
+    assert!(mean_pkts >= 1.0 && cap >= 1);
+    // Pareto scale x_m from the requested mean: E[X] = α·x_m/(α−1).
+    let xm = mean_pkts * (alpha - 1.0) / alpha;
+    let mut rng = SplitMix64::new(seed ^ 0x9ea7_7a11);
+    (0..flows)
+        .map(|_| {
+            let u = rng.next_f64().max(f64::MIN_POSITIVE);
+            let x = xm / u.powf(1.0 / alpha);
+            (x.round() as u64).clamp(1, cap)
+        })
+        .collect()
+}
+
+/// Incast start times: flows start in waves of `wave` at once, waves
+/// separated by `gap` nanoseconds (wave 0 starts at t = 0). The returned
+/// vector is sorted, one entry per flow.
+pub fn incast_starts(flows: usize, wave: usize, gap: Nanos) -> Vec<Nanos> {
+    let wave = wave.max(1);
+    (0..flows).map(|f| (f / wave) as u64 * gap).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_bounded() {
+        let p = RankPattern::Uniform { max: 99, seed: 7 };
+        for flow in 0..8u32 {
+            for seq in 0..64 {
+                let r = p.rank(flow, seq);
+                assert!(r <= 99);
+                assert_eq!(r, p.rank(flow, seq));
+            }
+        }
+        // Different flows see different streams.
+        let a: Vec<u64> = (0..32).map(|s| p.rank(1, s)).collect();
+        let b: Vec<u64> = (0..32).map(|s| p.rank(2, s)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sp_adversarial_ramps_then_resets() {
+        let p = RankPattern::SpPifoAdversarial {
+            max: 100,
+            period: 11,
+        };
+        let ranks: Vec<u64> = (0..11).map(|s| p.rank(0, s)).collect();
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[10], 100);
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "{ranks:?}");
+        assert_eq!(p.rank(0, 11), 0, "period restarts at the low burst");
+        assert_eq!(p.max_rank(1_000), 100);
+    }
+
+    #[test]
+    fn drift_is_monotone_per_flow() {
+        let p = RankPattern::Drift { start: 50, step: 3 };
+        assert_eq!(p.rank(9, 0), 50);
+        assert_eq!(p.rank(9, 10), 80);
+        assert_eq!(p.max_rank(11), 80);
+    }
+
+    #[test]
+    fn heavy_tail_hits_mean_and_cap() {
+        let pkts = heavy_tailed_pkts(20_000, 20.0, 1.3, 10_000, 42);
+        assert_eq!(pkts.len(), 20_000);
+        assert!(pkts.iter().all(|&p| (1..=10_000).contains(&p)));
+        let mean = pkts.iter().sum::<u64>() as f64 / pkts.len() as f64;
+        // Clamping biases the sample mean below the analytic one; just pin
+        // the regime: heavier than the median, lighter than the cap.
+        assert!(mean > 5.0 && mean < 60.0, "mean {mean}");
+        let median = {
+            let mut s = pkts.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(
+            (median as f64) < mean,
+            "heavy tail: median {median} < mean {mean}"
+        );
+        assert_eq!(pkts, heavy_tailed_pkts(20_000, 20.0, 1.3, 10_000, 42));
+    }
+
+    #[test]
+    fn incast_waves_start_together() {
+        let starts = incast_starts(10, 4, 1_000);
+        assert_eq!(
+            starts,
+            vec![0, 0, 0, 0, 1_000, 1_000, 1_000, 1_000, 2_000, 2_000]
+        );
+    }
+}

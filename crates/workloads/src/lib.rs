@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod arrivals;
 pub mod flows;
 pub mod sizes;
 
+pub use adversarial::{heavy_tailed_pkts, incast_starts, RankPattern};
 pub use arrivals::PoissonArrivals;
 pub use flows::{FlowSet, PacedFlow};
 pub use sizes::{EmpiricalCdf, FlowSizeDist, PACKET_PAYLOAD_BYTES};
