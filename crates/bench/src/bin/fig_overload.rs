@@ -1,0 +1,18 @@
+//! Overload control — ECN-reactive closed-loop sources vs open-loop
+//! sources at up to millions of flows through the threaded runtime, under
+//! a hard memory budget with tiered graceful degradation: SLO-goodput
+//! collapse curves, tail sojourn, per-tier admission decisions, exact
+//! packet conservation asserted on every cell.
+//!
+//! `--quick` shrinks the flow grid and wall budget; `--json <path>`
+//! records the run. The report construction lives in
+//! [`eiffel_bench::runners::fig_overload_report`] so tests and CI validate
+//! the exact path this binary records.
+
+use eiffel_bench::{runners, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = runners::OverloadScale::from_args(&args);
+    runners::fig_overload_report(&args, &scale).finish(&args);
+}

@@ -8,6 +8,7 @@
 //! parse-args-and-finish wrapper, and tests/CI validate the same
 //! [`BenchReport`] the operator records with `--json`.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eiffel_bess::{
@@ -17,13 +18,19 @@ use eiffel_bess::{
 use eiffel_dcsim::{run_with, SchedulerBackend, SimConfig, System, Topology};
 use eiffel_qdisc::{
     run_threaded, CarouselQdisc, EiffelQdisc, FqQdisc, HostConfig, HostReport, RankedShaperQdisc,
-    ThreadedConfig, ThreadedReport,
+    SojournHist, ThreadedConfig, ThreadedReport, TierCounters,
 };
 use eiffel_sim::{Nanos, Packet, Rate, WallNanos, SECOND};
 
 use eiffel_chaos::{AdmitPolicy, FaultFamily, FaultPlan, WatchdogConfig};
-use eiffel_core::{OracleAudit, OracleReport, QueueConfig, QueueKind, RankedQueue};
-use eiffel_workloads::{heavy_tailed_pkts, incast_starts, RankPattern};
+use eiffel_core::{
+    DegradeTier, MemBudget, OracleAudit, OracleReport, QueueConfig, QueueKind, RankedQueue,
+    FLOW_SETUP_BYTES,
+};
+use eiffel_workloads::{
+    heavy_tailed_pkts, incast_starts, trace_shaped_pkts, ClosedLoopParams, FlowSizeDist,
+    RankPattern, SCALE_ONE,
+};
 
 use crate::microbench::{
     approx_error_at_occupancy, drain_quality, drain_rate_occupancy, drain_rate_packets_per_bucket,
@@ -1695,6 +1702,7 @@ pub fn fig_chaos_report(args: &BenchArgs, scale: &ChaosScale) -> BenchReport {
     );
 
     let mut totals = ChaosReportTotals::default();
+    let mut showcase: Option<ThreadedReport> = None;
     for family in CHAOS_FAMILIES {
         let mut sw = Sweep::new(
             format!(
@@ -1710,14 +1718,29 @@ pub fn fig_chaos_report(args: &BenchArgs, scale: &ChaosScale) -> BenchReport {
         }
         for &intensity in &scale.intensities {
             let mut row = Vec::with_capacity(CHAOS_BACKENDS.len() * 3);
-            for (_, kind) in CHAOS_BACKENDS {
+            for (name, kind) in CHAOS_BACKENDS {
                 let cell = chaos_cell(kind, scale, family, intensity);
                 row.extend([cell.mpps, cell.mean_sojourn_us, cell.shed_per_k]);
                 totals.absorb(&cell.report);
+                // The per-shard observability slice: one representative
+                // cell (cFFS under the hardest stall storm) recorded in
+                // full per-core detail.
+                if matches!(family, FaultFamily::Stall)
+                    && name == "cFFS"
+                    && Some(&intensity) == scale.intensities.last()
+                {
+                    showcase = Some(cell.report.clone());
+                }
             }
             sw.push_row(intensity, &row);
         }
         r.push_sweep(sw);
+    }
+    if let Some(rep) = &showcase {
+        r.push_table(per_shard_counters_table(
+            "per-shard counters (cFFS, stall storm, max intensity)",
+            rep,
+        ));
     }
 
     // Quality under the rank adversary: exact backends stay exact; the
@@ -1804,6 +1827,533 @@ impl ChaosReportTotals {
         self.completions_lost += r.chaos.completions_lost;
         self.completions_recovered += r.chaos.completions_recovered;
         self.ring_full_retries += r.ring_full_retries;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Overload control (fig_overload): ECN-reactive closed-loop sources vs
+// open-loop sources at up to millions of flows through the threaded
+// runtime, under a hard memory budget with tiered graceful degradation.
+// ---------------------------------------------------------------------------
+
+/// Scale of the overload-control experiment.
+#[derive(Debug, Clone)]
+pub struct OverloadScale {
+    /// Flow counts swept (the overload axis).
+    pub flow_grid: Vec<usize>,
+    /// Flows in the uncongested baseline cell that defines the SLO and
+    /// the reference goodput.
+    pub baseline_flows: usize,
+    /// Shard threads per run.
+    pub shards: usize,
+    /// Trace-shaped per-flow packet cap.
+    pub cap_pkts: u64,
+    /// Offered per-flow source rate, kbit/s. Multiplied by the flow
+    /// count this is the offered load — past `capacity` the overload is
+    /// real, not simulated.
+    pub per_flow_kbps: u64,
+    /// Fixed shaped drain capacity of the host — the bottleneck every
+    /// cell shares, independent of how many flows offer load into it.
+    pub capacity: Rate,
+    /// Wall-clock budget per cell; overload cells end mid-stream by
+    /// design (`timed_out` is expected there).
+    pub wall: WallNanos,
+    /// Hard memory budget every cell charges flow setups and packet
+    /// slabs against.
+    pub budget_bytes: u64,
+    /// ECN admission hard cap (per shard, packets).
+    pub admit_cap: usize,
+    /// ECN admission mark threshold (per shard, packets).
+    pub mark_at: usize,
+}
+
+impl OverloadScale {
+    /// Full-scale (the recorded `BENCH_overload_closed_loop.json`) or
+    /// `--quick` (CI / tests), same shape either way.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        if args.quick {
+            OverloadScale {
+                flow_grid: vec![256, 1_024],
+                baseline_flows: 128,
+                shards: 2,
+                cap_pkts: 32,
+                per_flow_kbps: 100_000,
+                capacity: Rate::gbps(19),
+                wall: WallNanos::from_millis(150),
+                budget_bytes: 256 * 1024,
+                admit_cap: 4_096,
+                mark_at: 64,
+            }
+        } else {
+            // Sized so the contrast is structural, not incidental: the
+            // shaped drain capacity (6 Gb/s = 0.5 Mpps) sits *below*
+            // what one host CPU pushes through this stack, so the
+            // shaper — not scheduler contention — is the bottleneck,
+            // and offered load overtakes it as the flow grid grows
+            // (100 k × 300 kb/s = 30 Gb/s is already 5x). The baseline
+            // (12 288 × 300 kb/s ≈ 3.7 Gb/s) offers ~60 % of capacity.
+            // The budget is the concurrency limiter by design: setups
+            // stop at the cell's 70 % refuse threshold, so 64 MiB
+            // admits ~92 k established flows and the per-flow shaped
+            // rate stays ~5 pkt/s — enough completions per flow for
+            // the control loop to converge within the wall — at
+            // *every* grid point, and the flow axis stresses admission
+            // churn and the refuse tier instead of starving per-flow
+            // feedback. The ~30 % above the refuse threshold is a
+            // structural slab reserve (~10 k packets), the bufferbloat
+            // bound: closed sources pace near the granted rate, so
+            // stamps sit near `now` and slabs recycle in milliseconds;
+            // open sources burst their TSQ window, so slabs park
+            // behind hundreds-of-ms future stamps and goodput starves.
+            // The admission cap binds open-loop backlog inside the
+            // reserve so cap drops (the loss signal) keep firing.
+            OverloadScale {
+                flow_grid: vec![100_000, 1_000_000, 10_000_000],
+                baseline_flows: 12_288,
+                shards: 2,
+                cap_pkts: 512,
+                per_flow_kbps: 300,
+                capacity: Rate::mbps(6_000),
+                wall: WallNanos::from_secs(6),
+                budget_bytes: 64 * 1024 * 1024,
+                admit_cap: 2_048,
+                mark_at: 256,
+            }
+        }
+    }
+
+    /// Miniature for tests: the full report path in about a second.
+    pub fn tiny() -> Self {
+        OverloadScale {
+            flow_grid: vec![128, 384],
+            baseline_flows: 64,
+            shards: 2,
+            cap_pkts: 16,
+            per_flow_kbps: 100_000,
+            capacity: Rate::gbps(10),
+            wall: WallNanos::from_millis(80),
+            budget_bytes: 128 * 1024,
+            admit_cap: 2_048,
+            mark_at: 48,
+        }
+    }
+}
+
+/// Aggregate outcome of one overload cell.
+#[derive(Debug, Clone)]
+pub struct OverloadCell {
+    /// Packets released per wall second, millions.
+    pub goodput_mpps: f64,
+    /// p99 in-qdisc sojourn, ms (merged across shards).
+    pub p99_ms: f64,
+    /// Merged sojourn histogram (for SLO-goodput at any threshold).
+    pub sojourn: SojournHist,
+    /// Admission decisions split by memory-pressure tier, merged.
+    pub tiers: TierCounters,
+    /// ECN marks per 1 000 emitted packets.
+    pub marked_per_k: f64,
+    /// Admission drops + evictions per 1 000 emitted packets.
+    pub shed_per_k: f64,
+    /// Memory ledger high-water mark, MB.
+    pub mem_peak_mb: f64,
+    /// The full report, for totals and notes.
+    pub report: ThreadedReport,
+}
+
+impl OverloadCell {
+    /// Goodput counting only packets that met the latency SLO: releases
+    /// whose in-qdisc sojourn was at most `slo_ns`. The overload
+    /// literature's collapse metric — late deliveries are useless work.
+    pub fn slo_goodput_mpps(&self, slo_ns: u64) -> f64 {
+        self.goodput_mpps * self.sojourn.frac_le(slo_ns)
+    }
+}
+
+/// Runs one (size mix × flow count × source mode) cell: trace-shaped
+/// finite flows through the threaded runtime with ECN-marking admission
+/// and a hard [`MemBudget`], then asserts conservation and the memory
+/// ceiling on the result (in release builds too).
+///
+/// A `baseline` cell is the uncongested reference instead: paced
+/// (closed-loop) sources already at full scale, with uniform per-flow
+/// packet counts sized to span the wall — a *sustained* offered load
+/// well under capacity, so its goodput and p99 sojourn define what the
+/// host delivers when not overloaded. (Open-loop sources cannot serve
+/// here: they are deliberately unpaced bulk senders, so an "uncongested"
+/// open-loop cell would just measure burst drain rate.)
+pub fn overload_cell(
+    scale: &OverloadScale,
+    dist: FlowSizeDist,
+    flows: usize,
+    closed: bool,
+    baseline: bool,
+) -> OverloadCell {
+    // Overload cells run the tier ladder at 40/55/70 % instead of the
+    // default 60/80/95: flow setups stop charging at the refuse
+    // threshold, so whatever sits above it is a structural *slab
+    // reserve*. At the defaults, establishment greed fills the ledger
+    // to 95 % with setups and the drain starves on the 5 % of packet
+    // slabs left over; a 30 % reserve keeps the pool deep enough that
+    // slab turnover — not slab count — bounds goodput.
+    const TIER_PCTS: (u64, u64, u64) = (40, 55, 70);
+    // The drain is the bottleneck: the shard-side shaper splits a fixed
+    // capacity per flow while sources offer `per_flow_kbps` each, so the
+    // offered/shaped ratio — the overload — grows with the flow grid.
+    // One wrinkle: the shaper provisions that capacity over the
+    // population admission can actually *establish* (the setup budget up
+    // to the refuse threshold), not the offered population — past the
+    // refuse point, per-flow rate would otherwise shrink with flows the
+    // budget already turned away, strangling the drain exactly when
+    // admission did its job.
+    let admittable = (scale.budget_bytes * TIER_PCTS.2 / 100 / FLOW_SETUP_BYTES).max(1);
+    let aggregate = if flows as u64 > admittable {
+        Rate::bps(scale.capacity.as_bps().saturating_mul(flows as u64) / admittable)
+    } else {
+        scale.capacity
+    };
+    let host = HostConfig {
+        flows,
+        aggregate,
+        duration: SECOND, // ignored by threaded runs
+        bin: SECOND / 20,
+        tsq_budget: 4,
+        batch: 16,
+    };
+    let dtag = match dist {
+        FlowSizeDist::WebSearch => 1u64,
+        FlowSizeDist::DataMining => 2u64,
+    };
+    let seed = 0x0d05_ed50 ^ (flows as u64) ^ (u64::from(closed) << 40) ^ (dtag << 44);
+    let mut cfg = ThreadedConfig::finite(scale.shards, host, 1);
+    cfg.wall_limit = scale.wall;
+    // Sources offer `per_flow_kbps` each regardless of what the shaper
+    // grants them — the decoupling that makes the overload real.
+    cfg.offered_gap = Some(1_500 * 8 * 1_000_000_000 / (scale.per_flow_kbps * 1_000).max(1));
+    cfg.chaos.admit = AdmitPolicy::EcnMark {
+        cap: scale.admit_cap,
+        mark_at: scale.mark_at,
+    };
+    if baseline {
+        // Enough uniform packets per flow to pace through the whole wall.
+        let per_flow_bps = scale.per_flow_kbps * 1_000;
+        let wall_pkts =
+            scale.wall.as_nanos() as u128 * u128::from(per_flow_bps) / (1_500 * 8 * 1_000_000_000);
+        cfg.pkts_per_flow = Some(wall_pkts as u64 + 2);
+        cfg.closed_loop = Some(ClosedLoopParams {
+            initial_scale: SCALE_ONE,
+            ..ClosedLoopParams::default()
+        });
+    } else {
+        cfg.pkts_override = Some(trace_shaped_pkts(flows, dist, scale.cap_pkts, seed));
+        if closed {
+            // Per-socket shaping has no work conservation across flows:
+            // a source pacing *above* its granted rate accumulates
+            // clock debt the shaper never forgives (stamps ride the
+            // per-socket clock, which only moves forward), so the
+            // stable operating point is hovering just *under* the
+            // granted wire rate. Overload cells therefore enter a notch
+            // below the flow-count-invariant granted share
+            // (capacity / admittable, by the provisioning rule above)
+            // and climb in small additive steps, with the tight mark
+            // band correcting each small overshoot before debt builds:
+            // entering above the granted rate puts every long-lived
+            // flow permanently in debt within the first window, and
+            // large additive steps re-create that debt each cycle.
+            cfg.closed_loop = Some(ClosedLoopParams {
+                initial_scale: 192,
+                additive: 16,
+                slow_start: false,
+                ..ClosedLoopParams::default()
+            });
+        }
+    }
+    let budget = Arc::new(MemBudget::with_thresholds(
+        scale.budget_bytes,
+        TIER_PCTS.0,
+        TIER_PCTS.1,
+        TIER_PCTS.2,
+    ));
+    cfg.mem = Some(Arc::clone(&budget));
+
+    // The paper's shaping qdisc, not the work-conserving ranked adapter:
+    // overload needs release times to honor the per-flow shaped rate so
+    // the fixed drain capacity is real. 2^15 buckets of 100 µs give a
+    // ~3.3 s horizon per half — past the deepest honest stamp the TSQ
+    // window can reach at the thinnest per-flow rate in the sweep.
+    let r = run_threaded(|_| EiffelQdisc::new(1 << 15, 100_000), &cfg);
+
+    // The two headline robustness claims, audited on every cell: exact
+    // conservation, and a memory ceiling the run can never pierce.
+    assert_eq!(r.chaos.final_unaccounted, 0, "conservation: {:?}", r.chaos);
+    assert!(
+        r.mem_peak_bytes <= budget.budget(),
+        "memory peak {} pierced the {} budget",
+        r.mem_peak_bytes,
+        budget.budget()
+    );
+    assert_eq!(budget.in_use(), 0, "the ledger's books close at zero");
+
+    let mut sojourn = SojournHist::default();
+    let mut tiers = TierCounters::default();
+    for s in &r.per_shard {
+        sojourn.merge(&s.sojourn);
+        tiers.merge(&s.tiers);
+    }
+    OverloadCell {
+        goodput_mpps: r.transmitted as f64 / r.wall_elapsed.as_secs_f64().max(1e-9) / 1e6,
+        p99_ms: sojourn.quantile(0.99) as f64 / 1e6,
+        sojourn,
+        tiers,
+        marked_per_k: r.chaos.ecn_marked as f64 * 1e3 / r.emitted.max(1) as f64,
+        shed_per_k: (r.chaos.admission_dropped + r.chaos.evicted) as f64 * 1e3
+            / r.emitted.max(1) as f64,
+        mem_peak_mb: r.mem_peak_bytes as f64 / 1e6,
+        report: r,
+    }
+}
+
+/// Per-shard ECN/drop/shed counter table — the per-core observability
+/// slice of one threaded run, as recorded in the report JSON.
+pub fn per_shard_counters_table(name: &str, rep: &ThreadedReport) -> TextTable {
+    let mut t = TextTable::new(
+        name,
+        &[
+            "shard",
+            "flows",
+            "transmitted",
+            "ecn-marked",
+            "adm-dropped",
+            "evicted",
+            "p99 us",
+            "tiers seen",
+        ],
+    );
+    for (i, s) in rep.per_shard.iter().enumerate() {
+        t.rows.push(vec![
+            i.to_string(),
+            s.flows.to_string(),
+            s.transmitted.to_string(),
+            s.ecn_marked.to_string(),
+            s.admission_dropped.to_string(),
+            s.evicted.to_string(),
+            format!("{:.1}", s.sojourn.quantile(0.99) as f64 / 1e3),
+            s.tiers.tiers_exercised().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Admission decisions split by the memory-pressure tier they were made
+/// under, merged across every cell of a report.
+fn tier_counters_table(merged: &TierCounters) -> TextTable {
+    let mut t = TextTable::new(
+        "admission decisions by memory-pressure tier (all cells)",
+        &["tier", "admitted", "marked", "dropped", "shed"],
+    );
+    for (i, label) in ["normal", "pressure", "shed", "refuse"]
+        .iter()
+        .enumerate()
+        .take(DegradeTier::COUNT)
+    {
+        t.rows.push(vec![
+            (*label).to_string(),
+            merged.admitted[i].to_string(),
+            merged.marked[i].to_string(),
+            merged.dropped[i].to_string(),
+            merged.shed[i].to_string(),
+        ]);
+    }
+    t
+}
+
+/// The full `fig_overload` report: per size mix, an uncongested baseline
+/// cell fixes the latency SLO and the reference goodput, then open-loop
+/// and closed-loop sweeps over the flow grid show the collapse and the
+/// control loop preventing it.
+pub fn fig_overload_report(args: &BenchArgs, scale: &OverloadScale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig_overload_closed_loop",
+        "Overload control",
+        "Closed-loop (DCTCP-style) vs open-loop sources at up to millions of flows under a hard \
+         memory budget: SLO-goodput, tail sojourn, marks/sheds, and tiered degradation",
+        args,
+    );
+    r.paper_claim(
+        "Scale counterpart to the paper's millions-of-flows claim (§5.1): bucketed queues make \
+         per-packet work cheap at huge flow counts, but only a closed control loop keeps that \
+         capacity *useful* under overload — ECN marks echoed on the completion path let sources \
+         back off, so queues (and tail sojourn) stay bounded while open-loop sources bufferbloat \
+         the same qdiscs into SLO-goodput collapse. Memory stays under a hard budget via tiered \
+         degradation: mark harder, shed worst-first, refuse new-flow setup — never OOM.",
+    );
+    r.config_num("shards", scale.shards as f64);
+    r.config_num("per_flow_kbps", scale.per_flow_kbps as f64);
+    r.config_num("capacity_gbps", scale.capacity.as_bps() as f64 / 1e9);
+    r.config_num("cap_pkts", scale.cap_pkts as f64);
+    r.config_num("wall_ms", scale.wall.as_nanos() as f64 / 1e6);
+    r.config_num("budget_mb", scale.budget_bytes as f64 / 1e6);
+    r.config_num("admit_cap", scale.admit_cap as f64);
+    r.config_num("mark_at", scale.mark_at as f64);
+    r.config_str("flow_grid", format!("{:?}", scale.flow_grid));
+    r.config_str(
+        "method",
+        "Per cell: trace-shaped finite flows (empirical web-search / data-mining size CDFs) \
+         through the threaded runtime over the Eiffel shaping qdisc (per-socket clocks + one \
+         cFFS; the paper's 5.1.1 configuration at a 3.3 s horizon), ECN-marking admission, \
+         hard MemBudget. The shard-side shaper splits a fixed drain capacity per admittable \
+         flow while every source offers per_flow_kbps (offered_gap decouples the two), so \
+         offered/capacity — the overload — grows with the flow grid. The setup budget caps the \
+         established population, so the per-flow granted rate stays feedback-viable at every \
+         grid point and the flow axis stresses admission churn, not per-flow starvation. The \
+         baseline cell offers a sustained paced load at ~2/3 of capacity (uniform packets \
+         spanning the wall) and fixes SLO = max(20 ms, 5x its p99 sojourn); SLO-goodput counts \
+         only releases within the SLO. Every cell asserts exact conservation and peak memory \
+         <= budget.",
+    );
+
+    let mut all_tiers = TierCounters::default();
+    let mut totals = OverloadReportTotals::default();
+    let mut showcase: Option<ThreadedReport> = None;
+    for (di, dist) in [FlowSizeDist::WebSearch, FlowSizeDist::DataMining]
+        .into_iter()
+        .enumerate()
+    {
+        let base = overload_cell(scale, dist, scale.baseline_flows, true, true);
+        // The SLO floor is an RPC-deadline-scale 20 ms: on a small host
+        // the baseline's p99 is scheduler-noise-bound and swings by an
+        // order of magnitude between runs, and a floor well above that
+        // noise keeps the open/closed contrast about queueing, not about
+        // which baseline got lucky. Open-loop bufferbloat at these
+        // scales is hundreds of ms to seconds — far past any floor.
+        let slo_ns = (5 * base.sojourn.quantile(0.99)).max(20_000_000);
+        let base_slo = base.slo_goodput_mpps(slo_ns).max(1e-9);
+        r.config_num(
+            format!("{}_baseline_goodput_mpps", dist.label()),
+            base.goodput_mpps,
+        );
+        r.config_num(format!("{}_slo_ms", dist.label()), slo_ns as f64 / 1e6);
+        all_tiers.merge(&base.tiers);
+        totals.absorb(&base.report);
+
+        let mut open_slo: Vec<f64> = Vec::with_capacity(scale.flow_grid.len());
+        let mut ratio_lines: Vec<String> = Vec::with_capacity(scale.flow_grid.len());
+        for closed in [false, true] {
+            let mut sw = Sweep::new(
+                format!(
+                    "{} mix, {} sources",
+                    dist.label(),
+                    if closed { "closed-loop" } else { "open-loop" }
+                ),
+                "flows",
+            );
+            sw.add_series("goodput", "Mpps", 3);
+            sw.add_series("SLO-goodput", "Mpps", 3);
+            sw.add_series("p99 sojourn", "ms", 2);
+            sw.add_series("ECN-marked", "per-1k", 1);
+            sw.add_series("shed", "per-1k", 1);
+            sw.add_series("mem peak", "MB", 1);
+            for (gi, &flows) in scale.flow_grid.iter().enumerate() {
+                let cell = overload_cell(scale, dist, flows, closed, false);
+                let slo_goodput = cell.slo_goodput_mpps(slo_ns);
+                sw.push_row(
+                    flows as f64,
+                    &[
+                        cell.goodput_mpps,
+                        slo_goodput,
+                        cell.p99_ms,
+                        cell.marked_per_k,
+                        cell.shed_per_k,
+                        cell.mem_peak_mb,
+                    ],
+                );
+                all_tiers.merge(&cell.tiers);
+                totals.absorb(&cell.report);
+                if closed {
+                    ratio_lines.push(format!(
+                        "{} flows: closed {:.2}x, open {:.2}x",
+                        flows,
+                        slo_goodput / base_slo,
+                        open_slo[gi] / base_slo,
+                    ));
+                } else {
+                    open_slo.push(slo_goodput);
+                }
+                if di == 0 && closed && gi + 1 == scale.flow_grid.len() {
+                    showcase = Some(cell.report.clone());
+                }
+            }
+            r.push_sweep(sw);
+        }
+        r.note(format!(
+            "{} mix: SLO {:.2} ms, uncongested baseline ({} flows) SLO-goodput {:.3} Mpps; \
+             SLO-goodput relative to that baseline: {}.",
+            dist.label(),
+            slo_ns as f64 / 1e6,
+            scale.baseline_flows,
+            base_slo,
+            ratio_lines.join("; "),
+        ));
+    }
+
+    if let Some(rep) = &showcase {
+        r.push_table(per_shard_counters_table(
+            "per-shard counters (web-search mix, closed loop, largest flow count)",
+            rep,
+        ));
+    }
+    r.push_table(tier_counters_table(&all_tiers));
+    r.note(format!(
+        "Conservation audited on every cell: {} packets emitted across {} runs, all accounted \
+         (released {}, admission-dropped {}, evicted {}); zero unaccounted. Memory: peak {} MB \
+         against a {} MB budget, {} new-flow setups refused at the refuse tier, {} emissions \
+         deferred on slab exhaustion; every ledger closed at zero bytes in use.",
+        totals.emitted,
+        totals.cells,
+        totals.transmitted,
+        totals.admission_dropped,
+        totals.evicted,
+        format_args!("{:.1}", totals.mem_peak_bytes as f64 / 1e6),
+        format_args!("{:.1}", scale.budget_bytes as f64 / 1e6),
+        totals.setup_refused,
+        totals.mem_deferrals,
+    ));
+    r.note(format!(
+        "Degradation tiers exercised across the report: {} of {} (see the tier table).",
+        all_tiers.tiers_exercised(),
+        DegradeTier::COUNT,
+    ));
+    r.note(
+        "Caveats: overload cells end at the wall limit mid-stream by design (finite flows \
+         cannot drain at these flow counts), so absolute Mpps depends on host CPU; the \
+         closed-vs-open contrast and the memory ceiling are the claims. Single-machine runs: \
+         shard threads time-slice on small hosts, inflating sojourn for both modes equally.",
+    );
+    r
+}
+
+/// Sums the overload counters across every cell of the report.
+#[derive(Debug, Clone, Copy, Default)]
+struct OverloadReportTotals {
+    cells: u64,
+    emitted: u64,
+    transmitted: u64,
+    admission_dropped: u64,
+    evicted: u64,
+    setup_refused: u64,
+    mem_deferrals: u64,
+    mem_peak_bytes: u64,
+}
+
+impl OverloadReportTotals {
+    fn absorb(&mut self, r: &ThreadedReport) {
+        self.cells += 1;
+        self.emitted += r.emitted;
+        self.transmitted += r.transmitted;
+        self.admission_dropped += r.chaos.admission_dropped;
+        self.evicted += r.chaos.evicted;
+        self.setup_refused += r.setup_refused;
+        self.mem_deferrals += r.mem_deferrals;
+        self.mem_peak_bytes = self.mem_peak_bytes.max(r.mem_peak_bytes);
     }
 }
 
@@ -2176,14 +2726,64 @@ mod tests {
                 assert!(chunk[1].values.iter().all(|&v| v >= 0.0), "sane sojourn");
             }
         }
-        assert_eq!(r.tables.len(), 1, "adversarial quality table");
-        assert_eq!(r.tables[0].rows.len(), CHAOS_BACKENDS.len());
+        assert_eq!(
+            r.tables.len(),
+            2,
+            "per-shard counters + adversarial quality"
+        );
+        assert!(r.tables[0].name.contains("per-shard counters"));
+        assert_eq!(r.tables[0].rows.len(), 2, "one row per shard thread");
+        assert_eq!(r.tables[1].rows.len(), CHAOS_BACKENDS.len());
         let text = r.to_json().to_pretty_string();
         let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
         assert_eq!(
             doc.get("figure").unwrap().as_str(),
             Some("fig_chaos_degradation")
         );
+    }
+
+    /// The exact `fig_overload` report path at miniature scale: one sweep
+    /// per (size mix × source mode), six series each, conservation and the
+    /// memory ceiling asserted inside every cell (the cell panics
+    /// otherwise), per-shard and tier tables, and a JSON round trip.
+    #[test]
+    fn fig_overload_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let scale = OverloadScale::tiny();
+        let r = fig_overload_report(&args, &scale);
+        assert_eq!(r.sweeps.len(), 4, "2 mixes x {{open, closed}}");
+        for sw in &r.sweeps {
+            assert_eq!(sw.series.len(), 6, "goodput/SLO/p99/marks/shed/mem");
+            assert_eq!(sw.param_values.len(), scale.flow_grid.len());
+            assert!(
+                sw.series[0].values.iter().all(|&v| v > 0.0),
+                "{}: positive goodput",
+                sw.name
+            );
+            assert!(
+                sw.series[5].values.iter().all(|&v| v > 0.0),
+                "{}: memory was charged",
+                sw.name
+            );
+        }
+        assert_eq!(r.tables.len(), 2, "per-shard counters + tier table");
+        assert!(r.tables[0].name.contains("per-shard counters"));
+        assert_eq!(r.tables[0].rows.len(), scale.shards);
+        assert!(r.tables[1].name.contains("memory-pressure tier"));
+        assert_eq!(r.tables[1].rows.len(), DegradeTier::COUNT);
+        // The tiny budget (384 flows x 512 B of setups alone crosses 95%
+        // of 128 KiB) must walk the loop through real degradation.
+        assert!(
+            r.notes.iter().any(|n| n.contains("zero unaccounted")),
+            "conservation note present"
+        );
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            doc.get("figure").unwrap().as_str(),
+            Some("fig_overload_closed_loop")
+        );
+        assert_eq!(doc.get("sweeps").unwrap().as_array().unwrap().len(), 4);
     }
 
     /// Regression pin (robustness PR satellite): under the SP-PIFO ramp

@@ -12,13 +12,38 @@
 //!   packet is evicted (via the backend's `dequeue_max` path) to make
 //!   room for the arrival, so overload sheds low-value traffic first;
 //! * **ECN marking** — RED-lite: arrivals above `mark_at` are admitted
-//!   but counted as marked (we model the mark signal, not the sender's
-//!   response — no closed congestion loop in this rig), and dropped only
-//!   at the hard cap.
+//!   but counted as marked, and dropped only at the hard cap. The mark
+//!   rides the packet ([`Packet::ecn`](eiffel_sim::Packet)) back to the
+//!   source on the completion path, where closed-loop transports
+//!   (`eiffel_workloads::ClosedLoopSource`) react to it.
 //!
 //! The decision is a pure function of the backlog length so both
 //! runtimes apply identical policy, and the caller does the actual
 //! dropping/evicting/marking plus counter accounting.
+//!
+//! ## Memory-pressure tiers
+//!
+//! When the host runs under a [`MemBudget`](eiffel_core::MemBudget),
+//! admission additionally consults the budget's
+//! [`DegradeTier`] and tightens itself ([`AdmitPolicy::decide_tiered`]):
+//!
+//! * **pressure** — mark harder: the ECN threshold drops to a quarter of
+//!   its configured value, so closed-loop sources back off while memory
+//!   is still available;
+//! * **shed** — the effective cap halves and over-cap arrivals evict
+//!   the *worst-ranked* resident packet (the bucketed queues'
+//!   `dequeue_max` path) instead of tail-dropping, converting memory
+//!   pressure into targeted lowest-priority loss;
+//! * **refuse** — admission stays in shed mode; refusing *new flow
+//!   setup* is the producer's job (it consults the same tier before
+//!   establishing a flow), because admission only ever sees packets of
+//!   flows that already exist.
+//!
+//! `Unlimited` ignores the tiers: it exists to model the historical
+//! unbounded rig and stays unbounded. Tiering it would silently turn
+//! baseline runs into capped ones.
+
+use eiffel_core::DegradeTier;
 
 /// Admission policy applied on every qdisc enqueue.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,6 +118,35 @@ impl AdmitPolicy {
         }
     }
 
+    /// Decides admission for one arrival under a memory-pressure tier.
+    /// `DegradeTier::Normal` is exactly [`AdmitPolicy::decide`]; higher
+    /// tiers tighten the policy as described in the module docs.
+    pub fn decide_tiered(&self, backlog: usize, tier: DegradeTier) -> Admission {
+        match (*self, tier) {
+            (_, DegradeTier::Normal) | (AdmitPolicy::Unlimited, _) => self.decide(backlog),
+            (AdmitPolicy::EcnMark { cap, mark_at }, DegradeTier::Pressure) => {
+                AdmitPolicy::EcnMark {
+                    cap,
+                    mark_at: (mark_at / 4).max(1),
+                }
+                .decide(backlog)
+            }
+            (p, DegradeTier::Pressure) => p.decide(backlog),
+            // Shed and Refuse: halve the cap, evict-worst past it, and
+            // (for ECN) mark from an eighth of the tightened cap.
+            (p, DegradeTier::Shed | DegradeTier::Refuse) => {
+                let cap = p.cap().expect("non-Unlimited has a cap").div_ceil(2);
+                if backlog >= cap {
+                    Admission::EvictWorst
+                } else if matches!(p, AdmitPolicy::EcnMark { .. }) && backlog >= (cap / 8).max(1) {
+                    Admission::EnqueueMarked
+                } else {
+                    Admission::Enqueue
+                }
+            }
+        }
+    }
+
     /// The hard backlog cap, if the policy has one.
     pub fn cap(&self) -> Option<usize> {
         match *self {
@@ -140,6 +194,94 @@ mod tests {
         assert_eq!(p.decide(4), Admission::EnqueueMarked);
         assert_eq!(p.decide(7), Admission::EnqueueMarked);
         assert_eq!(p.decide(8), Admission::DropArriving);
+    }
+
+    #[test]
+    fn normal_tier_is_identical_to_untiered() {
+        let policies = [
+            AdmitPolicy::Unlimited,
+            AdmitPolicy::TailDrop { cap: 16 },
+            AdmitPolicy::PriorityDrop { cap: 16 },
+            AdmitPolicy::EcnMark {
+                cap: 16,
+                mark_at: 8,
+            },
+        ];
+        for p in policies {
+            for backlog in 0..40 {
+                assert_eq!(
+                    p.decide_tiered(backlog, DegradeTier::Normal),
+                    p.decide(backlog)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_tier_marks_harder() {
+        let p = AdmitPolicy::EcnMark {
+            cap: 64,
+            mark_at: 32,
+        };
+        assert_eq!(
+            p.decide_tiered(7, DegradeTier::Pressure),
+            Admission::Enqueue
+        );
+        assert_eq!(
+            p.decide_tiered(8, DegradeTier::Pressure),
+            Admission::EnqueueMarked,
+            "mark threshold drops to mark_at/4"
+        );
+        assert_eq!(
+            p.decide_tiered(63, DegradeTier::Pressure),
+            Admission::EnqueueMarked,
+            "hard cap unchanged under pressure"
+        );
+        assert_eq!(
+            p.decide_tiered(64, DegradeTier::Pressure),
+            Admission::DropArriving
+        );
+        // Non-ECN policies are untouched by the pressure tier.
+        let t = AdmitPolicy::TailDrop { cap: 16 };
+        assert_eq!(t.decide_tiered(15, DegradeTier::Pressure), t.decide(15));
+    }
+
+    #[test]
+    fn shed_tier_halves_cap_and_evicts_worst() {
+        let p = AdmitPolicy::EcnMark {
+            cap: 64,
+            mark_at: 32,
+        };
+        for tier in [DegradeTier::Shed, DegradeTier::Refuse] {
+            assert_eq!(p.decide_tiered(3, tier), Admission::Enqueue);
+            assert_eq!(
+                p.decide_tiered(4, tier),
+                Admission::EnqueueMarked,
+                "marks from an eighth of the tightened cap"
+            );
+            assert_eq!(
+                p.decide_tiered(32, tier),
+                Admission::EvictWorst,
+                "over the halved cap, shed lowest priority"
+            );
+        }
+        let t = AdmitPolicy::TailDrop { cap: 16 };
+        assert_eq!(t.decide_tiered(8, DegradeTier::Shed), Admission::EvictWorst);
+        assert_eq!(t.decide_tiered(7, DegradeTier::Shed), Admission::Enqueue);
+    }
+
+    #[test]
+    fn unlimited_ignores_tiers() {
+        for tier in [
+            DegradeTier::Pressure,
+            DegradeTier::Shed,
+            DegradeTier::Refuse,
+        ] {
+            assert_eq!(
+                AdmitPolicy::Unlimited.decide_tiered(1 << 20, tier),
+                Admission::Enqueue
+            );
+        }
     }
 
     #[test]

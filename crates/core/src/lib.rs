@@ -63,6 +63,7 @@ pub mod gradient;
 pub mod guide;
 pub mod hffs;
 pub mod hierbitmap;
+pub mod membudget;
 pub mod oracle;
 pub mod recip;
 pub mod rifo;
@@ -82,6 +83,7 @@ pub use gradient::{GradientQueue, GradientWord, HierGradientQueue};
 pub use guide::{recommend, Recommendation, UseCase};
 pub use hffs::HierFfsQueue;
 pub use hierbitmap::HierBitmap;
+pub use membudget::{DegradeTier, MemBudget, FLOW_SETUP_BYTES, PKT_SLAB_BYTES};
 pub use oracle::{count_inversions, OracleAudit, OracleReport};
 pub use recip::Reciprocal;
 pub use rifo::RifoQueue;

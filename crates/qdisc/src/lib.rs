@@ -41,8 +41,9 @@ pub use qdisc::{ShaperQdisc, TimerStyle};
 pub use ranked::{backend_label, RankedShaperQdisc};
 pub use sharded::{
     run_sharded, run_sharded_traced, ShardStats, ShardTrace, ShardedConfig, ShardedReport,
+    SojournHist, TierCounters,
 };
 pub use threaded::{
-    run_threaded, run_threaded_traced, ChaosReport, CtrlMsg, ThreadedConfig, ThreadedReport,
-    ThreadedTrace,
+    run_threaded, run_threaded_traced, ChaosReport, Completion, CompletionKind, CtrlMsg,
+    ThreadedConfig, ThreadedReport, ThreadedTrace,
 };

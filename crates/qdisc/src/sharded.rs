@@ -31,10 +31,15 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use eiffel_chaos::{Admission, AdmitPolicy, ChaosConfig, ShardFaults};
+use eiffel_core::{DegradeTier, MemBudget, FLOW_SETUP_BYTES, PKT_SLAB_BYTES};
 use eiffel_sim::cpu::{IRQ_ENTRY_NS, LOCK_NS, PER_PACKET_STACK_NS};
-use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet};
+use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet, SplitMix64};
+use eiffel_workloads::{
+    summarize_closed_loop, ClosedLoopParams, ClosedLoopSource, ClosedLoopSummary,
+};
 
 use crate::host::{wanted_deadline, HostConfig};
 use crate::qdisc::ShaperQdisc;
@@ -77,6 +82,23 @@ pub struct ShardedConfig {
     /// pre-chaos host (the watchdog field is threaded-runtime-only and
     /// ignored here; the virtual clock *knows* when stalls end).
     pub chaos: ChaosConfig,
+    /// Closed-loop (DCTCP-style) sources: emissions are paced at a
+    /// per-flow rate scale driven by the ECN marks and drops the
+    /// admission layer echoes back on the completion path. `None` keeps
+    /// the historical open-loop sources bit-identical.
+    pub closed_loop: Option<ClosedLoopParams>,
+    /// Memory budget the run charges flow setup and packet slabs
+    /// against; its [`DegradeTier`] tightens admission and, at the
+    /// refuse tier, blocks new flow setup. `None` = unbounded (the
+    /// historical behavior).
+    pub mem: Option<Arc<MemBudget>>,
+    /// Base inter-emission gap for closed-loop sources, decoupled from
+    /// the shaped per-flow rate. The qdisc still paces (ranks) at
+    /// `aggregate/flows`; a source at full scale emits one packet per
+    /// `offered_gap` — smaller than the pacing gap means sustained
+    /// overload, the regime the control loop exists for. `None` = the
+    /// pacing gap (offered equals shaped; a quiet channel).
+    pub offered_gap: Option<Nanos>,
 }
 
 impl ShardedConfig {
@@ -90,7 +112,139 @@ impl ShardedConfig {
             pkts_override: None,
             starts: None,
             chaos: ChaosConfig::default(),
+            closed_loop: None,
+            mem: None,
+            offered_gap: None,
         }
+    }
+}
+
+/// Admission outcomes split by the [`DegradeTier`] they were decided
+/// under — the per-tier marks/drops/shed view the overload reports
+/// surface. Indexed by `tier as usize`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierCounters {
+    /// Arrivals admitted unmarked at each tier.
+    pub admitted: [u64; DegradeTier::COUNT],
+    /// Arrivals admitted with an ECN mark at each tier.
+    pub marked: [u64; DegradeTier::COUNT],
+    /// Arrivals dropped at each tier.
+    pub dropped: [u64; DegradeTier::COUNT],
+    /// Worst-ranked residents shed (evicted) at each tier.
+    pub shed: [u64; DegradeTier::COUNT],
+}
+
+impl TierCounters {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, o: &TierCounters) {
+        for t in 0..DegradeTier::COUNT {
+            self.admitted[t] += o.admitted[t];
+            self.marked[t] += o.marked[t];
+            self.dropped[t] += o.dropped[t];
+            self.shed[t] += o.shed[t];
+        }
+    }
+
+    /// Number of distinct tiers that saw any admission decision.
+    pub fn tiers_exercised(&self) -> usize {
+        (0..DegradeTier::COUNT)
+            .filter(|&t| self.admitted[t] + self.marked[t] + self.dropped[t] + self.shed[t] > 0)
+            .count()
+    }
+
+    /// Total decisions recorded at one tier.
+    pub fn total_at(&self, tier: DegradeTier) -> u64 {
+        let t = tier as usize;
+        self.admitted[t] + self.marked[t] + self.dropped[t] + self.shed[t]
+    }
+}
+
+/// Power-of-two-bucketed sojourn histogram: bucket `b` holds released
+/// packets whose in-qdisc sojourn fell in `[2^b, 2^{b+1})` ns. 64
+/// buckets cover the whole `u64` range in 512 bytes per shard, enough
+/// resolution for the p99-style tail the overload figures report.
+#[derive(Debug, Clone)]
+pub struct SojournHist {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for SojournHist {
+    fn default() -> Self {
+        SojournHist {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl SojournHist {
+    fn bucket(ns: u64) -> usize {
+        63 - (ns | 1).leading_zeros() as usize
+    }
+
+    /// Record one released packet's sojourn.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, o: &SojournHist) {
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+        self.total += o.total;
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper edge of the bucket holding the `q`-quantile sample (e.g.
+    /// `quantile(0.99)` bounds the p99 sojourn from above within a
+    /// factor of 2). 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Fraction of samples at or below `ns`, with linear interpolation
+    /// inside the straddling bucket — the SLO-goodput numerator.
+    pub fn frac_le(&self, ns: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut covered = 0.0f64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let lo = if b == 0 { 0u64 } else { 1u64 << b };
+            let hi = if b >= 63 { u64::MAX } else { 1u64 << (b + 1) };
+            if hi <= ns {
+                covered += c as f64;
+            } else if lo < ns {
+                let span = (hi - lo) as f64;
+                covered += c as f64 * (ns - lo) as f64 / span;
+            }
+        }
+        covered / self.total as f64
     }
 }
 
@@ -122,6 +276,11 @@ pub struct ShardStats {
     pub mean_latency_ns: f64,
     /// Worst in-qdisc sojourn of a released packet, ns.
     pub max_latency_ns: u64,
+    /// Admission decisions split by the memory-pressure tier they were
+    /// made under (all in the `Normal` column without a [`MemBudget`]).
+    pub tiers: TierCounters,
+    /// Sojourn histogram of this shard's released packets.
+    pub sojourn: SojournHist,
 }
 
 /// The merged result: per-shard slices plus host-level aggregates.
@@ -156,6 +315,23 @@ pub struct ShardedReport {
     /// one at end of run). Every audit asserted
     /// `emitted = delivered + dropped + in-flight` exactly.
     pub audits: u64,
+    /// Packets minted over the whole run. Conservation over report
+    /// totals: `emitted = transmitted + admission_dropped + evicted +
+    /// residue` exactly.
+    pub emitted: u64,
+    /// Packets still inside qdiscs or pending rings when the duration
+    /// ended (a drained finite run reports 0).
+    pub residue: u64,
+    /// New-flow setups refused at the memory budget's refuse tier (the
+    /// flow retries with jittered backoff).
+    pub setup_refused: u64,
+    /// Emissions deferred because the packet-slab charge would exceed
+    /// the memory budget (retried like a full ring).
+    pub mem_deferrals: u64,
+    /// High-water mark of the memory ledger, bytes (0 without a budget).
+    pub mem_peak: u64,
+    /// Final closed-loop source state, when closed-loop sources ran.
+    pub cl: Option<ClosedLoopSummary>,
 }
 
 /// Packet-level record of a run, for equivalence testing.
@@ -254,6 +430,8 @@ pub(crate) struct Shard<Q> {
     pub(crate) evicted: u64,
     pub(crate) lat_sum_ns: u128,
     pub(crate) lat_max_ns: u64,
+    pub(crate) tiers: TierCounters,
+    pub(crate) sojourn: SojournHist,
 }
 
 /// Outcome of admitting one arrival at a shard's qdisc — what the caller
@@ -293,30 +471,42 @@ impl<Q: ShaperQdisc> Shard<Q> {
             evicted: 0,
             lat_sum_ns: 0,
             lat_max_ns: 0,
+            tiers: TierCounters::default(),
+            sojourn: SojournHist::default(),
         }
     }
 
     /// Syscall-path stage: modelled lock + stack constants, admission
-    /// decision, measured enqueue (and eviction), backlog peak bookkeeping.
-    /// With [`AdmitPolicy::Unlimited`] this is exactly the pre-chaos
-    /// unconditional-enqueue path.
+    /// decision (tightened by the memory-pressure `tier`), measured
+    /// enqueue (and eviction), backlog peak bookkeeping. With
+    /// [`AdmitPolicy::Unlimited`] this is exactly the pre-chaos
+    /// unconditional-enqueue path; a marked admission sets the packet's
+    /// ECN bit so the completion path can echo it to the source.
     pub(crate) fn ingress(
         &mut self,
         now: Nanos,
-        pkt: Packet,
+        mut pkt: Packet,
         pacing_bps: u64,
         admit: &AdmitPolicy,
+        tier: DegradeTier,
     ) -> IngressVerdict {
         self.meter
             .charge(now, CpuCategory::System, LOCK_NS + PER_PACKET_STACK_NS);
-        let verdict = match admit.decide(self.qdisc.len()) {
-            Admission::Enqueue => IngressVerdict::Queued,
+        let t = tier as usize;
+        let verdict = match admit.decide_tiered(self.qdisc.len(), tier) {
+            Admission::Enqueue => {
+                self.tiers.admitted[t] += 1;
+                IngressVerdict::Queued
+            }
             Admission::EnqueueMarked => {
                 self.ecn_marked += 1;
+                self.tiers.marked[t] += 1;
+                pkt.ecn = true;
                 IngressVerdict::Marked
             }
             Admission::DropArriving => {
                 self.admission_dropped += 1;
+                self.tiers.dropped[t] += 1;
                 return IngressVerdict::DroppedArrival;
             }
             Admission::EvictWorst => {
@@ -325,12 +515,15 @@ impl<Q: ShaperQdisc> Shard<Q> {
                 match victim {
                     Some(v) => {
                         self.evicted += 1;
+                        self.tiers.shed[t] += 1;
+                        self.tiers.admitted[t] += 1; // the arrival goes in
                         IngressVerdict::Evicted(v)
                     }
                     None => {
                         // Backend without a max path (`evict_worst`'s
                         // default): degrade to tail-dropping the arrival.
                         self.admission_dropped += 1;
+                        self.tiers.dropped[t] += 1;
                         return IngressVerdict::DroppedArrival;
                     }
                 }
@@ -395,6 +588,7 @@ impl<Q: ShaperQdisc> Shard<Q> {
             let sojourn = now.saturating_sub(p.created_at);
             self.lat_sum_ns += sojourn as u128;
             self.lat_max_ns = self.lat_max_ns.max(sojourn);
+            self.sojourn.record(sojourn);
         }
     }
 
@@ -414,6 +608,138 @@ pub(crate) struct DriveOutcome<Q> {
     peak_total_backlog: usize,
     ring_full_retries: u64,
     audits: u64,
+    emitted: u64,
+    residue: u64,
+    setup_refused: u64,
+    mem_deferrals: u64,
+    mem_peak: u64,
+    cl: Option<ClosedLoopSummary>,
+}
+
+/// Deterministic seeded jitter for retry backoff: a pure function of
+/// `(flow, attempt)`, so synchronized producers that hit a full ring at
+/// the same instant spread their retries out instead of returning in
+/// lockstep — and, being keyed on the flow rather than the shard, the
+/// draw is identical at every shard count (the N-vs-1 equivalence
+/// property survives).
+pub(crate) fn backoff_jitter(flow: FlowId, attempt: u32, span: Nanos) -> Nanos {
+    if span == 0 {
+        return 0;
+    }
+    SplitMix64::new(0xbac0_0ff5_eed0_0000 ^ (u64::from(flow) << 20) ^ u64::from(attempt)).next_u64()
+        % span
+}
+
+/// Closed-loop and memory-budget state of one run, bundled so every
+/// disposal path (direct ingress, post-stall ring drains, softirq
+/// releases) shares the same hooks. All hooks are cheap no-ops when
+/// neither feature is configured.
+struct Overload<'a> {
+    params: Option<ClosedLoopParams>,
+    cl: Vec<ClosedLoopSource>,
+    /// Earliest next emission per flow (closed-loop pacing).
+    next_allowed: Vec<Nanos>,
+    mem: Option<&'a MemBudget>,
+    /// Flow setup already charged (always true without a budget).
+    established: Vec<bool>,
+    /// Flow setup charge already released (finite flows that drained).
+    freed: Vec<bool>,
+    /// Per-flow retry attempts — the jitter key.
+    retry_seq: Vec<u32>,
+    setup_refused: u64,
+    mem_deferrals: u64,
+}
+
+impl<'a> Overload<'a> {
+    fn new(cfg: &'a ShardedConfig) -> Self {
+        let flows = cfg.host.flows;
+        let mem = cfg.mem.as_deref();
+        Overload {
+            params: cfg.closed_loop,
+            cl: match &cfg.closed_loop {
+                Some(p) => vec![ClosedLoopSource::new(p); flows],
+                None => Vec::new(),
+            },
+            next_allowed: vec![0; if cfg.closed_loop.is_some() { flows } else { 0 }],
+            mem,
+            established: vec![mem.is_none(); flows],
+            freed: vec![false; if mem.is_some() { flows } else { 0 }],
+            retry_seq: vec![0; flows],
+            setup_refused: 0,
+            mem_deferrals: 0,
+        }
+    }
+
+    fn tier(&self) -> DegradeTier {
+        self.mem.map_or(DegradeTier::Normal, |m| m.tier())
+    }
+
+    /// Next jittered retry delay for `flow` around a base `gap`.
+    fn retry_in(&mut self, flow: FlowId, gap: Nanos) -> Nanos {
+        let i = flow as usize;
+        self.retry_seq[i] = self.retry_seq[i].wrapping_add(1);
+        let gap = gap.max(1);
+        gap + backoff_jitter(flow, self.retry_seq[i], gap / 2)
+    }
+
+    /// A packet of `flow` was disposed without transmission (admission
+    /// drop, or this flow's resident was shed): free its slab charge and
+    /// feed the transport a loss signal.
+    fn on_loss(&mut self, flow: FlowId) {
+        if let Some(m) = self.mem {
+            m.release(PKT_SLAB_BYTES);
+        }
+        if let Some(p) = &self.params {
+            self.cl[flow as usize].on_loss(p);
+        }
+    }
+
+    /// A packet of `flow` was transmitted: free its slab charge and echo
+    /// the ECN bit to the transport.
+    fn on_delivery(&mut self, flow: FlowId, marked: bool) {
+        if let Some(m) = self.mem {
+            m.release(PKT_SLAB_BYTES);
+        }
+        if let Some(p) = &self.params {
+            self.cl[flow as usize].on_completion(p, marked);
+        }
+    }
+
+    /// Release the flow-setup charge once a finite flow has fully
+    /// drained (sent its limit and nothing remains in flight) — flow
+    /// teardown, the churn that keeps the active set bounded.
+    fn maybe_free_flow(&mut self, i: usize, sent: u64, limit: u64, inflight: u32) {
+        let Some(m) = self.mem else { return };
+        if !self.freed[i]
+            && self.established[i]
+            && limit != u64::MAX
+            && sent >= limit
+            && inflight == 0
+        {
+            self.freed[i] = true;
+            m.release(FLOW_SETUP_BYTES);
+        }
+    }
+
+    /// Run over: the sources close. Residue packets (in qdiscs and
+    /// pending rings) and still-established flows hold charges the
+    /// completion path can no longer return — release them here so the
+    /// ledger ends at zero, mirroring the threaded producer's exit
+    /// teardown.
+    fn close_books(&mut self, residue: u64) {
+        let Some(m) = self.mem else { return };
+        m.release(PKT_SLAB_BYTES.saturating_mul(residue));
+        for i in 0..self.established.len() {
+            if self.established[i] && !self.freed[i] {
+                self.freed[i] = true;
+                m.release(FLOW_SETUP_BYTES);
+            }
+        }
+    }
+
+    fn summary(&self) -> Option<ClosedLoopSummary> {
+        self.params.map(|_| summarize_closed_loop(&self.cl))
+    }
 }
 
 /// Runs the sharded host, returning the merged report.
@@ -467,6 +793,8 @@ fn run_inner<Q: ShaperQdisc>(
                 0.0
             },
             max_latency_ns: sh.lat_max_ns,
+            tiers: sh.tiers,
+            sojourn: sh.sojourn.clone(),
         })
         .collect();
     ShardedReport {
@@ -482,6 +810,12 @@ fn run_inner<Q: ShaperQdisc>(
         evicted: per_shard.iter().map(|s| s.evicted).sum(),
         ring_full_retries: outcome.ring_full_retries,
         audits: outcome.audits,
+        emitted: outcome.emitted,
+        residue: outcome.residue,
+        setup_refused: outcome.setup_refused,
+        mem_deferrals: outcome.mem_deferrals,
+        mem_peak: outcome.mem_peak,
+        cl: outcome.cl,
         per_shard,
     }
 }
@@ -530,7 +864,9 @@ fn refund(
 /// Admission + enqueue of one minted packet at its home shard, shared by
 /// the direct ingress path and the post-stall ring drain. Updates the
 /// host-level backlog and performs TSQ refunds for refused/evicted packets;
-/// the shard's own counters are updated inside [`Shard::ingress`].
+/// the shard's own counters are updated inside [`Shard::ingress`]. Packets
+/// disposed without transmission feed the closed loop a loss signal and
+/// return their slab charge to the memory budget.
 #[allow(clippy::too_many_arguments)]
 fn admit_one<Q: ShaperQdisc>(
     now: Nanos,
@@ -544,19 +880,35 @@ fn admit_one<Q: ShaperQdisc>(
     limits: &[u64],
     total_backlog: &mut usize,
     events: &mut EvHeap,
+    ov: &mut Overload<'_>,
 ) {
     let flow = pkt.flow;
-    match sh.ingress(now, pkt, per_flow_bps, admit) {
+    match sh.ingress(now, pkt, per_flow_bps, admit, ov.tier()) {
         IngressVerdict::Queued | IngressVerdict::Marked => {
             *total_backlog += 1;
         }
         IngressVerdict::DroppedArrival => {
+            ov.on_loss(flow);
             refund(now, flow, budget, inflight, sent, limits, events);
+            ov.maybe_free_flow(
+                flow as usize,
+                sent[flow as usize],
+                limits[flow as usize],
+                inflight[flow as usize],
+            );
         }
         IngressVerdict::Evicted(victim) => {
             // The arrival went in and the worst resident came out: the
             // backlog is net unchanged; only the victim's flow is refunded.
-            refund(now, victim.flow, budget, inflight, sent, limits, events);
+            let v = victim.flow;
+            ov.on_loss(v);
+            refund(now, v, budget, inflight, sent, limits, events);
+            ov.maybe_free_flow(
+                v as usize,
+                sent[v as usize],
+                limits[v as usize],
+                inflight[v as usize],
+            );
         }
     }
 }
@@ -599,6 +951,9 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let flow_cap = cfg.flow_cap.map(|c| c.max(1));
     let per_flow_bps = (host.aggregate.as_bps() / host.flows as u64).max(1);
     let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps; // ns per MTU
+                                                               // Source-side base emission gap: the overload knob. Defaults to the
+                                                               // pacing gap (offered == shaped).
+    let emit_gap = cfg.offered_gap.unwrap_or(pacing_gap).max(1);
     let batch = host.batch.max(1);
     let admit = &cfg.chaos.admit;
 
@@ -638,6 +993,10 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     let mut inflight = vec![0u32; host.flows];
     let mut arrivals = vec![0u64; host.flows];
     let mut sent = vec![0u64; host.flows];
+
+    // Closed-loop transports and the memory-budget accountant (no-ops
+    // unless configured on `cfg`).
+    let mut ov = Overload::new(cfg);
 
     let mut events = EvHeap::default();
     // First emissions: explicit start times (incast waves), or staggered
@@ -679,15 +1038,42 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                     continue; // TSQ throttled (a completion reschedules us)
                               // or the finite workload is done.
                 }
+                if ov.params.is_some() && now < ov.next_allowed[i] {
+                    // Closed-loop pacing: the transport's congestion window
+                    // says not yet. (Stray wakeups from completion refunds
+                    // land here and defer to the paced slot.)
+                    events.schedule(ov.next_allowed[i], Ev::Source(id));
+                    continue;
+                }
+                if !ov.established[i] {
+                    // Flow setup under a memory budget: the refuse tier (or
+                    // an exhausted budget) turns new flows away at the door
+                    // — the strongest degradation, taken before any packet
+                    // memory is committed. Refused flows retry much later,
+                    // jittered, so recovering budgets aren't stampeded.
+                    let m = ov
+                        .mem
+                        .expect("unestablished flows only exist under a budget");
+                    if m.tier() == DegradeTier::Refuse || !m.try_charge(FLOW_SETUP_BYTES) {
+                        ov.setup_refused += 1;
+                        let delay = ov.retry_in(id, emit_gap.saturating_mul(8));
+                        events.schedule(now + delay, Ev::Source(id));
+                        continue;
+                    }
+                    ov.established[i] = true;
+                }
                 let s = home[i] as usize;
                 if faults[s].stalled(now)
                     && pending[s].len() >= faults[s].ring_capacity(now, usize::MAX)
                 {
                     // The stalled shard's ingress ring is full: the emission
                     // itself is deferred — no budget consumed, no packet
-                    // minted yet. Bounded backoff, one pacing gap.
+                    // minted yet. Bounded backoff around one pacing gap,
+                    // jittered per (flow, attempt) so the synchronized
+                    // retries don't thunder back in lockstep.
                     ring_full_retries += 1;
-                    events.schedule(now + pacing_gap.max(1), Ev::Source(id));
+                    let delay = ov.retry_in(id, emit_gap);
+                    events.schedule(now + delay, Ev::Source(id));
                     continue;
                 }
                 arrivals[i] += 1;
@@ -700,11 +1086,34 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                     events.schedule(now + pacing_gap.max(1), Ev::Source(id));
                     continue;
                 }
+                if let Some(m) = ov.mem {
+                    // Per-packet slab accounting: an exhausted budget defers
+                    // the emission (jittered) instead of allocating — the
+                    // hard guarantee that backlog memory never exceeds the
+                    // budget, whatever the qdisc caps say.
+                    if !m.try_charge(PKT_SLAB_BYTES) {
+                        ov.mem_deferrals += 1;
+                        let delay = ov.retry_in(id, emit_gap);
+                        events.schedule(now + delay, Ev::Source(id));
+                        continue;
+                    }
+                }
                 budget[i] -= 1;
                 inflight[i] += 1;
                 sent[i] += 1;
                 let pkt = Packet::mtu(next_pkt_id, id, now);
                 next_pkt_id += 1;
+                // Open loop: bulk sender, next packet goes straight away
+                // (the qdisc paces). Closed loop: the transport paces its
+                // own emissions, stretching the base gap by the inverse of
+                // its congestion scale.
+                let next_at = if ov.params.is_some() {
+                    let at = now + ov.cl[i].gap(emit_gap).max(1);
+                    ov.next_allowed[i] = at;
+                    at
+                } else {
+                    now
+                };
                 if faults[s].stalled(now) {
                     // Core paused: park in the ingress ring; the first
                     // parked packet schedules the resume drain.
@@ -714,7 +1123,7 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                         events.schedule(until, Ev::Resume { shard: s as u32 });
                     }
                     if budget[i] > 0 && sent[i] < limits[i] {
-                        events.schedule(now, Ev::Source(id));
+                        events.schedule(next_at, Ev::Source(id));
                     }
                     continue;
                 }
@@ -730,11 +1139,11 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                     &limits,
                     &mut total_backlog,
                     &mut events,
+                    &mut ov,
                 );
                 peak_total_backlog = peak_total_backlog.max(total_backlog);
                 if budget[i] > 0 && sent[i] < limits[i] {
-                    // Bulk sender: next packet goes straight away.
-                    events.schedule(now, Ev::Source(id));
+                    events.schedule(next_at, Ev::Source(id));
                 }
                 // Arm (or tighten) this shard's timer.
                 let sh = &mut shards[s];
@@ -771,6 +1180,7 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                         &limits,
                         &mut total_backlog,
                         &mut events,
+                        &mut ov,
                     );
                 }
                 peak_total_backlog = peak_total_backlog.max(total_backlog);
@@ -827,6 +1237,11 @@ pub(crate) fn drive<Q: ShaperQdisc>(
                         events.schedule(now, Ev::Source(p.flow));
                     }
                     budget[i] += 1;
+                    // Completion path: the slab frees, and the transport
+                    // sees the echoed ECN bit — the feedback edge of the
+                    // closed loop.
+                    ov.on_delivery(p.flow, p.ecn);
+                    ov.maybe_free_flow(i, sent[i], limits[i], inflight[i]);
                 }
                 // Re-arm; a slow consumer cannot fire again before its
                 // delayed drain would have finished.
@@ -850,11 +1265,19 @@ pub(crate) fn drive<Q: ShaperQdisc>(
     audit(host.duration, &shards, &pending, next_pkt_id, total_backlog);
     audits += 1;
 
+    let in_ring: u64 = pending.iter().map(|p| p.len() as u64).sum();
+    ov.close_books(total_backlog as u64 + in_ring);
     DriveOutcome {
         shards,
         peak_total_backlog,
         ring_full_retries,
         audits,
+        emitted: next_pkt_id,
+        residue: total_backlog as u64 + in_ring,
+        setup_refused: ov.setup_refused,
+        mem_deferrals: ov.mem_deferrals,
+        mem_peak: cfg.mem.as_ref().map_or(0, |m| m.peak()),
+        cl: ov.summary(),
     }
 }
 
@@ -954,5 +1377,117 @@ mod tests {
         assert_eq!(base.transmitted, batched.transmitted);
         assert_eq!(base.timer_fires, batched.timer_fires);
         assert_eq!(base.dropped, batched.dropped);
+    }
+
+    /// The backoff jitter is a pure function of `(flow, attempt)` — the
+    /// property that keeps the virtual runtime deterministic and shard-
+    /// count-invariant — and spreads synchronized retries apart.
+    #[test]
+    fn backoff_jitter_is_deterministic_and_spreads() {
+        let span = 10_000;
+        for flow in 0..32u32 {
+            for attempt in 0..8u32 {
+                let a = backoff_jitter(flow, attempt, span);
+                assert_eq!(a, backoff_jitter(flow, attempt, span));
+                assert!(a < span);
+            }
+        }
+        assert_eq!(backoff_jitter(7, 1, 0), 0, "zero span is a no-op");
+        // Synchronized producers draw distinct delays: over 64 flows at
+        // the same attempt, the draws must not collapse to a few values.
+        let distinct: std::collections::BTreeSet<u64> =
+            (0..64u32).map(|f| backoff_jitter(f, 1, span)).collect();
+        assert!(
+            distinct.len() > 48,
+            "only {} distinct draws",
+            distinct.len()
+        );
+    }
+
+    /// Overloaded host (aggregate far above what per-flow pacing drains):
+    /// closed-loop sources must see ECN marks and back off, and the books
+    /// must balance with the new emitted/residue fields.
+    #[test]
+    fn closed_loop_sources_back_off_under_ecn() {
+        use eiffel_workloads::SCALE_ONE;
+        let mut host = small_host(4);
+        host.tsq_budget = 8;
+        let mut cfg = ShardedConfig::new(2, host);
+        cfg.chaos.admit = AdmitPolicy::EcnMark {
+            cap: 64,
+            mark_at: 8,
+        };
+        cfg.closed_loop = Some(ClosedLoopParams {
+            initial_scale: SCALE_ONE,
+            ..ClosedLoopParams::default()
+        });
+        // 8× overload: sources at full scale offer one packet per 1/8 of
+        // the shaped pacing gap.
+        let per_flow_bps = cfg.host.aggregate.as_bps() / cfg.host.flows as u64;
+        let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps;
+        cfg.offered_gap = Some(pacing_gap / 8);
+        let r = run_sharded(|_| EiffelQdisc::new(20_000, 100_000), &cfg);
+        let cl = r.cl.expect("closed loop configured");
+        assert!(r.ecn_marked > 0, "overload must mark");
+        assert!(
+            cl.mean_scale < 1.0,
+            "marked sources must back off: mean_scale {}",
+            cl.mean_scale
+        );
+        assert!(cl.marked > 0);
+        assert_eq!(
+            r.emitted,
+            r.transmitted + r.admission_dropped + r.evicted + r.residue,
+            "closed-loop conservation"
+        );
+        // The sojourn histogram saw every transmitted packet.
+        let recorded: u64 = r.per_shard.iter().map(|s| s.sojourn.total()).sum();
+        assert_eq!(recorded, r.transmitted);
+    }
+
+    /// A tiny memory budget must walk the degradation tiers — harder
+    /// marking, worst-first shedding, setup refusal — and the peak charge
+    /// can never exceed the budget (`try_charge` refuses first).
+    #[test]
+    fn mem_budget_degrades_gracefully_and_never_overruns() {
+        use eiffel_core::DegradeTier;
+        let mut host = small_host(4);
+        host.tsq_budget = 8;
+        let mut cfg = ShardedConfig::new(2, host);
+        cfg.pkts_per_flow = Some(12);
+        cfg.chaos.admit = AdmitPolicy::EcnMark {
+            cap: 256,
+            mark_at: 64,
+        };
+        cfg.closed_loop = Some(ClosedLoopParams::default());
+        // ~200 flows × 512B setup ≈ 100 KiB alone; a 96 KiB budget forces
+        // refusals and keeps the packet slabs under pressure.
+        let budget = Arc::new(MemBudget::new(96 * 1024));
+        cfg.mem = Some(Arc::clone(&budget));
+        let r = run_sharded(|_| EiffelQdisc::new(20_000, 100_000), &cfg);
+        assert!(r.mem_peak <= budget.budget(), "hard ceiling");
+        assert!(r.mem_peak > 0, "charges were taken");
+        assert!(
+            r.setup_refused > 0,
+            "a 96 KiB budget cannot establish 200 flows at once"
+        );
+        assert_eq!(
+            r.emitted,
+            r.transmitted + r.admission_dropped + r.evicted + r.residue,
+            "conservation under memory pressure"
+        );
+        // Higher tiers were actually consulted at admission time.
+        let mut tiers = TierCounters::default();
+        for s in &r.per_shard {
+            tiers.merge(&s.tiers);
+        }
+        assert!(
+            tiers.total_at(DegradeTier::Pressure)
+                + tiers.total_at(DegradeTier::Shed)
+                + tiers.total_at(DegradeTier::Refuse)
+                > 0,
+            "admission never saw a degraded tier: {tiers:?}"
+        );
+        assert_eq!(budget.in_use(), 0, "the ledger's books close at zero");
     }
 }

@@ -29,9 +29,12 @@
 //!   event loop drives under the virtual clock — the two runtimes share one
 //!   body and cannot drift. The event axis here is the wall clock
 //!   (nanoseconds since run start), polled instead of popped from a heap.
-//! * **Completions** flow back over a second SPSC ring: one [`FlowId`] per
-//!   released packet, returning TSQ budget to the producer — the TSQ
-//!   callback, as a message.
+//! * **Completions** flow back over a second SPSC ring: one [`Completion`]
+//!   per disposed packet, returning TSQ budget to the producer — the TSQ
+//!   callback, as a message. The completion carries the packet's fate
+//!   (delivered, delivered-with-ECN-mark, dropped), which is the feedback
+//!   edge of the closed loop: ECN-reactive transports
+//!   ([`eiffel_workloads::ClosedLoopSource`]) read it and pace themselves.
 //! * The **control plane** is a third, cold ring: the producer sends
 //!   [`CtrlMsg::Shutdown`] (drain for finite workloads, immediate for timed
 //!   runs); config travels by value at spawn time.
@@ -56,16 +59,20 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use eiffel_chaos::{AdmitPolicy, ChaosConfig, ShardFaults};
 use eiffel_core::ring::{SpscConsumer, SpscProducer, SpscRing};
-use eiffel_core::CounterBlock;
+use eiffel_core::{CounterBlock, DegradeTier, MemBudget, FLOW_SETUP_BYTES, PKT_SLAB_BYTES};
 use eiffel_sim::{shard_of, CpuCategory, CpuMeter, FlowId, Nanos, Packet, WallNanos, SECOND};
+use eiffel_workloads::{
+    summarize_closed_loop, ClosedLoopParams, ClosedLoopSource, ClosedLoopSummary,
+};
 
 use crate::host::HostConfig;
 use crate::qdisc::ShaperQdisc;
-use crate::sharded::{IngressVerdict, Shard, ShardStats};
+use crate::sharded::{backoff_jitter, IngressVerdict, Shard, ShardStats};
 
 /// Counter slots published by each shard thread (single writer each).
 const C_TRANSMITTED: usize = 0;
@@ -82,6 +89,30 @@ const C_HEARTBEAT: usize = 4;
 const C_DISPOSED: usize = 5;
 /// One shard's live statistics block.
 type ShardCounters = CounterBlock<6>;
+
+/// What happened to one disposed packet, echoed to the producer on the
+/// completion ring. This is the only feedback channel a source has — on
+/// real hardware it is the ACK (with its ECE bit) coming back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// Transmitted, no congestion signal.
+    Delivered,
+    /// Transmitted with the ECN congestion-experienced mark set by
+    /// admission — the signal closed-loop transports react to.
+    DeliveredMarked,
+    /// Refused by admission or evicted to make room: the skb is freed (so
+    /// the TSQ budget returns) and the transport sees a loss.
+    Dropped,
+}
+
+/// One completion-ring message: which flow, and what happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The flow whose packet was disposed.
+    pub flow: FlowId,
+    /// Its fate.
+    pub kind: CompletionKind,
+}
 
 /// Control-plane messages (cold path; one per run today).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +165,23 @@ pub struct ThreadedConfig {
     pub starts: Option<Vec<Nanos>>,
     /// Fault plan, admission policy, and watchdog. The default is a no-op.
     pub chaos: ChaosConfig,
+    /// ECN-reactive closed-loop sources: each flow runs a DCTCP-style
+    /// estimator over the mark fraction echoed on its completions and
+    /// paces its own emissions. `None` = the historical open loop (bulk
+    /// senders gated only by TSQ).
+    pub closed_loop: Option<ClosedLoopParams>,
+    /// Memory-budget accountant shared by the producer (flow setup and
+    /// per-packet slab charges) and the shard threads (tier lookups and
+    /// slab releases). `None` = unbounded, the historical behavior.
+    pub mem: Option<Arc<MemBudget>>,
+    /// Source-side emission gap, decoupled from the shard-side shaping
+    /// rate (which stays `host.aggregate / host.flows`). Mirrors
+    /// [`crate::sharded::ShardedConfig::offered_gap`]: a gap smaller than
+    /// the shaped per-flow gap means sustained overload of a
+    /// fixed-capacity drain. Applies to the flow-start stagger and to
+    /// closed-loop pacing (open-loop senders are TSQ-gated bulk emitters
+    /// either way). `None` = offered rate equals the shaped rate.
+    pub offered_gap: Option<Nanos>,
 }
 
 impl ThreadedConfig {
@@ -149,6 +197,9 @@ impl ThreadedConfig {
             pkts_override: None,
             starts: None,
             chaos: ChaosConfig::default(),
+            closed_loop: None,
+            mem: None,
+            offered_gap: None,
         }
     }
 
@@ -169,6 +220,9 @@ impl ThreadedConfig {
             pkts_override: None,
             starts: None,
             chaos: ChaosConfig::default(),
+            closed_loop: None,
+            mem: None,
+            offered_gap: None,
         }
     }
 }
@@ -250,6 +304,18 @@ pub struct ThreadedReport {
     /// A finite workload hit [`ThreadedConfig::wall_limit`] before
     /// draining — the counters below are then truncated, not complete.
     pub timed_out: bool,
+    /// Flow setups refused by the memory budget (refuse tier, or the
+    /// setup charge itself failing) — refused flows park until the tier
+    /// clears, then re-attempt (and are counted again if re-refused).
+    pub setup_refused: u64,
+    /// Emissions deferred because the per-packet slab charge found the
+    /// budget exhausted (the bounded-memory guarantee biting).
+    pub mem_deferrals: u64,
+    /// Peak bytes ever charged against the memory budget (0 without one).
+    /// Never exceeds the budget — `try_charge` refuses, by construction.
+    pub mem_peak_bytes: u64,
+    /// Closed-loop transport summary (`None` for open-loop runs).
+    pub cl: Option<ClosedLoopSummary>,
     /// Fault-handling outcome (all zeros without a chaos plan).
     pub chaos: ChaosReport,
 }
@@ -361,7 +427,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
         let (tx, rx) = SpscRing::<CtrlMsg>::new(4);
         ctrl_tx.push(tx);
         ctrl_rx.push(rx);
-        let (tx, rx) = SpscRing::<FlowId>::new(ring_cap);
+        let (tx, rx) = SpscRing::<Completion>::new(ring_cap);
         comp_tx.push(tx);
         comp_rx.push(rx);
     }
@@ -388,6 +454,11 @@ fn run_inner<Q: ShaperQdisc + Send>(
     let faults: Vec<ShardFaults> = (0..n).map(|i| cfg.chaos.plan.compile(i)).collect();
     let admit = cfg.chaos.admit;
 
+    // Per-flow producer state comes first: at the largest flow counts it
+    // is a multi-hundred-MB allocation whose first-touch cost must not be
+    // billed against the wall the shards and sources share.
+    let mut pstate = ProducerState::build(cfg);
+
     let start = Instant::now();
     let mut outcomes: Vec<ShardOutcome<Q>> = Vec::with_capacity(n);
     let mut producer_out = ProducerOutcome::default();
@@ -401,6 +472,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
             let comp = comp_tx.pop().expect("one completion ring per shard");
             let stats = &counters[i];
             let shard_faults = faults[i].clone();
+            let shard_mem = cfg.mem.clone();
             handles.push(s.spawn(move || {
                 shard_worker(
                     shard,
@@ -413,6 +485,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
                     batch,
                     shard_faults,
                     admit,
+                    shard_mem,
                     want_trace,
                 )
             }));
@@ -421,6 +494,7 @@ fn run_inner<Q: ShaperQdisc + Send>(
 
         producer_out = producer_loop(
             cfg,
+            &mut pstate,
             &home,
             per_flow_bps,
             start,
@@ -471,6 +545,8 @@ fn run_inner<Q: ShaperQdisc + Send>(
                     0.0
                 },
                 max_latency_ns: o.shard.lat_max_ns,
+                tiers: o.shard.tiers,
+                sojourn: o.shard.sojourn.clone(),
             }
         })
         .collect();
@@ -531,6 +607,10 @@ fn run_inner<Q: ShaperQdisc + Send>(
         wall_elapsed,
         ring_full_retries: producer_out.ring_full_retries,
         timed_out: producer_out.timed_out,
+        setup_refused: producer_out.setup_refused,
+        mem_deferrals: producer_out.mem_deferrals,
+        mem_peak_bytes: cfg.mem.as_ref().map_or(0, |m| m.peak()),
+        cl: producer_out.cl.take(),
         chaos,
         per_shard,
     };
@@ -545,12 +625,12 @@ fn run_inner<Q: ShaperQdisc + Send>(
 /// evicted) — unless the fault plan loses it on the wire. The push blocks
 /// spin-then-yield; the producer always drains completion rings.
 fn send_completion(
-    comp: &mut SpscProducer<FlowId>,
+    comp: &mut SpscProducer<Completion>,
     faults: &ShardFaults,
     now: Nanos,
     comp_seq: &mut u64,
     lost: &mut u64,
-    flow: FlowId,
+    c: Completion,
 ) {
     let seq = *comp_seq;
     *comp_seq += 1;
@@ -558,12 +638,12 @@ fn send_completion(
         *lost += 1;
         return;
     }
-    let mut f = flow;
+    let mut c = c;
     loop {
-        match comp.push(f) {
+        match comp.push(c) {
             Ok(()) => break,
             Err(back) => {
-                f = back;
+                c = back;
                 std::thread::yield_now();
             }
         }
@@ -578,13 +658,14 @@ fn shard_worker<Q: ShaperQdisc>(
     mut shard: Shard<Q>,
     mut data: SpscConsumer<Packet>,
     mut ctrl: SpscConsumer<CtrlMsg>,
-    mut comp: SpscProducer<FlowId>,
+    mut comp: SpscProducer<Completion>,
     stats: &ShardCounters,
     start: Instant,
     per_flow_bps: u64,
     batch: usize,
     faults: ShardFaults,
     admit: AdmitPolicy,
+    mem: Option<Arc<MemBudget>>,
     want_trace: bool,
 ) -> ShardOutcome<Q> {
     const INGRESS_BURST: usize = 64;
@@ -623,29 +704,48 @@ fn shard_worker<Q: ShaperQdisc>(
         let mut worked = false;
 
         // Ingress: a burst of arrivals from the data ring, each through
-        // admission. Refused arrivals and evicted victims owe the producer
-        // a completion too — the kernel frees the skb either way.
+        // admission (tightened by the memory budget's current degradation
+        // tier). Refused arrivals and evicted victims owe the producer a
+        // completion too — the kernel frees the skb either way — and every
+        // disposal returns its slab charge to the budget.
         for _ in 0..INGRESS_BURST {
             let Some(pkt) = data.pop() else { break };
             let flow = pkt.flow;
-            match shard.ingress(now, pkt, per_flow_bps, &admit) {
+            let tier = mem.as_deref().map_or(DegradeTier::Normal, |m| m.tier());
+            match shard.ingress(now, pkt, per_flow_bps, &admit, tier) {
                 IngressVerdict::Queued | IngressVerdict::Marked => {}
-                IngressVerdict::DroppedArrival => send_completion(
-                    &mut comp,
-                    &faults,
-                    now,
-                    &mut comp_seq,
-                    &mut completions_lost,
-                    flow,
-                ),
-                IngressVerdict::Evicted(victim) => send_completion(
-                    &mut comp,
-                    &faults,
-                    now,
-                    &mut comp_seq,
-                    &mut completions_lost,
-                    victim.flow,
-                ),
+                IngressVerdict::DroppedArrival => {
+                    if let Some(m) = mem.as_deref() {
+                        m.release(PKT_SLAB_BYTES);
+                    }
+                    send_completion(
+                        &mut comp,
+                        &faults,
+                        now,
+                        &mut comp_seq,
+                        &mut completions_lost,
+                        Completion {
+                            flow,
+                            kind: CompletionKind::Dropped,
+                        },
+                    )
+                }
+                IngressVerdict::Evicted(victim) => {
+                    if let Some(m) = mem.as_deref() {
+                        m.release(PKT_SLAB_BYTES);
+                    }
+                    send_completion(
+                        &mut comp,
+                        &faults,
+                        now,
+                        &mut comp_seq,
+                        &mut completions_lost,
+                        Completion {
+                            flow: victim.flow,
+                            kind: CompletionKind::Dropped,
+                        },
+                    )
+                }
             }
             if let Some(want) = shard.tighten_timer(now) {
                 jitter = faults.timer_extra_delay(want, shard.timer_epoch());
@@ -679,13 +779,23 @@ fn shard_worker<Q: ShaperQdisc>(
                 if want_trace {
                     releases.push((WallNanos(now), p.flow, p.id, p.bytes));
                 }
+                if let Some(m) = mem.as_deref() {
+                    m.release(PKT_SLAB_BYTES);
+                }
                 send_completion(
                     &mut comp,
                     &faults,
                     now,
                     &mut comp_seq,
                     &mut completions_lost,
-                    p.flow,
+                    Completion {
+                        flow: p.flow,
+                        kind: if p.ecn {
+                            CompletionKind::DeliveredMarked
+                        } else {
+                            CompletionKind::Delivered
+                        },
+                    },
                 );
             }
             if let Some(want) = shard.rearm(now) {
@@ -722,6 +832,15 @@ fn shard_worker<Q: ShaperQdisc>(
     let mut ring_residue = 0u64;
     while data.pop().is_some() {
         ring_residue += 1;
+        if let Some(m) = mem.as_deref() {
+            m.release(PKT_SLAB_BYTES);
+        }
+    }
+    if let Some(m) = mem.as_deref() {
+        // Packets still resident in the qdisc at a timed shutdown hold
+        // slab charges; the run is over, so give them back — the budget's
+        // books close at zero.
+        m.release(PKT_SLAB_BYTES.saturating_mul(shard.qdisc.len() as u64));
     }
     stats.set(C_TRANSMITTED, shard.transmitted);
     stats.set(C_TX_BYTES, shard.tx_bytes);
@@ -761,6 +880,9 @@ struct ProducerOutcome {
     stalls_detected: u64,
     recoveries: u64,
     completions_recovered: u64,
+    setup_refused: u64,
+    mem_deferrals: u64,
+    cl: Option<ClosedLoopSummary>,
 }
 
 /// Per-flow producer state (the application + TCP-stack model).
@@ -775,18 +897,30 @@ struct FlowState {
     /// Consecutive ring-full deferrals (exponential-backoff exponent,
     /// capped; reset on a successful emission).
     backoff: u8,
+    /// Retry attempts so far — the per-flow jitter key.
+    retry_seq: u32,
+    /// Flow setup charged against the memory budget (always true without
+    /// one).
+    established: bool,
+    /// Setup charge already released (finite flow fully drained).
+    freed: bool,
+    /// Earliest next emission (closed-loop pacing; 0 in open loop).
+    next_allowed: Nanos,
 }
 
 /// Returns one TSQ budget to `flow` — from a completion, or from the
 /// watchdog's loss reconciliation. The `inflight == 0` guard makes refunds
 /// exact per flow even when reconciliation guessed and the real completion
 /// arrives later: a flow never receives more refunds than it had packets
-/// in flight.
+/// in flight. Under a memory budget, the last refund of a fully drained
+/// finite flow also tears the flow down, releasing its setup charge —
+/// the churn that keeps the active flow set bounded.
 fn credit_flow(
     fs: &mut [FlowState],
     flow: FlowId,
     limits: &[u64],
     ready: &mut VecDeque<FlowId>,
+    mem: Option<&MemBudget>,
 ) -> bool {
     let f = &mut fs[flow as usize];
     if f.inflight == 0 {
@@ -794,11 +928,71 @@ fn credit_flow(
     }
     f.inflight -= 1;
     f.budget += 1;
-    if !f.queued && f.sent < limits[flow as usize] {
+    let lim = limits[flow as usize];
+    if !f.queued && f.sent < lim {
         f.queued = true;
         ready.push_back(flow);
     }
+    if let Some(m) = mem {
+        if f.established && !f.freed && lim != u64::MAX && f.sent >= lim && f.inflight == 0 {
+            f.freed = true;
+            m.release(FLOW_SETUP_BYTES);
+        }
+    }
     true
+}
+
+/// Producer per-flow state, allocated *before* the wall clock starts.
+///
+/// At 10 M flows these vectors are on the order of a gigabyte of
+/// first-touch memory — on a small box that alone can take seconds.
+/// Building them inside the timed region would silently shorten (or, at
+/// the largest grid points, entirely consume) the measured wall, so
+/// `run_inner` constructs this up front and only then takes `start`.
+struct ProducerState {
+    /// Per-flow packet limit (`u64::MAX` = unbounded timed flow).
+    limits: Vec<u64>,
+    /// Closed-loop transports, one per flow (empty in open loop).
+    cl: Vec<ClosedLoopSource>,
+    fs: Vec<FlowState>,
+    ready: VecDeque<FlowId>,
+}
+
+impl ProducerState {
+    fn build(cfg: &ThreadedConfig) -> Self {
+        let flows = cfg.host.flows;
+        let limits: Vec<u64> = match &cfg.pkts_override {
+            Some(v) => {
+                assert_eq!(v.len(), flows, "pkts_override length");
+                v.clone()
+            }
+            None => vec![cfg.pkts_per_flow.unwrap_or(u64::MAX); flows],
+        };
+        let cl: Vec<ClosedLoopSource> = match &cfg.closed_loop {
+            Some(p) => vec![ClosedLoopSource::new(p); flows],
+            None => Vec::new(),
+        };
+        let fs: Vec<FlowState> = (0..flows)
+            .map(|_| FlowState {
+                budget: cfg.host.tsq_budget.max(1),
+                inflight: 0,
+                sent: 0,
+                arrivals: 0,
+                queued: false,
+                backoff: 0,
+                retry_seq: 0,
+                established: cfg.mem.is_none(),
+                freed: false,
+                next_allowed: 0,
+            })
+            .collect();
+        ProducerState {
+            limits,
+            cl,
+            fs,
+            ready: VecDeque::with_capacity(flows),
+        }
+    }
 }
 
 /// The producer/demux thread body (runs on the caller's thread while the
@@ -806,12 +1000,13 @@ fn credit_flow(
 #[allow(clippy::too_many_arguments)]
 fn producer_loop(
     cfg: &ThreadedConfig,
+    state: &mut ProducerState,
     home: &[u32],
     per_flow_bps: u64,
     start: Instant,
     data_tx: &mut [SpscProducer<Packet>],
     ctrl_tx: &mut [SpscProducer<CtrlMsg>],
-    comp_rx: &mut [SpscConsumer<FlowId>],
+    comp_rx: &mut [SpscConsumer<Completion>],
     counters: &[ShardCounters],
     faults: &[ShardFaults],
     want_trace: bool,
@@ -825,14 +1020,16 @@ fn producer_loop(
     let flows = host.flows;
     let n = data_tx.len();
     let pacing_gap = 1_500 * 8 * 1_000_000_000 / per_flow_bps;
+    // Source-side gap: what a flow *offers*, vs `pacing_gap` — what the
+    // shard-side shaper *grants*. Equal unless the run models overload.
+    let offered_gap = cfg.offered_gap.unwrap_or(pacing_gap).max(1);
     let ring_cap = cfg.ring_capacity.max(1);
-    let limits: Vec<u64> = match &cfg.pkts_override {
-        Some(v) => {
-            assert_eq!(v.len(), flows, "pkts_override length");
-            v.clone()
-        }
-        None => vec![cfg.pkts_per_flow.unwrap_or(u64::MAX); flows],
-    };
+    let ProducerState {
+        limits,
+        cl,
+        fs,
+        ready,
+    } = state;
     let finite = cfg.pkts_per_flow.is_some() || cfg.pkts_override.is_some();
     let flow_cap = cfg.flow_cap.map(|c| c.max(1));
     let wall_limit = cfg.wall_limit.as_nanos();
@@ -844,24 +1041,23 @@ fn producer_loop(
         );
     }
     let watchdog = cfg.chaos.watchdog;
+    let cl_params = cfg.closed_loop;
+    let mem = cfg.mem.as_deref();
 
     let mut out = ProducerOutcome {
         dropped_per_shard: vec![0; n],
         ..ProducerOutcome::default()
     };
-    let mut fs: Vec<FlowState> = (0..flows)
-        .map(|_| FlowState {
-            budget: host.tsq_budget.max(1),
-            inflight: 0,
-            sent: 0,
-            arrivals: 0,
-            queued: false,
-            backoff: 0,
-        })
-        .collect();
-    let mut ready: VecDeque<FlowId> = VecDeque::with_capacity(flows);
     // Cap-dropped and ring-deferred flows retry later, as in the simulation.
     let mut retries: BinaryHeap<Reverse<(Nanos, FlowId)>> = BinaryHeap::new();
+    // Flows turned away at setup park here, off the hot path entirely: a
+    // timed retry at millions of refused flows would have the producer
+    // re-refusing the same setups all run — a livelock, not admission
+    // control. A bounded probe re-admits them once the refuse tier
+    // clears; established-flow churn (a drained finite flow releases its
+    // setup charge in `credit_flow`) is what makes the room.
+    let mut parked: VecDeque<FlowId> = VecDeque::new();
+    const UNPARK_BURST: usize = 256;
     let mut started = 0usize; // flows staggered in over one pacing gap
                               // Flows with a zero limit are born done.
     let mut flows_done = if finite {
@@ -883,14 +1079,28 @@ fn producer_loop(
         let now = start.elapsed().as_nanos() as Nanos;
         let mut worked = false;
 
-        // TSQ completions: return budget, wake throttled flows. A rejected
-        // credit (`inflight == 0`) is the real completion of a disposal the
+        // TSQ completions: return budget, wake throttled flows, and feed
+        // the transport its congestion signal (the echoed ECN mark or the
+        // loss) — the closed loop closing. A rejected credit
+        // (`inflight == 0`) is the real completion of a disposal the
         // reconciliation below already pre-refunded — that disposal was
         // counted then, so counting the pop too would double-credit it and
-        // hide a genuinely lost completion forever.
+        // hide a genuinely lost completion forever. (The congestion signal
+        // is still genuine either way, so it is always delivered.)
         for (s, rx) in comp_rx.iter_mut().enumerate() {
-            while let Some(flow) = rx.pop() {
-                if credit_flow(&mut fs, flow, &limits, &mut ready) {
+            while let Some(c) = rx.pop() {
+                if let Some(p) = &cl_params {
+                    match c.kind {
+                        CompletionKind::Delivered => {
+                            cl[c.flow as usize].on_completion(p, false);
+                        }
+                        CompletionKind::DeliveredMarked => {
+                            cl[c.flow as usize].on_completion(p, true);
+                        }
+                        CompletionKind::Dropped => cl[c.flow as usize].on_loss(p),
+                    }
+                }
+                if credit_flow(fs, c.flow, limits, ready, mem) {
                     credited[s] += 1;
                 }
                 worked = true;
@@ -917,8 +1127,19 @@ fn producer_loop(
                 // can only under-count losses, never invent them.
                 let disposed = counters[s].read(C_DISPOSED);
                 fence(Ordering::Acquire);
-                while let Some(flow) = comp_rx[s].pop() {
-                    if credit_flow(&mut fs, flow, &limits, &mut ready) {
+                while let Some(c) = comp_rx[s].pop() {
+                    if let Some(p) = &cl_params {
+                        match c.kind {
+                            CompletionKind::Delivered => {
+                                cl[c.flow as usize].on_completion(p, false);
+                            }
+                            CompletionKind::DeliveredMarked => {
+                                cl[c.flow as usize].on_completion(p, true);
+                            }
+                            CompletionKind::Dropped => cl[c.flow as usize].on_loss(p),
+                        }
+                    }
+                    if credit_flow(fs, c.flow, limits, ready, mem) {
                         credited[s] += 1;
                     }
                 }
@@ -939,7 +1160,7 @@ fn producer_loop(
                             if (pass == 0 && !starving) || fs[f as usize].inflight == 0 {
                                 continue;
                             }
-                            if credit_flow(&mut fs, f, &limits, &mut ready) {
+                            if credit_flow(fs, f, limits, ready, mem) {
                                 recovered += 1;
                             }
                         }
@@ -954,7 +1175,7 @@ fn producer_loop(
         }
 
         // Start flows: explicit schedule (incast waves), or staggered
-        // across one pacing gap (same schedule as the simulated host:
+        // across one offered gap (same schedule as the simulated host:
         // depends only on id and total flow count).
         loop {
             if started >= flows {
@@ -962,7 +1183,7 @@ fn producer_loop(
             }
             let due = match &cfg.starts {
                 Some(st) => now >= st[started],
-                None => now >= pacing_gap * started as u64 / flows as u64,
+                None => now >= offered_gap * started as u64 / flows as u64,
             };
             if !due {
                 break;
@@ -990,6 +1211,23 @@ fn producer_loop(
             worked = true;
         }
 
+        // Re-admit parked flows once the refuse tier clears — a bounded
+        // burst per pass, so a tier flickering at the threshold costs
+        // O(UNPARK_BURST), never a stampede of the whole parked set.
+        if !parked.is_empty() && mem.is_some_and(|m| m.tier() != DegradeTier::Refuse) {
+            for _ in 0..UNPARK_BURST {
+                let Some(flow) = parked.pop_front() else {
+                    break;
+                };
+                let f = &mut fs[flow as usize];
+                if !f.queued {
+                    f.queued = true;
+                    ready.push_back(flow);
+                }
+                worked = true;
+            }
+        }
+
         // Emit a burst of arrivals.
         for _ in 0..EMIT_BURST {
             let Some(flow) = ready.pop_front() else { break };
@@ -997,6 +1235,30 @@ fn producer_loop(
             fs[i].queued = false;
             if fs[i].budget == 0 || fs[i].sent >= limits[i] {
                 continue; // throttled (a completion requeues) or done
+            }
+            if cl_params.is_some() && now < fs[i].next_allowed {
+                // Closed-loop pacing: the transport's congestion window
+                // says not yet (stray completion wakeups land here).
+                retries.push(Reverse((fs[i].next_allowed, flow)));
+                continue;
+            }
+            if !fs[i].established {
+                // Flow setup under a memory budget: the refuse tier (or an
+                // exhausted budget) turns new flows away before any packet
+                // memory is committed — the strongest degradation. Refused
+                // flows park until the tier clears (the unpark probe
+                // above), so a saturated budget costs O(1) per flow, not a
+                // retry storm. A failed charge nearly always means the
+                // tier is already Refuse (512 B of headroom sits inside
+                // the 95 % threshold once the budget exceeds ~10 KB), so
+                // park/unpark churn stays within the probe's burst bound.
+                let m = mem.expect("unestablished flows only exist under a budget");
+                if m.tier() == DegradeTier::Refuse || !m.try_charge(FLOW_SETUP_BYTES) {
+                    out.setup_refused += 1;
+                    parked.push_back(flow);
+                    continue;
+                }
+                fs[i].established = true;
             }
             let s_home = home[i] as usize;
             // Failover: a watchdog-suspect shard stops receiving new work;
@@ -1013,10 +1275,18 @@ fn producer_loop(
             // `len < cap` guarantees the push lands; no spin, no blocking.
             let eff_cap = faults[s].ring_capacity(now, ring_cap);
             if data_tx[s].len() >= eff_cap {
+                // Bounded exponential backoff, plus deterministic seeded
+                // jitter keyed on (flow, attempt): producers that found
+                // the ring full at the same instant would otherwise all
+                // return `BACKOFF_BASE_NS << exp` later — in lockstep, to
+                // the same full ring (the thundering herd).
                 out.ring_full_retries += 1;
                 let exp = fs[i].backoff.min(BACKOFF_MAX_EXP);
                 fs[i].backoff = fs[i].backoff.saturating_add(1);
-                retries.push(Reverse((now + (BACKOFF_BASE_NS << exp), flow)));
+                fs[i].retry_seq = fs[i].retry_seq.wrapping_add(1);
+                let base = BACKOFF_BASE_NS << exp;
+                let at = now + base + backoff_jitter(flow, fs[i].retry_seq, base / 2);
+                retries.push(Reverse((at, flow)));
                 continue;
             }
             fs[i].backoff = 0;
@@ -1026,8 +1296,25 @@ fn producer_loop(
                 if want_trace {
                     out.drops.push((WallNanos(now), flow, fs[i].arrivals - 1));
                 }
-                retries.push(Reverse((now + pacing_gap.max(1), flow)));
+                retries.push(Reverse((now + offered_gap, flow)));
                 continue;
+            }
+            if let Some(m) = mem {
+                // Per-packet slab accounting: an exhausted budget defers
+                // the emission (jittered) instead of allocating — backlog
+                // memory cannot exceed the budget, whatever the ring and
+                // qdisc capacities would admit. The retry is source-side
+                // (the sender re-offers), so it backs off by the offered
+                // gap — under decoupled overload the shaped gap can be
+                // seconds, which would idle the slab pool it waits for.
+                if !m.try_charge(PKT_SLAB_BYTES) {
+                    out.mem_deferrals += 1;
+                    fs[i].retry_seq = fs[i].retry_seq.wrapping_add(1);
+                    let base = offered_gap;
+                    let at = now + base + backoff_jitter(flow, fs[i].retry_seq, base / 2);
+                    retries.push(Reverse((at, flow)));
+                    continue;
+                }
             }
             fs[i].budget -= 1;
             fs[i].inflight += 1;
@@ -1044,10 +1331,19 @@ fn producer_loop(
                 out.redirected += 1;
             }
             out.emitted += 1;
+            if cl_params.is_some() {
+                // The transport paces itself: next emission no earlier
+                // than the base gap stretched by its congestion scale.
+                fs[i].next_allowed = now + cl[i].gap(offered_gap).max(1);
+            }
             if fs[i].budget > 0 && fs[i].sent < limits[i] {
-                // Bulk sender: back-to-back until TSQ throttles.
-                fs[i].queued = true;
-                ready.push_back(flow);
+                if cl_params.is_some() {
+                    retries.push(Reverse((fs[i].next_allowed, flow)));
+                } else {
+                    // Bulk sender: back-to-back until TSQ throttles.
+                    fs[i].queued = true;
+                    ready.push_back(flow);
+                }
             }
             worked = true;
         }
@@ -1070,6 +1366,19 @@ fn producer_loop(
             std::thread::yield_now();
         }
     }
+    if let Some(m) = mem {
+        // Run over: the sources close. Release the setup charge of every
+        // still-established flow — their final completions may still be in
+        // flight (the join loop discards them), and timed runs end with
+        // flows mid-stream by design.
+        for f in fs.iter_mut() {
+            if f.established && !f.freed {
+                f.freed = true;
+                m.release(FLOW_SETUP_BYTES);
+            }
+        }
+    }
+    out.cl = cl_params.map(|_| summarize_closed_loop(cl));
     out
 }
 
@@ -1235,6 +1544,35 @@ mod tests {
         let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
         assert!(!r.timed_out);
         assert_eq!(r.transmitted, 9 * 15, "degraded, never lossy");
+        assert_conserving(&r);
+    }
+
+    #[test]
+    fn closed_loop_with_mem_budget_drains_and_frees_everything() {
+        // ECN-reactive sources under a budget small enough that packet
+        // slabs contend: the run must still drain its finite workload,
+        // never charge past the budget, and return every byte by the end
+        // (slabs on disposal, flow setups on teardown).
+        let mut cfg = ThreadedConfig::finite(2, tiny_host(8), 30);
+        cfg.host.tsq_budget = 4;
+        cfg.chaos.admit = AdmitPolicy::EcnMark {
+            cap: 16,
+            mark_at: 2,
+        };
+        cfg.closed_loop = Some(ClosedLoopParams::default());
+        let budget = Arc::new(MemBudget::new(8 * 1024));
+        cfg.mem = Some(Arc::clone(&budget));
+        let r = run_threaded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        assert!(!r.timed_out, "budget contention must not wedge the run");
+        assert_eq!(r.transmitted, 8 * 30);
+        assert!(r.cl.is_some(), "closed-loop summary present");
+        assert!(r.mem_peak_bytes > 0, "charges were taken");
+        assert!(r.mem_peak_bytes <= budget.budget(), "hard ceiling");
+        assert_eq!(
+            budget.in_use(),
+            0,
+            "every slab and setup charge returned by the end"
+        );
         assert_conserving(&r);
     }
 

@@ -1,0 +1,220 @@
+//! Property: the closed control loop conserves packets and re-converges.
+//!
+//! Two laws, checked under seeded fault storms over ECN-reactive
+//! (DCTCP-style) sources:
+//!
+//! 1. **Conservation.** With sources that defer, back off, and retry on
+//!    their own schedule — and a memory budget refusing setups and
+//!    deferring slabs — every minted packet still ends the run in exactly
+//!    one ledger column:
+//!
+//!    ```text
+//!    emitted = transmitted + admission_dropped + evicted + residue
+//!    ```
+//!
+//!    Setup refusals and slab deferrals sit *outside* the identity by
+//!    design: a refused emission is retried before the packet is minted,
+//!    so it consumes no conservation budget — like flow-cap drops, the
+//!    budget changes timing, not totals.
+//!
+//! 2. **Convergence.** A storm confined to the head of the run marks and
+//!    drops packets, driving source scales down; once the storm passes
+//!    and the backlog drains, the channel is clean (offered equals
+//!    shaped, so queues cannot rebuild) and additive recovery is
+//!    monotone. Given a tail long enough to cover the worst-case climb
+//!    from the scale floor, every source must end back at full rate.
+
+use std::sync::Arc;
+
+use eiffel_chaos::{AdmitPolicy, FaultFamily, FaultPlan};
+use eiffel_core::{MemBudget, FLOW_SETUP_BYTES, PKT_SLAB_BYTES};
+use eiffel_qdisc::{run_sharded, EiffelQdisc, HostConfig, ShardedConfig};
+use eiffel_sim::{Rate, SECOND};
+use eiffel_workloads::{ClosedLoopParams, SCALE_ONE};
+use proptest::prelude::*;
+
+const ALL_FAMILIES: [FaultFamily; 5] = [
+    FaultFamily::Stall,
+    FaultFamily::TimerJitter,
+    FaultFamily::SlowConsumer,
+    FaultFamily::RingSqueeze,
+    FaultFamily::CompletionLoss,
+];
+
+/// Backlog-building families only: the convergence law needs the fault
+/// pressure (and hence the marks) to stop when the storm windows close.
+const BACKLOG_FAMILIES: [FaultFamily; 3] = [
+    FaultFamily::Stall,
+    FaultFamily::SlowConsumer,
+    FaultFamily::RingSqueeze,
+];
+
+fn host(flows: usize) -> HostConfig {
+    HostConfig {
+        flows,
+        aggregate: Rate::mbps(12 * flows as u64),
+        duration: SECOND / 8,
+        bin: SECOND / 20,
+        tsq_budget: 8,
+        batch: 4,
+    }
+}
+
+/// The shaped per-MTU pacing gap the sources' `offered_gap` is measured
+/// against (mirrors the derivation inside `sharded::drive`).
+fn pacing_gap(h: &HostConfig) -> u64 {
+    1_500 * 8 * 1_000_000_000 / (h.aggregate.as_bps() / h.flows as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Conservation across the whole closed-loop feature cross-product:
+    /// ECN-reactive sources under sustained overload, a seeded fault
+    /// storm, and (half the time) a memory budget tight enough to refuse
+    /// setups and defer slabs.
+    #[test]
+    fn closed_loop_storms_conserve_packets(
+        flows in 4usize..14,
+        shards in 1usize..5,
+        pkts in 6u64..24,
+        overload_shift in 0u32..4, // offered gap = pacing gap >> shift
+        tenths in 0u32..9,
+        budget_sel in 0u32..2,
+        seed in 0u64..1_000,
+    ) {
+        let h = host(flows);
+        let mut cfg = ShardedConfig::new(shards, h);
+        cfg.pkts_per_flow = Some(pkts);
+        cfg.chaos.admit = AdmitPolicy::EcnMark { cap: 32, mark_at: 8 };
+        cfg.closed_loop = Some(ClosedLoopParams::default());
+        cfg.offered_gap = Some((pacing_gap(&cfg.host) >> overload_shift).max(1));
+        cfg.chaos.plan = FaultPlan::storm(
+            seed,
+            shards,
+            SECOND / 16,
+            f64::from(tenths) / 10.0,
+            &ALL_FAMILIES,
+        );
+        let budget = (budget_sel == 1).then(|| {
+            // Room for roughly half the flows' setups plus a handful of
+            // slabs: all three degradation tiers stay in play.
+            Arc::new(MemBudget::new(
+                flows as u64 / 2 * FLOW_SETUP_BYTES + 6 * PKT_SLAB_BYTES,
+            ))
+        });
+        cfg.mem = budget.clone();
+
+        let rep = run_sharded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        prop_assert_eq!(
+            rep.emitted,
+            rep.transmitted + rep.admission_dropped + rep.evicted + rep.residue,
+            "closed-loop conservation (tx={} adm={} evict={} residue={})",
+            rep.transmitted, rep.admission_dropped, rep.evicted, rep.residue
+        );
+        prop_assert!(rep.audits >= 1, "end-of-run audit must have run");
+        let cl = rep.cl.expect("closed loop configured");
+        prop_assert_eq!(cl.flows, flows);
+        // Per-shard counters must agree with the merged totals.
+        let sojourns: u64 = rep.per_shard.iter().map(|s| s.sojourn.total()).sum();
+        prop_assert_eq!(sojourns, rep.transmitted);
+        if let Some(b) = budget {
+            prop_assert!(rep.mem_peak <= b.budget(), "hard ceiling");
+            prop_assert_eq!(b.in_use(), 0, "books close at zero");
+        } else {
+            prop_assert_eq!(rep.setup_refused, 0);
+            prop_assert_eq!(rep.mem_deferrals, 0);
+        }
+    }
+
+    /// Rates converge after the storm: scales driven down by storm-time
+    /// marks and drops climb back to full once the channel is clean.
+    /// The storm is confined to the first quarter of the run; sources
+    /// offer at *half* the shaped rate, so outside a fault window the
+    /// queues drain and the steady-state backlog sits below the mark
+    /// threshold (which scales with the flow count — a stall's parked
+    /// flood crosses it, normal operation cannot). The quiet tail
+    /// (~94 ms) dwarfs the worst-case recovery climb (floor 256 → 1024
+    /// at +256 per 2-packet window over ≤ 8 ms gaps ≈ 35 ms), so a
+    /// source ending below full scale means the loop wedged.
+    #[test]
+    fn sources_reconverge_after_the_storm(
+        flows in 4usize..12,
+        shards in 1usize..4,
+        tenths in 4u32..10,
+        seed in 0u64..1_000,
+    ) {
+        let h = host(flows);
+        let mut cfg = ShardedConfig::new(shards, h);
+        cfg.chaos.admit = AdmitPolicy::EcnMark {
+            cap: 8 * flows,
+            mark_at: 2 * flows,
+        };
+        cfg.closed_loop = Some(ClosedLoopParams {
+            gain_shift: 4,
+            window: 2,
+            min_scale: 256,
+            additive: 256,
+            initial_scale: SCALE_ONE,
+            slow_start: true,
+        });
+        cfg.offered_gap = Some(pacing_gap(&cfg.host) * 2);
+        cfg.chaos.plan = FaultPlan::storm(
+            seed,
+            shards,
+            SECOND / 32,
+            f64::from(tenths) / 10.0,
+            &BACKLOG_FAMILIES,
+        );
+
+        let rep = run_sharded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        let cl = rep.cl.expect("closed loop configured");
+        prop_assert!(
+            (cl.min_scale - 1.0).abs() < f64::EPSILON,
+            "every source must re-converge to full rate after the storm \
+             (min_scale {} windows {} marked {} losses {})",
+            cl.min_scale, cl.windows, cl.marked, cl.losses
+        );
+        prop_assert_eq!(
+            rep.emitted,
+            rep.transmitted + rep.admission_dropped + rep.evicted + rep.residue
+        );
+    }
+}
+
+/// Non-vacuity guard for the reconvergence property: across a spread of
+/// storm seeds, at least some runs must actually mark (and therefore
+/// actually back off) — otherwise `sources_reconverge_after_the_storm`
+/// would hold trivially on permanently-clean channels.
+#[test]
+fn reconvergence_storms_are_not_vacuous() {
+    let mut marked_runs = 0u32;
+    for seed in 0..24 {
+        let flows = 8;
+        let mut cfg = ShardedConfig::new(2, host(flows));
+        cfg.chaos.admit = AdmitPolicy::EcnMark {
+            cap: 8 * flows,
+            mark_at: 2 * flows,
+        };
+        cfg.closed_loop = Some(ClosedLoopParams {
+            gain_shift: 4,
+            window: 2,
+            min_scale: 256,
+            additive: 256,
+            initial_scale: SCALE_ONE,
+            slow_start: true,
+        });
+        cfg.offered_gap = Some(pacing_gap(&cfg.host) * 2);
+        cfg.chaos.plan = FaultPlan::storm(seed, 2, SECOND / 32, 0.9, &BACKLOG_FAMILIES);
+        let rep = run_sharded(|_| EiffelQdisc::new(1 << 14, 100_000), &cfg);
+        let cl = rep.cl.expect("closed loop configured");
+        if cl.marked > 0 {
+            marked_runs += 1;
+        }
+    }
+    assert!(
+        marked_runs > 0,
+        "no storm out of 24 produced a single ECN mark — the reconvergence \
+         property is testing nothing"
+    );
+}

@@ -26,6 +26,11 @@ pub struct Packet {
     pub rank: u64,
     /// Traffic class set by the packet annotator (Figure 1).
     pub class: u32,
+    /// ECN congestion-experienced mark, set by the admission layer when
+    /// it admits the packet into a congested queue. Delivered back to
+    /// the source on the completion path; closed-loop transports react
+    /// to the echoed mark fraction.
+    pub ecn: bool,
 }
 
 /// Stable flow→shard assignment shared by every multi-core harness.
@@ -55,6 +60,7 @@ impl Packet {
             created_at,
             rank: 0,
             class: 0,
+            ecn: false,
         }
     }
 
@@ -79,8 +85,8 @@ mod tests {
         assert_eq!(Packet::min_sized(1, 2, 3).bytes, 60);
         let p = Packet::new(7, 9, 100, 55);
         assert_eq!(
-            (p.id, p.flow, p.bytes, p.created_at, p.rank, p.class),
-            (7, 9, 100, 55, 0, 0)
+            (p.id, p.flow, p.bytes, p.created_at, p.rank, p.class, p.ecn),
+            (7, 9, 100, 55, 0, 0, false)
         );
     }
 

@@ -12,10 +12,15 @@
 
 pub mod adversarial;
 pub mod arrivals;
+pub mod closed_loop;
 pub mod flows;
 pub mod sizes;
 
 pub use adversarial::{heavy_tailed_pkts, incast_starts, RankPattern};
 pub use arrivals::PoissonArrivals;
+pub use closed_loop::{
+    summarize as summarize_closed_loop, ClosedLoopParams, ClosedLoopSource, ClosedLoopSummary,
+    ALPHA_ONE, SCALE_ONE,
+};
 pub use flows::{FlowSet, PacedFlow};
-pub use sizes::{EmpiricalCdf, FlowSizeDist, PACKET_PAYLOAD_BYTES};
+pub use sizes::{trace_shaped_pkts, EmpiricalCdf, FlowSizeDist, PACKET_PAYLOAD_BYTES};

@@ -117,6 +117,28 @@ impl FlowSizeDist {
     pub fn mean_bytes(self) -> f64 {
         self.cdf().mean_packets() * PACKET_PAYLOAD_BYTES as f64
     }
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowSizeDist::WebSearch => "web-search",
+            FlowSizeDist::DataMining => "data-mining",
+        }
+    }
+}
+
+/// Per-flow packet counts drawn from a trace CDF, clamped to `[1, cap]`
+/// — the "trace-shaped" mixes the overload sweep drives millions of
+/// flows with. The clamp keeps elephants from dominating a timed cell
+/// while preserving the trace's many-mice shape; it is the same
+/// capped-tail treatment `heavy_tailed_pkts` applies to its Pareto.
+pub fn trace_shaped_pkts(flows: usize, dist: FlowSizeDist, cap: u64, seed: u64) -> Vec<u64> {
+    assert!(cap >= 1);
+    let cdf = dist.cdf();
+    let mut rng = SplitMix64::new(seed ^ 0x7ace_5a17);
+    (0..flows)
+        .map(|_| cdf.sample_packets(&mut rng).clamp(1, cap))
+        .collect()
 }
 
 #[cfg(test)]
@@ -188,5 +210,27 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn rejects_non_monotone_probability() {
         EmpiricalCdf::new(&[(1.0, 0.5), (2.0, 0.5), (3.0, 1.0)]);
+    }
+
+    #[test]
+    fn trace_shaped_counts_are_capped_and_deterministic() {
+        let pkts = trace_shaped_pkts(50_000, FlowSizeDist::WebSearch, 128, 9);
+        assert_eq!(pkts.len(), 50_000);
+        assert!(pkts.iter().all(|&p| (1..=128).contains(&p)));
+        assert!(pkts.contains(&128), "elephants hit the cap");
+        let mean = pkts.iter().sum::<u64>() as f64 / pkts.len() as f64;
+        let median = {
+            let mut s = pkts.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(
+            (median as f64) < mean,
+            "shape survives the cap: median {median} < mean {mean}"
+        );
+        assert_eq!(
+            pkts,
+            trace_shaped_pkts(50_000, FlowSizeDist::WebSearch, 128, 9)
+        );
     }
 }
