@@ -1,0 +1,18 @@
+//! Tree-policy cost cell — per-packet dequeue cost of the §3.2 node
+//! programs (WFQ, LSTF, hClock, HFSC, plus the FIFO floor) running as
+//! ranking transactions on the programmable PIFO tree, swept over the
+//! consumer's `dequeue_batch` budget.
+//!
+//! The report is built by [`eiffel_bench::runners::fig_tree_policy_report`]
+//! so tests and CI validate the exact path this binary records.
+//!
+//! `--quick` shortens measurement budgets; `--json <path>` records the run.
+
+use eiffel_bench::runners::{fig_tree_policy_report, TreePolicyScale};
+use eiffel_bench::BenchArgs;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = TreePolicyScale::from_args(&args);
+    fig_tree_policy_report(&args, &scale).finish(&args);
+}

@@ -27,6 +27,7 @@ use eiffel_core::{
     DegradeTier, MemBudget, OracleAudit, OracleReport, QueueConfig, QueueKind, RankedQueue,
     FLOW_SETUP_BYTES,
 };
+use eiffel_pifo::compile;
 use eiffel_workloads::{
     heavy_tailed_pkts, incast_starts, trace_shaped_pkts, ClosedLoopParams, FlowSizeDist,
     RankPattern, SCALE_ONE,
@@ -2331,6 +2332,184 @@ pub fn fig_overload_report(args: &BenchArgs, scale: &OverloadScale) -> BenchRepo
     r
 }
 
+/// Scale knobs of the tree-policy cost harness (`fig_tree_policy`).
+#[derive(Debug, Clone)]
+pub struct TreePolicyScale {
+    /// Steady occupancy held by the refill loop (packets in the tree).
+    pub occupancy: usize,
+    /// Consumer batch sizes (`dequeue_batch` budget per poll).
+    pub batches: Vec<usize>,
+    /// Measurement budget per `(policy, batch)` cell.
+    pub budget: Duration,
+}
+
+impl TreePolicyScale {
+    /// Scale chosen from the shared `--quick` flag.
+    pub fn from_args(args: &BenchArgs) -> Self {
+        TreePolicyScale {
+            occupancy: if args.quick { 4_000 } else { 20_000 },
+            batches: vec![1, 8, 64],
+            budget: Duration::from_millis(if args.quick { 40 } else { 300 }),
+        }
+    }
+
+    /// Miniature for integration tests.
+    pub fn tiny() -> Self {
+        TreePolicyScale {
+            occupancy: 600,
+            batches: vec![1, 16],
+            budget: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The node programs under test: every scheduling discipline of §3.2 as a
+/// policy-text program on the one `RankedQueue` substrate, plus the FIFO
+/// floor that prices the tree machinery itself.
+const TREE_POLICIES: &[(&str, &str, &[&str])] = &[
+    ("fifo", "node root kind=fifo\n", &["root"]),
+    (
+        "wfq",
+        "node root kind=wfq\n\
+         node a parent=root kind=fifo weight=1\n\
+         node b parent=root kind=fifo weight=2\n\
+         node c parent=root kind=fifo weight=4\n\
+         node d parent=root kind=fifo weight=8\n",
+        &["a", "b", "c", "d"],
+    ),
+    ("lstf", "node root kind=lstf\n", &["root"]),
+    (
+        "hclock",
+        "node root kind=flow:hclock res=2mbps lim=100mbps share=1\n",
+        &["root"],
+    ),
+    (
+        "hfsc",
+        "node root kind=flow:hfsc m1=40mbps m2=10mbps burst=4500 share=2\n",
+        &["root"],
+    ),
+];
+
+/// Flows cycled through by the tree-policy harness.
+const TREE_POLICY_FLOWS: u32 = 64;
+
+/// One `(policy, batch)` cell: hold `occupancy` packets in the tree and
+/// time a dequeue-batch + refill loop under a virtual clock driven by
+/// `soonest_deadline` (shaper gates cost wakeups, never wall waiting).
+/// Returns wall nanoseconds per served packet.
+fn tree_policy_cell(policy: usize, batch: usize, scale: &TreePolicyScale) -> f64 {
+    let (name, text, leaf_names) = TREE_POLICIES[policy];
+    let mut tree = compile(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let leaves: Vec<_> = leaf_names
+        .iter()
+        .map(|n| tree.node_by_name(n).unwrap())
+        .collect();
+    let mut next_id = 0u64;
+    let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+    let mut fill = |tree: &mut eiffel_pifo::PifoTree, n: usize, at: Nanos| {
+        for _ in 0..n {
+            // xorshift slack keeps LSTF/pFabric ranks inside 2^20.
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let flow = (next_id % TREE_POLICY_FLOWS as u64) as u32;
+            let leaf = leaves[(next_id as usize) % leaves.len()];
+            let mut pkt = Packet::mtu(next_id, flow, at);
+            pkt.rank = 1 + seed % ((1 << 20) - 1);
+            pkt.class = flow % 4;
+            next_id += 1;
+            tree.enqueue(at, leaf, pkt).unwrap();
+        }
+    };
+    fill(&mut tree, scale.occupancy, 0);
+
+    let mut vt: Nanos = 0;
+    let mut out: Vec<Packet> = Vec::with_capacity(batch);
+    let mut served = 0u64;
+    // Untimed warmup: fault in allocations and reach steady virtual times.
+    let mut warm = scale.occupancy / 2;
+    let start = Instant::now();
+    let mut timed_from = Duration::ZERO;
+    let mut timed_served = 0u64;
+    loop {
+        out.clear();
+        let got = tree.dequeue_batch(vt, batch, &mut out);
+        if got == 0 {
+            // Nothing transmittable: hop the virtual clock to the next
+            // shaper release instead of spinning.
+            vt = match tree.soonest_deadline(vt) {
+                Some(d) if d > vt => d,
+                _ => vt + 1_000,
+            };
+            continue;
+        }
+        served += got as u64;
+        fill(&mut tree, got, vt);
+        if warm > 0 {
+            warm = warm.saturating_sub(got);
+            if warm == 0 {
+                timed_from = start.elapsed();
+                timed_served = served;
+            }
+            continue;
+        }
+        if start.elapsed() >= scale.budget {
+            break;
+        }
+    }
+    let secs = (start.elapsed() - timed_from).as_secs_f64();
+    let pkts = served - timed_served;
+    if pkts == 0 {
+        return f64::NAN;
+    }
+    secs * 1e9 / pkts as f64
+}
+
+/// The tree-policy claim quoted by the binary banner and EXPERIMENTS.md.
+pub const TREE_POLICY_PAPER_CLAIM: &str = "policies are \"programmed\" as per-node ranking \
+     transactions over one priority-queue substrate (§3.2), so a new discipline costs a \
+     ~100-line program, not a new data structure; per-packet cost stays flat across them.";
+
+/// Builds the tree-policy cost report: one sweep of wall ns/packet over
+/// consumer batch size, one series per node program.
+pub fn fig_tree_policy_report(args: &BenchArgs, scale: &TreePolicyScale) -> BenchReport {
+    let mut r = BenchReport::new(
+        "fig_tree_policy",
+        "Tree policy cost",
+        "per-packet dequeue+refill cost of node programs on the programmable PIFO tree",
+        args,
+    );
+    r.paper_claim(TREE_POLICY_PAPER_CLAIM);
+    r.config_num("occupancy_pkts", scale.occupancy as f64);
+    r.config_num("budget_ms_per_cell", scale.budget.as_millis() as f64);
+    r.config_num("flows", TREE_POLICY_FLOWS as f64);
+    let mut sw = Sweep::new(
+        format!(
+            "{} packets held, {} flows",
+            scale.occupancy, TREE_POLICY_FLOWS
+        ),
+        "batch",
+    );
+    for (name, _, _) in TREE_POLICIES {
+        sw.add_series(*name, "ns/pkt", 1);
+    }
+    for &batch in &scale.batches {
+        let row: Vec<f64> = (0..TREE_POLICIES.len())
+            .map(|p| tree_policy_cell(p, batch, scale))
+            .collect();
+        sw.push_row(batch, &row);
+    }
+    r.push_sweep(sw);
+    r.note(
+        "Virtual-clock drive: when every backlog sits behind a shaper gate the clock hops \
+         straight to `soonest_deadline`, so rate parameters shape the service pattern without \
+         adding wall idle time — the numbers price CPU work only. The fifo series is the floor \
+         (tree descent + bucketed FIFO); the gap to each policy series is what that policy's \
+         ranking transaction costs per packet.",
+    );
+    r
+}
+
 /// Sums the overload counters across every cell of the report.
 #[derive(Debug, Clone, Copy, Default)]
 struct OverloadReportTotals {
@@ -2628,6 +2807,30 @@ mod tests {
             doc.get("figure").unwrap().as_str(),
             Some("fig18_approx_error")
         );
+    }
+
+    /// The exact tree-policy report path at miniature scale: every node
+    /// program prices out as a finite positive per-packet cost.
+    #[test]
+    fn fig_tree_policy_tiny_report_shape() {
+        let args = BenchArgs::from_iter(["--quick".to_string()], None);
+        let r = fig_tree_policy_report(&args, &TreePolicyScale::tiny());
+        assert_eq!(r.sweeps.len(), 1, "one batch sweep");
+        let sw = &r.sweeps[0];
+        let names: Vec<&str> = sw.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["fifo", "wfq", "lstf", "hclock", "hfsc"]);
+        assert_eq!(sw.param_values.len(), 2, "tiny batch sweep");
+        for s in &sw.series {
+            assert!(
+                s.values.iter().all(|&v| v.is_finite() && v > 0.0),
+                "{}: {:?}",
+                s.name,
+                s.values
+            );
+        }
+        let text = r.to_json().to_pretty_string();
+        let doc = crate::json::JsonValue::parse(&text).expect("report JSON parses");
+        assert_eq!(doc.get("figure").unwrap().as_str(), Some("fig_tree_policy"));
     }
 
     /// The exact Figure 15 report path at miniature scale: panel/series

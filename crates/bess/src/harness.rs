@@ -147,6 +147,70 @@ pub const BATCH: usize = 32;
 /// Fraction of a [`measure_rate`] run spent as untimed warmup (see there).
 pub const WARMUP_FRACTION: f64 = 0.1;
 
+/// Burst-edge accounting for the measured window.
+///
+/// Heavily rate-limited workloads serve in synchronized bursts: at 120k
+/// occupancy over 30k equal flows every limit clock fires ~72 ms apart, so
+/// the wire carries ~360 Mbit spikes with silence between. A fixed window
+/// then over- or under-counts by up to one burst — the ≤8% over-limit
+/// residual PR 2 pinned was exactly a 400 ms window straddling 6 burst
+/// instants where the limit owed 5.55.
+///
+/// The unbiased estimator clips the window to an integral number of burst
+/// periods: snapshot `(elapsed, packets, bytes)` at every idle→busy
+/// transition and rate over first-edge→last-edge. Smooth workloads (CPU-
+/// bound, or gaps shorter than one poll iteration) produce no usable edge
+/// span and fall back to the plain window, which is unbiased for them.
+struct EdgeWindow {
+    prev_idle: bool,
+    first: Option<(Duration, u64, u64)>,
+    last: Option<(Duration, u64, u64)>,
+}
+
+impl EdgeWindow {
+    fn new() -> Self {
+        EdgeWindow {
+            prev_idle: false,
+            first: None,
+            last: None,
+        }
+    }
+
+    /// Forgets warmup-era edges (call where the counters reset).
+    fn reset(&mut self) {
+        self.prev_idle = false;
+        self.first = None;
+        self.last = None;
+    }
+
+    /// Feeds one poll iteration: `pkts`/`bytes` are the counters *before*
+    /// this iteration's drain, so an idle→busy edge snapshot sits exactly
+    /// on the burst boundary.
+    fn observe(&mut self, at: Duration, pkts: u64, bytes: u64, drained: usize) {
+        if drained > 0 && self.prev_idle {
+            let snap = (at, pkts, bytes);
+            if self.first.is_none() {
+                self.first = Some(snap);
+            }
+            self.last = Some(snap);
+        }
+        self.prev_idle = drained == 0;
+    }
+
+    /// `(seconds, packets, bytes)` to rate over: the edge-to-edge span when
+    /// it covers at least half the window (enough periods to be
+    /// representative), else the full window.
+    fn span(&self, window: Duration, pkts: u64, bytes: u64) -> (f64, u64, u64) {
+        if let (Some((t0, p0, b0)), Some((t1, p1, b1))) = (self.first, self.last) {
+            let span = t1.saturating_sub(t0);
+            if !span.is_zero() && span >= window / 2 {
+                return (span.as_secs_f64(), p1 - p0, b1 - b0);
+            }
+        }
+        (window.as_secs_f64().max(1e-9), pkts, bytes)
+    }
+}
+
 /// Busy-polls `sched` for `duration` (real time), topping the backlog up to
 /// `occupancy` packets from `gen` and draining in batches of [`BATCH`].
 ///
@@ -158,7 +222,11 @@ pub const WARMUP_FRACTION: f64 = 0.1;
 /// clock starts eligible and the whole backlog drains as one burst before
 /// rate limits bind. Counting only after the warmup keeps that artifact
 /// out of the reported steady-state rate (without it, reported rates
-/// exceed the configured aggregate limit at high occupancy).
+/// exceed the configured aggregate limit at high occupancy). Within the
+/// measured window, bursty service is rated edge-to-edge over whole burst
+/// periods (`EdgeWindow`) — this removes the partial-period aliasing
+/// that used to read up to ~8% over the configured limit at 120k
+/// occupancy (pinned by `tests/measure_rate_regression.rs`).
 pub fn measure_rate<S: BessScheduler>(
     sched: &mut S,
     gen: &mut RoundRobinGen,
@@ -184,6 +252,7 @@ pub fn measure_rate<S: BessScheduler>(
     let mut sent_bytes = 0u64;
     let mut measured_from = Duration::ZERO;
     let mut warming = true;
+    let mut edges = EdgeWindow::new();
     loop {
         let elapsed = start.elapsed();
         if elapsed >= total {
@@ -196,8 +265,10 @@ pub fn measure_rate<S: BessScheduler>(
             sent_pkts = 0;
             sent_bytes = 0;
             measured_from = elapsed;
+            edges.reset();
         }
         let now = elapsed.as_nanos() as Nanos;
+        let (pre_pkts, pre_bytes) = (sent_pkts, sent_bytes);
         // Consumer side: one batch.
         let mut drained = 0;
         for _ in 0..BATCH {
@@ -210,6 +281,7 @@ pub fn measure_rate<S: BessScheduler>(
                 None => break,
             }
         }
+        edges.observe(elapsed, pre_pkts, pre_bytes, drained);
         // Producer side: replace what left, keeping occupancy constant
         // (enqueue cost stays inside the measured loop, as in BESS).
         for _ in 0..drained {
@@ -218,10 +290,11 @@ pub fn measure_rate<S: BessScheduler>(
             sched.enqueue(now, p);
         }
     }
-    let secs = (start.elapsed() - measured_from).as_secs_f64();
+    let window = start.elapsed() - measured_from;
+    let (secs, pkts, bytes) = edges.span(window, sent_pkts, sent_bytes);
     RateReport {
-        pps: sent_pkts as f64 / secs,
-        mbps: sent_bytes as f64 * 8.0 / secs / 1e6,
+        pps: pkts as f64 / secs,
+        mbps: bytes as f64 * 8.0 / secs / 1e6,
         packets: sent_pkts,
     }
 }
@@ -255,6 +328,7 @@ pub fn measure_rate_batched<S: BessScheduler>(
     let mut sent_bytes = 0u64;
     let mut measured_from = Duration::ZERO;
     let mut warming = true;
+    let mut edges = EdgeWindow::new();
     let mut outbuf: Vec<Packet> = Vec::with_capacity(batch);
     let mut inbuf: Vec<Packet> = Vec::with_capacity(batch);
     loop {
@@ -267,14 +341,17 @@ pub fn measure_rate_batched<S: BessScheduler>(
             sent_pkts = 0;
             sent_bytes = 0;
             measured_from = elapsed;
+            edges.reset();
         }
         let now = elapsed.as_nanos() as Nanos;
+        let (pre_pkts, pre_bytes) = (sent_pkts, sent_bytes);
         outbuf.clear();
         let drained = sched.dequeue_batch(now, batch, &mut outbuf);
         for p in &outbuf {
             sent_pkts += 1;
             sent_bytes += p.bytes as u64;
         }
+        edges.observe(elapsed, pre_pkts, pre_bytes, drained);
         for _ in 0..drained {
             let mut p = gen.next(now);
             stamp(&mut p);
@@ -282,10 +359,11 @@ pub fn measure_rate_batched<S: BessScheduler>(
         }
         sched.enqueue_batch(now, &mut inbuf);
     }
-    let secs = (start.elapsed() - measured_from).as_secs_f64();
+    let window = start.elapsed() - measured_from;
+    let (secs, pkts, bytes) = edges.span(window, sent_pkts, sent_bytes);
     RateReport {
-        pps: sent_pkts as f64 / secs,
-        mbps: sent_bytes as f64 * 8.0 / secs / 1e6,
+        pps: pkts as f64 / secs,
+        mbps: bytes as f64 * 8.0 / secs / 1e6,
         packets: sent_pkts,
     }
 }

@@ -1,14 +1,15 @@
-//! Regression pin for the `measure_rate` warmup-discard residual (PR 2).
+//! Regression pin for `measure_rate`'s behaviour under heavy rate
+//! limiting (PR 2, tightened in PR 10).
 //!
 //! PR 2 made `measure_rate` discard the first `WARMUP_FRACTION` of the run
 //! untimed, because the pre-filled backlog is stamped at `now = 0` and
-//! drains as one burst before rate limits bind (see the warmup notes on
-//! `harness::measure_rate`). A residual over-limit reading of up to ~8%
-//! survives at 120k-packet occupancy: flows whose limit clocks lag the
-//! measured window keep a (shrinking) eligibility surplus past the warmup.
-//! This test pins that behaviour with an explicit tolerance so a future
-//! change to the warmup/discard logic that *worsens* the residual fails
-//! loudly — and one that fixes it can tighten the bound.
+//! drains as one burst before rate limits bind. A residual over-limit
+//! reading of up to ~8% survived at 120k-packet occupancy: 30k equal flows
+//! fire their limit clocks in synchronized ~72 ms bursts, and a fixed
+//! 400 ms window straddles up to one extra burst (6 observed where the
+//! limit owes 5.55 — exactly +8%). PR 10 removed the aliasing by rating
+//! edge-to-edge over whole burst periods (`EdgeWindow` in the harness), so
+//! the bound here is down from 1.10× to 1.04× (wall-clock noise only).
 
 use std::time::Duration;
 
@@ -30,8 +31,7 @@ fn flat_specs(flows: usize, agg_mbps: u64) -> Vec<FlowSpec> {
 }
 
 /// The PR 2 operating point: 120k packets queued, a 5 Gbps aggregate limit
-/// that one core can trivially saturate — the reading must hug the limit
-/// from above by at most the documented residual.
+/// that one core can trivially saturate — the reading must hug the limit.
 #[test]
 fn overlimit_residual_at_120k_occupancy_stays_bounded() {
     const AGG_MBPS: u64 = 5_000;
@@ -53,12 +53,13 @@ fn overlimit_residual_at_120k_occupancy_stays_bounded() {
         r.mbps,
         limit
     );
-    // …and the over-limit residual must stay within the ≤8% PR 2 noted,
-    // plus 2% wall-clock headroom for the shared vCPU. If this fails low,
-    // the warmup discard (WARMUP_FRACTION = {WARMUP_FRACTION}) regressed.
+    // …and with burst-period accounting the reading must sit at the limit:
+    // 4% headroom covers wall-clock noise on a shared vCPU, nothing else.
+    // If this fails high, the burst-edge estimator (or the warmup discard,
+    // WARMUP_FRACTION = {WARMUP_FRACTION}) regressed.
     assert!(
-        r.mbps < 1.10 * limit,
-        "over-limit residual grew: {:.0} vs {:.0} Mbps (+{:.1}%, warmup {:.0}%)",
+        r.mbps < 1.04 * limit,
+        "over-limit residual returned: {:.0} vs {:.0} Mbps (+{:.1}%, warmup {:.0}%)",
         r.mbps,
         limit,
         100.0 * (r.mbps - limit) / limit,
@@ -85,8 +86,8 @@ fn batched_overlimit_residual_at_120k_occupancy_stays_bounded() {
     let limit = AGG_MBPS as f64;
     assert!(r.mbps > 0.80 * limit, "got {:.0} Mbps", r.mbps);
     assert!(
-        r.mbps < 1.10 * limit,
-        "batched over-limit residual grew: {:.0} vs {:.0} Mbps",
+        r.mbps < 1.04 * limit,
+        "batched over-limit residual returned: {:.0} vs {:.0} Mbps",
         r.mbps,
         limit
     );

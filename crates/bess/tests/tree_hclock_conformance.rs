@@ -1,0 +1,148 @@
+//! Conformance: hClock expressed as a ~100-line flow-leaf program on the
+//! generic PIFO tree ([`eiffel_pifo::HClockFlow`]) tracks the dedicated
+//! bess engine ([`eiffel_bess::HClockEiffel`]) under the same QoS specs
+//! and arrivals.
+//!
+//! Exact sequence equality is not the contract — the engine's share pass
+//! uses 1500-byte cFFS buckets (FIFO within a bucket) while the tree's
+//! two-band queue keeps exact virtual-time order, and reservation
+//! eligibility is bucket-quantized in slightly different places. What must
+//! agree is the service *allocation*: per-flow cumulative service counts
+//! at every checkpoint of a paced virtual-clock drive, within tolerance.
+
+use eiffel_bess::{FlowSpec, HClockEiffel};
+use eiffel_core::{QueueConfig, QueueKind};
+use eiffel_pifo::{HClockFlow, PifoTree, QosSpec, TreeBuilder};
+use eiffel_sim::{Nanos, Packet, Rate};
+use proptest::prelude::*;
+
+/// `(reservation mbps, limit mbps, share)` for a heterogeneous mix.
+const MIX: &[(u64, u64, u64)] = &[
+    (20, 40, 1),
+    (10, 40, 2),
+    (5, 15, 4),
+    (1, 8, 1),
+    (15, 100, 8),
+    (2, 10, 2),
+];
+
+fn engine() -> HClockEiffel {
+    let specs: Vec<FlowSpec> = MIX
+        .iter()
+        .map(|&(r, l, s)| FlowSpec {
+            reservation: Rate::mbps(r),
+            limit: Rate::mbps(l),
+            share: s,
+        })
+        .collect();
+    HClockEiffel::new(&specs)
+}
+
+fn tree() -> PifoTree {
+    let specs: Vec<QosSpec> = MIX
+        .iter()
+        .map(|&(r, l, s)| QosSpec {
+            reservation: Rate::mbps(r),
+            limit: Rate::mbps(l),
+            share: s,
+        })
+        .collect();
+    let mut b = TreeBuilder::new();
+    b.flow_leaf(
+        "root",
+        None,
+        Box::new(HClockFlow::new(specs)),
+        // Two-band ranks (quantized deadlines ⊕ virtual times) span the
+        // whole u64: keep ordering exact.
+        QueueKind::BTree.build(QueueConfig::new(1, 1, 0)),
+        None,
+    );
+    b.build().unwrap()
+}
+
+/// Drives both schedulers through the same arrivals under the same paced
+/// virtual clock and asserts per-flow counts stay within `tol_frac` (plus
+/// a small absolute floor) at every checkpoint.
+fn assert_allocations_track(arrivals: &[(Nanos, u32)], step: Nanos, tol_frac: f64) {
+    let mut eng = engine();
+    let mut t = tree();
+    let root = t.node_by_name("root").unwrap();
+
+    let mut eng_counts = [0usize; 6];
+    let mut tree_counts = [0usize; 6];
+    let mut ai = 0;
+    let mut now: Nanos = 0;
+    let mut checks = 0usize;
+    loop {
+        while ai < arrivals.len() && arrivals[ai].0 <= now {
+            let (at, flow) = arrivals[ai];
+            eng.enqueue(at, Packet::mtu(ai as u64, flow, at));
+            t.enqueue(at, root, Packet::mtu(ai as u64, flow, at))
+                .unwrap();
+            ai += 1;
+        }
+        while let Some(p) = eng.dequeue(now) {
+            eng_counts[p.flow as usize] += 1;
+        }
+        while let Some(p) = t.dequeue(now) {
+            tree_counts[p.flow as usize] += 1;
+        }
+        // Checkpoint: allocations so far must agree per flow.
+        for f in 0..MIX.len() {
+            let (a, b) = (eng_counts[f], tree_counts[f]);
+            let bound = ((a.max(b) as f64) * tol_frac).ceil() as usize + 3;
+            assert!(
+                a.abs_diff(b) <= bound,
+                "flow {f} at t={now}: engine served {a}, tree served {b} (bound {bound})"
+            );
+        }
+        checks += 1;
+        if ai >= arrivals.len() && eng.is_empty() && t.is_empty() {
+            break;
+        }
+        now += step;
+        assert!(
+            now < 30_000_000_000,
+            "drain must converge (engine {} / tree {} left)",
+            eng.len(),
+            t.len()
+        );
+    }
+    assert_eq!(eng_counts, tree_counts, "both drained everything");
+    assert!(checks > 2, "drive must span several checkpoints");
+}
+
+#[test]
+fn heavy_backlog_allocations_track() {
+    // 30 packets to every flow up front: reservations, limits and shares
+    // all bind at some point of the drain.
+    let mut arrivals = Vec::new();
+    for f in 0..MIX.len() as u32 {
+        for _ in 0..30 {
+            arrivals.push((0, f));
+        }
+    }
+    assert_allocations_track(&arrivals, 250_000, 0.25);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random staggered arrival mixes: the tree program and the dedicated
+    /// engine allocate service identically (within bucket-tie tolerance)
+    /// at every virtual-clock checkpoint.
+    #[test]
+    fn staggered_allocations_track(
+        arrivals in prop::collection::vec(
+            // (arrival step × 500µs, flow)
+            (0u64..40, 0u32..6), 30..180),
+        step in prop_oneof![Just(200_000u64), Just(500_000)],
+    ) {
+        let mut arrivals: Vec<(Nanos, u32)> = arrivals
+            .iter()
+            .map(|&(s, f)| (s * 500_000, f))
+            .collect();
+        arrivals.sort();
+        assert_allocations_track(&arrivals, step, 0.25);
+    }
+}

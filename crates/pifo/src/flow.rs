@@ -17,6 +17,16 @@ use std::collections::VecDeque;
 use eiffel_core::{QueueConfig, QueueKind, RankedQueue};
 use eiffel_sim::{FlowId, Nanos, Packet};
 
+/// Sentinel rank meaning "park this flow": it stays backlogged but takes no
+/// entry in the flow queue until the policy surfaces it again through
+/// [`FlowPolicy::advance`]. Non-work-conserving policies (hClock's limit
+/// gate) return it from their rank hooks.
+///
+/// Contract: a policy parking a flow at time `now` must report a wakeup
+/// strictly after `now` (bucket-granular early wakeups are fine) — a parked
+/// flow that is already serviceable would stall until the next poll.
+pub const PARK: u64 = u64::MAX;
+
 /// Per-flow state visible to policies.
 #[derive(Debug)]
 pub struct FlowState<D> {
@@ -77,6 +87,39 @@ pub trait FlowPolicy {
         let _ = (now, f);
         None
     }
+
+    /// Observes every served packet, *including* the one that empties its
+    /// flow ([`FlowPolicy::rank_on_dequeue`] only fires while the flow
+    /// stays backlogged). Virtual-time policies charge their clocks here.
+    fn on_serve(&mut self, now: Nanos, f: &FlowState<Self::Data>, p: &Packet) {
+        let _ = (now, f, p);
+    }
+
+    /// Whether this policy may return [`PARK`] ranks. Parking leaves are
+    /// only sound at the tree root (see [`crate::tree::TreeBuilder`]).
+    fn may_park(&self) -> bool {
+        false
+    }
+
+    /// Poll hook: appends the ids of flows whose rank must be recomputed at
+    /// `now` (limit gates opening, reservations coming due…). The scheduler
+    /// then asks [`FlowPolicy::rank_now`] for each and re-ranks it.
+    fn advance(&mut self, now: Nanos, rerank: &mut Vec<FlowId>) {
+        let _ = (now, rerank);
+    }
+
+    /// Current rank of backlogged flow `f` at `now`, for flows surfaced by
+    /// [`FlowPolicy::advance`]. Defaults to keeping the stored rank.
+    fn rank_now(&mut self, now: Nanos, f: &FlowState<Self::Data>) -> u64 {
+        let _ = now;
+        f.rank
+    }
+
+    /// Earliest future instant at which [`FlowPolicy::advance`] could
+    /// change anything (bucket-granular: may be early, never late).
+    fn soonest_wakeup(&self) -> Option<Nanos> {
+        None
+    }
 }
 
 /// Queue entry: flow id + epoch stamp for lazy invalidation.
@@ -91,6 +134,8 @@ pub struct FlowScheduler<P: FlowPolicy> {
     packets: usize,
     /// Stale entries skipped so far (observability for tests/benches).
     stale_skipped: u64,
+    /// Reusable id buffer for [`FlowScheduler::advance`].
+    rerank_scratch: Vec<FlowId>,
     /// Whether [`FlowScheduler::dequeue_batch`] may use the strict-minimum
     /// shortcut. Sound only for queues that place and find ranks *exactly*
     /// (no low-clamping moving window, no approximate min-find) — see
@@ -110,6 +155,7 @@ impl<P: FlowPolicy> FlowScheduler<P> {
             flows: Vec::new(),
             packets: 0,
             stale_skipped: 0,
+            rerank_scratch: Vec::new(),
             batch_shortcut: false,
         }
     }
@@ -189,7 +235,21 @@ impl<P: FlowPolicy> FlowScheduler<P> {
         let new_rank = self
             .policy
             .rank_on_enqueue(now, f, f.back().expect("just pushed"));
+        self.apply_rank(id, new_rank);
+        self.packets += 1;
+    }
+
+    /// Installs `new_rank` for flow `id`: parks on [`PARK`], otherwise
+    /// (re-)inserts the flow's epoch-stamped entry when the rank changed.
+    fn apply_rank(&mut self, id: FlowId, new_rank: u64) {
         let f = &mut self.flows[id as usize];
+        if new_rank == PARK {
+            // Parked: no queue entry until the policy's advance surfaces
+            // the flow again; any live entry goes stale.
+            f.rank = PARK;
+            f.active = false;
+            return;
+        }
         let needs_entry = !f.active || new_rank != f.rank;
         f.rank = new_rank;
         if needs_entry {
@@ -202,12 +262,46 @@ impl<P: FlowPolicy> FlowScheduler<P> {
                 .enqueue(new_rank, entry)
                 .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
         }
-        self.packets += 1;
+    }
+
+    /// Fires the policy's poll hook: flows whose eligibility changed at
+    /// `now` (limit gates opening, reservations coming due) are re-ranked —
+    /// or unparked — through [`FlowPolicy::rank_now`].
+    pub fn advance(&mut self, now: Nanos) {
+        let mut ids = std::mem::take(&mut self.rerank_scratch);
+        ids.clear();
+        self.policy.advance(now, &mut ids);
+        for &id in &ids {
+            let idx = id as usize;
+            if idx >= self.flows.len() || self.flows[idx].is_empty() {
+                continue; // idle flows have nothing to re-rank
+            }
+            let new_rank = self.policy.rank_now(now, &self.flows[idx]);
+            self.apply_rank(id, new_rank);
+        }
+        self.rerank_scratch = ids;
+    }
+
+    /// Earliest future instant the policy could surface parked or
+    /// promotable work (`None` for enqueue-only policies).
+    pub fn soonest_wakeup(&self) -> Option<Nanos> {
+        self.policy.soonest_wakeup()
+    }
+
+    /// Whether the flow queue holds any entry at all. Entries may be stale
+    /// (lazily invalidated re-ranks), so `true` can be a false positive —
+    /// one dequeue pass cleans it up — but `false` is authoritative: with
+    /// no entry, nothing is serviceable until a wakeup.
+    pub fn has_queued_flows(&self) -> bool {
+        !self.queue.is_empty()
     }
 
     /// Dequeues the head packet of the minimum-rank flow, re-ranking the
-    /// flow per the policy's on-dequeue hook.
+    /// flow per the policy's on-dequeue hook. Fires the policy's
+    /// [`FlowScheduler::advance`] first, so time-driven promotions and
+    /// unparks are visible to this very selection.
     pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        self.advance(now);
         loop {
             let (_, (id, epoch)) = self.queue.dequeue_min()?;
             let f = &mut self.flows[id as usize];
@@ -220,17 +314,12 @@ impl<P: FlowPolicy> FlowScheduler<P> {
             let pkt = f.fifo.pop_front().expect("active flows hold packets");
             f.bytes -= pkt.bytes as u64;
             self.packets -= 1;
-            if !f.fifo.is_empty() {
+            let fr = &self.flows[id as usize];
+            self.policy.on_serve(now, fr, &pkt);
+            if !self.flows[id as usize].fifo.is_empty() {
                 let fr = &self.flows[id as usize];
                 let new_rank = self.policy.rank_on_dequeue(now, fr).unwrap_or(fr.rank);
-                let f = &mut self.flows[id as usize];
-                f.rank = new_rank;
-                f.epoch += 1;
-                f.active = true;
-                let entry = (id, f.epoch);
-                self.queue
-                    .enqueue(new_rank, entry)
-                    .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
+                self.apply_rank(id, new_rank);
             }
             return Some(pkt);
         }
@@ -266,6 +355,7 @@ impl<P: FlowPolicy> FlowScheduler<P> {
     pub fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
         let mut n = 0;
         'select: while n < max {
+            self.advance(now);
             let Some((_, (id, epoch))) = self.queue.dequeue_min() else {
                 break;
             };
@@ -280,6 +370,8 @@ impl<P: FlowPolicy> FlowScheduler<P> {
                 let pkt = f.fifo.pop_front().expect("chosen flows hold packets");
                 f.bytes -= pkt.bytes as u64;
                 self.packets -= 1;
+                let fr = &self.flows[id as usize];
+                self.policy.on_serve(now, fr, &pkt);
                 out.push(pkt);
                 n += 1;
                 if self.flows[id as usize].fifo.is_empty() {
@@ -287,24 +379,28 @@ impl<P: FlowPolicy> FlowScheduler<P> {
                 }
                 let fr = &self.flows[id as usize];
                 let new_rank = self.policy.rank_on_dequeue(now, fr).unwrap_or(fr.rank);
-                let still_strict_min = self.batch_shortcut
+                // PARK must never take the strict-minimum shortcut: an
+                // empty queue reads as "still minimal" there, which would
+                // keep serving a flow the policy just gated off.
+                let parked = new_rank == PARK;
+                // A wakeup due at `now` means the single-dequeue path's
+                // per-pop advance could surface a better-ranked flow —
+                // fall back to a fresh selection rather than keep serving.
+                let still_strict_min = !parked
+                    && self.batch_shortcut
                     && n < max
                     && self
                         .queue
                         .peek_min_rank()
-                        .map_or(true, |edge| new_rank < edge);
-                let f = &mut self.flows[id as usize];
-                f.rank = new_rank;
+                        .map_or(true, |edge| new_rank < edge)
+                    && self.policy.soonest_wakeup().map_or(true, |w| w > now);
                 if !still_strict_min {
-                    // Re-enter the flow queue exactly as `dequeue` would.
-                    f.epoch += 1;
-                    f.active = true;
-                    let entry = (id, f.epoch);
-                    self.queue
-                        .enqueue(new_rank, entry)
-                        .unwrap_or_else(|e| panic!("flow rank {} outside queue range", e.rank));
+                    // Re-enter (or park) the flow exactly as `dequeue` would.
+                    self.apply_rank(id, new_rank);
                     continue 'select;
                 }
+                let f = &mut self.flows[id as usize];
+                f.rank = new_rank;
                 // Strictly minimal: serving again now is what the next
                 // dequeue_min would do anyway.
             }

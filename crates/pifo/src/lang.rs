@@ -23,14 +23,20 @@
 //! | `strict` | [`StrictPriority`] | ranks by the packet's class |
 //! | `childprio` | [`ChildPriority`] | children declare `prio=N` |
 //! | `stfq` | [`Stfq`] | children declare `weight=N` |
+//! | `wfq` | [`Wfq`] | finish-tag WFQ; children declare `weight=N` |
 //! | `edf` | [`Edf`] | `deadlines=1ms,10ms,…` per class |
-//! | `slack` | [`SlackRank`] | annotator-provided ranks (LSTF) |
+//! | `slack` | [`SlackRank`] | annotator-provided ranks |
+//! | `lstf` | [`Lstf`] | deadline = `created_at` + annotated slack |
 //! | `flow:fifo` | per-flow round robin | Eiffel flow leaf |
 //! | `flow:lqf` | Figure 6 LQF | Eiffel flow leaf |
 //! | `flow:pfabric` | Figure 14 pFabric | Eiffel flow leaf |
+//! | `flow:hclock` | [`HClockFlow`] | `res=`, `lim=` rates, `share=N` |
+//! | `flow:hfsc` | [`HfscCurves`] | `m1=`, `m2=` rates, `burst=BYTES`, `share=N` |
 //!
 //! `limit=<rate>` (e.g. `500kbps`, `10mbps`, `2gbps`) attaches the node to
-//! the hierarchy-wide shaper; on the root it means pacing.
+//! the hierarchy-wide shaper; on the root it means pacing. The QoS flow
+//! leaves (`flow:hclock`, `flow:hfsc`) apply one spec uniformly to every
+//! flow — per-flow spec tables are built through the library API.
 
 use std::collections::HashMap;
 
@@ -38,8 +44,8 @@ use eiffel_core::{QueueConfig, QueueKind};
 use eiffel_sim::Rate;
 
 use crate::policies::{
-    ChildPriority, Edf, Fifo, FlowFifo, Lqf, ObjFlowPolicy, Pfabric, SlackRank, Stfq,
-    StrictPriority, LQF_CAP,
+    ChildPriority, CurveSpec, Edf, Fifo, FlowFifo, HClockFlow, HfscCurves, Lqf, Lstf,
+    ObjFlowPolicy, Pfabric, QosSpec, SlackRank, Stfq, StrictPriority, Wfq, LQF_CAP,
 };
 use crate::tree::{NodeId, PifoTree, TreeBuilder};
 
@@ -70,6 +76,18 @@ struct NodeSpec {
     prio: Option<u64>,
     limit: Option<Rate>,
     deadlines: Option<Vec<u64>>,
+    /// `flow:hclock` reservation rate.
+    res: Option<Rate>,
+    /// `flow:hclock` limit rate (per flow, unlike the node-level `limit=`).
+    lim: Option<Rate>,
+    /// `flow:hclock` / `flow:hfsc` proportional share.
+    share: Option<u64>,
+    /// `flow:hfsc` burst-phase rate.
+    m1: Option<Rate>,
+    /// `flow:hfsc` steady-state rate.
+    m2: Option<Rate>,
+    /// `flow:hfsc` burst bytes at `m1` per backlog period.
+    burst: Option<u64>,
 }
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
@@ -150,6 +168,12 @@ fn parse_spec(line_no: usize, line: &str) -> Result<NodeSpec, ParseError> {
         prio: None,
         limit: None,
         deadlines: None,
+        res: None,
+        lim: None,
+        share: None,
+        m1: None,
+        m2: None,
+        burst: None,
     };
     for tok in toks {
         let (k, v) = tok
@@ -171,6 +195,22 @@ fn parse_spec(line_no: usize, line: &str) -> Result<NodeSpec, ParseError> {
                 )
             }
             "limit" => spec.limit = Some(parse_rate(v, line_no)?),
+            "res" => spec.res = Some(parse_rate(v, line_no)?),
+            "lim" => spec.lim = Some(parse_rate(v, line_no)?),
+            "m1" => spec.m1 = Some(parse_rate(v, line_no)?),
+            "m2" => spec.m2 = Some(parse_rate(v, line_no)?),
+            "share" => {
+                spec.share = Some(
+                    v.parse()
+                        .map_err(|_| err(line_no, format!("bad share '{v}'")))?,
+                )
+            }
+            "burst" => {
+                spec.burst = Some(
+                    v.parse()
+                        .map_err(|_| err(line_no, format!("bad burst '{v}'")))?,
+                )
+            }
             "deadlines" => {
                 let mut ds = Vec::new();
                 for part in v.split(',') {
@@ -248,6 +288,7 @@ pub fn compile(policy: &str) -> Result<PifoTree, ParseError> {
             "fifo" => b.node(&spec.name, parent, Box::new(Fifo::new()), spec.limit),
             "strict" => b.node(&spec.name, parent, Box::new(StrictPriority), spec.limit),
             "slack" => b.node(&spec.name, parent, Box::new(SlackRank), spec.limit),
+            "lstf" => b.node(&spec.name, parent, Box::new(Lstf), spec.limit),
             "edf" => {
                 let ds = spec
                     .deadlines
@@ -275,6 +316,66 @@ pub fn compile(policy: &str) -> Result<PifoTree, ParseError> {
                     }
                 }
                 b.node(&spec.name, parent, Box::new(tx), spec.limit)
+            }
+            "wfq" => {
+                let mut tx = Wfq::new();
+                for &c in &children[i] {
+                    if let Some(w) = specs[c].weight {
+                        tx.set_weight(c as u64, w);
+                    }
+                }
+                b.node(&spec.name, parent, Box::new(tx), spec.limit)
+            }
+            "flow:hclock" => {
+                if parent.is_some() || spec.limit.is_some() {
+                    // hClock parks limit-gated flows, which is only sound
+                    // at an unshaped root (see TreeBuilder::flow_leaf).
+                    return Err(err(
+                        spec.line,
+                        "flow:hclock must be the unshaped root (its lim= gates per flow)",
+                    ));
+                }
+                let res = spec
+                    .res
+                    .ok_or_else(|| err(spec.line, "flow:hclock needs res=<rate>"))?;
+                let lim = spec
+                    .lim
+                    .ok_or_else(|| err(spec.line, "flow:hclock needs lim=<rate>"))?;
+                let qos = QosSpec {
+                    reservation: res,
+                    limit: lim,
+                    share: spec.share.unwrap_or(1),
+                };
+                b.flow_leaf(
+                    &spec.name,
+                    parent,
+                    Box::new(HClockFlow::new(vec![qos])),
+                    // Two-band ranks (quantized deadlines ⊕ virtual times)
+                    // span the whole u64: keep ordering exact.
+                    QueueKind::BTree.build(QueueConfig::new(1, 1, 0)),
+                    spec.limit,
+                )
+            }
+            "flow:hfsc" => {
+                let m1 = spec
+                    .m1
+                    .ok_or_else(|| err(spec.line, "flow:hfsc needs m1=<rate>"))?;
+                let m2 = spec
+                    .m2
+                    .ok_or_else(|| err(spec.line, "flow:hfsc needs m2=<rate>"))?;
+                let curve = CurveSpec {
+                    m1,
+                    m2,
+                    burst: spec.burst.unwrap_or(15_000),
+                    share: spec.share.unwrap_or(1),
+                };
+                b.flow_leaf(
+                    &spec.name,
+                    parent,
+                    Box::new(HfscCurves::new(vec![curve])),
+                    QueueKind::BTree.build(QueueConfig::new(1, 1, 0)),
+                    spec.limit,
+                )
             }
             "flow:fifo" | "flow:lqf" | "flow:pfabric" => {
                 let (policy, queue): (Box<dyn ObjFlowPolicy>, _) = match spec.kind.as_str() {

@@ -43,9 +43,12 @@ pub mod scheduler;
 pub mod shaper;
 pub mod tree;
 
-pub use flow::{FlowPolicy, FlowScheduler, FlowState};
+pub use flow::{FlowPolicy, FlowScheduler, FlowState, PARK};
 pub use lang::{compile, ParseError};
-pub use policies::{RankCtx, Transaction};
+pub use policies::{
+    CurveSpec, HClockFlow, HfscCurves, Lstf, NodeProgram, ObjFlowPolicy, QosSpec, RankCtx,
+    Transaction, Wfq,
+};
 pub use scheduler::{Annotator, EiffelScheduler};
 pub use shaper::{Shaper, TokenStamper};
 pub use tree::{NodeId, PifoTree, TreeBuilder, TreeError};

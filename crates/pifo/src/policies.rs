@@ -1,17 +1,24 @@
-//! The policy library: scheduling transactions and per-flow policies.
+//! The policy library: node programs and per-flow policies.
 //!
-//! Scheduling transactions ([`Transaction`]) are PIFO's rank functions —
-//! pure "compute a rank on enqueue" logic, one per tree node. Per-flow
+//! Node programs ([`NodeProgram`]) are PIFO's rank functions — "compute a
+//! rank on enqueue" logic, one per tree node, optionally observing
+//! dequeues (virtual-time clocks) and advancing with wall time. Per-flow
 //! policies ([`ObjFlowPolicy`]) are Eiffel's extension: they may re-rank a
 //! whole flow on enqueue *and* dequeue (Figures 6 and 14 of the paper are
-//! implemented verbatim here as [`Lqf`] and [`Pfabric`]).
+//! implemented verbatim here as [`Lqf`] and [`Pfabric`]), observe every
+//! service, and park flows entirely (non-work-conserving gates).
+//!
+//! The point of the model: each of [`Wfq`], [`Lstf`], [`HClockFlow`] and
+//! [`HfscCurves`] below is a ~100-line program over the one
+//! [`eiffel_core::RankedQueue`] substrate — adding a scheduling scenario
+//! is a policy file, not a new crate (see DESIGN.md for the recipe).
 
 use std::collections::HashMap;
 
-use eiffel_core::{QueueConfig, QueueKind};
-use eiffel_sim::{Nanos, Packet};
+use eiffel_core::{CffsQueue, QueueConfig, QueueKind, RankedQueue};
+use eiffel_sim::{FlowId, Nanos, Packet, Rate};
 
-use crate::flow::{FlowPolicy, FlowState};
+use crate::flow::{FlowPolicy, FlowState, PARK};
 
 /// Everything a rank function may look at.
 #[derive(Debug)]
@@ -26,23 +33,42 @@ pub struct RankCtx<'a> {
     pub key: u64,
 }
 
-/// A scheduling transaction: ranks elements on enqueue (PIFO's model),
-/// optionally observing dequeues (needed by virtual-time schemes).
-pub trait Transaction {
+/// A node program: ranks elements on enqueue (PIFO's model), optionally
+/// observing dequeues (virtual-time clocks) and wall-time advances.
+pub trait NodeProgram {
     /// Rank for the element described by `ctx`. Smaller = sooner.
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64;
 
     /// Called with the rank of each element dequeued from this node's
-    /// queue; virtual-time transactions advance their clock here.
+    /// queue; virtual-time programs advance their clock here. Per-node
+    /// call order follows the node's dequeue order; a batched descent may
+    /// interleave *different* nodes' calls differently than single pops —
+    /// programs must not share state across nodes.
     fn on_dequeue(&mut self, rank: u64) {
         let _ = rank;
     }
 
-    /// Which queue geometry suits this transaction's rank distribution.
+    /// Wall-time hook, fired by [`crate::tree::PifoTree::advance`] when
+    /// [`NodeProgram::needs_advance`] is true. Must be idempotent at a
+    /// fixed `now`, and must not assume it runs between any two dequeues.
+    fn advance(&mut self, now: Nanos) {
+        let _ = now;
+    }
+
+    /// Whether the tree should call [`NodeProgram::advance`].
+    fn needs_advance(&self) -> bool {
+        false
+    }
+
+    /// Which queue geometry suits this program's rank distribution.
     fn queue_hint(&self) -> (QueueKind, QueueConfig) {
         (QueueKind::Cffs, QueueConfig::new(4_096, 1, 0))
     }
 }
+
+/// Historical name for [`NodeProgram`] (the paper calls them scheduling
+/// transactions); kept as an alias for existing call sites.
+pub use NodeProgram as Transaction;
 
 /// First-in-first-out: rank is an arrival counter.
 #[derive(Debug, Default)]
@@ -57,7 +83,7 @@ impl Fifo {
     }
 }
 
-impl Transaction for Fifo {
+impl NodeProgram for Fifo {
     fn rank(&mut self, _ctx: &RankCtx<'_>) -> u64 {
         let r = self.seq;
         self.seq += 1;
@@ -70,7 +96,7 @@ impl Transaction for Fifo {
 #[derive(Debug, Default)]
 pub struct StrictPriority;
 
-impl Transaction for StrictPriority {
+impl NodeProgram for StrictPriority {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
         ctx.pkt.class as u64
     }
@@ -96,7 +122,7 @@ impl ChildPriority {
     }
 }
 
-impl Transaction for ChildPriority {
+impl NodeProgram for ChildPriority {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
         self.prio.get(&ctx.key).copied().unwrap_or(63)
     }
@@ -155,7 +181,7 @@ impl Default for Stfq {
     }
 }
 
-impl Transaction for Stfq {
+impl NodeProgram for Stfq {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
         let start = self
             .vtime
@@ -193,7 +219,7 @@ impl Edf {
     }
 }
 
-impl Transaction for Edf {
+impl NodeProgram for Edf {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
         let class = (ctx.pkt.class as usize).min(self.deadlines.len() - 1);
         ctx.pkt.created_at + self.deadlines[class]
@@ -211,9 +237,96 @@ impl Transaction for Edf {
 #[derive(Debug, Default)]
 pub struct SlackRank;
 
-impl Transaction for SlackRank {
+impl NodeProgram for SlackRank {
     fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
         ctx.pkt.rank
+    }
+}
+
+/// Weighted Fair Queueing by virtual finish tags (Demers et al.): an
+/// element's rank is its key's finish tag `F = max(V, F_prev) + bytes/w`,
+/// and the virtual time `V` follows the finish tag of the element in
+/// service. Unlike [`Stfq`] (start tags), the packet's own cost orders it
+/// against its competitors, so heavier packets of equal-weight keys finish
+/// later — the classic fluid-approximation order.
+#[derive(Debug)]
+pub struct Wfq {
+    vtime: u64,
+    finish: HashMap<u64, u64>,
+    weights: HashMap<u64, u64>,
+    default_weight: u64,
+}
+
+impl Wfq {
+    /// Equal-weight WFQ.
+    pub fn new() -> Self {
+        Wfq {
+            vtime: 0,
+            finish: HashMap::new(),
+            weights: HashMap::new(),
+            default_weight: 1,
+        }
+    }
+
+    /// Sets the weight for a key (share of bandwidth relative to siblings).
+    pub fn set_weight(&mut self, key: u64, weight: u64) {
+        assert!(weight > 0, "weights must be positive");
+        self.weights.insert(key, weight);
+    }
+
+    fn weight(&self, key: u64) -> u64 {
+        self.weights
+            .get(&key)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+}
+
+impl Default for Wfq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeProgram for Wfq {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        let start = self
+            .vtime
+            .max(self.finish.get(&ctx.key).copied().unwrap_or(0));
+        let cost = (ctx.pkt.bytes as u64 / self.weight(ctx.key)).max(1);
+        let tag = start + cost;
+        self.finish.insert(ctx.key, tag);
+        tag
+    }
+
+    fn on_dequeue(&mut self, rank: u64) {
+        // Virtual time = finish tag of the element entering service.
+        self.vtime = self.vtime.max(rank);
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        // Finish tags are unbounded and conformance is exact: use the
+        // comparison tree (FIFO within equal tags, like the reference).
+        (QueueKind::BTree, QueueConfig::new(1, 1, 0))
+    }
+}
+
+/// Least Slack Time First (Universal Packet Scheduling's headline
+/// policy): the annotator writes each packet's slack budget into
+/// `pkt.rank`; its absolute deadline `created_at + slack` is the rank.
+/// Ordering by absolute deadline equals ordering by remaining slack at
+/// every instant, so no per-tick re-ranking is needed.
+#[derive(Debug, Default)]
+pub struct Lstf;
+
+impl NodeProgram for Lstf {
+    fn rank(&mut self, ctx: &RankCtx<'_>) -> u64 {
+        ctx.pkt.created_at.saturating_add(ctx.pkt.rank)
+    }
+
+    fn queue_hint(&self) -> (QueueKind, QueueConfig) {
+        // Deadlines span the whole trace horizon; keep ordering exact.
+        (QueueKind::BTree, QueueConfig::new(1, 1, 0))
     }
 }
 
@@ -233,6 +346,32 @@ pub trait ObjFlowPolicy {
         let _ = (now, f);
         None
     }
+
+    /// Observes every served packet (see [`FlowPolicy::on_serve`]).
+    fn on_serve(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) {
+        let _ = (now, f, p);
+    }
+
+    /// Whether this policy may return [`PARK`] ranks.
+    fn may_park(&self) -> bool {
+        false
+    }
+
+    /// Poll hook (see [`FlowPolicy::advance`]).
+    fn advance(&mut self, now: Nanos, rerank: &mut Vec<FlowId>) {
+        let _ = (now, rerank);
+    }
+
+    /// Current rank for a surfaced flow (see [`FlowPolicy::rank_now`]).
+    fn rank_now(&mut self, now: Nanos, f: &FlowState<()>) -> u64 {
+        let _ = now;
+        f.rank
+    }
+
+    /// Earliest future instant [`ObjFlowPolicy::advance`] could act.
+    fn soonest_wakeup(&self) -> Option<Nanos> {
+        None
+    }
 }
 
 impl FlowPolicy for Box<dyn ObjFlowPolicy> {
@@ -244,6 +383,26 @@ impl FlowPolicy for Box<dyn ObjFlowPolicy> {
 
     fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<()>) -> Option<u64> {
         (**self).rank_on_dequeue(now, f)
+    }
+
+    fn on_serve(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) {
+        (**self).on_serve(now, f, p)
+    }
+
+    fn may_park(&self) -> bool {
+        (**self).may_park()
+    }
+
+    fn advance(&mut self, now: Nanos, rerank: &mut Vec<FlowId>) {
+        (**self).advance(now, rerank)
+    }
+
+    fn rank_now(&mut self, now: Nanos, f: &FlowState<()>) -> u64 {
+        (**self).rank_now(now, f)
+    }
+
+    fn soonest_wakeup(&self) -> Option<Nanos> {
+        (**self).soonest_wakeup()
     }
 }
 
@@ -324,6 +483,434 @@ impl ObjFlowPolicy for FlowFifo {
         // Move to the back of the service order: round-robin.
         self.seq += 1;
         Some(self.seq)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// QoS flow policies: two-band rank encoding over one queue.
+// ---------------------------------------------------------------------------
+
+/// Band offset separating "behind its guarantee" ranks (band 0: quantized
+/// deadlines) from excess-sharing ranks (band 1: virtual times). One
+/// ranked queue then realizes the two-pass semantics: any band-0 entry
+/// beats every band-1 entry.
+const BAND1: u64 = 1 << 62;
+
+/// Per-flow QoS contract for [`HClockFlow`] (mirrors hClock's
+/// reservation/limit/share triple).
+#[derive(Debug, Clone, Copy)]
+pub struct QosSpec {
+    /// Guaranteed minimum rate.
+    pub reservation: Rate,
+    /// Maximum rate (the non-work-conserving gate).
+    pub limit: Rate,
+    /// Proportional share weight.
+    pub share: u64,
+}
+
+/// Where a backlogged [`HClockFlow`] flow's rank currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HcPhase {
+    Idle,
+    /// Reservation due: band-0 rank, served before all sharers.
+    Res,
+    /// Sharing excess: band-1 rank by share virtual time.
+    Share,
+    /// Limit-gated: parked, no queue entry at all.
+    Gated,
+}
+
+#[derive(Debug)]
+struct HcFlow {
+    r_rank: Nanos,
+    l_rank: Nanos,
+    s_rank: u64,
+    /// Memoized per-packet costs (hot flows send one packet size).
+    cost_bytes: u64,
+    r_cost: Nanos,
+    l_cost: Nanos,
+    s_cost: u64,
+    phase: HcPhase,
+    /// Invalidation stamp for entries in the promotion/gate queues.
+    stamp: u64,
+}
+
+impl HcFlow {
+    fn new() -> Self {
+        HcFlow {
+            r_rank: 0,
+            l_rank: 0,
+            s_rank: 0,
+            cost_bytes: u64::MAX,
+            r_cost: 0,
+            l_cost: 0,
+            s_cost: 0,
+            phase: HcPhase::Idle,
+            stamp: 0,
+        }
+    }
+}
+
+/// hClock (reservations, limits, shares) as a per-flow policy — the
+/// scheduler `eiffel-bess` builds as a dedicated engine, re-expressed as a
+/// tree-leaf program over the one flow queue:
+///
+/// * a flow behind its reservation (`r_rank` due) ranks in band 0 by its
+///   quantized reservation clock — ahead of every sharer;
+/// * an eligible sharer ranks in band 1 by its share virtual time;
+/// * a limit-gated flow returns [`PARK`] and re-surfaces through
+///   [`ObjFlowPolicy::advance`] when its `l_rank` bucket comes due (the
+///   paper's unified-shaper move, §3.2.2).
+///
+/// Promotions (reservations coming due for sharers, gates opening) ride
+/// two internal cFFS time queues drained by `advance`; transitions fired
+/// from those queues are authoritative, so a bucket-granular early fire
+/// never re-parks the flow into the same bucket.
+pub struct HClockFlow {
+    specs: Vec<QosSpec>,
+    flows: Vec<HcFlow>,
+    /// Flows whose `r_rank` is in the future, keyed by it: fires promote
+    /// to [`HcPhase::Res`] (even limit-gated flows — reserved service is
+    /// owed regardless of the limit clock, as in the reference).
+    resdue: CffsQueue<(FlowId, u64)>,
+    /// Limit-gated flows keyed by `l_rank`: fires release to band 1.
+    gate: CffsQueue<(FlowId, u64)>,
+    /// Quantization of the band-0 reservation clock (ns per rank unit).
+    gran: Nanos,
+}
+
+impl HClockFlow {
+    /// Creates the policy with one spec per flow id; flows beyond the
+    /// table use the last spec. Queue geometry derives from the slowest
+    /// limit exactly as the dedicated engine's constructor does.
+    pub fn new(specs: Vec<QosSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one QosSpec");
+        let max_step = specs
+            .iter()
+            .filter_map(|s| s.limit.tx_time(1_500))
+            .max()
+            .unwrap_or(1_000_000);
+        let gran = (2 * max_step).div_ceil(65_536).max(1_000);
+        HClockFlow {
+            specs,
+            flows: Vec::new(),
+            resdue: CffsQueue::new(65_536, gran, 0),
+            gate: CffsQueue::new(65_536, gran, 0),
+            gran,
+        }
+    }
+
+    fn flow_mut(&mut self, id: usize) -> &mut HcFlow {
+        while self.flows.len() <= id {
+            self.flows.push(HcFlow::new());
+        }
+        &mut self.flows[id]
+    }
+
+    fn spec(&self, id: usize) -> QosSpec {
+        *self
+            .specs
+            .get(id)
+            .unwrap_or_else(|| self.specs.last().expect("constructor checked non-empty"))
+    }
+
+    /// The Figure 11 charge: advance the three clocks by one packet.
+    fn charge(&mut self, now: Nanos, id: usize, bytes: u64) {
+        let spec = self.spec(id);
+        let f = self.flow_mut(id);
+        if bytes != f.cost_bytes {
+            f.cost_bytes = bytes;
+            f.r_cost = spec.reservation.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+            f.l_cost = spec.limit.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+            f.s_cost = bytes / spec.share.max(1);
+        }
+        f.r_rank = f.r_rank.max(now) + f.r_cost;
+        f.l_rank = f.l_rank.max(now) + f.l_cost;
+        f.s_rank += f.s_cost;
+    }
+
+    /// Recomputes where a backlogged flow belongs at `now`, registering
+    /// promotion/gate entries for the futures. Returns its rank (or PARK).
+    fn place(&mut self, now: Nanos, id: usize) -> u64 {
+        let f = self.flow_mut(id);
+        f.stamp += 1;
+        let (stamp, r, l, s) = (f.stamp, f.r_rank, f.l_rank, f.s_rank);
+        if r <= now {
+            f.phase = HcPhase::Res;
+            return r / self.gran;
+        }
+        self.resdue
+            .enqueue(r, (id as FlowId, stamp))
+            .unwrap_or_else(|_| unreachable!("cFFS clamps"));
+        if l <= now {
+            self.flows[id].phase = HcPhase::Share;
+            BAND1 + s
+        } else {
+            self.gate
+                .enqueue(l, (id as FlowId, stamp))
+                .unwrap_or_else(|_| unreachable!("cFFS clamps"));
+            self.flows[id].phase = HcPhase::Gated;
+            PARK
+        }
+    }
+
+    fn rank_of(&self, id: usize) -> u64 {
+        let f = &self.flows[id];
+        match f.phase {
+            HcPhase::Res => f.r_rank / self.gran,
+            HcPhase::Share => BAND1 + f.s_rank,
+            HcPhase::Gated | HcPhase::Idle => PARK,
+        }
+    }
+}
+
+impl ObjFlowPolicy for HClockFlow {
+    fn rank_on_enqueue(&mut self, now: Nanos, f: &FlowState<()>, _p: &Packet) -> u64 {
+        let id = f.id as usize;
+        if f.len() == 1 {
+            self.flow_mut(id); // ensure state exists
+            self.place(now, id)
+        } else {
+            f.rank // already placed; clocks only move on service
+        }
+    }
+
+    fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        Some(self.place(now, f.id as usize))
+    }
+
+    fn on_serve(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) {
+        let id = f.id as usize;
+        self.charge(now, id, p.bytes as u64);
+        if f.is_empty() {
+            let fl = &mut self.flows[id];
+            fl.phase = HcPhase::Idle;
+            fl.stamp += 1; // pending promotions go stale
+        }
+    }
+
+    fn may_park(&self) -> bool {
+        true
+    }
+
+    fn advance(&mut self, now: Nanos, rerank: &mut Vec<FlowId>) {
+        while let Some((_, (id, st))) = self.resdue.dequeue_min_le(now) {
+            let f = &mut self.flows[id as usize];
+            if f.stamp != st || matches!(f.phase, HcPhase::Idle | HcPhase::Res) {
+                continue; // stale, or already in the reservation band
+            }
+            f.phase = HcPhase::Res;
+            rerank.push(id);
+        }
+        while let Some((_, (id, st))) = self.gate.dequeue_min_le(now) {
+            let f = &mut self.flows[id as usize];
+            if f.stamp != st || f.phase != HcPhase::Gated {
+                continue;
+            }
+            f.phase = HcPhase::Share;
+            rerank.push(id);
+        }
+    }
+
+    fn rank_now(&mut self, _now: Nanos, f: &FlowState<()>) -> u64 {
+        self.rank_of(f.id as usize)
+    }
+
+    fn soonest_wakeup(&self) -> Option<Nanos> {
+        match (self.resdue.peek_min_rank(), self.gate.peek_min_rank()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Two-slope HFSC-style service curve: `m1` until `burst` bytes of a
+/// backlog period are served, then `m2`.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveSpec {
+    /// Burst-phase guaranteed rate.
+    pub m1: Rate,
+    /// Steady-state guaranteed rate.
+    pub m2: Rate,
+    /// Bytes served at `m1` per backlog period before falling to `m2`.
+    pub burst: u64,
+    /// Link-share weight for excess bandwidth.
+    pub share: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HfscPhase {
+    Idle,
+    /// Real-time deadline due: band 0.
+    Rt,
+    /// Link-sharing by virtual time: band 1.
+    Ls,
+}
+
+#[derive(Debug)]
+struct HfscFlow {
+    /// Real-time deadline: next instant the flow is owed curve service.
+    d: Nanos,
+    /// Bytes left in the burst (m1) segment of this backlog period.
+    burst_left: u64,
+    /// Link-share virtual time (weighted virtual bytes).
+    v: u64,
+    phase: HfscPhase,
+    stamp: u64,
+}
+
+impl HfscFlow {
+    fn new() -> Self {
+        HfscFlow {
+            d: 0,
+            burst_left: 0,
+            v: 0,
+            phase: HfscPhase::Idle,
+            stamp: 0,
+        }
+    }
+}
+
+/// HFSC-lite: real-time service curves decoupled from link-sharing
+/// (Stoica et al.), as a work-conserving flow-leaf program.
+///
+/// Each flow has a two-slope concave curve ([`CurveSpec`]): on every
+/// backlog period it may draw `burst` bytes at `m1`, then `m2`. A flow
+/// whose deadline `d` is due ranks in band 0 by `d` (quantized) — the
+/// real-time pass; otherwise it ranks in band 1 by its link-share virtual
+/// time `v` (weight `share`), which catches up to the global virtual time
+/// on activation so returning flows don't claim history. Unlike full
+/// HFSC this does not reshift curves on reactivation (the burst refill
+/// plus the `max(d, now)` deadline clamp plays that role) — the
+/// conformance suite pins it against an independent linear-scan simulator
+/// with the same algebra.
+pub struct HfscCurves {
+    specs: Vec<CurveSpec>,
+    flows: Vec<HfscFlow>,
+    /// Global link-share virtual time (start tag of last LS service).
+    vtime: u64,
+    /// Future real-time deadlines: fires promote Ls → Rt.
+    rtdue: CffsQueue<(FlowId, u64)>,
+    gran: Nanos,
+}
+
+impl HfscCurves {
+    /// Creates the policy with one curve per flow id; flows beyond the
+    /// table use the last curve.
+    pub fn new(specs: Vec<CurveSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one CurveSpec");
+        let max_step = specs
+            .iter()
+            .flat_map(|s| [s.m1.tx_time(1_500), s.m2.tx_time(1_500)])
+            .flatten()
+            .max()
+            .unwrap_or(1_000_000);
+        let gran = (2 * max_step).div_ceil(65_536).max(1_000);
+        HfscCurves {
+            specs,
+            flows: Vec::new(),
+            vtime: 0,
+            rtdue: CffsQueue::new(65_536, gran, 0),
+            gran,
+        }
+    }
+
+    fn flow_mut(&mut self, id: usize) -> &mut HfscFlow {
+        while self.flows.len() <= id {
+            self.flows.push(HfscFlow::new());
+        }
+        &mut self.flows[id]
+    }
+
+    fn spec(&self, id: usize) -> CurveSpec {
+        *self
+            .specs
+            .get(id)
+            .unwrap_or_else(|| self.specs.last().expect("constructor checked non-empty"))
+    }
+
+    fn place(&mut self, now: Nanos, id: usize) -> u64 {
+        let f = self.flow_mut(id);
+        f.stamp += 1;
+        let (stamp, d, v) = (f.stamp, f.d, f.v);
+        if d <= now {
+            f.phase = HfscPhase::Rt;
+            d / self.gran
+        } else {
+            f.phase = HfscPhase::Ls;
+            self.rtdue
+                .enqueue(d, (id as FlowId, stamp))
+                .unwrap_or_else(|_| unreachable!("cFFS clamps"));
+            BAND1 + v
+        }
+    }
+}
+
+impl ObjFlowPolicy for HfscCurves {
+    fn rank_on_enqueue(&mut self, now: Nanos, f: &FlowState<()>, _p: &Packet) -> u64 {
+        let id = f.id as usize;
+        if f.len() == 1 {
+            // New backlog period: refill the burst segment, clamp the
+            // deadline forward, catch the virtual time up.
+            let spec = self.spec(id);
+            let vtime = self.vtime;
+            let fl = self.flow_mut(id);
+            fl.burst_left = spec.burst;
+            fl.d = fl.d.max(now);
+            fl.v = fl.v.max(vtime);
+            self.place(now, id)
+        } else {
+            f.rank
+        }
+    }
+
+    fn rank_on_dequeue(&mut self, now: Nanos, f: &FlowState<()>) -> Option<u64> {
+        Some(self.place(now, f.id as usize))
+    }
+
+    fn on_serve(&mut self, now: Nanos, f: &FlowState<()>, p: &Packet) {
+        let id = f.id as usize;
+        let spec = self.spec(id);
+        let bytes = p.bytes as u64;
+        let fl = self.flow_mut(id);
+        // Deadline advances at the active slope of the curve.
+        let rate = if fl.burst_left > 0 { spec.m1 } else { spec.m2 };
+        let cost = rate.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+        fl.burst_left = fl.burst_left.saturating_sub(bytes);
+        fl.d = fl.d.max(now) + cost;
+        // Link-share virtual time: start tag of this service.
+        let start = fl.v;
+        fl.v = start + (bytes / spec.share.max(1)).max(1);
+        self.vtime = self.vtime.max(start);
+        if f.is_empty() {
+            let fl = &mut self.flows[id];
+            fl.phase = HfscPhase::Idle;
+            fl.stamp += 1;
+        }
+    }
+
+    fn advance(&mut self, now: Nanos, rerank: &mut Vec<FlowId>) {
+        while let Some((_, (id, st))) = self.rtdue.dequeue_min_le(now) {
+            let f = &mut self.flows[id as usize];
+            if f.stamp != st || f.phase != HfscPhase::Ls {
+                continue;
+            }
+            f.phase = HfscPhase::Rt;
+            rerank.push(id);
+        }
+    }
+
+    fn rank_now(&mut self, _now: Nanos, f: &FlowState<()>) -> u64 {
+        let fl = &self.flows[f.id as usize];
+        match fl.phase {
+            HfscPhase::Rt => fl.d / self.gran,
+            HfscPhase::Ls => BAND1 + fl.v,
+            HfscPhase::Idle => f.rank,
+        }
+    }
+
+    fn soonest_wakeup(&self) -> Option<Nanos> {
+        self.rtdue.peek_min_rank()
     }
 }
 

@@ -57,6 +57,12 @@ impl<A: Annotator> EiffelScheduler<A> {
         self.tree.dequeue(now)
     }
 
+    /// Pops up to `max` transmittable packets in repeated-dequeue order
+    /// (the amortized descent — see [`PifoTree::dequeue_batch`]).
+    pub fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        self.tree.dequeue_batch(now, max, out)
+    }
+
     /// When a timer-driven host should wake next.
     pub fn soonest_deadline(&self, now: Nanos) -> Option<Nanos> {
         self.tree.soonest_deadline(now)

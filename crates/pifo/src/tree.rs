@@ -25,7 +25,7 @@ use eiffel_core::RankedQueue;
 use eiffel_sim::{Nanos, Packet, Rate};
 
 use crate::flow::FlowScheduler;
-use crate::policies::{ObjFlowPolicy, RankCtx, Transaction};
+use crate::policies::{NodeProgram, ObjFlowPolicy, RankCtx};
 use crate::shaper::{Shaper, TokenStamper};
 
 /// Node handle.
@@ -51,7 +51,7 @@ enum Body {
 struct Node {
     name: String,
     parent: Option<usize>,
-    tx: Box<dyn Transaction>,
+    tx: Box<dyn NodeProgram>,
     body: Body,
     /// Rate limit: if present, elements below this node are invisible to
     /// the parent until the shaper releases them.
@@ -102,6 +102,16 @@ pub struct PifoTree {
     /// ready for the wire.
     ready: VecDeque<Packet>,
     packets: usize,
+    /// Reusable buffer for due shaper releases (hoisted off the hot
+    /// `advance` path).
+    due_scratch: Vec<(Nanos, usize)>,
+    /// Pool of entry buffers for the batched descent (one per recursion
+    /// depth in flight).
+    entry_scratch: Vec<Vec<(u64, Entry)>>,
+    /// Indices of flow leaves (their policies get `advance` on each poll).
+    flow_leaves: Vec<usize>,
+    /// Indices of nodes whose program asked for wall-time advances.
+    advancing: Vec<usize>,
 }
 
 impl std::fmt::Debug for PifoTree {
@@ -145,7 +155,7 @@ impl TreeBuilder {
         &mut self,
         name: &str,
         parent: Option<NodeId>,
-        tx: Box<dyn Transaction>,
+        tx: Box<dyn NodeProgram>,
         body: Body,
         limit: Option<Rate>,
     ) -> NodeId {
@@ -174,7 +184,7 @@ impl TreeBuilder {
         &mut self,
         name: &str,
         parent: Option<NodeId>,
-        tx: Box<dyn Transaction>,
+        tx: Box<dyn NodeProgram>,
         limit: Option<Rate>,
     ) -> NodeId {
         let (kind, cfg) = tx.queue_hint();
@@ -192,8 +202,15 @@ impl TreeBuilder {
         flow_queue: Box<dyn RankedQueue<(u32, u64)>>,
         limit: Option<Rate>,
     ) -> NodeId {
+        // A parking policy keeps backlogged flows with *no* queue entry,
+        // which would break the one-entry-per-packet invariant ancestors
+        // rely on for their descent: only an unshaped root may park.
+        assert!(
+            !policy.may_park() || (parent.is_none() && limit.is_none()),
+            "parking flow policies are only sound at an unshaped root"
+        );
         let fs = FlowScheduler::new(policy, flow_queue);
-        // Flow leaves rank flows internally; the node-level transaction is
+        // Flow leaves rank flows internally; the node-level program is
         // unused, a FIFO placeholder keeps the type uniform.
         self.push(
             name,
@@ -210,11 +227,29 @@ impl TreeBuilder {
             return Err(TreeError::Empty);
         }
         assert!(self.nodes[0].parent.is_none(), "node 0 must be the root");
+        let flow_leaves: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.body, Body::Flows(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let advancing: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.tx.needs_advance())
+            .map(|(i, _)| i)
+            .collect();
         Ok(PifoTree {
             nodes: self.nodes,
             shaper: Shaper::new(self.shaper_buckets, self.shaper_granularity, 0),
             ready: VecDeque::new(),
             packets: 0,
+            due_scratch: Vec::new(),
+            entry_scratch: Vec::new(),
+            flow_leaves,
+            advancing,
         })
     }
 }
@@ -329,16 +364,39 @@ impl PifoTree {
         }
     }
 
-    /// Fires every shaper release due at or before `now`: each release pops
-    /// the best packet of the shaped node's subtree and re-inserts it one
-    /// level up (or into the ready line if the node is the root).
+    /// Applies every time-driven state change due at or before `now`:
+    /// node-program and flow-policy advances (virtual-time promotions,
+    /// limit gates opening), then every due shaper release — each release
+    /// pops the best packet of the shaped node's subtree and re-inserts it
+    /// one level up (or into the ready line if the node is the root).
+    ///
+    /// Idempotent at a fixed `now` once the shaper has no more due work
+    /// (releases processed at `ts` can schedule follow-up credits still
+    /// due at `now`; callers polling transmittability should loop on
+    /// [`PifoTree::dequeue`], which re-advances).
     pub fn advance(&mut self, now: Nanos) {
-        let mut due = Vec::new();
+        for i in 0..self.advancing.len() {
+            let idx = self.advancing[i];
+            self.nodes[idx].tx.advance(now);
+        }
+        for i in 0..self.flow_leaves.len() {
+            let idx = self.flow_leaves[i];
+            let Body::Flows(fs) = &mut self.nodes[idx].body else {
+                unreachable!("flow_leaves indexes flow leaves")
+            };
+            fs.advance(now);
+        }
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
         self.shaper.release_due(now, &mut due);
-        for (ts, idx) in due {
+        for (ts, idx) in due.drain(..) {
             self.nodes[idx].credit_pending = false;
             debug_assert!(self.nodes[idx].backlog() > 0, "credit without backlog");
-            let pkt = self.pop_local(ts.max(now), idx);
+            // The release happened at `ts`: pop, stamp and re-rank in that
+            // instant's context, not the (possibly later) poll time — a
+            // later-released packet must not rank ahead of one released
+            // earlier just because both were observed in the same poll.
+            let pkt = self.pop_local(ts, idx);
             // Advance the node's rate-limit clock by this packet's cost.
             let st = self.nodes[idx]
                 .limit
@@ -354,7 +412,7 @@ impl PifoTree {
                 Some(parent) => {
                     let meta = pkt.clone();
                     let ctx = RankCtx {
-                        now,
+                        now: ts,
                         pkt: &meta,
                         key: idx as u64,
                     };
@@ -364,42 +422,199 @@ impl PifoTree {
                     };
                     q.enqueue(rank, Entry::Packet(pkt))
                         .unwrap_or_else(|e| panic!("rank {} outside node queue range", e.rank));
-                    self.propagate_up(now, parent, &meta);
+                    self.propagate_up(ts, parent, &meta);
                 }
             }
         }
+        self.due_scratch = due;
     }
 
     /// Removes the next transmittable packet: the ready line first (root
     /// shaping), then the root's work-conserving order.
     pub fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
-        self.advance(now);
-        if let Some(p) = self.ready.pop_front() {
+        loop {
+            self.advance(now);
+            if let Some(p) = self.ready.pop_front() {
+                self.packets -= 1;
+                return Some(p);
+            }
+            if self.nodes[0].limit.is_some() {
+                // Root is paced: everything must flow through the shaper.
+                // A release at `ts` can schedule a follow-up credit still
+                // due at `now` (nested limits chain one hop per advance
+                // pass), so quiesce before declaring nothing transmittable.
+                if self.shaper_due(now) {
+                    continue;
+                }
+                return None;
+            }
+            if let Body::Flows(fs) = &mut self.nodes[0].body {
+                // Root flow leaf: the policy may hold everything parked.
+                let p = fs.dequeue(now)?;
+                self.packets -= 1;
+                return Some(p);
+            }
+            if self.nodes[0].backlog() == 0 {
+                if self.shaper_due(now) {
+                    continue;
+                }
+                return None;
+            }
+            let p = self.pop_local(now, 0);
             self.packets -= 1;
             return Some(p);
         }
-        if self.nodes[0].limit.is_some() {
-            // Root is paced: everything must flow through the shaper.
-            return None;
+    }
+
+    /// Whether the shaper holds a release due at or before `now`.
+    fn shaper_due(&self, now: Nanos) -> bool {
+        self.shaper.soonest_deadline().is_some_and(|d| d <= now)
+    }
+
+    /// Dequeues up to `max` packets in exactly the order repeated
+    /// [`PifoTree::dequeue`] calls at `now` would produce, appending them
+    /// to `out`. Returns how many packets were moved.
+    ///
+    /// The amortization is the batched descent (`pop_local_batch`):
+    /// one bucketed-queue `dequeue_batch` per visited node per batch
+    /// instead of one full root-to-leaf descent per packet. Whenever
+    /// shaper work is due at `now` — where repeated single dequeues would
+    /// interleave releases with pops — the loop falls back to single
+    /// steps, so the emitted order stays identical (proptest-pinned in
+    /// `tests/tree_batch_equivalence.rs`).
+    pub fn dequeue_batch(&mut self, now: Nanos, max: usize, out: &mut Vec<Packet>) -> usize {
+        let mut n = 0;
+        while n < max {
+            self.advance(now);
+            while n < max {
+                let Some(p) = self.ready.pop_front() else {
+                    break;
+                };
+                self.packets -= 1;
+                out.push(p);
+                n += 1;
+            }
+            if n >= max {
+                break;
+            }
+            if self.nodes[0].limit.is_some() {
+                // Paced root: only the shaper feeds `ready`; more due work
+                // means another advance pass, else nothing transmits now.
+                if self.shaper_due(now) {
+                    continue;
+                }
+                break;
+            }
+            if let Body::Flows(fs) = &mut self.nodes[0].body {
+                // Childless root: the shaper is necessarily empty, and the
+                // flow scheduler's own batch path is proven equivalent.
+                let got = fs.dequeue_batch(now, max - n, out);
+                self.packets -= got;
+                n += got;
+                break;
+            }
+            if self.nodes[0].backlog() == 0 {
+                if self.shaper_due(now) {
+                    continue;
+                }
+                break;
+            }
+            if self.shaper_due(now) {
+                // Releases due at `now` interleave with root pops under
+                // repeated dequeue: single-step to keep the order identical.
+                let p = self.pop_local(now, 0);
+                self.packets -= 1;
+                out.push(p);
+                n += 1;
+                continue;
+            }
+            let got = self.pop_local_batch(now, 0, max - n, out);
+            self.packets -= got;
+            n += got;
+            if got == 0 {
+                break;
+            }
         }
-        if self.nodes[0].backlog() == 0 {
-            return None;
+        n
+    }
+
+    /// Batched descent: pops up to `max` packets from node `idx`'s subtree
+    /// in exactly repeated-[`PifoTree::pop_local`] order, with one queue
+    /// `dequeue_batch` per visited node. Runs of consecutive entries
+    /// pointing at the same child become one recursive call — by the
+    /// one-entry-per-packet invariant, a run of `k` child references is
+    /// exactly `k` packets below.
+    fn pop_local_batch(
+        &mut self,
+        now: Nanos,
+        idx: usize,
+        max: usize,
+        out: &mut Vec<Packet>,
+    ) -> usize {
+        let Body::Queue(_) = &self.nodes[idx].body else {
+            let Body::Flows(fs) = &mut self.nodes[idx].body else {
+                unreachable!()
+            };
+            return fs.dequeue_batch(now, max, out);
+        };
+        let mut entries = self.entry_scratch.pop().unwrap_or_default();
+        entries.clear();
+        let Body::Queue(q) = &mut self.nodes[idx].body else {
+            unreachable!()
+        };
+        let got = q.dequeue_batch(max, &mut entries);
+        let mut it = entries.drain(..).peekable();
+        while let Some((rank, entry)) = it.next() {
+            self.nodes[idx].tx.on_dequeue(rank);
+            match entry {
+                Entry::Packet(p) => out.push(p),
+                Entry::Child(c) => {
+                    let mut run = 1;
+                    while let Some((r2, Entry::Child(c2))) = it.peek() {
+                        if *c2 != c {
+                            break;
+                        }
+                        self.nodes[idx].tx.on_dequeue(*r2);
+                        it.next();
+                        run += 1;
+                    }
+                    let sub = self.pop_local_batch(now, c, run, out);
+                    debug_assert_eq!(sub, run, "child entries must match backlog");
+                }
+            }
         }
-        let p = self.pop_local(now, 0);
-        self.packets -= 1;
-        Some(p)
+        drop(it);
+        self.entry_scratch.push(entries);
+        got
     }
 
     /// When a timer-driven host should wake next: immediately if something
-    /// is transmittable, else the shaper's earliest release.
+    /// is transmittable, else the earliest of the shaper's releases and
+    /// the flow policies' wakeups (parked flows, pending promotions).
     pub fn soonest_deadline(&self, now: Nanos) -> Option<Nanos> {
         if !self.ready.is_empty() {
             return Some(now);
         }
-        if self.nodes[0].limit.is_none() && self.nodes[0].backlog() > 0 {
-            return Some(now);
+        if self.nodes[0].limit.is_none() {
+            match &self.nodes[0].body {
+                // Entries exist only for packets visible at the root —
+                // backlog parked behind shaped descendants (or a parking
+                // policy) does not count, so no busy-wake here.
+                Body::Queue(q) if !q.is_empty() => return Some(now),
+                Body::Flows(fs) if fs.has_queued_flows() => return Some(now),
+                _ => {}
+            }
         }
-        self.shaper.soonest_deadline()
+        let mut best = self.shaper.soonest_deadline();
+        for &i in &self.flow_leaves {
+            let Body::Flows(fs) = &self.nodes[i].body else {
+                unreachable!("flow_leaves indexes flow leaves")
+            };
+            if let Some(w) = fs.soonest_wakeup() {
+                best = Some(best.map_or(w, |b| b.min(w)));
+            }
+        }
+        best
     }
 }
 

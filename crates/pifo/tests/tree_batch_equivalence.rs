@@ -1,0 +1,165 @@
+//! Property: `PifoTree::dequeue_batch` emits the exact packet sequence
+//! repeated `PifoTree::dequeue` would — across tree shapes (flat, nested,
+//! flow leaves), node programs (FIFO, STFQ, WFQ, LSTF, childprio, QoS flow
+//! policies) and shaper geometries (unshaped, leaf limits, nested limits,
+//! paced root). This is the qdisc-layer batch proof (PR 5) lifted to the
+//! programmable tree.
+
+use eiffel_pifo::lang::compile;
+use eiffel_pifo::PifoTree;
+use eiffel_sim::{Nanos, Packet};
+use proptest::prelude::*;
+
+/// The zoo of tree shapes under test. Each pairs a policy text with the
+/// leaves arrivals may target.
+const SHAPES: &[(&str, &[&str])] = &[
+    ("node root kind=fifo\n", &["root"]),
+    ("node root kind=fifo limit=40mbps\n", &["root"]),
+    (
+        "node root kind=stfq\n\
+         node a parent=root kind=fifo weight=3\n\
+         node b parent=root kind=fifo weight=1 limit=30mbps\n\
+         node c parent=root kind=flow:lqf weight=2\n",
+        &["a", "b", "c"],
+    ),
+    (
+        "node root kind=wfq\n\
+         node a parent=root kind=fifo weight=4\n\
+         node mid parent=root kind=stfq weight=1 limit=60mbps\n\
+         node m1 parent=mid kind=fifo weight=1\n\
+         node m2 parent=mid kind=fifo weight=2\n",
+        &["a", "m1", "m2"],
+    ),
+    (
+        "node root kind=childprio\n\
+         node hi parent=root kind=lstf prio=0\n\
+         node lo parent=root kind=flow:pfabric prio=1\n",
+        &["hi", "lo"],
+    ),
+    (
+        // Figure 7/8: nested limits under a paced root.
+        "node root kind=fifo limit=80mbps\n\
+         node inner parent=root kind=fifo limit=50mbps\n\
+         node leaf parent=inner kind=fifo limit=30mbps\n",
+        &["leaf"],
+    ),
+    (
+        "node root kind=flow:hclock res=5mbps lim=25mbps share=1\n",
+        &["root"],
+    ),
+    (
+        "node root kind=flow:hfsc m1=40mbps m2=10mbps burst=4500 share=2\n",
+        &["root"],
+    ),
+];
+
+fn build(shape: usize) -> (PifoTree, Vec<eiffel_pifo::NodeId>) {
+    let (text, leaves) = SHAPES[shape];
+    let tree = compile(text).unwrap_or_else(|e| panic!("shape {shape}: {e}"));
+    let ids = leaves
+        .iter()
+        .map(|n| tree.node_by_name(n).unwrap())
+        .collect();
+    (tree, ids)
+}
+
+/// Drives mirrored trees through the same arrival schedule; at every probe
+/// instant one side drains through `dequeue_batch` with cycling batch
+/// sizes, the other through repeated `dequeue`.
+fn assert_batch_matches_single(
+    shape: usize,
+    arrivals: &[(Nanos, usize, u32, u64)],
+    batches: &[usize],
+    step: Nanos,
+) {
+    let (mut batched, leaves) = build(shape);
+    let (mut single, _) = build(shape);
+    let mut ai = 0usize;
+    let mut now: Nanos = 0;
+    let mut round = 0usize;
+    let mut out: Vec<Packet> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        while ai < arrivals.len() && arrivals[ai].0 <= now {
+            let (at, leaf_sel, flow, slack) = arrivals[ai];
+            let leaf = leaves[leaf_sel % leaves.len()];
+            let mut pkt = Packet::mtu(next_id, flow, at);
+            pkt.rank = slack; // LSTF slack / pFabric remaining size
+            pkt.class = flow % 4;
+            next_id += 1;
+            batched.enqueue(at, leaf, pkt.clone()).unwrap();
+            single.enqueue(at, leaf, pkt).unwrap();
+            ai += 1;
+        }
+        loop {
+            let max = batches[round % batches.len()];
+            round += 1;
+            out.clear();
+            let got = batched.dequeue_batch(now, max, &mut out);
+            assert_eq!(got, out.len(), "reported count matches the append");
+            assert!(got <= max, "overfilled batch");
+            for p in &out {
+                assert_eq!(
+                    Some(p.clone()),
+                    single.dequeue(now),
+                    "shape {shape} diverged at t={now}"
+                );
+            }
+            if got < max {
+                assert!(
+                    single.dequeue(now).is_none(),
+                    "shape {shape}: batch stopped early at t={now}"
+                );
+                break;
+            }
+        }
+        assert_eq!(batched.len(), single.len());
+        if ai >= arrivals.len() && batched.is_empty() {
+            break;
+        }
+        now += step;
+        assert!(
+            now < 60_000_000_000,
+            "shape {shape}: drain must converge (len={})",
+            batched.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random tree shape × arrival schedule × batch sizes × probe step.
+    #[test]
+    fn tree_dequeue_batch_matches_repeated_dequeue(
+        shape in 0usize..SHAPES.len(),
+        arrivals in prop::collection::vec(
+            // Slack stays inside pFabric's fixed 2^20 rank range.
+            (0u64..4_000_000, 0usize..3, 0u32..6, 1u64..1_000_000), 1..80),
+        batches in prop::collection::vec(1usize..17, 1..12),
+        step in prop_oneof![Just(150_000u64), Just(400_000), Just(1_100_000)],
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort();
+        assert_batch_matches_single(shape, &arrivals, &batches, step);
+    }
+}
+
+/// Every shape is exercised at least once regardless of the generator's
+/// whims (cheap deterministic sweep riding the same harness).
+#[test]
+fn every_shape_drains_identically() {
+    let arrivals: Vec<(Nanos, usize, u32, u64)> = (0..30)
+        .map(|i| {
+            (
+                (i as u64) * 137_000,
+                (i * 7) % 3,
+                (i % 5) as u32,
+                1 + (i as u64 * 97) % 900_000,
+            )
+        })
+        .collect();
+    for shape in 0..SHAPES.len() {
+        assert_batch_matches_single(shape, &arrivals, &[1, 5, 3, 16], 300_000);
+    }
+}

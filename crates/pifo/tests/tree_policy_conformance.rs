@@ -1,0 +1,357 @@
+//! Conformance: each node program on the tree matches an independent
+//! reference model.
+//!
+//! - WFQ vs an exact virtual-finish-time simulator (Demers fluid
+//!   approximation, same tag algebra, ties by arrival order) — exact
+//!   packet-sequence equality.
+//! - LSTF vs a stable sort by absolute deadline — exact.
+//! - HFSC vs a linear-scan two-slope curve simulator — per-flow service
+//!   counts within tolerance (tie-breaks among equal quantized deadlines
+//!   are the only freedom).
+//!
+//! The hClock-on-tree vs dedicated-engine suite lives in
+//! `crates/bess/tests/tree_hclock_conformance.rs` (it needs both crates).
+
+use std::collections::HashMap;
+
+use eiffel_pifo::lang::compile;
+use eiffel_pifo::{CurveSpec, HfscCurves, PifoTree, TreeBuilder};
+use eiffel_sim::{Nanos, Packet, Rate};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// WFQ: exact virtual-finish-time reference.
+// ---------------------------------------------------------------------------
+
+/// The textbook algebra: `F(k) = max(V, F_prev(k)) + max(1, bytes/w(k))`,
+/// `V = max(V, F(served))`; service order is min `(F, arrival)`.
+struct RefWfq {
+    vtime: u64,
+    finish: HashMap<u64, u64>,
+    weights: HashMap<u64, u64>,
+    /// Pending `(finish tag, arrival seq, packet)`.
+    pending: Vec<(u64, u64, Packet)>,
+}
+
+impl RefWfq {
+    fn new(weights: &[(u64, u64)]) -> Self {
+        RefWfq {
+            vtime: 0,
+            finish: HashMap::new(),
+            weights: weights.iter().copied().collect(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn enqueue(&mut self, key: u64, seq: u64, pkt: Packet) {
+        let start = self.vtime.max(self.finish.get(&key).copied().unwrap_or(0));
+        let w = self.weights.get(&key).copied().unwrap_or(1);
+        let tag = start + (pkt.bytes as u64 / w).max(1);
+        self.finish.insert(key, tag);
+        self.pending.push((tag, seq, pkt));
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (tag, seq, _))| (*tag, *seq))?
+            .0;
+        let (tag, _, pkt) = self.pending.remove(best);
+        self.vtime = self.vtime.max(tag);
+        Some(pkt)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WFQ on the tree (root program over three FIFO children) emits the
+    /// exact sequence of the virtual-finish-time simulator, with enqueues
+    /// and dequeues interleaved so the virtual clock is exercised mid-run.
+    #[test]
+    fn wfq_matches_virtual_finish_time_reference(
+        ops in prop::collection::vec(
+            // (child, bytes, how many to pop after this arrival)
+            (0usize..3, 60u32..1_500, 0usize..3), 1..120),
+    ) {
+        let tree = compile(
+            "node root kind=wfq\n\
+             node a parent=root kind=fifo weight=1\n\
+             node b parent=root kind=fifo weight=2\n\
+             node c parent=root kind=fifo weight=5\n",
+        )
+        .unwrap();
+        let leaves = [
+            tree.node_by_name("a").unwrap(),
+            tree.node_by_name("b").unwrap(),
+            tree.node_by_name("c").unwrap(),
+        ];
+        // Child keys in the root program are the children's node indices.
+        let weights: Vec<(u64, u64)> = leaves
+            .iter()
+            .zip([1u64, 2, 5])
+            .map(|(id, w)| (id.0 as u64, w))
+            .collect();
+        let mut tree = tree;
+        let mut reference = RefWfq::new(&weights);
+        for (seq, &(child, bytes, pops)) in ops.iter().enumerate() {
+            let seq = seq as u64;
+            let pkt = Packet::new(seq, child as u32, bytes, 0);
+            tree.enqueue(0, leaves[child], pkt.clone()).unwrap();
+            reference.enqueue(leaves[child].0 as u64, seq, pkt);
+            for _ in 0..pops {
+                prop_assert_eq!(tree.dequeue(0), reference.dequeue());
+            }
+        }
+        while let Some(expect) = reference.dequeue() {
+            prop_assert_eq!(tree.dequeue(0), Some(expect));
+        }
+        prop_assert!(tree.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LSTF: exact stable-sort-by-deadline reference.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LSTF serves by absolute deadline `created_at + slack`, ties in
+    /// arrival order (Universal Packet Scheduling's invariant: the order
+    /// by remaining slack is the order by absolute deadline).
+    #[test]
+    fn lstf_matches_deadline_sort(
+        ops in prop::collection::vec(
+            // (created_at, slack, how many to pop after this arrival)
+            (0u64..1 << 40, 0u64..1 << 40, 0usize..3), 1..120),
+    ) {
+        let mut tree = compile("node root kind=lstf\n").unwrap();
+        let root = tree.node_by_name("root").unwrap();
+        // Pending mirror: (deadline, arrival seq, id).
+        let mut pending: Vec<(u64, u64, u64)> = Vec::new();
+        for (seq, &(at, slack, pops)) in ops.iter().enumerate() {
+            let seq = seq as u64;
+            let mut pkt = Packet::mtu(seq, 0, at);
+            pkt.rank = slack;
+            tree.enqueue(at, root, pkt).unwrap();
+            pending.push((at.saturating_add(slack), seq, seq));
+            for _ in 0..pops {
+                let got = tree.dequeue(u64::MAX).map(|p| p.id);
+                let best = pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(d, s, _))| (d, s))
+                    .map(|(i, _)| i);
+                let expect = best.map(|i| pending.remove(i).2);
+                prop_assert_eq!(got, expect);
+            }
+        }
+        pending.sort();
+        for (_, _, id) in pending {
+            prop_assert_eq!(tree.dequeue(u64::MAX).map(|p| p.id), Some(id));
+        }
+        prop_assert!(tree.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HFSC: linear-scan two-slope curve reference (tolerance on counts).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum RefPhase {
+    Idle,
+    Rt,
+    Ls,
+}
+
+struct RefHfscFlow {
+    backlog: usize,
+    d: Nanos,
+    burst_left: u64,
+    v: u64,
+    phase: RefPhase,
+}
+
+/// Same algebra as [`HfscCurves`], selection by linear scan: deadline-due
+/// flows (bucket-quantized, like the policy's cFFS promotion) first by
+/// `d`, else by link-share virtual time `v`.
+struct RefHfsc {
+    specs: Vec<CurveSpec>,
+    flows: Vec<RefHfscFlow>,
+    vtime: u64,
+    gran: Nanos,
+}
+
+impl RefHfsc {
+    fn new(specs: Vec<CurveSpec>) -> Self {
+        let max_step = specs
+            .iter()
+            .flat_map(|s| [s.m1.tx_time(1_500), s.m2.tx_time(1_500)])
+            .flatten()
+            .max()
+            .unwrap_or(1_000_000);
+        // Mirrors HfscCurves::new's derivation.
+        let gran = (2 * max_step).div_ceil(65_536).max(1_000);
+        let flows = specs
+            .iter()
+            .map(|_| RefHfscFlow {
+                backlog: 0,
+                d: 0,
+                burst_left: 0,
+                v: 0,
+                phase: RefPhase::Idle,
+            })
+            .collect();
+        RefHfsc {
+            specs,
+            flows,
+            vtime: 0,
+            gran,
+        }
+    }
+
+    fn place(&mut self, now: Nanos, id: usize) {
+        let f = &mut self.flows[id];
+        f.phase = if f.d <= now {
+            RefPhase::Rt
+        } else {
+            RefPhase::Ls
+        };
+    }
+
+    fn enqueue(&mut self, now: Nanos, id: usize) {
+        let spec = self.specs[id];
+        let vtime = self.vtime;
+        let f = &mut self.flows[id];
+        f.backlog += 1;
+        if f.backlog == 1 {
+            f.burst_left = spec.burst;
+            f.d = f.d.max(now);
+            f.v = f.v.max(vtime);
+            self.place(now, id);
+        }
+    }
+
+    /// Serves one packet of `bytes` bytes; returns the flow id, or `None`
+    /// when nothing is backlogged.
+    fn dequeue(&mut self, now: Nanos, bytes: u64) -> Option<usize> {
+        // Promotion pass: cFFS fires at bucket granularity (may be early
+        // by < gran).
+        for f in &mut self.flows {
+            if f.phase == RefPhase::Ls && (f.d / self.gran) * self.gran <= now {
+                f.phase = RefPhase::Rt;
+            }
+        }
+        let id = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.backlog > 0)
+            .min_by_key(|(_, f)| match f.phase {
+                RefPhase::Rt => f.d / self.gran,
+                _ => (1u64 << 62) + f.v,
+            })?
+            .0;
+        let spec = self.specs[id];
+        let f = &mut self.flows[id];
+        f.backlog -= 1;
+        let rate = if f.burst_left > 0 { spec.m1 } else { spec.m2 };
+        let cost = rate.tx_time(bytes).unwrap_or(Nanos::MAX / 4);
+        f.burst_left = f.burst_left.saturating_sub(bytes);
+        f.d = f.d.max(now) + cost;
+        let start = f.v;
+        f.v = start + (bytes / spec.share.max(1)).max(1);
+        self.vtime = self.vtime.max(start);
+        if f.backlog == 0 {
+            f.phase = RefPhase::Idle;
+        } else {
+            self.place(now, id);
+        }
+        Some(id)
+    }
+}
+
+fn hfsc_tree(specs: Vec<CurveSpec>) -> PifoTree {
+    let mut b = TreeBuilder::new();
+    b.flow_leaf(
+        "root",
+        None,
+        Box::new(HfscCurves::new(specs)),
+        eiffel_core::QueueKind::BTree.build(eiffel_core::QueueConfig::new(1, 1, 0)),
+        None,
+    );
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// HFSC curves on the flow leaf track the linear-scan reference: over
+    /// a paced drain the per-flow service counts agree within a small
+    /// tolerance (tie-breaking among equal quantized deadlines is the only
+    /// freedom the implementations have).
+    #[test]
+    fn hfsc_service_counts_match_reference(
+        arrivals in prop::collection::vec(
+            // (arrival step 0..50 × 100µs, flow)
+            (0u64..50, 0u32..4), 40..160),
+        per_step in 1usize..4,
+    ) {
+        let specs = vec![
+            CurveSpec { m1: Rate::mbps(40), m2: Rate::mbps(5), burst: 4_500, share: 1 },
+            CurveSpec { m1: Rate::mbps(20), m2: Rate::mbps(10), burst: 3_000, share: 2 },
+            CurveSpec { m1: Rate::mbps(10), m2: Rate::mbps(10), burst: 1_500, share: 4 },
+            CurveSpec { m1: Rate::mbps(5), m2: Rate::mbps(20), burst: 9_000, share: 8 },
+        ];
+        let mut tree = hfsc_tree(specs.clone());
+        let root = tree.node_by_name("root").unwrap();
+        let mut reference = RefHfsc::new(specs);
+
+        let mut arrivals: Vec<(Nanos, u32)> = arrivals
+            .iter()
+            .map(|&(step, flow)| (step * 100_000, flow))
+            .collect();
+        arrivals.sort();
+        let total = arrivals.len();
+
+        let mut tree_counts = [0usize; 4];
+        let mut ref_counts = [0usize; 4];
+        let mut ai = 0;
+        let mut now: Nanos = 0;
+        let mut served = 0;
+        // Paced link: `per_step` MTU services per 100 µs tick.
+        while served < total {
+            while ai < arrivals.len() && arrivals[ai].0 <= now {
+                let (at, flow) = arrivals[ai];
+                let mut pkt = Packet::mtu(ai as u64, flow, at);
+                pkt.bytes = 1_500;
+                tree.enqueue(at, root, pkt).unwrap();
+                reference.enqueue(at, flow as usize);
+                ai += 1;
+            }
+            for _ in 0..per_step {
+                let Some(p) = tree.dequeue(now) else { break };
+                tree_counts[p.flow as usize] += 1;
+                let r = reference.dequeue(now, 1_500).expect("mirrored backlog");
+                ref_counts[r] += 1;
+                served += 1;
+            }
+            now += 100_000;
+            prop_assert!(now < 10_000_000_000, "drain must converge");
+        }
+        prop_assert!(tree.is_empty());
+        for flow in 0..4 {
+            let diff = tree_counts[flow].abs_diff(ref_counts[flow]);
+            let bound = (ref_counts[flow] / 5).max(4);
+            prop_assert!(
+                diff <= bound,
+                "flow {} served {} on the tree vs {} in the reference (tolerance {})",
+                flow, tree_counts[flow], ref_counts[flow], bound
+            );
+        }
+    }
+}

@@ -75,6 +75,21 @@ fn fig16_fig17_quick() {
     assert!((0.0..=1.0).contains(&occ.hit_rate));
 }
 
+/// Tree-policy cost path: every node program (fifo floor, WFQ, LSTF,
+/// hClock, HFSC) runs end to end and prices out as a finite cost.
+#[test]
+fn fig_tree_policy_quick() {
+    let args = eiffel_bench::BenchArgs::from_iter(["--quick".to_string()], None);
+    let r = runners::fig_tree_policy_report(&args, &runners::TreePolicyScale::tiny());
+    let sw = &r.sweeps[0];
+    assert_eq!(sw.series.len(), 5, "five node programs");
+    for s in &sw.series {
+        for &v in &s.values {
+            assert!(v.is_finite() && v > 0.0, "{}: {v} ns/pkt", s.name);
+        }
+    }
+}
+
 /// Figure 18 path: error rises as occupancy falls.
 #[test]
 fn fig18_quick() {
